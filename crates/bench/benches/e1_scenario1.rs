@@ -1,0 +1,47 @@
+//! E1: Scenario 1 (Alice & E-Learn, paper §4.1) — end-to-end negotiation
+//! latency under both strategies, cold (fresh peers) and warm (credentials
+//! cached from a previous run).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use peertrust_negotiation::Strategy;
+use peertrust_scenarios::Scenario1;
+
+fn bench_scenario1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_scenario1");
+    group.sample_size(20);
+
+    for strategy in Strategy::ALL {
+        group.bench_function(format!("cold/{strategy}"), |b| {
+            b.iter_batched(
+                Scenario1::build,
+                |mut s| {
+                    let out = s.run(strategy);
+                    assert!(out.success);
+                    out.messages
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.bench_function("warm/parsimonious", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Scenario1::build();
+                assert!(s.run(Strategy::Parsimonious).success);
+                s
+            },
+            |mut s| {
+                let out = s.run(Strategy::Parsimonious);
+                assert!(out.success);
+                out.messages
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario1);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E2: Scenario 2 (Bob & learning services, paper §4.2) — free enrollment,
+//! pay-per-use with VISA card disclosure, the revocation-check variant,
+//! and run-time authority instantiation (authority DB and broker).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use peertrust_negotiation::Strategy;
+use peertrust_scenarios::{Scenario2, Variant2};
+
+fn bench_scenario2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_scenario2");
+    group.sample_size(20);
+
+    group.bench_function("free_course", |b| {
+        b.iter_batched(
+            || Scenario2::build(Variant2::Base),
+            |mut s| {
+                let out = s.run(Strategy::Parsimonious, Scenario2::free_goal());
+                assert!(out.success);
+                out.messages
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    for (name, variant) in [
+        ("paid_base", Variant2::Base),
+        ("paid_revocation", Variant2::RevocationCheck),
+        ("paid_authority_db", Variant2::AuthorityDb),
+        ("paid_broker", Variant2::Broker),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || Scenario2::build(variant),
+                |mut s| {
+                    let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+                    assert!(out.success);
+                    out.messages
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario2);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E3: negotiation cost vs release-policy chain depth — the scaling
+//! experiment behind the messages/disclosures tables in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use peertrust_bench::{run_workload, with_big_stack};
+use peertrust_negotiation::Strategy;
+use peertrust_scenarios::chain;
+
+fn bench_chain_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_chain_depth");
+    group.sample_size(10);
+
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        for strategy in Strategy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), depth),
+                &depth,
+                |b, &depth| {
+                    b.iter_batched(
+                        || chain(depth),
+                        move |mut w| {
+                            // Deep chains need a big stack for the DFS
+                            // driver; keep the thread spawn outside the
+                            // hottest path only for shallow depths.
+                            if depth <= 8 {
+                                run_workload(&mut w, strategy).messages
+                            } else {
+                                with_big_stack(move || run_workload(&mut w, strategy).messages)
+                            }
+                        },
+                        BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_depth);
+criterion_main!(benches);

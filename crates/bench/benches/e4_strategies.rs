@@ -1,0 +1,38 @@
+//! E4: eager vs parsimonious on random bipartite policy graphs of growing
+//! size — wall time here; the disclosure/message trade-off tables come
+//! from the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use peertrust_bench::run_workload;
+use peertrust_negotiation::Strategy;
+use peertrust_scenarios::{random_policies, RandomPolicyConfig};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_strategies");
+    group.sample_size(10);
+
+    for n in [8usize, 16, 32, 64] {
+        for strategy in Strategy::ALL {
+            group.bench_with_input(BenchmarkId::new(strategy.name(), n), &n, |b, &n| {
+                b.iter_batched(
+                    || {
+                        random_policies(RandomPolicyConfig {
+                            creds_per_side: n,
+                            max_deps: 2,
+                            public_prob: 0.3,
+                            allow_cycles: false, // always satisfiable
+                            seed: n as u64,
+                        })
+                    },
+                    |mut w| run_workload(&mut w, strategy).messages,
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

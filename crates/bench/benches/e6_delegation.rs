@@ -1,0 +1,51 @@
+//! E6: credential-chain discovery cost vs delegation depth — cold (the
+//! whole chain is fetched across the network) and warm (chain cached from
+//! a previous negotiation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use peertrust_bench::{run_workload, with_big_stack};
+use peertrust_negotiation::Strategy;
+use peertrust_scenarios::delegation_chain;
+
+fn bench_delegation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_delegation");
+    group.sample_size(10);
+
+    for depth in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("cold", depth), &depth, |b, &depth| {
+            b.iter_batched(
+                || delegation_chain(depth),
+                move |mut w| {
+                    if depth <= 8 {
+                        run_workload(&mut w, Strategy::Parsimonious).messages
+                    } else {
+                        with_big_stack(move || {
+                            run_workload(&mut w, Strategy::Parsimonious).messages
+                        })
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+
+        group.bench_with_input(BenchmarkId::new("warm", depth), &depth, |b, &depth| {
+            b.iter_batched(
+                || {
+                    // Prime the caches with one full (big-stack) run.
+                    with_big_stack(move || {
+                        let mut w = delegation_chain(depth);
+                        assert!(run_workload(&mut w, Strategy::Parsimonious).success);
+                        w
+                    })
+                },
+                move |mut w| run_workload(&mut w, Strategy::Parsimonious).messages,
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_delegation);
+criterion_main!(benches);

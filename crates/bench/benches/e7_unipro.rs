@@ -1,0 +1,100 @@
+//! E7: UniPro policy-protection overhead — disclosing a policy guarded by
+//! a chain of nested policy guards of growing depth, plus the raw
+//! disclosure check.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use peertrust_core::{PeerId, Sym};
+use peertrust_crypto::KeyRegistry;
+use peertrust_negotiation::{request_policy, unlock_policy_chain, NegotiationPeer, PeerMap};
+use peertrust_net::{NegotiationId, SimNetwork};
+
+/// Build an owner with `depth` nested policy guards:
+/// `policy{i}` is guarded by `policy{i+1}(Requester)`; `policy{depth}` is
+/// public; each `policy{i}`'s body derives from the next. The requester
+/// holds the credential that satisfies the innermost guard.
+fn nested_policies(depth: usize) -> (PeerMap, PeerId, PeerId) {
+    let registry = KeyRegistry::new();
+    registry.register_derived(PeerId::new("CA"), 1);
+    let mut owner = NegotiationPeer::new("Owner", registry.clone());
+    for i in 0..depth {
+        let next = i + 1;
+        owner
+            .load_program(&format!(
+                r#"policy{i}(R) <-_(policy{next}(R)) policy{next}(R)."#
+            ))
+            .unwrap();
+    }
+    owner
+        .load_program(&format!(r#"policy{depth}(R) <-_true unlocked{depth}(R)."#))
+        .unwrap();
+    // Every guard body is derivable for the requester.
+    for i in 0..=depth {
+        owner
+            .load_program(&format!(r#"unlocked{i}("Requester-Peer")."#))
+            .unwrap();
+    }
+    let mut peers = PeerMap::new();
+    peers.insert(owner);
+    peers.insert(NegotiationPeer::new("Requester-Peer", registry));
+    (peers, PeerId::new("Requester-Peer"), PeerId::new("Owner"))
+}
+
+fn bench_unipro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_unipro");
+    group.sample_size(20);
+
+    for depth in [0usize, 1, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("single_request", depth),
+            &depth,
+            |b, &depth| {
+                b.iter_batched(
+                    || nested_policies(depth),
+                    |(mut peers, requester, owner)| {
+                        let mut net = SimNetwork::new(1);
+                        request_policy(
+                            &mut peers,
+                            &mut net,
+                            NegotiationId(1),
+                            requester,
+                            owner,
+                            Sym::new("policy0"),
+                        )
+                        .rules
+                        .len()
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("unlock_chain", depth),
+            &depth,
+            |b, &depth| {
+                b.iter_batched(
+                    || nested_policies(depth),
+                    |(mut peers, requester, owner)| {
+                        let mut net = SimNetwork::new(1);
+                        unlock_policy_chain(
+                            &mut peers,
+                            &mut net,
+                            NegotiationId(1),
+                            requester,
+                            owner,
+                            Sym::new("policy0"),
+                            depth + 2,
+                        )
+                        .len()
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_unipro);
+criterion_main!(benches);

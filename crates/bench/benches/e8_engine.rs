@@ -1,0 +1,171 @@
+//! E8: engine micro-costs — unification, SLD query throughput over
+//! growing fact bases, transitive closure, forward-chaining saturation,
+//! and the occurs-check ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use peertrust_core::{
+    unify_opts, KnowledgeBase, Literal, PeerId, Rule, Subst, Term, UnifyOptions,
+};
+use peertrust_engine::{saturate, EngineConfig, ForwardConfig, Solver};
+
+fn deep_term(depth: usize, leaf: Term) -> Term {
+    let mut t = leaf;
+    for _ in 0..depth {
+        t = Term::compound("f", vec![t]);
+    }
+    t
+}
+
+fn bench_unification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_unify");
+    for depth in [4usize, 16, 64] {
+        let a = deep_term(depth, Term::var("X"));
+        let b = deep_term(depth, Term::int(1));
+        for (name, occurs) in [("occurs_on", true), ("occurs_off", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, depth),
+                &(a.clone(), b.clone()),
+                |bench, (a, b)| {
+                    bench.iter(|| {
+                        let mut s = Subst::new();
+                        assert!(unify_opts(
+                            a,
+                            b,
+                            &mut s,
+                            UnifyOptions {
+                                occurs_check: occurs
+                            }
+                        ));
+                        s.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn facts_kb(n: usize) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    for i in 0..n {
+        kb.add_local(Rule::fact(Literal::new(
+            "fact",
+            vec![Term::int(i as i64), Term::int((i * 7 % 101) as i64)],
+        )));
+    }
+    kb.add_local(Rule::horn(
+        Literal::new("pair", vec![Term::var("X"), Term::var("Y")]),
+        vec![
+            Literal::new("fact", vec![Term::var("X"), Term::var("Y")]),
+            Literal::cmp("<", Term::var("Y"), Term::int(50)),
+        ],
+    ));
+    kb
+}
+
+fn bench_sld(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_sld");
+    group.sample_size(20);
+    for n in [100usize, 1_000, 10_000] {
+        let kb = facts_kb(n);
+        group.bench_with_input(BenchmarkId::new("enumerate", n), &kb, |b, kb| {
+            b.iter(|| {
+                let mut solver = Solver::new(kb, PeerId::new("self")).with_config(EngineConfig {
+                    max_solutions: usize::MAX,
+                    ..EngineConfig::default()
+                });
+                let goals = [Literal::new("pair", vec![Term::var("A"), Term::var("B")])];
+                solver.solve(&goals).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ground_lookup", n), &kb, |b, kb| {
+            b.iter(|| {
+                let mut solver = Solver::new(kb, PeerId::new("self"));
+                let goals = [Literal::new(
+                    "fact",
+                    vec![Term::int((n / 2) as i64), Term::var("B")],
+                )];
+                solver.solve(&goals).len()
+            })
+        });
+    }
+
+    // Transitive closure on a chain graph.
+    for n in [32usize, 128] {
+        group.bench_with_input(BenchmarkId::new("closure_chain", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut kb = KnowledgeBase::new();
+                    kb.add_local(Rule::horn(
+                        Literal::new("reach", vec![Term::var("X"), Term::var("Y")]),
+                        vec![Literal::new("edge", vec![Term::var("X"), Term::var("Y")])],
+                    ));
+                    kb.add_local(Rule::horn(
+                        Literal::new("reach", vec![Term::var("X"), Term::var("Z")]),
+                        vec![
+                            Literal::new("edge", vec![Term::var("X"), Term::var("Y")]),
+                            Literal::new("reach", vec![Term::var("Y"), Term::var("Z")]),
+                        ],
+                    ));
+                    for i in 0..n {
+                        kb.add_local(Rule::fact(Literal::new(
+                            "edge",
+                            vec![Term::int(i as i64), Term::int(i as i64 + 1)],
+                        )));
+                    }
+                    kb
+                },
+                |kb| {
+                    let mut solver =
+                        Solver::new(&kb, PeerId::new("self")).with_config(EngineConfig {
+                            max_solutions: usize::MAX,
+                            max_depth: 4096,
+                            ..EngineConfig::default()
+                        });
+                    let goals = [Literal::new("reach", vec![Term::int(0), Term::var("W")])];
+                    solver.solve(&goals).len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_forward");
+    group.sample_size(10);
+    for n in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("closure_chain", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut kb = KnowledgeBase::new();
+                    kb.add_local(Rule::horn(
+                        Literal::new("reach", vec![Term::var("X"), Term::var("Y")]),
+                        vec![Literal::new("edge", vec![Term::var("X"), Term::var("Y")])],
+                    ));
+                    kb.add_local(Rule::horn(
+                        Literal::new("reach", vec![Term::var("X"), Term::var("Z")]),
+                        vec![
+                            Literal::new("edge", vec![Term::var("X"), Term::var("Y")]),
+                            Literal::new("reach", vec![Term::var("Y"), Term::var("Z")]),
+                        ],
+                    ));
+                    for i in 0..n {
+                        kb.add_local(Rule::fact(Literal::new(
+                            "edge",
+                            vec![Term::int(i as i64), Term::int(i as i64 + 1)],
+                        )));
+                    }
+                    kb
+                },
+                |kb| saturate(&kb, PeerId::new("self"), ForwardConfig::default()).facts.len(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unification, bench_sld, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,318 @@
+//! Regenerates every experiment table in EXPERIMENTS.md.
+//!
+//! Unlike the Criterion benches (wall time), this binary reports the
+//! *deterministic* metrics — messages, bytes, queries, disclosures,
+//! rounds, simulated ticks — that the experiment write-ups quote. Run:
+//!
+//! ```text
+//! cargo run --release -p peertrust-bench --bin experiments
+//! ```
+//!
+//! Pass `--json` to also dump machine-readable rows.
+
+use peertrust_bench::{run_negotiation, run_workload, with_big_stack, Row};
+use peertrust_core::{PeerId, Sym};
+use peertrust_negotiation::{
+    request_policy, verify_safe_sequence, NegotiationPeer, PeerMap, Strategy,
+};
+use peertrust_net::{NegotiationId, SimNetwork};
+use peertrust_scenarios::{
+    chain, delegation_chain, fleet, random_policies, Ablation1, Ablation2, RandomPolicyConfig,
+    Scenario1, Scenario2, Variant2,
+};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut rows: Vec<Row> = Vec::new();
+
+    e1(&mut rows);
+    e2(&mut rows);
+    e3(&mut rows);
+    e4_e5(&mut rows);
+    e6(&mut rows);
+    e7(&mut rows);
+    e10(&mut rows);
+    e11(&mut rows);
+
+    println!("\n{}", Row::header());
+    println!("{}", "-".repeat(120));
+    for row in &rows {
+        println!("{row}");
+    }
+
+    if json {
+        println!("\n{}", serde_json::to_string_pretty(&rows).unwrap());
+    }
+}
+
+fn e1(rows: &mut Vec<Row>) {
+    println!("== E1: Scenario 1 (Alice & E-Learn) ==");
+    for strategy in Strategy::ALL {
+        let mut s = Scenario1::build();
+        let out = s.run(strategy);
+        assert!(out.success);
+        verify_safe_sequence(&out).unwrap();
+        rows.push(Row::from_outcome("E1", "full", strategy.name(), &out));
+    }
+    // Warm cache.
+    let mut s = Scenario1::build();
+    let _ = s.run(Strategy::Parsimonious);
+    let warm = s.run(Strategy::Parsimonious);
+    rows.push(Row::from_outcome("E1", "warm-cache", "parsimonious", &warm));
+    // Ablations.
+    for ablation in Ablation1::ALL.into_iter().skip(1) {
+        let mut s = Scenario1::build_ablated(ablation);
+        let out = s.run(Strategy::Parsimonious);
+        assert!(!out.success);
+        rows.push(Row::from_outcome(
+            "E1",
+            format!("{ablation:?}"),
+            "parsimonious",
+            &out,
+        ));
+    }
+}
+
+fn e2(rows: &mut Vec<Row>) {
+    println!("== E2: Scenario 2 (Bob & learning services) ==");
+    let mut s = Scenario2::build(Variant2::Base);
+    let free = s.run(Strategy::Parsimonious, Scenario2::free_goal());
+    assert!(free.success);
+    rows.push(Row::from_outcome("E2", "free-course", "parsimonious", &free));
+
+    for (name, variant) in [
+        ("paid-base", Variant2::Base),
+        ("paid-revocation", Variant2::RevocationCheck),
+        ("paid-authority-db", Variant2::AuthorityDb),
+        ("paid-broker", Variant2::Broker),
+    ] {
+        let mut s = Scenario2::build(variant);
+        let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+        assert!(out.success);
+        rows.push(Row::from_outcome("E2", name, "parsimonious", &out));
+    }
+
+    for (name, variant, ablation, goal_price) in [
+        ("revoked-card", Variant2::RevocationCheck, Ablation2::CardRevoked, 1000),
+        ("price-too-high", Variant2::Base, Ablation2::PriceTooHigh, 2500),
+        ("merchant-unauth", Variant2::Base, Ablation2::MerchantNotAuthorized, 1000),
+    ] {
+        let mut s = Scenario2::build_ablated(variant, ablation);
+        let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(goal_price));
+        assert!(!out.success);
+        rows.push(Row::from_outcome("E2", name, "parsimonious", &out));
+    }
+
+    let mut s = Scenario2::build_ablated(Variant2::Base, Ablation2::IbmNotElenaMember);
+    let free = s.run(Strategy::Parsimonious, Scenario2::free_goal());
+    assert!(!free.success);
+    rows.push(Row::from_outcome("E2", "non-member-free", "parsimonious", &free));
+    let mut s = Scenario2::build_ablated(Variant2::Base, Ablation2::IbmNotElenaMember);
+    let paid = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+    assert!(paid.success);
+    rows.push(Row::from_outcome("E2", "non-member-paid", "parsimonious", &paid));
+}
+
+fn e3(rows: &mut Vec<Row>) {
+    println!("== E3: chain depth sweep ==");
+    for depth in [1usize, 2, 4, 8, 16, 32, 48] {
+        for strategy in Strategy::ALL {
+            let out = with_big_stack(move || {
+                let mut w = chain(depth);
+                run_workload(&mut w, strategy)
+            });
+            assert!(out.success);
+            assert_eq!(out.credential_count(), depth);
+            rows.push(Row::from_outcome(
+                "E3",
+                format!("depth={depth}"),
+                strategy.name(),
+                &out,
+            ));
+        }
+    }
+}
+
+fn e4_e5(rows: &mut Vec<Row>) {
+    println!("== E4/E5: random policy graphs, strategy comparison ==");
+    for n in [8usize, 16, 32] {
+        for seed in 0..3u64 {
+            let cfg = RandomPolicyConfig {
+                creds_per_side: n,
+                max_deps: 2,
+                public_prob: 0.25,
+                allow_cycles: true,
+                seed,
+            };
+            let truth = random_policies(cfg).satisfiable;
+            for strategy in Strategy::ALL {
+                let mut w = random_policies(cfg);
+                let out = with_big_stack(move || run_workload(&mut w, strategy));
+                if strategy == Strategy::Eager {
+                    assert_eq!(out.success, truth, "eager completeness");
+                }
+                verify_safe_sequence(&out).unwrap();
+                rows.push(Row::from_outcome(
+                    "E4",
+                    format!("n={n} seed={seed} {}", if truth { "sat" } else { "unsat" }),
+                    strategy.name(),
+                    &out,
+                ));
+            }
+        }
+    }
+}
+
+fn e6(rows: &mut Vec<Row>) {
+    println!("== E6: delegation chain discovery ==");
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        let (cold, warm) = with_big_stack(move || {
+            let mut w = delegation_chain(depth);
+            let cold = run_workload(&mut w, Strategy::Parsimonious);
+            let warm = run_workload(&mut w, Strategy::Parsimonious);
+            (cold, warm)
+        });
+        assert!(cold.success && warm.success);
+        rows.push(Row::from_outcome(
+            "E6",
+            format!("depth={depth} cold"),
+            "parsimonious",
+            &cold,
+        ));
+        rows.push(Row::from_outcome(
+            "E6",
+            format!("depth={depth} warm"),
+            "parsimonious",
+            &warm,
+        ));
+    }
+}
+
+fn e7(_rows: &mut Vec<Row>) {
+    println!("== E7: UniPro policy protection ==");
+    // Nested guards: policy{i} guarded by policy{i+1}, last public.
+    for depth in [0usize, 2, 4, 8] {
+        let registry = peertrust_crypto::KeyRegistry::new();
+        registry.register_derived(PeerId::new("CA"), 1);
+        let mut owner = NegotiationPeer::new("Owner", registry.clone());
+        for i in 0..depth {
+            let next = i + 1;
+            owner
+                .load_program(&format!(
+                    r#"policy{i}(R) <-_(policy{next}(R)) policy{next}(R)."#
+                ))
+                .unwrap();
+        }
+        owner
+            .load_program(&format!(r#"policy{depth}(R) <-_true unlocked{depth}(R)."#))
+            .unwrap();
+        for i in 0..=depth {
+            owner
+                .load_program(&format!(r#"unlocked{i}("Asker")."#))
+                .unwrap();
+        }
+        let mut peers = PeerMap::new();
+        peers.insert(owner);
+        peers.insert(NegotiationPeer::new("Asker", registry));
+
+        let mut net = SimNetwork::new(1);
+        let res = request_policy(
+            &mut peers,
+            &mut net,
+            NegotiationId(1),
+            PeerId::new("Asker"),
+            PeerId::new("Owner"),
+            Sym::new("policy0"),
+        );
+        println!(
+            "  guard nesting {depth}: disclosed={} messages={}",
+            res.rules.len(),
+            res.messages
+        );
+    }
+}
+
+fn e10(rows: &mut Vec<Row>) {
+    println!("== E10: peer-count scaling ==");
+    for n in [4usize, 16, 64, 128] {
+        let (mut peers, _reg, goals) = fleet(n);
+        let mut net = SimNetwork::new(1);
+        let mut total_msgs = 0u64;
+        let t0 = std::time::Instant::now();
+        for (i, (client, goal)) in goals.iter().enumerate() {
+            let out = peertrust_negotiation::negotiate(
+                &mut peers,
+                &mut net,
+                peertrust_negotiation::SessionConfig::default(),
+                NegotiationId(i as u64),
+                *client,
+                PeerId::new("Server"),
+                goal.clone(),
+            );
+            assert!(out.success);
+            total_msgs += out.messages;
+        }
+        println!(
+            "  clients={n}: total messages={} wall={:?} (messages/client={})",
+            total_msgs,
+            t0.elapsed(),
+            total_msgs / n as u64
+        );
+    }
+    // One representative row for the table.
+    let (mut peers, _reg, goals) = fleet(8);
+    let (client, goal) = goals[0].clone();
+    let out = run_negotiation(
+        &mut peers,
+        client,
+        PeerId::new("Server"),
+        goal,
+        Strategy::Parsimonious,
+        true,
+    );
+    rows.push(Row::from_outcome("E10", "fleet client (n=8)", "parsimonious", &out));
+}
+
+fn e11(rows: &mut Vec<Row>) {
+    println!("== E11: cyclic-policy rejection ==");
+    for k in [2usize, 4, 8, 16] {
+        let registry = peertrust_crypto::KeyRegistry::new();
+        registry.register_derived(PeerId::new("CA"), 1);
+        let mut a = NegotiationPeer::new("A", registry.clone());
+        let mut b = NegotiationPeer::new("B", registry.clone());
+        for i in 0..k {
+            let next = (i + 1) % k;
+            let (peer, owner) = if i % 2 == 0 { (&mut a, "A") } else { (&mut b, "B") };
+            peer.load_program(&format!(
+                r#"
+                cred{i}("{owner}") @ "CA" signedBy ["CA"].
+                cred{i}(X) @ Y $ cred{next}(Requester) @ "CA" @ Requester <-_true cred{i}(X) @ Y.
+                "#
+            ))
+            .unwrap();
+        }
+        a.load_program(r#"resource(X) $ true <- cred1(X) @ "CA" @ X."#)
+            .unwrap();
+        let mut peers = PeerMap::new();
+        peers.insert(a);
+        peers.insert(b);
+
+        let mut net = SimNetwork::new(1);
+        let out = peertrust_negotiation::negotiate(
+            &mut peers,
+            &mut net,
+            peertrust_negotiation::SessionConfig::default(),
+            NegotiationId(1),
+            PeerId::new("B"),
+            PeerId::new("A"),
+            peertrust_parser::parse_literal(r#"resource("B")"#).unwrap(),
+        );
+        assert!(!out.success, "cycle must be rejected");
+        rows.push(Row::from_outcome(
+            "E11",
+            format!("deadlock ring k={k}"),
+            "parsimonious",
+            &out,
+        ));
+    }
+}

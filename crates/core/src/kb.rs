@@ -1,0 +1,421 @@
+//! Per-peer knowledge bases.
+//!
+//! Each peer stores its *local* rules (rules it defined, including its
+//! policies) plus *cached foreign* rules — signed rules received from other
+//! peers during earlier interactions (paper §3.1: "A peer may also have
+//! copies of rules defined by other peers"). Rules are indexed by
+//! predicate/arity for fast clause selection during resolution.
+
+use crate::literal::Literal;
+use crate::rule::{Rule, RuleId};
+use crate::symbol::{PeerId, Sym};
+use crate::term::Term;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// First-argument index key: the shape of a ground first argument. Rules
+/// whose first head argument is a variable live in a separate always-
+/// matching bucket; goals with a non-ground first argument scan the whole
+/// functor bucket.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum ArgKey {
+    Atom(Sym),
+    Str(Sym),
+    Int(i64),
+    Functor(Sym),
+}
+
+fn arg_key(t: &Term) -> Option<ArgKey> {
+    match t {
+        Term::Atom(s) => Some(ArgKey::Atom(*s)),
+        Term::Str(s) => Some(ArgKey::Str(*s)),
+        Term::Int(i) => Some(ArgKey::Int(*i)),
+        Term::Compound(f, _) => Some(ArgKey::Functor(*f)),
+        Term::Var(_) => None,
+    }
+}
+
+/// Where a rule in a knowledge base came from.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RuleOrigin {
+    /// Defined by the owning peer itself.
+    Local,
+    /// Received (already signature-verified) from another peer.
+    Received(PeerId),
+}
+
+/// A rule together with its provenance.
+#[derive(Clone, Debug)]
+pub struct StoredRule {
+    pub id: RuleId,
+    pub rule: Arc<Rule>,
+    pub origin: RuleOrigin,
+}
+
+/// One peer's rule store, indexed by head predicate/arity with
+/// first-argument refinement (classic Prolog clause indexing): a goal
+/// whose first argument is a ground constant only visits clauses whose
+/// first head argument is that constant or a variable.
+#[derive(Clone, Default, Debug)]
+pub struct KnowledgeBase {
+    rules: Vec<StoredRule>,
+    index: HashMap<(Sym, usize), Vec<usize>>,
+    /// (functor, first-arg key) -> clause ids with that ground first arg.
+    first_arg: HashMap<(Sym, usize, ArgKey), Vec<usize>>,
+    /// functor -> clause ids whose first head arg is a variable (or arity 0).
+    var_headed: HashMap<(Sym, usize), Vec<usize>>,
+}
+
+impl KnowledgeBase {
+    pub fn new() -> KnowledgeBase {
+        KnowledgeBase::default()
+    }
+
+    /// Number of stored rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Add a locally defined rule.
+    pub fn add_local(&mut self, rule: Rule) -> RuleId {
+        self.add(rule, RuleOrigin::Local)
+    }
+
+    /// Add a rule received from `from` (signature verification is the
+    /// caller's job — see `peertrust-crypto`).
+    pub fn add_received(&mut self, rule: Rule, from: PeerId) -> RuleId {
+        self.add(rule, RuleOrigin::Received(from))
+    }
+
+    fn add(&mut self, rule: Rule, origin: RuleOrigin) -> RuleId {
+        let id = RuleId(u32::try_from(self.rules.len()).expect("kb overflow"));
+        let key = rule.head.functor();
+        let idx = self.rules.len();
+        match rule.head.args.first().and_then(arg_key) {
+            Some(k) => self
+                .first_arg
+                .entry((key.0, key.1, k))
+                .or_default()
+                .push(idx),
+            None => self.var_headed.entry(key).or_default().push(idx),
+        }
+        self.rules.push(StoredRule {
+            id,
+            rule: Arc::new(rule),
+            origin,
+        });
+        self.index.entry(key).or_default().push(idx);
+        id
+    }
+
+    /// Does the KB already contain a syntactically identical rule? Used to
+    /// deduplicate credentials pushed repeatedly during a negotiation.
+    pub fn contains(&self, rule: &Rule) -> bool {
+        self.index
+            .get(&rule.head.functor())
+            .is_some_and(|ids| ids.iter().any(|&i| *self.rules[i].rule == *rule))
+    }
+
+    /// Add a received rule only if not already present; returns whether it
+    /// was inserted.
+    pub fn add_received_dedup(&mut self, rule: Rule, from: PeerId) -> bool {
+        if self.contains(&rule) {
+            false
+        } else {
+            self.add_received(rule, from);
+            true
+        }
+    }
+
+    /// All rules whose head could match `goal` (same predicate and arity).
+    /// Authority chains are *not* filtered here; the engine unifies them.
+    pub fn candidates(&self, goal: &Literal) -> impl Iterator<Item = &StoredRule> {
+        let key = goal.functor();
+        // First-argument refinement: a ground constant first argument
+        // narrows the scan to exact-key clauses plus variable-headed ones,
+        // merged back into clause (insertion) order so resolution order is
+        // unchanged.
+        let refined: Option<Vec<usize>> = goal.args.first().and_then(arg_key).map(|k| {
+            let exact = self
+                .first_arg
+                .get(&(key.0, key.1, k))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let vars = self
+                .var_headed
+                .get(&key)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let mut merged = Vec::with_capacity(exact.len() + vars.len());
+            let (mut i, mut j) = (0, 0);
+            while i < exact.len() || j < vars.len() {
+                match (exact.get(i), vars.get(j)) {
+                    (Some(&a), Some(&b)) => {
+                        if a < b {
+                            merged.push(a);
+                            i += 1;
+                        } else {
+                            merged.push(b);
+                            j += 1;
+                        }
+                    }
+                    (Some(&a), None) => {
+                        merged.push(a);
+                        i += 1;
+                    }
+                    (None, Some(&b)) => {
+                        merged.push(b);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            merged
+        });
+        let ids: Vec<usize> = match refined {
+            Some(v) => v,
+            None => self
+                .index
+                .get(&key)
+                .map(|v| v.clone())
+                .unwrap_or_default(),
+        };
+        ids.into_iter().map(move |i| &self.rules[i])
+    }
+
+    /// Iterate over every stored rule.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredRule> {
+        self.rules.iter()
+    }
+
+    /// Fetch by id.
+    pub fn get(&self, id: RuleId) -> Option<&StoredRule> {
+        self.rules.get(id.0 as usize)
+    }
+
+    /// Iterate over the signed bodyless ground rules — the peer's
+    /// credentials (candidates for disclosure during negotiation).
+    pub fn credentials(&self) -> impl Iterator<Item = &StoredRule> {
+        self.rules.iter().filter(|r| r.rule.is_credential())
+    }
+
+    /// Iterate over locally defined rules only.
+    pub fn local_rules(&self) -> impl Iterator<Item = &StoredRule> {
+        self.rules
+            .iter()
+            .filter(|r| r.origin == RuleOrigin::Local)
+    }
+
+    /// Distinct predicates (with arity) defined in this KB.
+    pub fn predicates(&self) -> Vec<(Sym, usize)> {
+        let mut keys: Vec<_> = self.index.keys().copied().collect();
+        keys.sort();
+        keys
+    }
+}
+
+impl fmt::Display for KnowledgeBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{}", r.rule)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Rule> for KnowledgeBase {
+    fn from_iter<T: IntoIterator<Item = Rule>>(iter: T) -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        for r in iter {
+            kb.add_local(r);
+        }
+        kb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn fact(pred: &str, arg: &str) -> Rule {
+        Rule::fact(Literal::new(pred, vec![Term::atom(arg)]))
+    }
+
+    #[test]
+    fn add_and_lookup_by_functor() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(fact("freeCourse", "cs101"));
+        kb.add_local(fact("freeCourse", "cs102"));
+        kb.add_local(fact("price", "cs411"));
+
+        let goal = Literal::new("freeCourse", vec![Term::var("C")]);
+        assert_eq!(kb.candidates(&goal).count(), 2);
+        let goal2 = Literal::new("price", vec![Term::var("C")]);
+        assert_eq!(kb.candidates(&goal2).count(), 1);
+        let goal3 = Literal::new("missing", vec![Term::var("C")]);
+        assert_eq!(kb.candidates(&goal3).count(), 0);
+    }
+
+    #[test]
+    fn arity_distinguishes_candidates() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(Rule::fact(Literal::new("p", vec![Term::int(1)])));
+        kb.add_local(Rule::fact(Literal::new("p", vec![Term::int(1), Term::int(2)])));
+        let unary = Literal::new("p", vec![Term::var("X")]);
+        assert_eq!(kb.candidates(&unary).count(), 1);
+    }
+
+    #[test]
+    fn provenance_tracked() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(fact("a", "x"));
+        kb.add_received(fact("b", "y"), PeerId::new("UIUC"));
+        assert_eq!(kb.local_rules().count(), 1);
+        assert_eq!(kb.len(), 2);
+        let received = kb
+            .iter()
+            .find(|r| r.origin == RuleOrigin::Received(PeerId::new("UIUC")))
+            .unwrap();
+        assert_eq!(received.rule.head.pred.as_str(), "b");
+    }
+
+    #[test]
+    fn dedup_insertion() {
+        let mut kb = KnowledgeBase::new();
+        let cred = Rule::fact(Literal::new("student", vec![Term::str("Alice")]))
+            .signed_by("UIUC");
+        assert!(kb.add_received_dedup(cred.clone(), PeerId::new("Alice")));
+        assert!(!kb.add_received_dedup(cred, PeerId::new("Alice")));
+        assert_eq!(kb.len(), 1);
+    }
+
+    #[test]
+    fn credentials_filters_signed_ground_facts() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(fact("plain", "x")); // unsigned
+        kb.add_local(
+            Rule::fact(Literal::new("student", vec![Term::str("Alice")])).signed_by("UIUC"),
+        );
+        kb.add_local(
+            Rule::horn(
+                Literal::new("d", vec![Term::var("X")]),
+                vec![Literal::new("e", vec![Term::var("X")])],
+            )
+            .signed_by("UIUC"),
+        ); // signed but not a fact
+        assert_eq!(kb.credentials().count(), 1);
+    }
+
+    #[test]
+    fn get_by_id_roundtrips() {
+        let mut kb = KnowledgeBase::new();
+        let id = kb.add_local(fact("a", "x"));
+        assert_eq!(kb.get(id).unwrap().rule.head.pred.as_str(), "a");
+        assert!(kb.get(RuleId(99)).is_none());
+    }
+
+    #[test]
+    fn from_iterator_builds_local_kb() {
+        let kb: KnowledgeBase = vec![fact("a", "x"), fact("b", "y")].into_iter().collect();
+        assert_eq!(kb.len(), 2);
+        assert_eq!(kb.local_rules().count(), 2);
+    }
+
+    #[test]
+    fn predicates_sorted_unique() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(fact("b", "x"));
+        kb.add_local(fact("a", "y"));
+        kb.add_local(fact("a", "z"));
+        let preds = kb.predicates();
+        assert_eq!(preds.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod first_arg_tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn ground_first_arg_narrows_candidates() {
+        let mut kb = KnowledgeBase::new();
+        for i in 0..100 {
+            kb.add_local(Rule::fact(Literal::new(
+                "fact",
+                vec![Term::int(i), Term::int(i * 2)],
+            )));
+        }
+        // A variable-headed rule matches any first argument.
+        kb.add_local(Rule::horn(
+            Literal::new("fact", vec![Term::var("X"), Term::var("Y")]),
+            vec![Literal::new("derived", vec![Term::var("X"), Term::var("Y")])],
+        ));
+
+        let goal = Literal::new("fact", vec![Term::int(42), Term::var("Y")]);
+        let hits: Vec<_> = kb.candidates(&goal).collect();
+        assert_eq!(hits.len(), 2, "exact fact + variable-headed rule");
+
+        let open_goal = Literal::new("fact", vec![Term::var("A"), Term::var("B")]);
+        assert_eq!(kb.candidates(&open_goal).count(), 101);
+    }
+
+    #[test]
+    fn candidate_order_matches_insertion_order() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(Rule::fact(Literal::new("p", vec![Term::var("X")]))); // id 0
+        kb.add_local(Rule::fact(Literal::new("p", vec![Term::atom("a")]))); // id 1
+        kb.add_local(Rule::fact(Literal::new("p", vec![Term::var("Y")]))); // id 2
+        kb.add_local(Rule::fact(Literal::new("p", vec![Term::atom("a")]))); // id 3
+        let goal = Literal::new("p", vec![Term::atom("a")]);
+        let ids: Vec<u32> = kb.candidates(&goal).map(|sr| sr.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3], "merged in clause order");
+    }
+
+    #[test]
+    fn different_constant_kinds_do_not_collide() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(Rule::fact(Literal::new("p", vec![Term::atom("x")])));
+        kb.add_local(Rule::fact(Literal::new("p", vec![Term::str("x")])));
+        kb.add_local(Rule::fact(Literal::new("p", vec![Term::int(1)])));
+        kb.add_local(Rule::fact(Literal::new(
+            "p",
+            vec![Term::compound("x", vec![Term::int(1)])],
+        )));
+        assert_eq!(
+            kb.candidates(&Literal::new("p", vec![Term::atom("x")])).count(),
+            1
+        );
+        assert_eq!(
+            kb.candidates(&Literal::new("p", vec![Term::str("x")])).count(),
+            1
+        );
+        assert_eq!(
+            kb.candidates(&Literal::new("p", vec![Term::int(1)])).count(),
+            1
+        );
+        // Compound goals match by functor (over-approximation refined by
+        // unification later).
+        assert_eq!(
+            kb.candidates(&Literal::new(
+                "p",
+                vec![Term::compound("x", vec![Term::int(2)])]
+            ))
+            .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn zero_arity_predicates_use_var_bucket() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(Rule::fact(Literal::new("ready", vec![])));
+        assert_eq!(kb.candidates(&Literal::new("ready", vec![])).count(), 1);
+    }
+}

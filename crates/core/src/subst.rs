@@ -1,0 +1,181 @@
+//! Substitutions: finite maps from variables to terms.
+//!
+//! The engine uses *triangular* substitutions — bindings may map a variable
+//! to a term containing further bound variables, and [`Subst::walk`]
+//! dereferences chains lazily. [`Subst::apply`] resolves a term fully.
+
+use crate::context::Context;
+use crate::literal::Literal;
+use crate::term::{Term, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A substitution (set of variable bindings).
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Subst {
+    map: HashMap<Var, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bind `v` to `t`. Callers (the unifier) must ensure `v` is unbound and
+    /// the binding is acyclic; this is checked in debug builds.
+    pub fn bind(&mut self, v: Var, t: Term) {
+        debug_assert!(!self.map.contains_key(&v), "rebinding {v:?}");
+        self.map.insert(v, t);
+    }
+
+    /// Raw lookup without chain dereferencing.
+    pub fn lookup(&self, v: &Var) -> Option<&Term> {
+        self.map.get(v)
+    }
+
+    /// Dereference `t` one level at a time until it is either a non-variable
+    /// term or an unbound variable. Does not descend into compound terms.
+    pub fn walk<'a>(&'a self, mut t: &'a Term) -> &'a Term {
+        while let Term::Var(v) = t {
+            match self.map.get(v) {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        t
+    }
+
+    /// Fully apply the substitution, producing a term with every bound
+    /// variable replaced (recursively) by its binding.
+    pub fn apply(&self, t: &Term) -> Term {
+        let t = self.walk(t);
+        match t {
+            Term::Var(_) | Term::Atom(_) | Term::Str(_) | Term::Int(_) => t.clone(),
+            Term::Compound(f, args) => {
+                Term::Compound(*f, args.iter().map(|a| self.apply(a)).collect())
+            }
+        }
+    }
+
+    /// Apply to every argument and authority of a literal.
+    pub fn apply_literal(&self, l: &Literal) -> Literal {
+        Literal {
+            pred: l.pred,
+            args: l.args.iter().map(|t| self.apply(t)).collect(),
+            authority: l.authority.iter().map(|t| self.apply(t)).collect(),
+        }
+    }
+
+    /// Apply to a whole context.
+    pub fn apply_context(&self, c: &Context) -> Context {
+        c.apply(self)
+    }
+
+    /// Iterate over `(var, term)` bindings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Term)> {
+        self.map.iter()
+    }
+
+    /// Restrict to the given variables — used to present query answers
+    /// without internal renamings.
+    pub fn project(&self, vars: &[Var]) -> Subst {
+        let mut out = Subst::new();
+        for v in vars {
+            let resolved = self.apply(&Term::Var(*v));
+            if resolved != Term::Var(*v) {
+                out.map.insert(*v, resolved);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort_by_key(|(v, _)| **v);
+        f.write_str("{")?;
+        for (i, (v, t)) in entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v} -> {t}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+
+    #[test]
+    fn walk_follows_chains() {
+        let mut s = Subst::new();
+        s.bind(v("X"), Term::var("Y"));
+        s.bind(v("Y"), Term::int(3));
+        assert_eq!(s.walk(&Term::var("X")), &Term::int(3));
+        // Unbound variables walk to themselves.
+        assert_eq!(s.walk(&Term::var("Z")), &Term::var("Z"));
+    }
+
+    #[test]
+    fn apply_descends_into_compounds() {
+        let mut s = Subst::new();
+        s.bind(v("X"), Term::int(1));
+        let t = Term::compound("f", vec![Term::var("X"), Term::compound("g", vec![Term::var("X")])]);
+        assert_eq!(
+            s.apply(&t),
+            Term::compound("f", vec![Term::int(1), Term::compound("g", vec![Term::int(1)])])
+        );
+    }
+
+    #[test]
+    fn apply_literal_covers_authority() {
+        let mut s = Subst::new();
+        s.bind(v("A"), Term::str("UIUC"));
+        let l = Literal::new("student", vec![Term::var("X")]).at(Term::var("A"));
+        let applied = s.apply_literal(&l);
+        assert_eq!(applied.to_string(), "student(X) @ \"UIUC\"");
+    }
+
+    #[test]
+    fn project_keeps_only_requested_vars() {
+        let mut s = Subst::new();
+        s.bind(v("X"), Term::var("Tmp"));
+        s.bind(v("Tmp"), Term::int(9));
+        let p = s.project(&[v("X")]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.apply(&Term::var("X")), Term::int(9));
+        assert_eq!(p.lookup(&v("Tmp")), None);
+    }
+
+    #[test]
+    fn project_drops_identity_bindings() {
+        let s = Subst::new();
+        let p = s.project(&[v("X")]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn display_is_sorted_and_readable() {
+        let mut s = Subst::new();
+        s.bind(v("B"), Term::int(2));
+        s.bind(v("A"), Term::int(1));
+        assert_eq!(s.to_string(), "{A -> 1, B -> 2}");
+    }
+}

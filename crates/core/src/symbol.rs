@@ -1,0 +1,226 @@
+//! Global string interner and the symbols built on it.
+//!
+//! Every identifier in a PeerTrust program — predicate names, atoms, quoted
+//! strings, variable names, peer names — is interned into a [`Sym`], a
+//! 4-byte index into a process-global table. Interning makes term
+//! comparison, hashing and unification O(1) on names, which matters because
+//! the inference engine compares predicate symbols on every resolution step.
+//!
+//! The interner deliberately leaks the interned strings: a symbol table for
+//! a policy workload is small (thousands of entries) and giving out
+//! `&'static str` keeps every downstream type `Copy`-friendly and
+//! lifetime-free.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string. Cheap to copy, compare and hash.
+///
+/// Construct with [`Sym::new`] (or the `From<&str>` impl); recover the text
+/// with [`Sym::as_str`].
+///
+/// ```
+/// use peertrust_core::symbol::Sym;
+/// let a = Sym::new("student");
+/// let b = Sym::new("student");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "student");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Intern `s`, returning its symbol. Idempotent.
+    pub fn new(s: &str) -> Sym {
+        // Fast path: already interned.
+        {
+            let int = interner().read();
+            if let Some(&id) = int.map.get(s) {
+                return Sym(id);
+            }
+        }
+        let mut int = interner().write();
+        // Re-check under the write lock (another thread may have interned it).
+        if let Some(&id) = int.map.get(s) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(int.strings.len()).expect("interner overflow");
+        int.strings.push(leaked);
+        int.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+
+    /// Raw index, useful as a dense map key.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::new(&s)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+/// The identity of a peer in the network — an interned peer name such as
+/// `"E-Learn"`, `"Alice"` or `"UIUC Registrar"`.
+///
+/// The paper treats peer names as opaque distinguished names; we follow
+/// suit. A `PeerId` shows up as the value of `Authority` arguments, the
+/// `Requester`/`Self` pseudo-variables, and message endpoints.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub Sym);
+
+impl PeerId {
+    pub fn new(name: &str) -> PeerId {
+        PeerId(Sym::new(name))
+    }
+
+    pub fn name(self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl From<&str> for PeerId {
+    fn from(s: &str) -> PeerId {
+        PeerId::new(s)
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Debug for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PeerId({:?})", self.name())
+    }
+}
+
+/// Well-known symbols used throughout the system.
+pub mod well_known {
+    use super::Sym;
+
+    /// The `Requester` pseudo-variable: bound at disclosure time to the peer
+    /// the literal/rule would be sent to (paper §3.1).
+    pub fn requester() -> Sym {
+        Sym::new("Requester")
+    }
+
+    /// The `Self` pseudo-variable: bound to the local peer's distinguished
+    /// name (paper §3.1).
+    pub fn self_() -> Sym {
+        Sym::new("Self")
+    }
+
+    /// Equality builtin predicate `=`.
+    pub fn eq() -> Sym {
+        Sym::new("=")
+    }
+
+    /// The reserved `true` context/goal.
+    pub fn true_() -> Sym {
+        Sym::new("true")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Sym::new("foo");
+        let b = Sym::new("foo");
+        let c = Sym::new("bar");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "foo");
+        assert_eq!(c.as_str(), "bar");
+    }
+
+    #[test]
+    fn empty_and_unicode_strings_intern() {
+        let e = Sym::new("");
+        assert_eq!(e.as_str(), "");
+        let u = Sym::new("Universität");
+        assert_eq!(u.as_str(), "Universität");
+    }
+
+    #[test]
+    fn peer_id_display() {
+        let p = PeerId::new("E-Learn");
+        assert_eq!(p.to_string(), "E-Learn");
+        assert_eq!(p.name(), "E-Learn");
+    }
+
+    #[test]
+    fn symbols_are_ordered_consistently() {
+        let a = Sym::new("zzz-order-a");
+        let b = Sym::new("zzz-order-b");
+        // Ordering is by intern index, not lexicographic; it only needs to be
+        // a consistent total order.
+        assert_eq!(a.cmp(&b), a.cmp(&b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn concurrent_interning_yields_same_symbol() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Sym::new("concurrent-key").index()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn well_known_symbols() {
+        assert_eq!(well_known::requester().as_str(), "Requester");
+        assert_eq!(well_known::self_().as_str(), "Self");
+        assert_eq!(well_known::eq().as_str(), "=");
+        assert_eq!(well_known::true_().as_str(), "true");
+    }
+}

@@ -1,0 +1,220 @@
+//! Robinson unification over triangular substitutions.
+//!
+//! [`unify`] extends a substitution so that two terms become equal, or
+//! reports failure without corrupting the substitution's prior bindings
+//! (callers clone before speculative unification; the engine does this per
+//! resolution branch). The occurs check is on by default — policy programs
+//! are small enough that its cost is negligible, and it keeps the semantics
+//! honest — but can be disabled via [`UnifyOptions`] for benchmarking its
+//! cost (experiment E8 ablation).
+
+use crate::literal::Literal;
+use crate::subst::Subst;
+use crate::term::{Term, Var};
+
+/// Tuning knobs for unification.
+#[derive(Clone, Copy, Debug)]
+pub struct UnifyOptions {
+    /// Reject bindings `X -> t` where `X` occurs in `t`. Default `true`.
+    pub occurs_check: bool,
+}
+
+impl Default for UnifyOptions {
+    fn default() -> Self {
+        UnifyOptions { occurs_check: true }
+    }
+}
+
+/// Unify `a` and `b` under `s`, extending `s` in place on success.
+///
+/// On failure `s` may contain bindings added before the failing sub-pair
+/// was reached; callers that need rollback should clone first. Returns
+/// `true` iff a unifier was found.
+pub fn unify(a: &Term, b: &Term, s: &mut Subst) -> bool {
+    unify_opts(a, b, s, UnifyOptions::default())
+}
+
+/// [`unify`] with explicit options.
+pub fn unify_opts(a: &Term, b: &Term, s: &mut Subst, opts: UnifyOptions) -> bool {
+    let a = s.walk(a).clone();
+    let b = s.walk(b).clone();
+    match (&a, &b) {
+        (Term::Var(x), Term::Var(y)) if x == y => true,
+        (Term::Var(x), t) | (t, Term::Var(x)) => {
+            if opts.occurs_check && occurs_resolved(x, t, s) {
+                return false;
+            }
+            s.bind(*x, t.clone());
+            true
+        }
+        (Term::Atom(x), Term::Atom(y)) => x == y,
+        (Term::Str(x), Term::Str(y)) => x == y,
+        (Term::Int(x), Term::Int(y)) => x == y,
+        (Term::Compound(f, xs), Term::Compound(g, ys)) => {
+            if f != g || xs.len() != ys.len() {
+                return false;
+            }
+            xs.iter().zip(ys).all(|(x, y)| unify_opts(x, y, s, opts))
+        }
+        _ => false,
+    }
+}
+
+/// Occurs check through the substitution: does `v` occur in `t` once all
+/// bound variables in `t` are dereferenced?
+fn occurs_resolved(v: &Var, t: &Term, s: &Subst) -> bool {
+    match s.walk(t) {
+        Term::Var(w) => w == v,
+        Term::Atom(_) | Term::Str(_) | Term::Int(_) => false,
+        Term::Compound(_, args) => args.iter().any(|a| occurs_resolved(v, a, s)),
+    }
+}
+
+/// Unify two literals: predicates, arities, arguments, and authority chains
+/// must all match. Authority chains unify positionally and must have equal
+/// length — `p @ A` never unifies with `p @ A @ B`, because they denote
+/// different delegation structures.
+pub fn unify_literals(a: &Literal, b: &Literal, s: &mut Subst) -> bool {
+    if a.pred != b.pred || a.args.len() != b.args.len() || a.authority.len() != b.authority.len() {
+        return false;
+    }
+    a.args.iter().zip(&b.args).all(|(x, y)| unify(x, y, s))
+        && a.authority
+            .iter()
+            .zip(&b.authority)
+            .all(|(x, y)| unify(x, y, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Term {
+        Term::var(name)
+    }
+
+    #[test]
+    fn unify_identical_constants() {
+        let mut s = Subst::new();
+        assert!(unify(&Term::int(3), &Term::int(3), &mut s));
+        assert!(s.is_empty());
+        assert!(!unify(&Term::int(3), &Term::int(4), &mut s));
+    }
+
+    #[test]
+    fn atom_never_unifies_with_string() {
+        let mut s = Subst::new();
+        assert!(!unify(&Term::atom("cs101"), &Term::str("cs101"), &mut s));
+    }
+
+    #[test]
+    fn variable_binds_to_constant_either_side() {
+        let mut s = Subst::new();
+        assert!(unify(&v("X"), &Term::int(1), &mut s));
+        assert_eq!(s.apply(&v("X")), Term::int(1));
+
+        let mut s2 = Subst::new();
+        assert!(unify(&Term::int(1), &v("X"), &mut s2));
+        assert_eq!(s2.apply(&v("X")), Term::int(1));
+    }
+
+    #[test]
+    fn variable_variable_aliasing() {
+        let mut s = Subst::new();
+        assert!(unify(&v("X"), &v("Y"), &mut s));
+        assert!(unify(&v("Y"), &Term::atom("a"), &mut s));
+        assert_eq!(s.apply(&v("X")), Term::atom("a"));
+    }
+
+    #[test]
+    fn self_unification_adds_no_binding() {
+        let mut s = Subst::new();
+        assert!(unify(&v("X"), &v("X"), &mut s));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn compound_unification_binds_recursively() {
+        let mut s = Subst::new();
+        let a = Term::compound("f", vec![v("X"), Term::int(2)]);
+        let b = Term::compound("f", vec![Term::int(1), v("Y")]);
+        assert!(unify(&a, &b, &mut s));
+        assert_eq!(s.apply(&a), s.apply(&b));
+        assert_eq!(s.apply(&v("X")), Term::int(1));
+        assert_eq!(s.apply(&v("Y")), Term::int(2));
+    }
+
+    #[test]
+    fn functor_or_arity_mismatch_fails() {
+        let mut s = Subst::new();
+        let a = Term::compound("f", vec![Term::int(1)]);
+        assert!(!unify(&a, &Term::compound("g", vec![Term::int(1)]), &mut s));
+        assert!(!unify(
+            &a,
+            &Term::compound("f", vec![Term::int(1), Term::int(2)]),
+            &mut s
+        ));
+    }
+
+    #[test]
+    fn occurs_check_rejects_cyclic_binding() {
+        let mut s = Subst::new();
+        let t = Term::compound("f", vec![v("X")]);
+        assert!(!unify(&v("X"), &t, &mut s));
+    }
+
+    #[test]
+    fn occurs_check_through_bindings() {
+        // X = f(Y), then Y = X must fail with occurs check on.
+        let mut s = Subst::new();
+        assert!(unify(&v("X"), &Term::compound("f", vec![v("Y")]), &mut s));
+        assert!(!unify(&v("Y"), &v("X"), &mut s) || s.apply(&v("Y")) != s.apply(&v("X")));
+    }
+
+    #[test]
+    fn occurs_check_can_be_disabled() {
+        let mut s = Subst::new();
+        let t = Term::compound("f", vec![v("X")]);
+        assert!(unify_opts(
+            &v("X"),
+            &t,
+            &mut s,
+            UnifyOptions { occurs_check: false }
+        ));
+    }
+
+    #[test]
+    fn literal_unification_requires_matching_authority_depth() {
+        let mut s = Subst::new();
+        let a = Literal::new("student", vec![v("X")]).at(Term::str("UIUC"));
+        let b = Literal::new("student", vec![Term::str("Alice")]).at(Term::str("UIUC"));
+        assert!(unify_literals(&a, &b, &mut s));
+        assert_eq!(s.apply(&v("X")), Term::str("Alice"));
+
+        let c = Literal::new("student", vec![Term::str("Alice")])
+            .at(Term::str("UIUC"))
+            .at(Term::str("Alice"));
+        let mut s2 = Subst::new();
+        assert!(!unify_literals(&a, &c, &mut s2));
+    }
+
+    #[test]
+    fn literal_unification_binds_authority_vars() {
+        let mut s = Subst::new();
+        let a = Literal::new("student", vec![v("X")]).at(v("U"));
+        let b = Literal::new("student", vec![Term::str("Alice")]).at(Term::str("UIUC"));
+        assert!(unify_literals(&a, &b, &mut s));
+        assert_eq!(s.apply(&v("U")), Term::str("UIUC"));
+    }
+
+    #[test]
+    fn unifier_is_most_general_on_simple_case() {
+        // unify(f(X, Y), f(Y, Z)): mgu maps X~Y~Z to one class; applying it
+        // to both terms yields syntactically equal terms.
+        let mut s = Subst::new();
+        let a = Term::compound("f", vec![v("X"), v("Y")]);
+        let b = Term::compound("f", vec![v("Y"), v("Z")]);
+        assert!(unify(&a, &b, &mut s));
+        assert_eq!(s.apply(&a), s.apply(&b));
+    }
+}

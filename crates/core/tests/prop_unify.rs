@@ -1,0 +1,171 @@
+//! Property-based tests for terms, substitutions and unification.
+
+use peertrust_core::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy for arbitrary terms over a small symbol universe (small enough
+/// that collisions — and therefore successful unifications — are common).
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0u32..4).prop_map(|i| Term::var(format!("V{i}").as_str())),
+        (0u32..4).prop_map(|i| Term::atom(format!("a{i}").as_str())),
+        (0u32..3).prop_map(|i| Term::str(format!("s{i}").as_str())),
+        (-3i64..4).prop_map(Term::int),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (0u32..3, prop::collection::vec(inner, 1..3))
+            .prop_map(|(f, args)| Term::compound(format!("f{f}").as_str(), args))
+    })
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    (
+        0u32..3,
+        prop::collection::vec(arb_term(), 0..3),
+        prop::collection::vec(arb_term(), 0..2),
+    )
+        .prop_map(|(p, args, auth)| {
+            let mut lit = Literal::new(format!("p{p}").as_str(), args);
+            for a in auth {
+                lit = lit.at(a);
+            }
+            lit
+        })
+}
+
+/// Canonical form: variables renamed to `_N{i}` in first-occurrence order,
+/// so two terms are variants iff their canonical forms are equal.
+fn canonical(t: &Term) -> Term {
+    let mut seen: Vec<Var> = Vec::new();
+    t.map_vars(&mut |v| {
+        let idx = match seen.iter().position(|w| *w == v) {
+            Some(i) => i,
+            None => {
+                seen.push(v);
+                seen.len() - 1
+            }
+        };
+        Term::var(format!("_N{idx}").as_str())
+    })
+}
+
+proptest! {
+    /// A successful unifier makes the two terms syntactically equal.
+    #[test]
+    fn unifier_equates_terms(a in arb_term(), b in arb_term()) {
+        let mut s = Subst::new();
+        if unify(&a, &b, &mut s) {
+            prop_assert_eq!(s.apply(&a), s.apply(&b));
+        }
+    }
+
+    /// Unification is symmetric in success, and the two unifiers produce
+    /// results equal up to variable renaming (unifiers for `f(V0)` vs
+    /// `f(V1)` may pick either variable as the representative).
+    #[test]
+    fn unification_is_symmetric(a in arb_term(), b in arb_term()) {
+        let mut s1 = Subst::new();
+        let mut s2 = Subst::new();
+        let r1 = unify(&a, &b, &mut s1);
+        let r2 = unify(&b, &a, &mut s2);
+        prop_assert_eq!(r1, r2);
+        if r1 {
+            prop_assert_eq!(canonical(&s1.apply(&a)), canonical(&s2.apply(&a)));
+            prop_assert_eq!(canonical(&s1.apply(&b)), canonical(&s2.apply(&b)));
+        }
+    }
+
+    /// Every term unifies with itself without new bindings on ground
+    /// terms, and always unifies.
+    #[test]
+    fn self_unification_succeeds(a in arb_term()) {
+        let mut s = Subst::new();
+        prop_assert!(unify(&a, &a.clone(), &mut s));
+        if a.is_ground() {
+            prop_assert!(s.is_empty());
+        }
+    }
+
+    /// Applying a substitution is idempotent: s(s(t)) = s(t).
+    #[test]
+    fn substitution_application_idempotent(a in arb_term(), b in arb_term()) {
+        let mut s = Subst::new();
+        if unify(&a, &b, &mut s) {
+            let once = s.apply(&a);
+            let twice = s.apply(&once);
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    /// A fresh variable unifies with anything not containing it.
+    #[test]
+    fn fresh_variable_unifies(t in arb_term()) {
+        let fresh = Term::var("Fresh_unique");
+        let mut s = Subst::new();
+        let expected = !t.occurs(&Var::new("Fresh_unique")) || t == fresh;
+        prop_assert_eq!(unify(&fresh, &t, &mut s), expected);
+    }
+
+    /// The unifier never binds a variable to a term containing it
+    /// (occurs check soundness): applying the final substitution
+    /// terminates and reaches a fixpoint.
+    #[test]
+    fn no_cyclic_bindings(a in arb_term(), b in arb_term()) {
+        let mut s = Subst::new();
+        if unify(&a, &b, &mut s) {
+            // apply() would overflow the stack on a cyclic binding; the
+            // idempotence check doubles as a cycle check.
+            let r = s.apply(&a);
+            prop_assert_eq!(s.apply(&r), r);
+        }
+    }
+
+    /// Ground terms unify iff they are equal.
+    #[test]
+    fn ground_unification_is_equality(a in arb_term(), b in arb_term()) {
+        prop_assume!(a.is_ground() && b.is_ground());
+        let mut s = Subst::new();
+        prop_assert_eq!(unify(&a, &b, &mut s), a == b);
+        prop_assert!(s.is_empty());
+    }
+
+    /// Literal unification requires equal predicate, arity and authority
+    /// depth; success equates the literals.
+    #[test]
+    fn literal_unification_equates(a in arb_literal(), b in arb_literal()) {
+        let mut s = Subst::new();
+        if unify_literals(&a, &b, &mut s) {
+            prop_assert_eq!(a.pred, b.pred);
+            prop_assert_eq!(a.args.len(), b.args.len());
+            prop_assert_eq!(a.authority.len(), b.authority.len());
+            prop_assert_eq!(s.apply_literal(&a), s.apply_literal(&b));
+        }
+    }
+
+    /// Renaming apart never changes rule shape, and renamed rules share no
+    /// variables with the original.
+    #[test]
+    fn rename_apart_disjoint(head in arb_literal(), body in prop::collection::vec(arb_literal(), 0..3)) {
+        let rule = Rule::horn(head, body);
+        let renamed = rule.rename_apart(1);
+        prop_assert_eq!(rule.body.len(), renamed.body.len());
+        let mut orig_vars = rule.vars();
+        let renamed_vars = renamed.vars();
+        orig_vars.retain(|v| renamed_vars.contains(v));
+        prop_assert!(orig_vars.is_empty(), "shared vars: {orig_vars:?}");
+    }
+
+    /// `project` never invents bindings for unrequested variables.
+    #[test]
+    fn project_restricts(a in arb_term(), b in arb_term()) {
+        let mut s = Subst::new();
+        if unify(&a, &b, &mut s) {
+            let mut vars = Vec::new();
+            a.collect_vars(&mut vars);
+            let p = s.project(&vars);
+            for (v, _) in p.iter() {
+                prop_assert!(vars.contains(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # peertrust-crypto
+//!
+//! The simulated PKI substrate for PeerTrust negotiations.
+//!
+//! The 2004 prototype used X.509 certificates and the Java Cryptography
+//! Architecture. This crate substitutes a self-contained simulation that
+//! preserves everything the negotiation layer observes (see DESIGN.md,
+//! "Substitutions"):
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256, from scratch, validated against the
+//!   official test vectors;
+//! * [`hmac`] — HMAC-SHA256 (RFC 2104), the signature primitive;
+//! * [`keys`] — per-issuer secret keys and the trusted [`keys::KeyRegistry`]
+//!   standing in for a CA hierarchy;
+//! * [`sig`] — canonical rule serialization and [`sig::SignedRule`], the
+//!   transferable form of a credential or signed delegation;
+//! * [`cert`] — credential lifecycle: serials, validity windows, and the
+//!   revocation lists behind §4.2's "external call to a VISA card revocation
+//!   authority".
+
+pub mod cert;
+pub mod hmac;
+pub mod keys;
+pub mod sha256;
+pub mod sig;
+
+pub use cert::{Credential, CredentialError, RevocationList, Tick};
+pub use keys::{KeyError, KeyRegistry, SecretKey};
+pub use sha256::{sha256 as sha256_digest, Digest, Sha256};
+pub use sig::{canonical_bytes, sign_rule, verify_signed_rule, SigError, SignedRule};

@@ -1,0 +1,177 @@
+//! Builtin predicate evaluation.
+//!
+//! The engine natively evaluates the comparison predicates the paper's
+//! policies use (`Price < 2000`, `Requester = Self` after pseudo-variable
+//! binding): `=`, `!=`, `<`, `<=`, `>`, `>=`, and the trivial `true`.
+//!
+//! `=` unifies its arguments (so it can bind variables); the ordering
+//! comparisons require both sides to be ground integers — a non-ground or
+//! non-numeric comparison simply fails, mirroring Datalog safety rather
+//! than raising a run-time error, but the failure is distinguishable via
+//! [`BuiltinOutcome::IllTyped`] so callers can surface policy bugs.
+
+use peertrust_core::{unify, Literal, Subst, Term};
+
+/// Result of evaluating a builtin literal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuiltinOutcome {
+    /// The builtin succeeded; the substitution may have been extended.
+    True(Subst),
+    /// The builtin is false under the current bindings.
+    False,
+    /// The builtin could not be evaluated (unbound variable in an ordering
+    /// comparison, or non-integer operands). Treated as failure, but
+    /// reported distinctly for diagnostics.
+    IllTyped(String),
+}
+
+/// Is `lit` one of the engine's builtins?
+pub fn is_builtin(lit: &Literal) -> bool {
+    lit.is_builtin()
+}
+
+/// Evaluate builtin `lit` under `s`.
+///
+/// Precondition: `lit.is_builtin()`. The authority chain on a builtin is
+/// ignored (the paper never delegates builtin evaluation).
+pub fn eval_builtin(lit: &Literal, s: &Subst) -> BuiltinOutcome {
+    match lit.pred.as_str() {
+        "true" => BuiltinOutcome::True(s.clone()),
+        "=" => {
+            let mut s2 = s.clone();
+            if unify(&lit.args[0], &lit.args[1], &mut s2) {
+                BuiltinOutcome::True(s2)
+            } else {
+                BuiltinOutcome::False
+            }
+        }
+        "!=" => {
+            let a = s.apply(&lit.args[0]);
+            let b = s.apply(&lit.args[1]);
+            if !a.is_ground() || !b.is_ground() {
+                return BuiltinOutcome::IllTyped(format!("!= on non-ground terms {a} / {b}"));
+            }
+            if a != b {
+                BuiltinOutcome::True(s.clone())
+            } else {
+                BuiltinOutcome::False
+            }
+        }
+        op @ ("<" | "<=" | ">" | ">=") => {
+            let a = s.apply(&lit.args[0]);
+            let b = s.apply(&lit.args[1]);
+            match (&a, &b) {
+                (Term::Int(x), Term::Int(y)) => {
+                    let holds = match op {
+                        "<" => x < y,
+                        "<=" => x <= y,
+                        ">" => x > y,
+                        ">=" => x >= y,
+                        _ => unreachable!(),
+                    };
+                    if holds {
+                        BuiltinOutcome::True(s.clone())
+                    } else {
+                        BuiltinOutcome::False
+                    }
+                }
+                _ => BuiltinOutcome::IllTyped(format!("{op} needs ground integers, got {a} {op} {b}")),
+            }
+        }
+        other => BuiltinOutcome::IllTyped(format!("unknown builtin {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peertrust_core::Var;
+
+    #[test]
+    fn true_always_succeeds() {
+        let out = eval_builtin(&Literal::truth(), &Subst::new());
+        assert!(matches!(out, BuiltinOutcome::True(_)));
+    }
+
+    #[test]
+    fn equality_unifies_and_binds() {
+        let lit = Literal::eq(Term::var("X"), Term::int(5));
+        match eval_builtin(&lit, &Subst::new()) {
+            BuiltinOutcome::True(s) => assert_eq!(s.apply(&Term::var("X")), Term::int(5)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_fails_on_mismatch() {
+        let lit = Literal::eq(Term::str("eOrg"), Term::str("Alice"));
+        assert_eq!(eval_builtin(&lit, &Subst::new()), BuiltinOutcome::False);
+    }
+
+    #[test]
+    fn ordering_comparisons_on_ints() {
+        let cases = [
+            ("<", 1, 2, true),
+            ("<", 2, 2, false),
+            ("<=", 2, 2, true),
+            (">", 3, 2, true),
+            (">", 2, 3, false),
+            (">=", 2, 2, true),
+        ];
+        for (op, a, b, want) in cases {
+            let lit = Literal::cmp(op, Term::int(a), Term::int(b));
+            let got = matches!(eval_builtin(&lit, &Subst::new()), BuiltinOutcome::True(_));
+            assert_eq!(got, want, "{a} {op} {b}");
+        }
+    }
+
+    #[test]
+    fn price_check_from_paper() {
+        // authorized("Bob", Price) ... Price < 2000 with Price bound to 1000.
+        let mut s = Subst::new();
+        s.bind(Var::new("Price"), Term::int(1000));
+        let lit = Literal::cmp("<", Term::var("Price"), Term::int(2000));
+        assert!(matches!(eval_builtin(&lit, &s), BuiltinOutcome::True(_)));
+
+        let mut s2 = Subst::new();
+        s2.bind(Var::new("Price"), Term::int(2500));
+        assert_eq!(eval_builtin(&lit, &s2), BuiltinOutcome::False);
+    }
+
+    #[test]
+    fn unbound_comparison_is_ill_typed() {
+        let lit = Literal::cmp("<", Term::var("X"), Term::int(2));
+        assert!(matches!(
+            eval_builtin(&lit, &Subst::new()),
+            BuiltinOutcome::IllTyped(_)
+        ));
+    }
+
+    #[test]
+    fn non_integer_comparison_is_ill_typed() {
+        let lit = Literal::cmp("<", Term::str("a"), Term::str("b"));
+        assert!(matches!(
+            eval_builtin(&lit, &Subst::new()),
+            BuiltinOutcome::IllTyped(_)
+        ));
+    }
+
+    #[test]
+    fn inequality_requires_ground_terms() {
+        let lit = Literal::cmp("!=", Term::var("X"), Term::int(1));
+        assert!(matches!(
+            eval_builtin(&lit, &Subst::new()),
+            BuiltinOutcome::IllTyped(_)
+        ));
+        let lit2 = Literal::cmp("!=", Term::int(2), Term::int(1));
+        assert!(matches!(eval_builtin(&lit2, &Subst::new()), BuiltinOutcome::True(_)));
+        let lit3 = Literal::cmp("!=", Term::int(1), Term::int(1));
+        assert_eq!(eval_builtin(&lit3, &Subst::new()), BuiltinOutcome::False);
+    }
+
+    #[test]
+    fn atom_string_inequality_holds() {
+        let lit = Literal::cmp("!=", Term::atom("cs101"), Term::str("cs101"));
+        assert!(matches!(eval_builtin(&lit, &Subst::new()), BuiltinOutcome::True(_)));
+    }
+}

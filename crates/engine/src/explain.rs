@@ -1,0 +1,141 @@
+//! Human-readable proof explanations.
+//!
+//! The paper's vision is a "certified proof that a party is entitled to
+//! access a particular resource" (§6). [`explain`] renders a [`Proof`]
+//! tree as an indented justification a policy author can audit, and
+//! [`explain_with_rules`] inlines the rule text from a knowledge base:
+//!
+//! ```text
+//! discountEnroll(spanish101, "Alice")
+//! └─ by rule: discountEnroll(Course, Party) <- eligibleForDiscount(Party, Course).
+//!    └─ eligibleForDiscount("Alice", spanish101)
+//!       └─ by rule: eligibleForDiscount(X, Course) <- preferred(X) @ "ELENA".
+//!          └─ preferred("Alice") @ "ELENA"
+//!             ...
+//! ```
+
+use crate::sld::{Proof, ProofStep};
+use peertrust_core::KnowledgeBase;
+use std::fmt::Write;
+
+/// Render a proof tree without rule bodies (goal + step kinds only).
+pub fn explain(proof: &Proof) -> String {
+    let mut out = String::new();
+    render(proof, None, "", true, &mut out);
+    out
+}
+
+/// Render a proof tree, inlining each applied rule's text from `kb`.
+pub fn explain_with_rules(proof: &Proof, kb: &KnowledgeBase) -> String {
+    let mut out = String::new();
+    render(proof, Some(kb), "", true, &mut out);
+    out
+}
+
+fn render(proof: &Proof, kb: Option<&KnowledgeBase>, prefix: &str, root: bool, out: &mut String) {
+    if root {
+        let _ = writeln!(out, "{}", proof.goal);
+    }
+    let step_desc = match &proof.step {
+        ProofStep::Rule(id) => match kb.and_then(|kb| kb.get(*id)) {
+            Some(stored) => format!("by rule: {}", stored.rule),
+            None => format!("by rule #{}", id.0),
+        },
+        ProofStep::Builtin => "by builtin evaluation".to_string(),
+        ProofStep::SelfAuthority => "by self-authority (lit @ Self = lit)".to_string(),
+        ProofStep::Remote(peer) => format!("answered remotely by {peer}"),
+        ProofStep::Negation => "by negation as failure (goal refuted locally)".to_string(),
+    };
+    let _ = writeln!(out, "{prefix}└─ {step_desc}");
+    let child_prefix = format!("{prefix}   ");
+    for child in &proof.children {
+        let _ = writeln!(out, "{child_prefix}└─ {}", child.goal);
+        render(child, kb, &format!("{child_prefix}   "), false, out);
+    }
+}
+
+/// One-line summary: which rules, builtins and remote peers the proof
+/// rests on.
+pub fn proof_summary(proof: &Proof) -> String {
+    let rules = proof.used_rules().len();
+    let remotes = proof.remote_dependencies();
+    let mut s = format!(
+        "{} established via {} rule application(s), {} node(s)",
+        proof.goal,
+        rules,
+        proof.size()
+    );
+    if !remotes.is_empty() {
+        let peers: Vec<String> = remotes
+            .iter()
+            .map(|(p, _)| p.to_string())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let _ = write!(s, "; remote answers from {}", peers.join(", "));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sld::Solver;
+    use peertrust_core::PeerId;
+    use peertrust_parser::{parse_goals, parse_program};
+
+    fn prove(kb_src: &str, query: &str) -> (KnowledgeBase, Proof) {
+        let kb: KnowledgeBase = parse_program(kb_src).unwrap().into_iter().collect();
+        let mut solver = Solver::new(&kb, PeerId::new("self"));
+        let sols = solver.solve(&parse_goals(query).unwrap());
+        let proof = sols[0].proofs[0].clone();
+        (kb, proof)
+    }
+
+    #[test]
+    fn explains_rule_chain() {
+        let (kb, proof) = prove(
+            r#"
+            a(X) <- b(X).
+            b(1).
+            "#,
+            "a(W)",
+        );
+        let text = explain_with_rules(&proof, &kb);
+        assert!(text.starts_with("a(1)"), "{text}");
+        assert!(text.contains("by rule: a(X) <- b(X)."), "{text}");
+        assert!(text.contains("b(1)"), "{text}");
+    }
+
+    #[test]
+    fn explains_builtins() {
+        let (_kb, proof) = prove("ok(X) <- p(X), X < 5. p(3).", "ok(W)");
+        let text = explain(&proof);
+        assert!(text.contains("by builtin evaluation"), "{text}");
+    }
+
+    #[test]
+    fn summary_counts_rules() {
+        let (_kb, proof) = prove("a <- b, c. b. c.", "a");
+        let s = proof_summary(&proof);
+        // Proof tree: a (rule) with children b (fact) and c (fact) — three
+        // rule applications across three nodes.
+        assert!(s.contains("3 rule application(s)"), "{s}");
+        assert!(s.contains("3 node(s)"), "{s}");
+    }
+
+    #[test]
+    fn indentation_nests_with_depth() {
+        let (kb, proof) = prove("a <- b. b <- c. c.", "a");
+        let text = explain_with_rules(&proof, &kb);
+        // Three levels of rule application, increasingly indented.
+        let lines: Vec<&str> = text.lines().collect();
+        let indents: Vec<usize> = lines
+            .iter()
+            .filter(|l| l.contains("by rule"))
+            .map(|l| l.len() - l.trim_start().len())
+            .collect();
+        assert_eq!(indents.len(), 3);
+        assert!(indents.windows(2).all(|w| w[0] < w[1]), "{indents:?}");
+    }
+}

@@ -1,0 +1,1008 @@
+//! SLD resolution over a peer's knowledge base, with proof construction
+//! and a pluggable hook for remote (delegated) goals.
+//!
+//! This is the Rust equivalent of the paper's Prolog meta-interpreters
+//! (§6): leftmost goal selection, clause order as stored in the KB, plus
+//! three guards MINERVA lacked — a depth bound, a resolution-step budget,
+//! and an ancestor *variant* loop check (a goal identical up to variable
+//! renaming to an open ancestor goal is pruned).
+//!
+//! ## Authority handling (paper §3.1 / §3.2)
+//!
+//! For a selected goal `g` whose outermost authority (the last `@` in
+//! program order) is:
+//!
+//! * **the local peer** — the authority is stripped and the inner literal
+//!   proved locally (`lit @ Self ≡ lit`);
+//! * **another peer `P`** — local clauses are tried first (cached signed
+//!   rules let a peer "mimic the reasoning processes of other peers");
+//!   if no local clause unifies and a [`RemoteHook`] is installed, the
+//!   engine asks the hook to resolve `g` at `P`. The hook is how the
+//!   negotiation layer turns goals into network queries;
+//! * **a variable** — only local clauses are tried (the negotiation layer's
+//!   authority database binds authorities *before* they are consulted,
+//!   §4.2's `authority(purchaseApproved, Authority)` pattern).
+//!
+//! Every solution carries a [`Proof`] tree recording which rules, builtins
+//! and remote answers established it — the paper's "distributed certified
+//! proof" — from which the negotiation layer extracts the credentials to
+//! disclose.
+
+use crate::builtins::{eval_builtin, BuiltinOutcome};
+use peertrust_core::{
+    unify_literals, KnowledgeBase, Literal, PeerId, RuleId, Subst, Term, Var,
+};
+
+/// When to consult the remote hook for a goal routed to another peer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RemoteFallback {
+    /// Never go remote: purely local evaluation.
+    Never,
+    /// Go remote only when no local clause unifies with the goal
+    /// (default — avoids redundant network queries when a cached signed
+    /// rule already covers the goal).
+    OnlyIfNoLocalClause,
+    /// Always also ask the remote peer (completeness experiments).
+    Always,
+}
+
+/// Engine tuning and guard parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Maximum proof depth (rule-application nesting).
+    pub max_depth: usize,
+    /// Stop after this many solutions.
+    pub max_solutions: usize,
+    /// Hard budget on resolution steps (guards cyclic policies, E11).
+    pub max_steps: u64,
+    /// Prune goals that are variants of an open ancestor goal.
+    pub ancestor_loop_check: bool,
+    /// Remote consultation policy.
+    pub remote_fallback: RemoteFallback,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_depth: 128,
+            max_solutions: 64,
+            max_steps: 1_000_000,
+            ancestor_loop_check: true,
+            remote_fallback: RemoteFallback::OnlyIfNoLocalClause,
+        }
+    }
+}
+
+/// Callback for goals delegated to other peers.
+pub trait RemoteHook {
+    /// Resolve `goal` (whose outermost authority is `peer`) remotely.
+    ///
+    /// The implementation sends `goal.strip_outer_authority()` to `peer`
+    /// and returns the answer instances of that *inner* literal. An empty
+    /// vector means the peer produced no answers (or refused).
+    fn resolve_remote(&mut self, peer: PeerId, inner_goal: &Literal) -> Vec<Literal>;
+}
+
+/// A no-op hook: remote goals simply fail.
+pub struct NoRemote;
+
+impl RemoteHook for NoRemote {
+    fn resolve_remote(&mut self, _peer: PeerId, _goal: &Literal) -> Vec<Literal> {
+        Vec::new()
+    }
+}
+
+/// How one proof node was established.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// Application of a KB rule (children prove its body).
+    Rule(RuleId),
+    /// A builtin evaluation.
+    Builtin,
+    /// `lit @ Self` stripped to `lit` (single child proves the inner goal).
+    SelfAuthority,
+    /// Answered by a remote peer (leaf; the remote peer holds the sub-proof).
+    Remote(PeerId),
+    /// Negation as failure: the negated goal was exhaustively refuted
+    /// against the local knowledge base (leaf).
+    Negation,
+}
+
+/// A node in a certified proof tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Proof {
+    /// The goal this node establishes, resolved under the final answer
+    /// substitution.
+    pub goal: Literal,
+    pub step: ProofStep,
+    pub children: Vec<Proof>,
+}
+
+impl Proof {
+    /// Every KB rule used anywhere in the proof.
+    pub fn used_rules(&self) -> Vec<RuleId> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if let ProofStep::Rule(id) = p.step {
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        });
+        out
+    }
+
+    /// Every remote answer `(peer, goal)` the proof depends on.
+    pub fn remote_dependencies(&self) -> Vec<(PeerId, Literal)> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if let ProofStep::Remote(peer) = p.step {
+                out.push((peer, p.goal.clone()));
+            }
+        });
+        out
+    }
+
+    /// Total node count.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(Proof::size).sum::<usize>()
+    }
+
+    fn walk(&self, f: &mut impl FnMut(&Proof)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+
+    fn resolve(&self, s: &Subst) -> Proof {
+        Proof {
+            goal: s.apply_literal(&self.goal),
+            step: self.step.clone(),
+            children: self.children.iter().map(|c| c.resolve(s)).collect(),
+        }
+    }
+}
+
+/// One answer to a query.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Bindings projected onto the query's variables.
+    pub subst: Subst,
+    /// One proof tree per top-level goal.
+    pub proofs: Vec<Proof>,
+}
+
+/// Evaluation statistics (inputs to experiments E8/E11).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Stats {
+    /// Resolution steps (goal selections).
+    pub steps: u64,
+    /// Remote hook invocations.
+    pub remote_calls: u64,
+    /// Branches pruned by the depth bound.
+    pub depth_cutoffs: u64,
+    /// Branches pruned by the ancestor variant check.
+    pub loop_prunes: u64,
+    /// Whether the step budget was exhausted (result may be incomplete).
+    pub step_budget_exhausted: bool,
+}
+
+/// The SLD solver. Borrow a KB, configure, and call [`Solver::solve`].
+pub struct Solver<'a> {
+    kb: &'a KnowledgeBase,
+    self_id: PeerId,
+    config: EngineConfig,
+    hook: Option<&'a mut dyn RemoteHook>,
+    rename_counter: u32,
+    stats: Stats,
+}
+
+/// Work items on the evaluation agenda.
+enum GoalItem {
+    /// Prove this literal at the given depth.
+    Lit(Literal, usize),
+    /// Marker: the previous `arity` proofs complete `goal` via `step`.
+    Fold {
+        goal: Literal,
+        step: ProofStep,
+        arity: usize,
+    },
+}
+
+enum Flow {
+    Continue,
+    Stop,
+}
+
+impl<'a> Solver<'a> {
+    pub fn new(kb: &'a KnowledgeBase, self_id: PeerId) -> Solver<'a> {
+        Solver {
+            kb,
+            self_id,
+            config: EngineConfig::default(),
+            hook: None,
+            rename_counter: 0,
+            stats: Stats::default(),
+        }
+    }
+
+    pub fn with_config(mut self, config: EngineConfig) -> Solver<'a> {
+        self.config = config;
+        self
+    }
+
+    pub fn with_hook(mut self, hook: &'a mut dyn RemoteHook) -> Solver<'a> {
+        self.hook = Some(hook);
+        self
+    }
+
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Prove the conjunction `goals`, returning up to
+    /// `config.max_solutions` answers with proofs.
+    pub fn solve(&mut self, goals: &[Literal]) -> Vec<Solution> {
+        let mut query_vars: Vec<Var> = Vec::new();
+        for g in goals {
+            g.collect_vars(&mut query_vars);
+        }
+        query_vars.dedup();
+
+        let agenda: Vec<GoalItem> = goals
+            .iter()
+            .map(|g| GoalItem::Lit(g.clone(), 0))
+            .collect();
+        let mut out = Vec::new();
+        let mut anc: Vec<Literal> = Vec::new();
+        let mut acc: Vec<Proof> = Vec::new();
+        let _ = self.prove(&agenda, &Subst::new(), &mut anc, &mut acc, &mut out, &query_vars);
+        out
+    }
+
+    /// Is the conjunction provable at all?
+    pub fn provable(&mut self, goals: &[Literal]) -> bool {
+        let saved = self.config.max_solutions;
+        self.config.max_solutions = 1;
+        let r = !self.solve(goals).is_empty();
+        self.config.max_solutions = saved;
+        r
+    }
+
+    fn prove(
+        &mut self,
+        agenda: &[GoalItem],
+        s: &Subst,
+        anc: &mut Vec<Literal>,
+        acc: &mut Vec<Proof>,
+        out: &mut Vec<Solution>,
+        query_vars: &[Var],
+    ) -> Flow {
+        if self.stats.step_budget_exhausted {
+            return Flow::Stop;
+        }
+        let Some((item, rest)) = agenda.split_first() else {
+            // Whole conjunction proven.
+            out.push(Solution {
+                subst: s.project(query_vars),
+                proofs: acc.iter().map(|p| p.resolve(s)).collect(),
+            });
+            return if out.len() >= self.config.max_solutions {
+                Flow::Stop
+            } else {
+                Flow::Continue
+            };
+        };
+
+        match item {
+            GoalItem::Fold { goal, step, arity } => {
+                // Assemble the proof node for `goal` from its children.
+                let children = acc.split_off(acc.len() - arity);
+                acc.push(Proof {
+                    goal: goal.clone(),
+                    step: step.clone(),
+                    children,
+                });
+                // The goal's descendant scope ends here.
+                let popped = anc.pop();
+                let flow = self.prove(rest, s, anc, acc, out, query_vars);
+                if let Some(g) = popped {
+                    anc.push(g);
+                }
+                let node = acc.pop().expect("fold node present");
+                acc.extend(node.children);
+                flow
+            }
+            GoalItem::Lit(goal, depth) => {
+                self.stats.steps += 1;
+                if self.stats.steps > self.config.max_steps {
+                    self.stats.step_budget_exhausted = true;
+                    return Flow::Stop;
+                }
+                let goal = s.apply_literal(goal);
+                let depth = *depth;
+
+                // Negation as failure (paper §3.1: "Definite Horn clauses
+                // can be easily extended to include negation as failure").
+                // `not(p(args...))` succeeds iff the *ground, local* goal
+                // `p(args...)` is unprovable. Non-ground negations flounder
+                // (fail); remote goals are never negated — NAF over another
+                // peer's silence would conflate "no" with "won't say".
+                if goal.pred.as_str() == "not" && goal.args.len() == 1 {
+                    let inner = match s.walk(&goal.args[0]).clone() {
+                        Term::Compound(f, args) => Some(Literal::new(f, args)),
+                        Term::Atom(a) => Some(Literal::new(a, vec![])),
+                        _ => None,
+                    };
+                    let Some(inner) = inner else {
+                        return Flow::Continue; // flounder: not bound to a goal
+                    };
+                    if !inner.is_ground() {
+                        return Flow::Continue; // flounder: non-ground negation
+                    }
+                    let refuted = {
+                        let mut sub = Solver::new(self.kb, self.self_id).with_config(
+                            EngineConfig {
+                                max_solutions: 1,
+                                remote_fallback: RemoteFallback::Never,
+                                ..self.config
+                            },
+                        );
+                        let proved = sub.provable(std::slice::from_ref(&inner));
+                        self.stats.steps += sub.stats.steps;
+                        !proved
+                    };
+                    if !refuted {
+                        return Flow::Continue;
+                    }
+                    return self.alternative(
+                        &goal,
+                        ProofStep::Negation,
+                        &[],
+                        depth,
+                        rest,
+                        s,
+                        anc,
+                        acc,
+                        out,
+                        query_vars,
+                    );
+                }
+
+                // Builtins.
+                if goal.is_builtin() {
+                    return match eval_builtin(&goal, s) {
+                        BuiltinOutcome::True(s2) => self.alternative(
+                            &goal,
+                            ProofStep::Builtin,
+                            &[],
+                            depth,
+                            rest,
+                            &s2,
+                            anc,
+                            acc,
+                            out,
+                            query_vars,
+                        ),
+                        BuiltinOutcome::False | BuiltinOutcome::IllTyped(_) => Flow::Continue,
+                    };
+                }
+
+                if depth >= self.config.max_depth {
+                    self.stats.depth_cutoffs += 1;
+                    return Flow::Continue;
+                }
+
+                // Ancestor loop check: prune variants of open goals.
+                if self.config.ancestor_loop_check
+                    && anc.iter().any(|a| is_variant(&s.apply_literal(a), &goal))
+                {
+                    self.stats.loop_prunes += 1;
+                    return Flow::Continue;
+                }
+
+                // Self-authority stripping: lit @ ... @ Self  ->  lit @ ...
+                if goal.eval_peer() == Some(self.self_id) {
+                    let inner = goal.strip_outer_authority();
+                    return self.alternative(
+                        &goal,
+                        ProofStep::SelfAuthority,
+                        std::slice::from_ref(&inner),
+                        depth,
+                        rest,
+                        s,
+                        anc,
+                        acc,
+                        out,
+                        query_vars,
+                    );
+                }
+
+                // Local clauses.
+                let candidates: Vec<_> = self
+                    .kb
+                    .candidates(&goal)
+                    .map(|sr| (sr.id, sr.rule.clone()))
+                    .collect();
+                let mut any_local_clause = false;
+                for (id, rule) in &candidates {
+                    // Release-pattern self-rules (`p $ ctx <- p`) are
+                    // derivationally inert — they exist purely as
+                    // disclosure licenses (paper §3.1) and are applied by
+                    // the negotiation layer. Skipping them here also keeps
+                    // them from masking remote resolution.
+                    if rule.body.len() == 1 && rule.body[0] == rule.head {
+                        continue;
+                    }
+                    self.rename_counter += 1;
+                    let renamed = rule.rename_apart(self.rename_counter);
+                    let mut s2 = s.clone();
+                    if !unify_literals(&renamed.head, &goal, &mut s2) {
+                        continue;
+                    }
+                    any_local_clause = true;
+                    if let Flow::Stop = self.alternative(
+                        &goal,
+                        ProofStep::Rule(*id),
+                        &renamed.body,
+                        depth,
+                        rest,
+                        &s2,
+                        anc,
+                        acc,
+                        out,
+                        query_vars,
+                    ) {
+                        return Flow::Stop;
+                    }
+                }
+
+                // §3.2 Self-closure: "For each Authority argument that has
+                // not been specified explicitly ... we add '@ Self'". A
+                // goal whose chain does not end at this peer can also be
+                // established by clauses about the self-extended goal —
+                // e.g. authority A0, asked the chainless `attr(X)`, answers
+                // from its delegation rule with head `attr(X) @ "A0"`.
+                if goal.eval_peer() != Some(self.self_id) {
+                    let extended = goal.clone().at(Term::peer(self.self_id));
+                    for (id, rule) in &candidates {
+                        if rule.body.len() == 1 && rule.body[0] == rule.head {
+                            continue;
+                        }
+                        self.rename_counter += 1;
+                        let renamed = rule.rename_apart(self.rename_counter);
+                        let mut s2 = s.clone();
+                        if !unify_literals(&renamed.head, &extended, &mut s2) {
+                            continue;
+                        }
+                        any_local_clause = true;
+                        if let Flow::Stop = self.alternative(
+                            &goal,
+                            ProofStep::Rule(*id),
+                            &renamed.body,
+                            depth,
+                            rest,
+                            &s2,
+                            anc,
+                            acc,
+                            out,
+                            query_vars,
+                        ) {
+                            return Flow::Stop;
+                        }
+                    }
+                }
+
+                // Remote resolution.
+                let remote_peer = goal.eval_peer().filter(|p| *p != self.self_id);
+                let go_remote = match self.config.remote_fallback {
+                    RemoteFallback::Never => false,
+                    RemoteFallback::OnlyIfNoLocalClause => !any_local_clause,
+                    RemoteFallback::Always => true,
+                };
+                if let (Some(peer), true, Some(_)) = (remote_peer, go_remote, self.hook.as_ref()) {
+                    let inner = goal.strip_outer_authority();
+                    self.stats.remote_calls += 1;
+                    let answers = self
+                        .hook
+                        .as_mut()
+                        .expect("hook present")
+                        .resolve_remote(peer, &inner);
+                    for answer in answers {
+                        let mut s2 = s.clone();
+                        if !unify_literals(&inner, &answer, &mut s2) {
+                            continue;
+                        }
+                        // The proof node records the *inner* goal — what the
+                        // remote peer actually answered — so the negotiation
+                        // layer can match it against disclosed answers.
+                        if let Flow::Stop = self.alternative(
+                            &inner,
+                            ProofStep::Remote(peer),
+                            &[],
+                            depth,
+                            rest,
+                            &s2,
+                            anc,
+                            acc,
+                            out,
+                            query_vars,
+                        ) {
+                            return Flow::Stop;
+                        }
+                    }
+                }
+
+                Flow::Continue
+            }
+        }
+    }
+
+    /// Explore one alternative for `goal`: prove `body` (at `depth + 1`),
+    /// fold the results into a proof node, then continue with `rest`.
+    #[allow(clippy::too_many_arguments)]
+    fn alternative(
+        &mut self,
+        goal: &Literal,
+        step: ProofStep,
+        body: &[Literal],
+        depth: usize,
+        rest: &[GoalItem],
+        s: &Subst,
+        anc: &mut Vec<Literal>,
+        acc: &mut Vec<Proof>,
+        out: &mut Vec<Solution>,
+        query_vars: &[Var],
+    ) -> Flow {
+        let mut agenda: Vec<GoalItem> = Vec::with_capacity(body.len() + 1 + rest.len());
+        for b in body {
+            agenda.push(GoalItem::Lit(b.clone(), depth + 1));
+        }
+        agenda.push(GoalItem::Fold {
+            goal: goal.clone(),
+            step,
+            arity: body.len(),
+        });
+        agenda.extend(rest.iter().map(|g| match g {
+            GoalItem::Lit(l, d) => GoalItem::Lit(l.clone(), *d),
+            GoalItem::Fold { goal, step, arity } => GoalItem::Fold {
+                goal: goal.clone(),
+                step: step.clone(),
+                arity: *arity,
+            },
+        }));
+        anc.push(goal.clone());
+        let flow = self.prove(&agenda, s, anc, acc, out, query_vars);
+        anc.pop();
+        flow
+    }
+}
+
+/// Are two literals equal up to a consistent renaming of variables?
+pub fn is_variant(a: &Literal, b: &Literal) -> bool {
+    canonical(a) == canonical(b)
+}
+
+/// A canonical form: variables renamed in first-occurrence order. Two
+/// literals are variants iff their canonical forms are equal — used by the
+/// negotiation layer to key in-flight queries for cycle detection.
+pub fn canonicalize(l: &Literal) -> Literal {
+    canonical(l)
+}
+
+/// Rename variables to `_C0, _C1, ...` in first-occurrence order.
+fn canonical(l: &Literal) -> Literal {
+    let mut map: Vec<(Var, u32)> = Vec::new();
+    l.map_vars(&mut |v| {
+        let idx = match map.iter().find(|(w, _)| *w == v) {
+            Some((_, i)) => *i,
+            None => {
+                let i = u32::try_from(map.len()).expect("too many vars");
+                map.push((v, i));
+                i
+            }
+        };
+        Term::Var(Var::versioned("_C", idx + 1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peertrust_core::Term;
+    use peertrust_parser::{parse_goals, parse_program};
+
+    fn kb(src: &str) -> KnowledgeBase {
+        parse_program(src).unwrap().into_iter().collect()
+    }
+
+    fn solve_all(kb_src: &str, query: &str) -> Vec<Solution> {
+        let kb = kb(kb_src);
+        let mut solver = Solver::new(&kb, PeerId::new("self"));
+        solver.solve(&parse_goals(query).unwrap())
+    }
+
+    #[test]
+    fn facts_answer_queries() {
+        let sols = solve_all("freeCourse(cs101). freeCourse(cs102).", "freeCourse(C)");
+        assert_eq!(sols.len(), 2);
+        let answers: Vec<String> = sols
+            .iter()
+            .map(|s| s.subst.apply(&Term::var("C")).to_string())
+            .collect();
+        assert_eq!(answers, ["cs101", "cs102"]);
+    }
+
+    #[test]
+    fn conjunction_with_builtin() {
+        let sols = solve_all(
+            "price(cs411, 1000). price(cs500, 3000).",
+            "price(C, P), P < 2000",
+        );
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].subst.apply(&Term::var("C")), Term::atom("cs411"));
+    }
+
+    #[test]
+    fn rule_chaining() {
+        let sols = solve_all(
+            r#"
+            eligible(X) <- preferred(X).
+            preferred(X) <- student(X).
+            student("Alice").
+            "#,
+            r#"eligible("Alice")"#,
+        );
+        assert_eq!(sols.len(), 1);
+        // Proof: eligible <- preferred <- student (fact).
+        let proof = &sols[0].proofs[0];
+        assert_eq!(proof.goal.to_string(), "eligible(\"Alice\")");
+        assert_eq!(proof.size(), 3);
+        assert_eq!(proof.used_rules().len(), 3);
+    }
+
+    #[test]
+    fn authority_chains_must_match() {
+        let sols = solve_all(
+            r#"student("Alice") @ "UIUC" signedBy ["UIUC"]."#,
+            r#"student(X) @ "UIUC""#,
+        );
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].subst.apply(&Term::var("X")), Term::str("Alice"));
+
+        // A goal without the chain does not match the credential.
+        let none = solve_all(
+            r#"student("Alice") @ "UIUC" signedBy ["UIUC"]."#,
+            "student(X)",
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn self_authority_is_stripped() {
+        let kb = kb(r#"student("Alice") @ "UIUC" signedBy ["UIUC"]."#);
+        let mut solver = Solver::new(&kb, PeerId::new("Alice"));
+        // Goal as another peer would phrase it: ask Alice herself.
+        let goals = parse_goals(r#"student(X) @ "UIUC" @ "Alice""#).unwrap();
+        let sols = solver.solve(&goals);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].proofs[0].step, ProofStep::SelfAuthority);
+    }
+
+    #[test]
+    fn variables_in_answers_are_projected() {
+        let sols = solve_all("p(X) <- q(X, Y). q(1, 2). q(3, 4).", "p(A)");
+        assert_eq!(sols.len(), 2);
+        // Only A appears in the projected answer.
+        for sol in &sols {
+            assert_eq!(sol.subst.len(), 1);
+        }
+    }
+
+    #[test]
+    fn recursive_rules_terminate_via_loop_check() {
+        // p <- p would loop forever without the ancestor check.
+        let sols = solve_all("p <- p.", "p");
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn transitive_closure_works_despite_loop_check() {
+        let sols = solve_all(
+            r#"
+            reach(X, Y) <- edge(X, Y).
+            reach(X, Z) <- edge(X, Y), reach(Y, Z).
+            edge(1, 2). edge(2, 3). edge(3, 4).
+            "#,
+            "reach(1, W)",
+        );
+        let answers: Vec<String> = sols
+            .iter()
+            .map(|s| s.subst.apply(&Term::var("W")).to_string())
+            .collect();
+        assert_eq!(answers, ["2", "3", "4"]);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let sols = solve_all(
+            r#"
+            reach(X, Y) <- edge(X, Y).
+            reach(X, Z) <- edge(X, Y), reach(Y, Z).
+            edge(1, 2). edge(2, 1).
+            "#,
+            "reach(1, W)",
+        );
+        // Terminates; finds 2 and 1 (possibly with duplicates pruned by
+        // variant check). At least one answer must be found.
+        assert!(!sols.is_empty());
+    }
+
+    #[test]
+    fn max_solutions_limits_output() {
+        let kb = kb("n(1). n(2). n(3). n(4). n(5).");
+        let mut solver = Solver::new(&kb, PeerId::new("self")).with_config(EngineConfig {
+            max_solutions: 2,
+            ..EngineConfig::default()
+        });
+        let sols = solver.solve(&parse_goals("n(X)").unwrap());
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn depth_bound_prunes() {
+        let kb = kb("deep(X) <- deep(f(X)).");
+        let mut solver = Solver::new(&kb, PeerId::new("self")).with_config(EngineConfig {
+            max_depth: 10,
+            ancestor_loop_check: false, // each call has a fresh term, no variant
+            ..EngineConfig::default()
+        });
+        let sols = solver.solve(&parse_goals("deep(0)").unwrap());
+        assert!(sols.is_empty());
+        assert!(solver.stats().depth_cutoffs > 0);
+    }
+
+    #[test]
+    fn step_budget_is_a_hard_stop() {
+        // Breadth explosion: 9^3 = 729 combinations all failing the final
+        // goal — the 500-step budget must cut the search off.
+        let mut src = String::from("q <- n(X), n(Y), n(Z), never(X, Y, Z).\n");
+        for i in 1..=9 {
+            src.push_str(&format!("n({i}).\n"));
+        }
+        let kb = kb(&src);
+        let mut solver = Solver::new(&kb, PeerId::new("self")).with_config(EngineConfig {
+            max_steps: 500,
+            ..EngineConfig::default()
+        });
+        let sols = solver.solve(&parse_goals("q").unwrap());
+        assert!(sols.is_empty());
+        assert!(solver.stats().step_budget_exhausted);
+        assert!(solver.stats().steps <= 501);
+    }
+
+    #[test]
+    fn remote_hook_resolves_delegated_goals() {
+        struct FakeAlice;
+        impl RemoteHook for FakeAlice {
+            fn resolve_remote(&mut self, peer: PeerId, goal: &Literal) -> Vec<Literal> {
+                assert_eq!(peer, PeerId::new("Alice"));
+                assert_eq!(goal.to_string(), "student(\"Alice\") @ \"UIUC\"");
+                vec![Literal::new("student", vec![Term::str("Alice")]).at(Term::str("UIUC"))]
+            }
+        }
+        let kb = kb(
+            r#"
+            eligible(X) <- student(X) @ "UIUC" @ X.
+            "#,
+        );
+        let mut hook = FakeAlice;
+        let mut solver = Solver::new(&kb, PeerId::new("E-Learn")).with_hook(&mut hook);
+        let sols = solver.solve(&parse_goals(r#"eligible("Alice")"#).unwrap());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(solver.stats().remote_calls, 1);
+        let deps = sols[0].proofs[0].remote_dependencies();
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].0, PeerId::new("Alice"));
+    }
+
+    #[test]
+    fn remote_skipped_when_local_clause_exists() {
+        struct Panics;
+        impl RemoteHook for Panics {
+            fn resolve_remote(&mut self, _p: PeerId, _g: &Literal) -> Vec<Literal> {
+                panic!("must not be called: a local cached rule covers the goal");
+            }
+        }
+        // E-Learn cached ELENA's signed rule, so no query to ELENA needed.
+        let kb = kb(
+            r#"
+            preferred(X) @ "ELENA" <- signedBy ["ELENA"] student(X) @ "UIUC".
+            student("Alice") @ "UIUC" signedBy ["UIUC"].
+            "#,
+        );
+        let mut hook = Panics;
+        let mut solver = Solver::new(&kb, PeerId::new("E-Learn")).with_hook(&mut hook);
+        let sols = solver.solve(&parse_goals(r#"preferred("Alice") @ "ELENA""#).unwrap());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(solver.stats().remote_calls, 0);
+    }
+
+    #[test]
+    fn remote_always_policy_consults_hook_even_with_local_clause() {
+        struct Counting(u64);
+        impl RemoteHook for Counting {
+            fn resolve_remote(&mut self, _p: PeerId, _g: &Literal) -> Vec<Literal> {
+                self.0 += 1;
+                Vec::new()
+            }
+        }
+        let kb = kb(r#"member("IBM") @ "ELENA" signedBy ["ELENA"]."#);
+        let mut hook = Counting(0);
+        let mut solver = Solver::new(&kb, PeerId::new("E-Learn"))
+            .with_config(EngineConfig {
+                remote_fallback: RemoteFallback::Always,
+                ..EngineConfig::default()
+            })
+            .with_hook(&mut hook);
+        let sols = solver.solve(&parse_goals(r#"member("IBM") @ "ELENA""#).unwrap());
+        assert_eq!(sols.len(), 1); // local cache answered
+        assert_eq!(solver.stats().remote_calls, 1); // but remote was consulted too
+    }
+
+    #[test]
+    fn unbound_authority_stays_local() {
+        // purchaseApproved(...) @ Authority with Authority unbound: engine
+        // must not call the hook (no peer to route to).
+        struct Panics;
+        impl RemoteHook for Panics {
+            fn resolve_remote(&mut self, _p: PeerId, _g: &Literal) -> Vec<Literal> {
+                panic!("no ground peer, hook must not fire");
+            }
+        }
+        let kb = kb("q(X) <- p(1) @ X.");
+        let mut hook = Panics;
+        let mut solver = Solver::new(&kb, PeerId::new("self")).with_hook(&mut hook);
+        let sols = solver.solve(&parse_goals("q(Y)").unwrap());
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn authority_bound_by_earlier_goal_routes_remotely() {
+        // The §4.2 authority-database pattern.
+        struct VisaHook;
+        impl RemoteHook for VisaHook {
+            fn resolve_remote(&mut self, peer: PeerId, goal: &Literal) -> Vec<Literal> {
+                assert_eq!(peer, PeerId::new("VISA"));
+                let mut ans = goal.clone();
+                ans.args = vec![Term::str("IBM"), Term::int(1000)];
+                vec![ans]
+            }
+        }
+        let kb = kb(
+            r#"
+            authority(purchaseApproved, "VISA").
+            ok(C, P) <- authority(purchaseApproved, A), purchaseApproved(C, P) @ A.
+            "#,
+        );
+        let mut hook = VisaHook;
+        let mut solver = Solver::new(&kb, PeerId::new("E-Learn")).with_hook(&mut hook);
+        let sols = solver.solve(&parse_goals(r#"ok("IBM", 1000)"#).unwrap());
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn proof_records_rule_ids() {
+        let program = parse_program("a <- b. b.").unwrap();
+        let kb: KnowledgeBase = program.into_iter().collect();
+        let mut solver = Solver::new(&kb, PeerId::new("self"));
+        let sols = solver.solve(&parse_goals("a").unwrap());
+        let used = sols[0].proofs[0].used_rules();
+        assert_eq!(used, vec![RuleId(0), RuleId(1)]);
+    }
+
+    #[test]
+    fn variant_check_detects_renamings() {
+        let a = Literal::new("p", vec![Term::var("X"), Term::var("Y"), Term::var("X")]);
+        let b = Literal::new("p", vec![Term::var("A"), Term::var("B"), Term::var("A")]);
+        let c = Literal::new("p", vec![Term::var("A"), Term::var("B"), Term::var("B")]);
+        assert!(is_variant(&a, &b));
+        assert!(!is_variant(&a, &c));
+        let g = Literal::new("p", vec![Term::int(1), Term::var("Y"), Term::int(1)]);
+        assert!(!is_variant(&a, &g));
+    }
+
+    #[test]
+    fn zero_arity_goals() {
+        let sols = solve_all("ready <- initialized. initialized.", "ready");
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn rule_with_head_context_still_derives_locally() {
+        // Contexts guard disclosure, not local derivation.
+        let sols = solve_all(
+            r#"secret(X) $ Requester = "nobody" <- base(X). base(1)."#,
+            "secret(X)",
+        );
+        assert_eq!(sols.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod naf_tests {
+    use super::*;
+    use peertrust_core::Term;
+    use peertrust_parser::{parse_goals, parse_program};
+
+    fn solve_all(kb_src: &str, query: &str) -> Vec<Solution> {
+        let kb: KnowledgeBase = parse_program(kb_src).unwrap().into_iter().collect();
+        let mut solver = Solver::new(&kb, PeerId::new("self"));
+        solver.solve(&parse_goals(query).unwrap())
+    }
+
+    #[test]
+    fn naf_succeeds_on_absent_facts() {
+        let sols = solve_all(
+            "eligible(X) <- person(X), not(banned(X)). person(alice). person(bob). banned(bob).",
+            "eligible(W)",
+        );
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].subst.apply(&Term::var("W")), Term::atom("alice"));
+        // The proof records the negation step.
+        let has_negation = sols[0].proofs[0]
+            .children
+            .iter()
+            .any(|c| c.step == ProofStep::Negation);
+        assert!(has_negation);
+    }
+
+    #[test]
+    fn naf_fails_on_derivable_goals() {
+        // banned is derivable through a rule, not just a fact.
+        let sols = solve_all(
+            "ok <- not(banned(bob)). banned(X) <- flagged(X). flagged(bob).",
+            "ok",
+        );
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn nonground_negation_flounders() {
+        let sols = solve_all("p <- not(q(X)). q(1).", "p");
+        assert!(sols.is_empty(), "non-ground negation must flounder, not succeed");
+    }
+
+    #[test]
+    fn zero_arity_negated_goal() {
+        let sols = solve_all("p <- not(closed). open_flag.", "p");
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn double_negation() {
+        let sols = solve_all("p <- not(q). q <- not(r).", "p");
+        // q succeeds (r unprovable), so not(q) fails, so p fails.
+        assert!(sols.is_empty());
+        let sols2 = solve_all("p <- not(q). q <- not(r). r.", "p");
+        // r holds => q fails => not(q) holds => p holds.
+        assert_eq!(sols2.len(), 1);
+    }
+
+    #[test]
+    fn forward_chaining_skips_naf_rules() {
+        let kb: KnowledgeBase = parse_program("p <- not(q). base(1).")
+            .unwrap()
+            .into_iter()
+            .collect();
+        let sat = crate::forward::saturate(
+            &kb,
+            PeerId::new("self"),
+            crate::forward::ForwardConfig::default(),
+        );
+        // The NAF rule is skipped: p is not forward-derived even though
+        // SLD proves it. Documented stratification limitation.
+        assert!(!sat.contains(&Literal::new("p", vec![])));
+    }
+}

@@ -1,0 +1,593 @@
+//! Static policy analysis.
+//!
+//! Paper §6 asks for *formal guarantees that trust negotiations will
+//! always terminate and will succeed when possible*. The run-time guards
+//! (cycle detection, budgets) enforce termination dynamically; this module
+//! provides the *static* counterpart: given a set of peers' policies, it
+//! builds the **release-dependency graph** and reports, before any
+//! negotiation runs:
+//!
+//! * **deadlock cycles** — credentials whose release policies depend on
+//!   each other circularly, so no safe disclosure sequence can unlock
+//!   them (the negotiations of E11 fail at run time; the lint finds the
+//!   same rings statically);
+//! * **unreleasable credentials** — signed rules with no licensing rule at
+//!   all (default-private forever: only useful locally);
+//! * **unsafe rules** — head variables not bound by the body (their
+//!   derivations can never produce ground answers);
+//! * **unknown authorities** — `@ A` arguments naming peers that do not
+//!   exist in the peer set (queries to them can never be answered);
+//! * **unknown issuers** — `signedBy` issuers missing from the key
+//!   registry (their credentials can never be verified).
+//!
+//! The lint is necessarily approximate (release contexts are arbitrary
+//! queries), but it is *sound for the credential-dependency fragment* the
+//! generators produce: every deadlock ring reported is a real one, and
+//! the property tests cross-check the cycle report against the unlock
+//! fixpoint's ground truth.
+
+use crate::peer::NegotiationPeer;
+use crate::session::PeerMap;
+use peertrust_core::{Literal, PeerId, Rule, Sym};
+use std::collections::{HashMap, HashSet};
+
+/// One finding from the static analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Finding {
+    /// A cycle in the release-dependency graph: each entry is
+    /// (owner, credential predicate) and depends on the next (cyclically).
+    DeadlockCycle(Vec<(PeerId, Sym)>),
+    /// A credential (signed ground fact) with no licensing rule whose
+    /// head covers it — it can never be disclosed.
+    Unreleasable { owner: PeerId, rule: Rule },
+    /// A rule whose head variables are not all bound by its body.
+    UnsafeRule { owner: PeerId, rule: Rule },
+    /// An authority argument naming a peer that does not exist.
+    UnknownAuthority { owner: PeerId, authority: PeerId, rule: Rule },
+    /// A `signedBy` issuer not present in the key registry.
+    UnknownIssuer { owner: PeerId, issuer: PeerId, rule: Rule },
+}
+
+impl Finding {
+    /// Severity: deadlocks and unknown issuers break negotiations; the
+    /// rest degrade them.
+    pub fn severity(&self) -> &'static str {
+        match self {
+            Finding::DeadlockCycle(_) | Finding::UnknownIssuer { .. } => "error",
+            Finding::Unreleasable { .. }
+            | Finding::UnsafeRule { .. }
+            | Finding::UnknownAuthority { .. } => "warning",
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Finding::DeadlockCycle(ring) => {
+                write!(f, "deadlock cycle: ")?;
+                for (i, (peer, pred)) in ring.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{peer}:{pred}")?;
+                }
+                write!(f, " -> {}:{}", ring[0].0, ring[0].1)
+            }
+            Finding::Unreleasable { owner, rule } => {
+                write!(f, "{owner}: credential can never be released: {rule}")
+            }
+            Finding::UnsafeRule { owner, rule } => {
+                write!(f, "{owner}: unsafe rule (unbound head variables): {rule}")
+            }
+            Finding::UnknownAuthority { owner, authority, rule } => {
+                write!(f, "{owner}: unknown authority {authority} in: {rule}")
+            }
+            Finding::UnknownIssuer { owner, issuer, rule } => {
+                write!(f, "{owner}: unknown issuer {issuer} in: {rule}")
+            }
+        }
+    }
+}
+
+/// The complete report.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisReport {
+    pub findings: Vec<Finding>,
+}
+
+impl AnalysisReport {
+    pub fn errors(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.severity() == "error").collect()
+    }
+
+    pub fn warnings(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity() == "warning")
+            .collect()
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Analyze every peer's policies.
+///
+/// `known_issuers` is the set of issuers registered with the simulated CA
+/// (pass the names used with `KeyRegistry::register_derived`); peer names
+/// themselves always count as known.
+pub fn analyze(peers: &PeerMap, known_issuers: &[PeerId]) -> AnalysisReport {
+    let mut findings = Vec::new();
+    let peer_ids: HashSet<PeerId> = peers.ids().into_iter().collect();
+    let issuer_set: HashSet<PeerId> = known_issuers
+        .iter()
+        .copied()
+        .chain(peer_ids.iter().copied())
+        .collect();
+
+    for id in peers.ids() {
+        let peer = peers.get(id).expect("listed peer exists");
+        findings.extend(per_peer_findings(peer, &peer_ids, &issuer_set));
+    }
+    findings.extend(deadlock_cycles(peers));
+
+    AnalysisReport { findings }
+}
+
+fn per_peer_findings(
+    peer: &NegotiationPeer,
+    peer_ids: &HashSet<PeerId>,
+    issuers: &HashSet<PeerId>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for stored in peer.kb.iter() {
+        let rule = stored.rule.as_ref();
+
+        // Unsafe rules: head variables must occur in the body (facts with
+        // variables are inherently unsafe unless ground).
+        if !rule.head.is_ground() {
+            let mut head_vars = Vec::new();
+            rule.head.collect_vars(&mut head_vars);
+            let mut body_vars = Vec::new();
+            for b in &rule.body {
+                b.collect_vars(&mut body_vars);
+            }
+            // Release-pattern rules (`p $ ctx <- p`) bind head vars via the
+            // identical body literal; generic check covers them.
+            if head_vars.iter().any(|v| !body_vars.contains(v)) {
+                out.push(Finding::UnsafeRule {
+                    owner: peer.id,
+                    rule: rule.clone(),
+                });
+            }
+        }
+
+        // Unknown authorities (ground ones only; variables bind at run
+        // time).
+        for lit in std::iter::once(&rule.head).chain(rule.body.iter()) {
+            for auth in &lit.authority {
+                if let Some(p) = auth.as_peer() {
+                    if !peer_ids.contains(&p) && !issuers.contains(&p) {
+                        out.push(Finding::UnknownAuthority {
+                            owner: peer.id,
+                            authority: p,
+                            rule: rule.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Unknown issuers.
+        for issuer in rule.issuers() {
+            if !issuers.contains(&issuer) {
+                out.push(Finding::UnknownIssuer {
+                    owner: peer.id,
+                    issuer,
+                    rule: rule.clone(),
+                });
+            }
+        }
+
+        // Unreleasable credentials: no rule in this KB licenses the head
+        // (a non-default head context on any rule with a compatible head).
+        // Only ground signed facts are checked — signed rules with bodies
+        // (delegations, cached policy rules) ride along with the answers
+        // they support under certified-proof licensing, so they need no
+        // license of their own.
+        if rule.is_credential() && peer.signed_rule(stored.id).is_some() {
+            let licensed = peer.kb.iter().any(|other| {
+                let o = other.rule.as_ref();
+                if o.effective_head_context().is_default_private() {
+                    return false;
+                }
+                // Head shapes must be compatible (same predicate, arity;
+                // authority chains may differ by the self-closure).
+                o.head.pred == rule.head.pred && o.head.args.len() == rule.head.args.len()
+            });
+            if !licensed {
+                out.push(Finding::Unreleasable {
+                    owner: peer.id,
+                    rule: rule.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Build the credential release-dependency graph and report its cycles.
+///
+/// Node: (owner, credential predicate). Edge A -> B when A's release
+/// context mentions predicate B (held by any peer). Cycles whose every
+/// node lacks an alternative unconditional license are deadlocks; we
+/// report elementary cycles found by DFS (each cycle once, rotated to its
+/// smallest node).
+fn deadlock_cycles(peers: &PeerMap) -> Vec<Finding> {
+    type Node = (PeerId, Sym);
+    let mut deps: HashMap<Node, HashSet<Node>> = HashMap::new();
+    let mut unconditional: HashSet<Node> = HashSet::new();
+    let mut owner_of: HashMap<Sym, Vec<PeerId>> = HashMap::new();
+
+    // Which peer holds which signed credential predicates?
+    for id in peers.ids() {
+        let peer = peers.get(id).expect("peer exists");
+        for (_, sr) in peer.disclosable_signed_rules() {
+            owner_of.entry(sr.rule.head.pred).or_default().push(id);
+        }
+    }
+
+    for id in peers.ids() {
+        let peer = peers.get(id).expect("peer exists");
+        for (_, sr) in peer.disclosable_signed_rules() {
+            let node: Node = (id, sr.rule.head.pred);
+            // Find licensing rules for this credential.
+            let mut any_license = false;
+            for stored in peer.kb.iter() {
+                let rule = stored.rule.as_ref();
+                if rule.head.pred != sr.rule.head.pred {
+                    continue;
+                }
+                let ctx = rule.effective_head_context();
+                if ctx.is_default_private() {
+                    continue;
+                }
+                any_license = true;
+                if ctx.is_public() {
+                    unconditional.insert(node);
+                    continue;
+                }
+                for goal in &ctx.goals {
+                    if goal.is_builtin() {
+                        continue;
+                    }
+                    for owner in owner_of.get(&goal.pred).into_iter().flatten() {
+                        deps.entry(node).or_default().insert((*owner, goal.pred));
+                    }
+                }
+            }
+            if !any_license {
+                // Covered by the Unreleasable finding; not part of the
+                // unlock graph.
+                deps.entry(node).or_default();
+            }
+        }
+    }
+
+    // Fixpoint unlock: nodes with an unconditional license, then nodes all
+    // of whose deps are unlocked. Whatever remains locked and lies on a
+    // cycle is a deadlock.
+    let mut unlocked: HashSet<Node> = unconditional.clone();
+    loop {
+        let mut changed = false;
+        for (node, d) in &deps {
+            if !unlocked.contains(node) && d.iter().all(|n| unlocked.contains(n)) {
+                unlocked.insert(*node);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Among still-locked nodes, find elementary cycles via DFS.
+    let locked: Vec<Node> = {
+        let mut v: Vec<Node> = deps
+            .keys()
+            .filter(|n| !unlocked.contains(*n))
+            .copied()
+            .collect();
+        v.sort();
+        v
+    };
+    let mut cycles: Vec<Vec<Node>> = Vec::new();
+    let mut seen_cycles: HashSet<Vec<Node>> = HashSet::new();
+    for start in &locked {
+        let mut stack = vec![*start];
+        let mut on_stack: HashSet<Node> = [*start].into_iter().collect();
+        dfs_cycles(
+            *start,
+            &deps,
+            &unlocked,
+            &mut stack,
+            &mut on_stack,
+            &mut cycles,
+            &mut seen_cycles,
+        );
+    }
+
+    cycles.into_iter().map(Finding::DeadlockCycle).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_cycles(
+    node: (PeerId, Sym),
+    deps: &HashMap<(PeerId, Sym), HashSet<(PeerId, Sym)>>,
+    unlocked: &HashSet<(PeerId, Sym)>,
+    stack: &mut Vec<(PeerId, Sym)>,
+    on_stack: &mut HashSet<(PeerId, Sym)>,
+    cycles: &mut Vec<Vec<(PeerId, Sym)>>,
+    seen: &mut HashSet<Vec<(PeerId, Sym)>>,
+) {
+    if cycles.len() >= 64 {
+        return; // report cap
+    }
+    let Some(nexts) = deps.get(&node) else { return };
+    let mut nexts: Vec<_> = nexts.iter().copied().collect();
+    nexts.sort();
+    for next in nexts {
+        if unlocked.contains(&next) {
+            continue;
+        }
+        if let Some(pos) = stack.iter().position(|n| *n == next) {
+            // Found a cycle: canonicalize by rotating to the minimum node.
+            let mut ring: Vec<_> = stack[pos..].to_vec();
+            let min_idx = ring
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| **n)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            ring.rotate_left(min_idx);
+            if seen.insert(ring.clone()) {
+                cycles.push(ring);
+            }
+            continue;
+        }
+        stack.push(next);
+        on_stack.insert(next);
+        dfs_cycles(next, deps, unlocked, stack, on_stack, cycles, seen);
+        stack.pop();
+        on_stack.remove(&next);
+    }
+}
+
+/// Convenience: lint a peer map and render the report as text lines.
+pub fn lint_report(peers: &PeerMap, known_issuers: &[PeerId]) -> Vec<String> {
+    analyze(peers, known_issuers)
+        .findings
+        .iter()
+        .map(|f| format!("{}: {}", f.severity(), f))
+        .collect()
+}
+
+/// A literal helper for tests: does any finding mention this predicate?
+pub fn mentions(report: &AnalysisReport, pred: &str) -> bool {
+    let sym = Sym::new(pred);
+    report.findings.iter().any(|f| match f {
+        Finding::DeadlockCycle(ring) => ring.iter().any(|(_, p)| *p == sym),
+        Finding::Unreleasable { rule, .. }
+        | Finding::UnsafeRule { rule, .. }
+        | Finding::UnknownAuthority { rule, .. }
+        | Finding::UnknownIssuer { rule, .. } => rule.head.pred == sym,
+    })
+}
+
+/// Quiet the unused-import warning: Literal is used in doc positions.
+#[allow(unused)]
+fn _lit(_: &Literal) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peertrust_crypto::KeyRegistry;
+
+    fn registry() -> KeyRegistry {
+        let r = KeyRegistry::new();
+        r.register_derived(PeerId::new("CA"), 1);
+        r
+    }
+
+    fn known() -> Vec<PeerId> {
+        vec![PeerId::new("CA")]
+    }
+
+    #[test]
+    fn clean_policies_produce_no_findings() {
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut a = NegotiationPeer::new("A", reg.clone());
+        a.load_program(
+            r#"
+            cred("A") @ "CA" signedBy ["CA"].
+            cred(X) @ Y $ true <-_true cred(X) @ Y.
+            resource(X) $ true <- cred(X) @ "CA" @ X.
+            "#,
+        )
+        .unwrap();
+        peers.insert(a);
+        let report = analyze(&peers, &known());
+        assert!(report.is_clean(), "{:#?}", report.findings);
+    }
+
+    #[test]
+    fn detects_deadlock_ring() {
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut a = NegotiationPeer::new("A", reg.clone());
+        a.load_program(
+            r#"
+            credA("A") @ "CA" signedBy ["CA"].
+            credA(X) @ Y $ credB(Requester) @ "CA" @ Requester <-_true credA(X) @ Y.
+            "#,
+        )
+        .unwrap();
+        peers.insert(a);
+        let mut b = NegotiationPeer::new("B", reg);
+        b.load_program(
+            r#"
+            credB("B") @ "CA" signedBy ["CA"].
+            credB(X) @ Y $ credA(Requester) @ "CA" @ Requester <-_true credB(X) @ Y.
+            "#,
+        )
+        .unwrap();
+        peers.insert(b);
+
+        let report = analyze(&peers, &known());
+        let cycles: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| matches!(f, Finding::DeadlockCycle(_)))
+            .collect();
+        assert_eq!(cycles.len(), 1, "{:#?}", report.findings);
+        assert!(mentions(&report, "credA") && mentions(&report, "credB"));
+        assert_eq!(cycles[0].severity(), "error");
+    }
+
+    #[test]
+    fn unlockable_chain_is_not_a_deadlock() {
+        // credA needs credB; credB is public: no cycle, everything unlocks.
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut a = NegotiationPeer::new("A", reg.clone());
+        a.load_program(
+            r#"
+            credA("A") @ "CA" signedBy ["CA"].
+            credA(X) @ Y $ credB(Requester) @ "CA" @ Requester <-_true credA(X) @ Y.
+            "#,
+        )
+        .unwrap();
+        peers.insert(a);
+        let mut b = NegotiationPeer::new("B", reg);
+        b.load_program(
+            r#"
+            credB("B") @ "CA" signedBy ["CA"].
+            credB(X) @ Y $ true <-_true credB(X) @ Y.
+            "#,
+        )
+        .unwrap();
+        peers.insert(b);
+
+        let report = analyze(&peers, &known());
+        assert!(
+            !report.findings.iter().any(|f| matches!(f, Finding::DeadlockCycle(_))),
+            "{:#?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn detects_unreleasable_credential() {
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut a = NegotiationPeer::new("A", reg);
+        a.load_program(r#"secret("A") @ "CA" signedBy ["CA"]."#).unwrap();
+        peers.insert(a);
+        let report = analyze(&peers, &known());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::Unreleasable { .. })));
+        assert_eq!(report.warnings().len(), report.findings.len());
+    }
+
+    #[test]
+    fn detects_unsafe_rule() {
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut a = NegotiationPeer::new("A", reg);
+        a.load_program("broken(X, Y) <- base(X). base(1).").unwrap();
+        peers.insert(a);
+        let report = analyze(&peers, &known());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::UnsafeRule { .. })),
+            "{:#?}", report.findings);
+    }
+
+    #[test]
+    fn detects_unknown_authority_and_issuer() {
+        let reg = registry();
+        reg.register_derived(PeerId::new("GhostCA"), 9); // registered so minting works
+        let mut peers = PeerMap::new();
+        let mut a = NegotiationPeer::new("A", reg);
+        a.load_program(
+            r#"
+            p(X) <- q(X) @ "NoSuchPeer".
+            cred("A") @ "GhostCA" signedBy ["GhostCA"].
+            cred(X) @ Y $ true <-_true cred(X) @ Y.
+            "#,
+        )
+        .unwrap();
+        peers.insert(a);
+        // GhostCA deliberately NOT in the known-issuer list.
+        let report = analyze(&peers, &known());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::UnknownAuthority { authority, .. }
+                              if *authority == PeerId::new("NoSuchPeer"))));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::UnknownIssuer { issuer, .. }
+                              if *issuer == PeerId::new("GhostCA"))));
+    }
+
+    #[test]
+    fn lint_report_renders_severities() {
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut a = NegotiationPeer::new("A", reg);
+        a.load_program(r#"secret("A") @ "CA" signedBy ["CA"]."#).unwrap();
+        peers.insert(a);
+        let lines = lint_report(&peers, &known());
+        assert!(lines.iter().any(|l| l.starts_with("warning:")), "{lines:?}");
+    }
+
+    #[test]
+    fn longer_deadlock_rings_are_found() {
+        // Ring of 4 across two peers.
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut a = NegotiationPeer::new("A", reg.clone());
+        let mut b = NegotiationPeer::new("B", reg);
+        for i in 0..4 {
+            let next = (i + 1) % 4;
+            let (peer, owner) = if i % 2 == 0 { (&mut a, "A") } else { (&mut b, "B") };
+            peer.load_program(&format!(
+                r#"
+                c{i}("{owner}") @ "CA" signedBy ["CA"].
+                c{i}(X) @ Y $ c{next}(Requester) @ "CA" @ Requester <-_true c{i}(X) @ Y.
+                "#
+            ))
+            .unwrap();
+        }
+        peers.insert(a);
+        peers.insert(b);
+        let report = analyze(&peers, &known());
+        let ring = report
+            .findings
+            .iter()
+            .find_map(|f| match f {
+                Finding::DeadlockCycle(r) => Some(r),
+                _ => None,
+            })
+            .expect("ring found");
+        assert_eq!(ring.len(), 4, "{ring:?}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Tamper-evident audit trail.
+//!
+//! Paper §3.1: the access mechanism "can also implement other
+//! security-related measures, such as creating an audit trail for the
+//! enrollment". [`AuditLog`] records every negotiation outcome as a
+//! hash-chained entry (each record's digest covers its serialized outcome
+//! plus the previous record's digest), so truncation or in-place edits are
+//! detectable with [`AuditLog::verify_chain`]. Records serialize to JSON
+//! for archival.
+
+use crate::outcome::NegotiationOutcome;
+use peertrust_core::PeerId;
+use peertrust_crypto::{sha256_digest, Digest, Tick};
+
+/// One audit record.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct AuditRecord {
+    /// Position in the log.
+    pub seq: u64,
+    /// Simulated time of recording.
+    pub at: Tick,
+    /// The full negotiation outcome (disclosure sequence included).
+    pub outcome: NegotiationOutcome,
+    /// Chain digest: `sha256(prev_digest || canonical json of (seq, at,
+    /// outcome))`.
+    pub digest: Digest,
+}
+
+/// The append-only log.
+#[derive(Default, Debug, serde::Serialize, serde::Deserialize)]
+pub struct AuditLog {
+    records: Vec<AuditRecord>,
+}
+
+/// Chain verification failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainViolation {
+    pub seq: u64,
+    pub description: String,
+}
+
+impl AuditLog {
+    pub fn new() -> AuditLog {
+        AuditLog::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn records(&self) -> &[AuditRecord] {
+        &self.records
+    }
+
+    fn chain_digest(prev: Option<&Digest>, seq: u64, at: Tick, outcome: &NegotiationOutcome) -> Digest {
+        let mut bytes = Vec::new();
+        if let Some(p) = prev {
+            bytes.extend_from_slice(p);
+        }
+        bytes.extend_from_slice(&seq.to_be_bytes());
+        bytes.extend_from_slice(&at.to_be_bytes());
+        bytes.extend_from_slice(
+            serde_json::to_string(outcome)
+                .expect("outcomes serialize")
+                .as_bytes(),
+        );
+        sha256_digest(&bytes)
+    }
+
+    /// Append an outcome, extending the hash chain.
+    pub fn record(&mut self, at: Tick, outcome: NegotiationOutcome) -> &AuditRecord {
+        let seq = self.records.len() as u64;
+        let prev = self.records.last().map(|r| &r.digest);
+        let digest = AuditLog::chain_digest(prev, seq, at, &outcome);
+        self.records.push(AuditRecord {
+            seq,
+            at,
+            outcome,
+            digest,
+        });
+        self.records.last().expect("just pushed")
+    }
+
+    /// Re-derive every digest; any mismatch (edit, reorder, splice) is
+    /// reported.
+    pub fn verify_chain(&self) -> Result<(), ChainViolation> {
+        let mut prev: Option<&Digest> = None;
+        for (i, r) in self.records.iter().enumerate() {
+            if r.seq != i as u64 {
+                return Err(ChainViolation {
+                    seq: i as u64,
+                    description: format!("sequence gap: record {i} claims seq {}", r.seq),
+                });
+            }
+            let expect = AuditLog::chain_digest(prev, r.seq, r.at, &r.outcome);
+            if expect != r.digest {
+                return Err(ChainViolation {
+                    seq: r.seq,
+                    description: "digest mismatch (record edited or chain spliced)".into(),
+                });
+            }
+            prev = Some(&r.digest);
+        }
+        Ok(())
+    }
+
+    /// Records involving `peer` as requester or responder.
+    pub fn involving(&self, peer: PeerId) -> Vec<&AuditRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.outcome.requester == peer || r.outcome.responder == peer)
+            .collect()
+    }
+
+    /// Success / failure counts.
+    pub fn stats(&self) -> (usize, usize) {
+        let ok = self.records.iter().filter(|r| r.outcome.success).count();
+        (ok, self.records.len() - ok)
+    }
+
+    /// Export as JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("log serializes")
+    }
+
+    /// Import from JSON (the chain should be verified afterwards).
+    pub fn from_json(s: &str) -> Result<AuditLog, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peertrust_core::Literal;
+
+    fn outcome(n: u64, success: bool) -> NegotiationOutcome {
+        NegotiationOutcome {
+            success,
+            requester: PeerId::new("Alice"),
+            responder: PeerId::new("E-Learn"),
+            goal: Literal::new("resource", vec![peertrust_core::Term::int(n as i64)]),
+            granted: vec![],
+            disclosures: vec![],
+            refusals: vec![],
+            messages: n,
+            bytes: 0,
+            queries: 0,
+            rounds: 0,
+            elapsed_ticks: 0,
+        }
+    }
+
+    fn sample_log() -> AuditLog {
+        let mut log = AuditLog::new();
+        for i in 0..5 {
+            log.record(i * 10, outcome(i, i % 2 == 0));
+        }
+        log
+    }
+
+    #[test]
+    fn chain_verifies_when_untouched() {
+        let log = sample_log();
+        assert_eq!(log.len(), 5);
+        log.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn edited_record_breaks_the_chain() {
+        let mut log = sample_log();
+        log.records[2].outcome.messages = 999;
+        let v = log.verify_chain().unwrap_err();
+        assert_eq!(v.seq, 2);
+    }
+
+    #[test]
+    fn spliced_tail_breaks_the_chain() {
+        let mut log = sample_log();
+        // Drop record 1 and renumber: the digests no longer chain.
+        log.records.remove(1);
+        for (i, r) in log.records.iter_mut().enumerate() {
+            r.seq = i as u64;
+        }
+        assert!(log.verify_chain().is_err());
+    }
+
+    #[test]
+    fn reordering_detected_via_seq() {
+        let mut log = sample_log();
+        log.records.swap(1, 3);
+        assert!(log.verify_chain().is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_chain() {
+        let log = sample_log();
+        let json = log.to_json();
+        let back = AuditLog::from_json(&json).unwrap();
+        back.verify_chain().unwrap();
+        assert_eq!(back.len(), 5);
+    }
+
+    #[test]
+    fn queries_and_stats() {
+        let log = sample_log();
+        assert_eq!(log.involving(PeerId::new("Alice")).len(), 5);
+        assert_eq!(log.involving(PeerId::new("Nobody")).len(), 0);
+        assert_eq!(log.stats(), (3, 2));
+    }
+}

@@ -1,0 +1,58 @@
+//! # peertrust-negotiation
+//!
+//! The PeerTrust automated trust negotiation runtime — the paper's §2/§4
+//! machinery that lets strangers establish trust by iterative, bilateral
+//! disclosure of credentials:
+//!
+//! * [`peer`] — a negotiation peer: knowledge base, crypto identity,
+//!   effort policy, credential store (with the §3.2 issuer- and
+//!   sender-extension axioms applied on mint/receive);
+//! * [`session`] — the backward-chaining (parsimonious) driver: delegated
+//!   goals become network queries, release policies are enforced by a
+//!   licensing scan whose context proofs run through the same distributed
+//!   machinery, answers ship with their certified proofs, recipients
+//!   verify third-party statements against signed material;
+//! * [`eager`] — the eager strategy: push every unlocked credential each
+//!   round; complete (succeeds iff a safe disclosure sequence exists);
+//! * [`strategy`] — dispatch over both strategies for the experiments;
+//! * [`outcome`] — disclosure sequences `(C1, ..., Ck, R)` with evidence,
+//!   and the [`verify_safe_sequence`] replay checker;
+//! * [`unipro`] — UniPro policy protection: named policies guarded by
+//!   policies, graduated disclosure;
+//! * [`failure`] — §6's autonomy question answered counterfactually:
+//!   critical refusals and rescue sets;
+//! * [`analysis`] — static policy lint: deadlock rings, unreleasable
+//!   credentials, unsafe rules, unknown authorities/issuers;
+//! * [`ticket`] — §3.1's nontransferable, expiring access tokens;
+//! * [`audit`] — §3.1's audit trail, hash-chained and tamper-evident;
+//! * [`threaded_host`] — the eager protocol over real threads and the
+//!   crossbeam router, one peer per thread.
+
+pub mod analysis;
+pub mod audit;
+pub mod eager;
+pub mod failure;
+pub mod outcome;
+pub mod peer;
+pub mod session;
+pub mod strategy;
+pub mod ticket;
+pub mod threaded_host;
+pub mod unipro;
+
+pub use outcome::{
+    verify_safe_sequence, DisclosedItem, Disclosure, Evidence, NegotiationOutcome, Refusal,
+    RefusalReason, SafetyViolation,
+};
+pub use analysis::{analyze, lint_report, AnalysisReport, Finding};
+pub use audit::{AuditLog, AuditRecord, ChainViolation};
+pub use eager::{negotiate_eager, EagerConfig};
+pub use failure::{analyze_failure, find_rescue_set, AnalyzedRefusal, FailureAnalysis};
+pub use peer::{issuer_extended, sender_extended, NegotiationPeer, PeerConfig, PeerError};
+pub use session::{negotiate, PeerMap, SessionConfig};
+pub use strategy::Strategy;
+pub use ticket::{issue_ticket, redeem_ticket, Ticket, TicketError, TOKEN_PREDICATE};
+pub use threaded_host::{negotiate_threaded, ThreadedOutcome};
+pub use unipro::{
+    disclosable_definition, request_policy, unlock_policy_chain, PolicyDisclosureOutcome,
+};

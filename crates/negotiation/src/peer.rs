@@ -1,0 +1,382 @@
+//! A negotiation peer: knowledge base + crypto identity + answering policy.
+//!
+//! A [`NegotiationPeer`] owns everything one party brings to a trust
+//! negotiation (paper §2): its local rules and policies, cached signed
+//! rules from other peers, the signatures backing its own credentials, and
+//! the *effort policy* deciding which queries from which requesters it is
+//! willing to answer at all (§3.2: "most peers will only be willing to
+//! answer a few kinds of queries, and those only for a few kinds of
+//! requesters").
+
+use peertrust_core::{KnowledgeBase, Literal, PeerId, Rule, RuleId, Sym};
+use peertrust_crypto::{sign_rule, verify_signed_rule, KeyRegistry, SigError, SignedRule};
+use peertrust_engine::EngineConfig;
+use peertrust_parser::{parse_program, ParseError};
+use std::collections::{HashMap, HashSet};
+
+/// Per-peer configuration.
+#[derive(Clone, Debug)]
+pub struct PeerConfig {
+    /// Local inference engine settings.
+    pub engine: EngineConfig,
+    /// Require third-party answers to be re-derivable from pushed *signed*
+    /// rules (the "certified proof" check). An answer from the authority
+    /// itself is always accepted on message authentication alone.
+    pub verify_answers: bool,
+    /// Predicates this peer answers queries about; `None` = any.
+    pub answerable: Option<HashSet<Sym>>,
+    /// Requesters this peer refuses outright.
+    pub deny_peers: HashSet<PeerId>,
+    /// Forward signed rules received from third parties when they back an
+    /// answer being relayed (credential-chain propagation). The paper's
+    /// contexts are stripped on send, so re-dissemination control would
+    /// need sticky policies (§3.1), which are out of scope; peers that
+    /// must not relay can turn this off.
+    pub relay_received: bool,
+    /// Hard cap on queries answered within one negotiation (effort limit).
+    pub max_queries_per_negotiation: u64,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig {
+            engine: EngineConfig::default(),
+            verify_answers: true,
+            answerable: None,
+            deny_peers: HashSet::new(),
+            relay_received: true,
+            max_queries_per_negotiation: 10_000,
+        }
+    }
+}
+
+/// Errors when loading rules or credentials into a peer.
+#[derive(Debug)]
+pub enum PeerError {
+    Parse(ParseError),
+    Sig(SigError),
+}
+
+impl std::fmt::Display for PeerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeerError::Parse(e) => write!(f, "{e}"),
+            PeerError::Sig(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PeerError {}
+
+impl From<ParseError> for PeerError {
+    fn from(e: ParseError) -> Self {
+        PeerError::Parse(e)
+    }
+}
+
+impl From<SigError> for PeerError {
+    fn from(e: SigError) -> Self {
+        PeerError::Sig(e)
+    }
+}
+
+/// The issuer-extended form of a signed fact — the paper's §3.2 axiom
+/// converting `lit signedBy [A]` into `lit @ A`. `None` when the head
+/// already carries the issuer as its outermost authority, when the rule
+/// has a body, or when there is more than one issuer.
+pub fn issuer_extended(rule: &Rule) -> Option<Rule> {
+    if !rule.is_fact() || rule.signed_by.len() != 1 || !rule.head.is_ground() {
+        return None;
+    }
+    let issuer = PeerId(rule.signed_by[0]);
+    if rule.head.eval_peer() == Some(issuer) {
+        return None;
+    }
+    Some(Rule::fact(
+        rule.head.clone().at(peertrust_core::Term::peer(issuer)),
+    ))
+}
+
+/// The sender-extended fact recorded alongside a received credential:
+/// `head @ sender`, the receiver's note that `sender` asserted the
+/// credential's content by sending it. `None` for non-credentials.
+pub fn sender_extended(rule: &Rule, from: PeerId) -> Option<Rule> {
+    rule.is_credential().then(|| {
+        Rule::fact(
+            rule.head
+                .clone()
+                .at(peertrust_core::Term::peer(from)),
+        )
+    })
+}
+
+/// One party in trust negotiations.
+pub struct NegotiationPeer {
+    pub id: PeerId,
+    pub kb: KnowledgeBase,
+    pub config: PeerConfig,
+    /// Trusted key registry (shared, simulated CA).
+    pub registry: KeyRegistry,
+    /// Signatures for the signed rules in `kb`, keyed by rule id. Only
+    /// rules present here can be *pushed* to other peers.
+    signed: HashMap<RuleId, SignedRule>,
+}
+
+impl NegotiationPeer {
+    pub fn new(id: impl Into<PeerId>, registry: KeyRegistry) -> NegotiationPeer {
+        NegotiationPeer {
+            id: id.into(),
+            kb: KnowledgeBase::new(),
+            config: PeerConfig::default(),
+            registry,
+            signed: HashMap::new(),
+        }
+    }
+
+    pub fn with_config(mut self, config: PeerConfig) -> NegotiationPeer {
+        self.config = config;
+        self
+    }
+
+    /// Add one local (unsigned) rule.
+    pub fn add_rule(&mut self, rule: Rule) -> RuleId {
+        debug_assert!(
+            rule.signed_by.is_empty(),
+            "use add_signed_rule/mint for signed rules"
+        );
+        self.kb.add_local(rule)
+    }
+
+    /// Parse and load a whole program of local rules. Rules carrying
+    /// `signedBy` are minted (signed via the registry) so they can later be
+    /// pushed; the issuers must be registered.
+    pub fn load_program(&mut self, src: &str) -> Result<Vec<RuleId>, PeerError> {
+        let rules = parse_program(src)?;
+        let mut ids = Vec::new();
+        for rule in rules {
+            if rule.signed_by.is_empty() {
+                ids.push(self.kb.add_local(rule));
+            } else {
+                ids.push(self.mint(rule)?);
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Sign `rule` with its declared issuers and store it with its
+    /// signature. This is scenario setup's stand-in for "the issuer handed
+    /// the holder this credential".
+    pub fn mint(&mut self, rule: Rule) -> Result<RuleId, PeerError> {
+        let signed = sign_rule(&self.registry, &rule)?;
+        let id = self.kb.add_local(rule.clone());
+        self.signed.insert(id, signed.clone());
+        // §3.2 axiom: a signed fact also derives its `@ issuer` form. The
+        // extension maps back to the same signature bundle, so pushing or
+        // verifying either form ships the real credential.
+        if let Some(ext) = issuer_extended(&rule) {
+            if !self.kb.contains(&ext) {
+                let eid = self.kb.add_local(ext);
+                self.signed.insert(eid, signed);
+            }
+        }
+        Ok(id)
+    }
+
+    /// Verify and accept a signed rule pushed by `from`. Duplicates are
+    /// ignored. Returns `Ok(true)` if the rule was new.
+    ///
+    /// For credentials (ground signed facts) an additional *sender-extended*
+    /// fact `head @ from` is recorded: by sending the credential, `from`
+    /// itself asserted its content, which is exactly what authority chains
+    /// ending in `@ Requester` (e.g. `member(Requester) @ "ELENA" @
+    /// Requester`) ask for. The extended fact is unsigned and private; it
+    /// only feeds local derivations.
+    pub fn receive_signed(&mut self, signed: SignedRule, from: PeerId) -> Result<bool, PeerError> {
+        self.receive_signed_mode(signed, from, false)
+    }
+
+    /// [`NegotiationPeer::receive_signed`] with sticky-policy support:
+    /// when `sticky` is set, a head context attached to the received rule
+    /// is *retained* — the paper's §3.1 sticky-policy sketch ("leaving
+    /// contexts attached to literals and rules in messages ... so that a
+    /// peer can control further dissemination of its released information
+    /// in a non-adversarial environment"). The retained context then
+    /// gates this peer's re-disclosure of the rule.
+    pub fn receive_signed_mode(
+        &mut self,
+        signed: SignedRule,
+        from: PeerId,
+        sticky: bool,
+    ) -> Result<bool, PeerError> {
+        verify_signed_rule(&self.registry, &signed)?;
+        // Contexts are the *sender's* release policies; by default the
+        // paper strips them on the wire (§3.1) and so do we — whatever
+        // arrives is normalized to its context-free form, which then falls
+        // under the receiving peer's own (default-private) policies. In
+        // sticky mode the head context survives and travels with the rule.
+        let signed = if sticky {
+            signed
+        } else {
+            SignedRule {
+                rule: signed.rule.strip_contexts(),
+                signatures: signed.signatures,
+            }
+        };
+        if self.kb.contains(&signed.rule) {
+            return Ok(false);
+        }
+        let id = self.kb.add_received(signed.rule.clone(), from);
+        if let Some(extended) = sender_extended(&signed.rule, from) {
+            self.kb.add_received_dedup(extended, from);
+        }
+        if let Some(ext) = issuer_extended(&signed.rule) {
+            if !self.kb.contains(&ext) {
+                let eid = self.kb.add_received(ext, from);
+                self.signed.insert(eid, signed.clone());
+            }
+        }
+        self.signed.insert(id, signed);
+        Ok(true)
+    }
+
+    /// The stored signature bundle for a rule, if it is a pushable signed
+    /// rule.
+    pub fn signed_rule(&self, id: RuleId) -> Option<&SignedRule> {
+        self.signed.get(&id)
+    }
+
+    /// Look up the signature bundle by rule content (used when relaying
+    /// rules recorded in a session ledger).
+    pub fn signed_rule_for(&self, rule: &Rule) -> Option<&SignedRule> {
+        self.signed.values().find(|sr| sr.rule == *rule)
+    }
+
+    /// All signed rules this peer could potentially disclose.
+    pub fn disclosable_signed_rules(&self) -> impl Iterator<Item = (RuleId, &SignedRule)> {
+        self.signed.iter().map(|(id, s)| (*id, s))
+    }
+
+    /// Effort policy: will this peer even *consider* `goal` from
+    /// `requester`? (Release policies are checked separately, per rule.)
+    pub fn accepts_query(&self, requester: PeerId, goal: &Literal) -> bool {
+        if self.config.deny_peers.contains(&requester) {
+            return false;
+        }
+        match &self.config.answerable {
+            None => true,
+            Some(preds) => preds.contains(&goal.pred),
+        }
+    }
+
+    /// A knowledge base containing only signature-backed rules (local
+    /// minted + received, including their issuer-extended `lit @ A` forms)
+    /// — the material admissible in a *certified* proof.
+    pub fn signed_only_kb(&self) -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        for sr in self.kb.iter() {
+            if self.signed.contains_key(&sr.id) {
+                kb.add_received(sr.rule.as_ref().clone(), self.id);
+            }
+        }
+        kb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peertrust_core::Term;
+
+    fn registry() -> KeyRegistry {
+        let r = KeyRegistry::new();
+        r.register_derived(PeerId::new("UIUC"), 1);
+        r.register_derived(PeerId::new("BBB"), 2);
+        r
+    }
+
+    #[test]
+    fn load_program_mints_signed_rules() {
+        let mut alice = NegotiationPeer::new("Alice", registry());
+        let ids = alice
+            .load_program(
+                r#"
+                student("Alice") @ "UIUC" signedBy ["UIUC"].
+                email("Alice", "alice@uiuc.edu").
+                "#,
+            )
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+        assert!(alice.signed_rule(ids[0]).is_some());
+        assert!(alice.signed_rule(ids[1]).is_none());
+        assert_eq!(alice.disclosable_signed_rules().count(), 1);
+    }
+
+    #[test]
+    fn minting_requires_registered_issuer() {
+        let mut p = NegotiationPeer::new("P", registry());
+        let err = p.load_program(r#"cred("x") signedBy ["Unknown CA"]."#);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn receive_signed_verifies_and_dedups() {
+        let reg = registry();
+        let mut alice = NegotiationPeer::new("Alice", reg.clone());
+        let id = alice
+            .load_program(r#"student("Alice") @ "UIUC" signedBy ["UIUC"]."#)
+            .unwrap()[0];
+        let signed = alice.signed_rule(id).unwrap().clone();
+
+        let mut elearn = NegotiationPeer::new("E-Learn", reg);
+        assert!(elearn
+            .receive_signed(signed.clone(), PeerId::new("Alice"))
+            .unwrap());
+        assert!(!elearn
+            .receive_signed(signed.clone(), PeerId::new("Alice"))
+            .unwrap());
+        // Credential + its sender-extended fact.
+        assert_eq!(elearn.kb.len(), 2);
+        let extended = peertrust_parser::parse_literal(
+            r#"student("Alice") @ "UIUC" @ "Alice""#,
+        )
+        .unwrap();
+        assert!(elearn
+            .kb
+            .candidates(&extended)
+            .any(|sr| sr.rule.head == extended));
+
+        // Tampered rule is rejected.
+        let mut bad = signed;
+        bad.rule.head.args[0] = Term::str("Mallory");
+        assert!(elearn.receive_signed(bad, PeerId::new("Alice")).is_err());
+    }
+
+    #[test]
+    fn effort_policy_filters_queries() {
+        let mut cfg = PeerConfig::default();
+        cfg.answerable = Some([Sym::new("student")].into_iter().collect());
+        cfg.deny_peers.insert(PeerId::new("Mallory"));
+        let p = NegotiationPeer::new("UIUC", registry()).with_config(cfg);
+
+        let student_goal = Literal::new("student", vec![Term::var("X")]);
+        let salary_goal = Literal::new("salary", vec![Term::var("X")]);
+        assert!(p.accepts_query(PeerId::new("E-Learn"), &student_goal));
+        assert!(!p.accepts_query(PeerId::new("E-Learn"), &salary_goal));
+        assert!(!p.accepts_query(PeerId::new("Mallory"), &student_goal));
+    }
+
+    #[test]
+    fn signed_only_kb_excludes_unsigned() {
+        let mut alice = NegotiationPeer::new("Alice", registry());
+        alice
+            .load_program(
+                r#"
+                student("Alice") @ "UIUC" signedBy ["UIUC"].
+                plain(1).
+                "#,
+            )
+            .unwrap();
+        let signed_kb = alice.signed_only_kb();
+        assert_eq!(signed_kb.len(), 1);
+    }
+}

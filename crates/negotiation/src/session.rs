@@ -1,0 +1,1122 @@
+//! The backward-chaining (parsimonious) negotiation driver.
+//!
+//! This is the run-time system of paper §4: a negotiation starts when one
+//! peer requests a resource of another; the responder evaluates its policy
+//! with the SLD engine, and every body literal routed to another peer
+//! (`lit @ OtherPeer`, outermost authority first) becomes a network *query*
+//! — possibly back to the requester, which is how bilateral, iterative
+//! disclosure arises. Answers are accompanied by pushes of the signed
+//! rules that certify them, each gated by its release policy.
+//!
+//! Release enforcement: a solution for a queried goal is sent to requester
+//! `R` only if the *root* rule of its proof has a head context (`$ ctx`)
+//! that is either public or derivable with `Requester = R` — context goals
+//! are themselves evaluated with the same distributed machinery, so
+//! proving a release policy can trigger counter-queries (E-Learn proving
+//! its BBB membership to Alice before Alice's student ID is released).
+//! The paper's default applies: no context means `Requester = Self`,
+//! i.e. never released.
+//!
+//! The driver records the full disclosure sequence with evidence, so
+//! [`crate::outcome::verify_safe_sequence`] can replay and check the
+//! safety invariant, and it enforces the termination guards of experiment
+//! E11: hop-depth budget, per-peer query budgets, and cycle detection on
+//! in-flight query variants.
+
+use crate::outcome::{
+    DisclosedItem, Disclosure, Evidence, NegotiationOutcome, Refusal, RefusalReason,
+};
+use crate::peer::NegotiationPeer;
+use peertrust_core::{Context, KnowledgeBase, Literal, PeerId, Subst};
+use peertrust_crypto::SignedRule;
+use peertrust_engine::{canonicalize, Proof, ProofStep, RemoteHook, Solver};
+use peertrust_net::{NegotiationId, Payload, QueryId, SimNetwork};
+use std::collections::HashMap;
+
+/// The collection of peers participating in negotiations.
+#[derive(Default)]
+pub struct PeerMap {
+    map: HashMap<PeerId, NegotiationPeer>,
+}
+
+impl PeerMap {
+    pub fn new() -> PeerMap {
+        PeerMap::default()
+    }
+
+    pub fn insert(&mut self, peer: NegotiationPeer) {
+        self.map.insert(peer.id, peer);
+    }
+
+    pub fn get(&self, id: PeerId) -> Option<&NegotiationPeer> {
+        self.map.get(&id)
+    }
+
+    pub fn get_mut(&mut self, id: PeerId) -> Option<&mut NegotiationPeer> {
+        self.map.get_mut(&id)
+    }
+
+    pub fn contains(&self, id: PeerId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    pub fn ids(&self) -> Vec<PeerId> {
+        let mut v: Vec<PeerId> = self.map.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Session-level guard configuration.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Maximum nesting of inter-peer queries within one negotiation.
+    pub max_hop_depth: u32,
+    /// If set, only push signed rules whose *own* head context is
+    /// explicitly satisfied for the recipient, instead of licensing the
+    /// whole certified proof by the released answer's context.
+    pub strict_push_release: bool,
+    /// Counterfactual overrides used by the failure analysis (paper §6):
+    /// `(peer, literal)` pairs for which the peer's release check is
+    /// forced to grant. Empty in normal operation.
+    pub release_overrides: Vec<(PeerId, Literal)>,
+    /// Sticky policies (paper §3.1 sketch): keep release contexts attached
+    /// to pushed rules, and make relays re-check the originator's context
+    /// against each new recipient. Off by default (contexts stripped on
+    /// the wire, per the paper's main line).
+    pub sticky_policies: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            // A chain of k interlocked release policies nests ~2k queries
+            // (each link: one delegated goal + one counter-query for its
+            // release context); 128 accommodates the deepest experiment
+            // sweeps (E3 goes to depth 48).
+            max_hop_depth: 128,
+            strict_push_release: false,
+            release_overrides: Vec::new(),
+            sticky_policies: false,
+        }
+    }
+}
+
+/// Run one parsimonious negotiation: `requester` asks `responder` to
+/// establish `goal` (the resource request).
+pub fn negotiate(
+    peers: &mut PeerMap,
+    net: &mut SimNetwork,
+    cfg: SessionConfig,
+    nid: NegotiationId,
+    requester: PeerId,
+    responder: PeerId,
+    goal: Literal,
+) -> NegotiationOutcome {
+    let msgs0 = net.stats().messages_sent;
+    let bytes0 = net.stats().bytes_sent;
+    let queries0 = net.stats().queries;
+    let tick0 = net.now();
+
+    let mut session = Session {
+        peers,
+        net,
+        cfg,
+        nid,
+        next_query: 0,
+        in_flight: Vec::new(),
+        disclosures: Vec::new(),
+        refusals: Vec::new(),
+        answered: HashMap::new(),
+        max_depth_seen: 0,
+        rename_seq: 0,
+        received_rules: HashMap::new(),
+        received_answers: HashMap::new(),
+    };
+
+    let granted = session.request(requester, responder, goal.clone(), 0);
+    let success = !granted.is_empty();
+    if success {
+        let seq = session.disclosures.len();
+        session.disclosures.push(Disclosure {
+            seq,
+            from: responder,
+            to: requester,
+            item: DisclosedItem::Resource(granted[0].clone()),
+            context: Context::public(),
+            evidence: Vec::new(),
+        });
+    }
+
+    let Session {
+        disclosures,
+        refusals,
+        max_depth_seen,
+        ..
+    } = session;
+    NegotiationOutcome {
+        success,
+        requester,
+        responder,
+        goal,
+        granted,
+        disclosures,
+        refusals,
+        messages: net.stats().messages_sent - msgs0,
+        bytes: net.stats().bytes_sent - bytes0,
+        queries: net.stats().queries - queries0,
+        rounds: u64::from(max_depth_seen),
+        elapsed_ticks: net.now() - tick0,
+    }
+}
+
+/// The outcome of a release check.
+enum Release {
+    Granted {
+        /// Licensing context instantiated for this requester (recorded in
+        /// the disclosure sequence).
+        context: Context,
+        /// The licensing context with `Requester`/`Self` still symbolic —
+        /// what travels with the rule under sticky policies.
+        raw_context: Context,
+        evidence: Vec<Evidence>,
+    },
+    Denied,
+}
+
+pub(crate) struct Session<'a> {
+    pub(crate) peers: &'a mut PeerMap,
+    pub(crate) net: &'a mut SimNetwork,
+    cfg: SessionConfig,
+    nid: NegotiationId,
+    next_query: u64,
+    /// (responder, canonical goal) pairs currently being requested.
+    in_flight: Vec<(PeerId, Literal)>,
+    pub(crate) disclosures: Vec<Disclosure>,
+    pub(crate) refusals: Vec<Refusal>,
+    answered: HashMap<PeerId, u64>,
+    max_depth_seen: u32,
+    /// Fresh-variable counter for standardize-apart in licensing scans.
+    rename_seq: u32,
+    /// Rules each peer received during this session (rule, sender).
+    received_rules: HashMap<PeerId, Vec<(peertrust_core::Rule, PeerId)>>,
+    /// Answers each peer received during this session (answer, sender).
+    received_answers: HashMap<PeerId, Vec<(Literal, PeerId)>>,
+}
+
+struct SessionHook<'s, 'a> {
+    session: &'s mut Session<'a>,
+    peer: PeerId,
+    depth: u32,
+}
+
+impl RemoteHook for SessionHook<'_, '_> {
+    fn resolve_remote(&mut self, peer: PeerId, inner: &Literal) -> Vec<Literal> {
+        self.session
+            .request(self.peer, peer, inner.clone(), self.depth + 1)
+    }
+}
+
+impl<'a> Session<'a> {
+    /// `from` asks `to` to establish `goal`. Returns the answer instances
+    /// `from` accepts (after verification).
+    pub(crate) fn request(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        goal: Literal,
+        depth: u32,
+    ) -> Vec<Literal> {
+        self.max_depth_seen = self.max_depth_seen.max(depth);
+        if depth > self.cfg.max_hop_depth {
+            self.refusals.push(Refusal {
+                peer: to,
+                requester: from,
+                goal,
+                reason: RefusalReason::DepthExceeded,
+            });
+            return Vec::new();
+        }
+        let key = (to, canonicalize(&goal));
+        if self.in_flight.contains(&key) {
+            self.refusals.push(Refusal {
+                peer: to,
+                requester: from,
+                goal,
+                reason: RefusalReason::CycleDetected,
+            });
+            return Vec::new();
+        }
+        if !self.peers.contains(to) {
+            return Vec::new();
+        }
+
+        // Ship the query.
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+        if self
+            .net
+            .send(
+                self.nid,
+                from,
+                to,
+                Payload::Query {
+                    id: qid,
+                    goal: goal.clone(),
+                },
+                depth,
+            )
+            .is_err()
+        {
+            return Vec::new(); // topology/hop failure
+        }
+        self.net.step();
+        let _ = self.net.poll(to);
+
+        self.in_flight.push(key);
+        let (answers, pushes) = self.respond(to, from, &goal, depth);
+        self.in_flight.pop();
+
+        // Ship credential pushes (before the answers that depend on them).
+        if !pushes.is_empty() {
+            // Contexts stripped on the wire (paper §3.1) — unless sticky
+            // policies are on, in which case the *licensing* context (the
+            // release policy under which this disclosure was granted, with
+            // Requester still symbolic) travels with the rule. Signatures
+            // are unaffected: they cover the context-free canonical form.
+            let sticky = self.cfg.sticky_policies;
+            let rules: Vec<SignedRule> = pushes
+                .iter()
+                .map(|(sr, _, _, raw)| SignedRule {
+                    rule: if sticky {
+                        let mut r = sr.rule.clone();
+                        if r.head_context.is_none() {
+                            r.head_context = Some(raw.clone());
+                        }
+                        r
+                    } else {
+                        sr.rule.strip_contexts()
+                    },
+                    signatures: sr.signatures.clone(),
+                })
+                .collect();
+            let delivered = self
+                .net
+                .send(self.nid, to, from, Payload::CredentialPush { rules }, depth)
+                .is_ok();
+            if delivered {
+                self.net.step();
+                let _ = self.net.poll(from);
+            }
+            // The transport is authoritative: a rejected push (partition,
+            // hop budget) means the recipient learns nothing.
+            for (sr, ctx, ev, raw) in pushes.into_iter().filter(|_| delivered) {
+                // What actually crossed the wire: the context-stripped
+                // form (paper §3.1). `Ok(false)` from receive_signed means
+                // the recipient already held the rule — the wire transfer
+                // still happened, and the ledger must record it so the
+                // recipient can later relay it (delegation chains).
+                let sticky = self.cfg.sticky_policies;
+                let wire = SignedRule {
+                    rule: if sticky {
+                        let mut r = sr.rule.clone();
+                        if r.head_context.is_none() {
+                            r.head_context = Some(raw.clone());
+                        }
+                        r
+                    } else {
+                        sr.rule.strip_contexts()
+                    },
+                    signatures: sr.signatures.clone(),
+                };
+                let accepted = self
+                    .peers
+                    .get_mut(from)
+                    .expect("requester exists")
+                    .receive_signed_mode(wire.clone(), to, sticky);
+                match accepted {
+                    Ok(_) => {
+                        let ledger = self.received_rules.entry(from).or_default();
+                        if !ledger.iter().any(|(r, s)| *r == wire.rule && *s == to) {
+                            ledger.push((wire.rule.clone(), to));
+                            if let Some(ext) = crate::peer::sender_extended(&wire.rule, to) {
+                                self.received_rules.entry(from).or_default().push((ext, to));
+                            }
+                            let seq = self.disclosures.len();
+                            self.disclosures.push(Disclosure {
+                                seq,
+                                from: to,
+                                to: from,
+                                item: DisclosedItem::SignedRule(wire),
+                                context: ctx,
+                                evidence: ev,
+                            });
+                        }
+                    }
+                    Err(_) => {} // bad signature: recipient drops it
+                }
+            }
+        }
+
+        // Ship the answers.
+        if self
+            .net
+            .send(
+                self.nid,
+                to,
+                from,
+                Payload::Answers {
+                    id: qid,
+                    goal: goal.clone(),
+                    answers: answers.iter().map(|(a, _, _)| a.clone()).collect(),
+                },
+                depth,
+            )
+            .is_err()
+        {
+            return Vec::new();
+        }
+        self.net.step();
+        let _ = self.net.poll(from);
+
+        let mut accepted_answers = Vec::new();
+        for (answer, ctx, ev) in answers {
+            self.received_answers
+                .entry(from)
+                .or_default()
+                .push((answer.clone(), to));
+            let seq = self.disclosures.len();
+            self.disclosures.push(Disclosure {
+                seq,
+                from: to,
+                to: from,
+                item: DisclosedItem::Answer(answer.clone()),
+                context: ctx,
+                evidence: ev,
+            });
+            accepted_answers.push(answer);
+        }
+
+        // Requester-side verification: third-party statements must be
+        // re-derivable from signed material.
+        let verify = self
+            .peers
+            .get(from)
+            .map(|p| p.config.verify_answers)
+            .unwrap_or(false);
+        let self_certified = goal.authority.is_empty() || goal.eval_peer() == Some(to);
+        if verify && !self_certified {
+            let requester_peer = self.peers.get(from).expect("requester exists");
+            let signed_kb = requester_peer.signed_only_kb();
+            let engine = requester_peer.config.engine;
+            let mut dropped = Vec::new();
+            accepted_answers.retain(|a| {
+                let mut solver = Solver::new(&signed_kb, from).with_config(engine);
+                let ok = solver.provable(std::slice::from_ref(a));
+                if !ok {
+                    dropped.push(a.clone());
+                }
+                ok
+            });
+            for a in dropped {
+                self.refusals.push(Refusal {
+                    peer: from,
+                    requester: to,
+                    goal: a,
+                    reason: RefusalReason::VerificationFailed,
+                });
+            }
+        }
+        accepted_answers
+    }
+
+    /// Evaluate `goal` at `responder` on behalf of `requester`, applying
+    /// effort policy and release policies. Returns released answers and the
+    /// signed rules to push, each with the licensing context and evidence.
+    #[allow(clippy::type_complexity)]
+    fn respond(
+        &mut self,
+        responder: PeerId,
+        requester: PeerId,
+        goal: &Literal,
+        depth: u32,
+    ) -> (
+        Vec<(Literal, Context, Vec<Evidence>)>,
+        Vec<(SignedRule, Context, Vec<Evidence>, Context)>,
+    ) {
+        let Some(peer) = self.peers.get(responder) else {
+            return (Vec::new(), Vec::new());
+        };
+        if !peer.accepts_query(requester, goal) {
+            self.refusals.push(Refusal {
+                peer: responder,
+                requester,
+                goal: goal.clone(),
+                reason: RefusalReason::EffortPolicy,
+            });
+            return (Vec::new(), Vec::new());
+        }
+        let budget = peer.config.max_queries_per_negotiation;
+        let counter = self.answered.entry(responder).or_insert(0);
+        *counter += 1;
+        if *counter > budget {
+            self.refusals.push(Refusal {
+                peer: responder,
+                requester,
+                goal: goal.clone(),
+                reason: RefusalReason::QueryBudget,
+            });
+            return (Vec::new(), Vec::new());
+        }
+
+        let kb = peer.kb.clone();
+        let engine_cfg = peer.config.engine;
+        let strict_push = self.cfg.strict_push_release;
+
+        let solutions = {
+            let mut hook = SessionHook {
+                session: self,
+                peer: responder,
+                depth,
+            };
+            let mut solver = Solver::new(&kb, responder)
+                .with_config(engine_cfg)
+                .with_hook(&mut hook);
+            solver.solve(std::slice::from_ref(goal))
+        };
+
+        let mut answers: Vec<(Literal, Context, Vec<Evidence>)> = Vec::new();
+        let mut pushes: Vec<(SignedRule, Context, Vec<Evidence>, Context)> = Vec::new();
+
+        for sol in solutions {
+            let proof = &sol.proofs[0];
+            // The answer is the goal instance under the solution bindings
+            // (NOT the proof node's goal, which for remote-rooted proofs
+            // records the stripped inner literal).
+            let answer = sol.subst.apply_literal(goal);
+            if answers.iter().any(|(a, _, _)| *a == answer) {
+                continue;
+            }
+            match self.release_check(responder, requester, proof, &kb, depth) {
+                Release::Granted {
+                    context,
+                    raw_context,
+                    evidence,
+                } => {
+                    // The certified proof: push every signed rule it uses
+                    // (subject to strict mode).
+                    let peer = self.peers.get(responder).expect("responder exists");
+                    for rid in proof.used_rules() {
+                        if let Some(sr) = peer.signed_rule(rid) {
+                            if pushes.iter().any(|(p, _, _, _)| p.rule == sr.rule) {
+                                continue;
+                            }
+                            // Never echo back what the requester itself
+                            // provided (now or in an earlier negotiation).
+                            if peer
+                                .kb
+                                .get(rid)
+                                .is_some_and(|st| st.origin == peertrust_core::kb::RuleOrigin::Received(requester))
+                            {
+                                continue;
+                            }
+                            if strict_push {
+                                let rule = &peer.kb.get(rid).expect("rule exists").rule;
+                                let ctx = rule.effective_head_context();
+                                if ctx.is_default_private() && requester != responder {
+                                    continue;
+                                }
+                            }
+                            pushes.push((
+                                sr.clone(),
+                                context.clone(),
+                                evidence.clone(),
+                                raw_context.clone(),
+                            ));
+                        }
+                    }
+                    // Relay the signed rules backing remote answers so the
+                    // requester can verify multi-hop delegation chains.
+                    if peer.config.relay_received {
+                        for (p, _a) in proof.remote_dependencies() {
+                            // No point relaying a peer's own statements
+                            // back to it.
+                            if p == requester {
+                                continue;
+                            }
+                            let relayable: Vec<peertrust_core::Rule> = self
+                                .received_rules
+                                .get(&responder)
+                                .map(|l| {
+                                    l.iter()
+                                        .filter(|(r, sender)| *sender == p && r.is_signed())
+                                        .map(|(r, _)| r.clone())
+                                        .collect()
+                                })
+                                .unwrap_or_default();
+                            let sticky = self.cfg.sticky_policies;
+                            let peer = self.peers.get(responder).expect("responder exists");
+                            for rule in relayable {
+                                if pushes.iter().any(|(pr, _, _, _)| pr.rule == rule) {
+                                    continue;
+                                }
+                                // Sticky policies: the originator's retained
+                                // head context must hold for the NEW
+                                // recipient before this peer may relay.
+                                if sticky {
+                                    if let Some(ctx) = &rule.head_context {
+                                        if ctx.is_default_private() {
+                                            continue;
+                                        }
+                                        if !ctx.is_public() {
+                                            let goals =
+                                                ctx.instantiate(requester, responder);
+                                            let mut cfg = peer.config.engine;
+                                            cfg.remote_fallback =
+                                                peertrust_engine::RemoteFallback::Never;
+                                            let mut solver =
+                                                Solver::new(&peer.kb, responder)
+                                                    .with_config(cfg);
+                                            if !solver.provable(&goals) {
+                                                continue;
+                                            }
+                                        }
+                                    }
+                                }
+                                if let Some(sr) = peer.signed_rule_for(&rule) {
+                                    // Relays keep whatever context the rule
+                                    // arrived with (retained in sticky mode).
+                                    let raw = rule
+                                        .head_context
+                                        .clone()
+                                        .unwrap_or_else(Context::public);
+                                    pushes.push((
+                                        sr.clone(),
+                                        Context::public(),
+                                        vec![Evidence::ReceivedRule {
+                                            from: p,
+                                            rule: rule.clone(),
+                                        }],
+                                        raw,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    answers.push((answer, context, evidence));
+                }
+                Release::Denied => {
+                    self.refusals.push(Refusal {
+                        peer: responder,
+                        requester,
+                        goal: answer,
+                        reason: RefusalReason::ReleaseDenied,
+                    });
+                }
+            }
+        }
+        (answers, pushes)
+    }
+
+    /// Decide whether the solution rooted at `proof` may be released to
+    /// `requester`.
+    ///
+    /// Builtin results and relayed third-party answers are always
+    /// releasable; locally derived answers go through the *licensing scan*
+    /// of [`Session::license_scan`].
+    fn release_check(
+        &mut self,
+        responder: PeerId,
+        requester: PeerId,
+        proof: &Proof,
+        kb: &KnowledgeBase,
+        depth: u32,
+    ) -> Release {
+        match &proof.step {
+            ProofStep::Builtin | ProofStep::Negation => Release::Granted {
+                context: Context::public(),
+                raw_context: Context::public(),
+                evidence: Vec::new(),
+            },
+            ProofStep::SelfAuthority => {
+                // The licensing rules are those for the inner literal.
+                match proof.children.first() {
+                    Some(child) => self.release_check(responder, requester, child, kb, depth),
+                    None => Release::Denied,
+                }
+            }
+            ProofStep::Remote(peer) => {
+                // A relayed third-party statement: the origin enforced its
+                // own release policy; the relay is free to forward.
+                Release::Granted {
+                    context: Context::public(),
+                    raw_context: Context::public(),
+                    evidence: vec![Evidence::ReceivedAnswer {
+                        from: *peer,
+                        answer: proof.goal.clone(),
+                    }],
+                }
+            }
+            ProofStep::Rule(root_id) => {
+                self.license_scan(responder, requester, &proof.goal, Some(*root_id), kb, depth)
+            }
+        }
+    }
+
+    /// The disclosure decision of §3.1's release-policy pattern
+    /// (`p(X...) $ ctx_p(...) <- p(X...)`): `answer` may be sent to
+    /// `requester` iff some rule whose head unifies with it has a
+    /// non-default head context that is derivable with `Requester` bound
+    /// to the requester, *and* whose body is derivable. The body check is
+    /// skipped when the licensing rule is the rule that already proved the
+    /// answer (`root_id`).
+    ///
+    /// This is a single release-rule unfolding: the derivation engine's
+    /// ancestor check deliberately prunes `p <- p` self-rules, so release
+    /// rules never participate in derivations — they are applied exactly
+    /// here, at disclosure time, matching the paper's separation between
+    /// deriving a literal and deriving its releasability.
+    #[allow(clippy::too_many_arguments)]
+    fn license_scan(
+        &mut self,
+        responder: PeerId,
+        requester: PeerId,
+        answer: &Literal,
+        root_id: Option<peertrust_core::RuleId>,
+        kb: &KnowledgeBase,
+        depth: u32,
+    ) -> Release {
+        if requester == responder {
+            return Release::Granted {
+                context: Context::public(),
+                raw_context: Context::public(),
+                evidence: Vec::new(),
+            };
+        }
+        // Counterfactual override (failure analysis, paper §6).
+        if self
+            .cfg
+            .release_overrides
+            .iter()
+            .any(|(p, g)| *p == responder && canonicalize(g) == canonicalize(answer))
+        {
+            return Release::Granted {
+                context: Context::public(),
+                raw_context: Context::public(),
+                evidence: Vec::new(),
+            };
+        }
+        let engine_cfg = self
+            .peers
+            .get(responder)
+            .expect("responder exists")
+            .config
+            .engine;
+        let candidates: Vec<(peertrust_core::RuleId, peertrust_core::Rule)> = kb
+            .candidates(answer)
+            .map(|sr| (sr.id, sr.rule.as_ref().clone()))
+            .collect();
+
+        // §3.2 self-closure: a chainless answer is equivalent to
+        // `answer @ responder`, so licensing rules written with the
+        // explicit authority also apply.
+        let extended = answer
+            .clone()
+            .at(peertrust_core::Term::peer(responder));
+        for (id, rule) in candidates {
+            self.rename_seq += 1;
+            let renamed = rule.rename_apart(self.rename_seq);
+            let mut s = Subst::new();
+            if !peertrust_core::unify_literals(&renamed.head, answer, &mut s) {
+                s = Subst::new();
+                if answer.eval_peer() == Some(responder)
+                    || !peertrust_core::unify_literals(&renamed.head, &extended, &mut s)
+                {
+                    continue;
+                }
+            }
+            let ctx = renamed.effective_head_context().apply(&s);
+            if ctx.is_default_private() {
+                continue; // not a licensing rule for outsiders
+            }
+
+            let mut evidence = Vec::new();
+            let mut ctx_goals = Vec::new();
+            if !ctx.is_public() {
+                ctx_goals = ctx.instantiate(requester, responder);
+                let solutions = {
+                    let mut hook = SessionHook {
+                        session: self,
+                        peer: responder,
+                        depth: depth + 1,
+                    };
+                    let mut solver = Solver::new(kb, responder)
+                        .with_config(engine_cfg)
+                        .with_hook(&mut hook);
+                    solver.solve(&ctx_goals)
+                };
+                match solutions.into_iter().next() {
+                    Some(sol) => evidence = self.collect_evidence(responder, &sol.proofs),
+                    None => continue,
+                }
+            }
+
+            // Body derivability. Skipped when this rule already proved the
+            // answer, or when the body is exactly the answer itself (the
+            // release pattern `p $ ctx <- p` — the answer's own derivation
+            // already witnessed it).
+            let body: Vec<Literal> = renamed.body.iter().map(|b| s.apply_literal(b)).collect();
+            let body_is_answer = body.len() == 1 && body[0] == *answer;
+            if Some(id) != root_id && !renamed.body.is_empty() && !body_is_answer {
+                let ok = {
+                    let mut hook = SessionHook {
+                        session: self,
+                        peer: responder,
+                        depth: depth + 1,
+                    };
+                    let mut solver = Solver::new(kb, responder)
+                        .with_config(engine_cfg)
+                        .with_hook(&mut hook);
+                    solver.provable(&body)
+                };
+                if !ok {
+                    continue;
+                }
+            }
+
+            return Release::Granted {
+                context: Context::goals(ctx_goals),
+                raw_context: ctx,
+                evidence,
+            };
+        }
+        Release::Denied
+    }
+
+    /// Classify the rules and remote answers used in a context proof as
+    /// evidence entries.
+    fn collect_evidence(&self, owner: PeerId, proofs: &[Proof]) -> Vec<Evidence> {
+        let peer = self.peers.get(owner).expect("owner exists");
+        classify_evidence(
+            peer,
+            self.received_rules.get(&owner).map(Vec::as_slice),
+            proofs,
+        )
+    }
+}
+
+/// Classify the rules and remote answers used in proofs as disclosure
+/// evidence: rules received during this negotiation (per `ledger`) become
+/// [`Evidence::ReceivedRule`], everything else [`Evidence::Initial`];
+/// remote answers become [`Evidence::ReceivedAnswer`]. Shared by the
+/// parsimonious and eager drivers.
+pub(crate) fn classify_evidence(
+    peer: &NegotiationPeer,
+    ledger: Option<&[(peertrust_core::Rule, PeerId)]>,
+    proofs: &[Proof],
+) -> Vec<Evidence> {
+    let mut evidence = Vec::new();
+    for proof in proofs {
+        for rid in proof.used_rules() {
+            if let Some(sr) = peer.kb.get(rid) {
+                let rule = sr.rule.as_ref().clone();
+                let session_received = ledger
+                    .map(|l| l.iter().find(|(r, _)| *r == rule))
+                    .unwrap_or(None);
+                let ev = match session_received {
+                    Some((_, from)) => Evidence::ReceivedRule { from: *from, rule },
+                    None => Evidence::Initial(rule),
+                };
+                if !evidence.contains(&ev) {
+                    evidence.push(ev);
+                }
+            }
+        }
+        for (peer_id, answer) in proof.remote_dependencies() {
+            let ev = Evidence::ReceivedAnswer {
+                from: peer_id,
+                answer,
+            };
+            if !evidence.contains(&ev) {
+                evidence.push(ev);
+            }
+        }
+    }
+    evidence
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::verify_safe_sequence;
+    use peertrust_crypto::KeyRegistry;
+    use peertrust_parser::parse_literal;
+
+    fn registry() -> KeyRegistry {
+        let r = KeyRegistry::new();
+        for (i, name) in ["UIUC", "UIUC Registrar", "BBB", "ELENA", "VISA", "IBM", "CSP"]
+            .iter()
+            .enumerate()
+        {
+            r.register_derived(PeerId::new(name), i as u64 + 1);
+        }
+        r
+    }
+
+    fn run(
+        peers: &mut PeerMap,
+        requester: &str,
+        responder: &str,
+        goal: &str,
+    ) -> NegotiationOutcome {
+        let mut net = SimNetwork::new(7);
+        negotiate(
+            peers,
+            &mut net,
+            SessionConfig::default(),
+            NegotiationId(1),
+            PeerId::new(requester),
+            PeerId::new(responder),
+            parse_literal(goal).unwrap(),
+        )
+    }
+
+    /// Minimal bilateral scenario: E-Learn grants `resource` to holders of
+    /// a UIUC student credential; Alice releases her credential only to
+    /// BBB members; E-Learn's BBB membership is public.
+    fn bilateral_peers() -> PeerMap {
+        let reg = registry();
+        let mut peers = PeerMap::new();
+
+        let mut elearn = NegotiationPeer::new("E-Learn", reg.clone());
+        elearn
+            .load_program(
+                r#"
+                resource(X) $ true <- student(X) @ "UIUC" @ X.
+                member("E-Learn") @ "BBB" $ true signedBy ["BBB"].
+                "#,
+            )
+            .unwrap();
+        peers.insert(elearn);
+
+        let mut alice = NegotiationPeer::new("Alice", reg);
+        alice
+            .load_program(
+                r#"
+                student("Alice") @ "UIUC" signedBy ["UIUC"].
+                student(X) @ Y $ member(Requester) @ "BBB" @ Requester <-_true student(X) @ Y.
+                "#,
+            )
+            .unwrap();
+        peers.insert(alice);
+
+        peers
+    }
+
+    #[test]
+    fn bilateral_negotiation_succeeds() {
+        let mut peers = bilateral_peers();
+        let out = run(&mut peers, "Alice", "E-Learn", r#"resource("Alice")"#);
+        assert!(out.success, "refusals: {:?}", out.refusals);
+        assert_eq!(out.granted[0].to_string(), "resource(\"Alice\")");
+        // Disclosure sequence includes Alice's credential and E-Learn's
+        // membership answer or credential.
+        assert!(out.credential_count() >= 2, "sequence: {:#?}", out.disclosures);
+        verify_safe_sequence(&out).unwrap();
+        assert!(out.messages >= 4);
+    }
+
+    #[test]
+    fn negotiation_fails_without_counter_credential() {
+        // E-Learn cannot prove BBB membership -> Alice refuses -> failure.
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut elearn = NegotiationPeer::new("E-Learn", reg.clone());
+        elearn
+            .load_program(r#"resource(X) $ true <- student(X) @ "UIUC" @ X."#)
+            .unwrap();
+        peers.insert(elearn);
+        let mut alice = NegotiationPeer::new("Alice", reg);
+        alice
+            .load_program(
+                r#"
+                student("Alice") @ "UIUC" signedBy ["UIUC"].
+                student(X) @ Y $ member(Requester) @ "BBB" @ Requester <-_true student(X) @ Y.
+                "#,
+            )
+            .unwrap();
+        peers.insert(alice);
+
+        let out = run(&mut peers, "Alice", "E-Learn", r#"resource("Alice")"#);
+        assert!(!out.success);
+        assert!(out
+            .refusals
+            .iter()
+            .any(|r| r.reason == RefusalReason::ReleaseDenied));
+    }
+
+    #[test]
+    fn default_private_context_blocks_release() {
+        // Alice's credential has NO release rule: default Requester = Self.
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut elearn = NegotiationPeer::new("E-Learn", reg.clone());
+        elearn
+            .load_program(r#"resource(X) $ true <- student(X) @ "UIUC" @ X."#)
+            .unwrap();
+        peers.insert(elearn);
+        let mut alice = NegotiationPeer::new("Alice", reg);
+        alice
+            .load_program(r#"student("Alice") @ "UIUC" signedBy ["UIUC"]."#)
+            .unwrap();
+        peers.insert(alice);
+
+        let out = run(&mut peers, "Alice", "E-Learn", r#"resource("Alice")"#);
+        assert!(!out.success);
+    }
+
+    #[test]
+    fn public_resource_needs_no_credentials() {
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut srv = NegotiationPeer::new("Server", reg.clone());
+        srv.load_program("open(X) $ true <- base(X). base(1).").unwrap();
+        peers.insert(srv);
+        peers.insert(NegotiationPeer::new("Client", reg));
+
+        let out = run(&mut peers, "Client", "Server", "open(X)");
+        assert!(out.success);
+        assert_eq!(out.granted[0].to_string(), "open(1)");
+        assert_eq!(out.credential_count(), 0);
+    }
+
+    #[test]
+    fn delegation_chain_is_pushed_and_verified() {
+        // Alice holds a registrar-signed ID plus UIUC's delegation rule;
+        // E-Learn verifies the answer against the pushed signed chain.
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut elearn = NegotiationPeer::new("E-Learn", reg.clone());
+        elearn
+            .load_program(r#"resource(X) $ true <- student(X) @ "UIUC" @ X."#)
+            .unwrap();
+        peers.insert(elearn);
+        let mut alice = NegotiationPeer::new("Alice", reg);
+        alice
+            .load_program(
+                r#"
+                student("Alice") @ "UIUC Registrar" signedBy ["UIUC Registrar"].
+                student(X) @ "UIUC" <- signedBy ["UIUC"] student(X) @ "UIUC Registrar".
+                student(X) @ Y $ true <-_true student(X) @ Y.
+                "#,
+            )
+            .unwrap();
+        peers.insert(alice);
+
+        let out = run(&mut peers, "Alice", "E-Learn", r#"resource("Alice")"#);
+        assert!(out.success, "refusals: {:?}", out.refusals);
+        // Both links of the chain were pushed.
+        assert!(out.credential_count() >= 2);
+        verify_safe_sequence(&out).unwrap();
+    }
+
+    #[test]
+    fn unverifiable_answer_is_rejected() {
+        // Alice claims UIUC student status but holds no signed credential;
+        // E-Learn's verification drops the unsupported answer.
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut elearn = NegotiationPeer::new("E-Learn", reg.clone());
+        elearn
+            .load_program(r#"resource(X) $ true <- student(X) @ "UIUC" @ X."#)
+            .unwrap();
+        peers.insert(elearn);
+        let mut alice = NegotiationPeer::new("Alice", reg);
+        alice
+            .load_program(
+                r#"
+                % Unsigned local assertion, released publicly — but nothing
+                % signed backs it up.
+                student("Alice") @ "UIUC" $ true <-_true claimed.
+                claimed.
+                "#,
+            )
+            .unwrap();
+        peers.insert(alice);
+
+        let out = run(&mut peers, "Alice", "E-Learn", r#"resource("Alice")"#);
+        assert!(!out.success, "unsigned claim must not grant access");
+    }
+
+    #[test]
+    fn effort_policy_refusal_recorded() {
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut server = NegotiationPeer::new("Server", reg.clone());
+        server.load_program("open(1) $ true.").unwrap();
+        server.config.deny_peers.insert(PeerId::new("Mallory"));
+        peers.insert(server);
+        peers.insert(NegotiationPeer::new("Mallory", reg));
+
+        let out = run(&mut peers, "Mallory", "Server", "open(X)");
+        assert!(!out.success);
+        assert_eq!(out.refusals[0].reason, RefusalReason::EffortPolicy);
+    }
+
+    #[test]
+    fn cyclic_release_policies_terminate() {
+        // A requires B's credential to release; B requires A's. Deadlock —
+        // the negotiation must fail finitely, not hang.
+        let reg = registry();
+        reg.register_derived(PeerId::new("CA"), 99);
+        let mut peers = PeerMap::new();
+        let mut a = NegotiationPeer::new("A", reg.clone());
+        a.load_program(
+            r#"
+            resource(X) $ true <- credB(X) @ "CA" @ X.
+            credA("A") @ "CA" signedBy ["CA"].
+            credA(X) @ Y $ credB(Requester) @ "CA" @ Requester <-_true credA(X) @ Y.
+            "#,
+        )
+        .unwrap();
+        peers.insert(a);
+        let mut b = NegotiationPeer::new("B", reg);
+        b.load_program(
+            r#"
+            credB("B") @ "CA" signedBy ["CA"].
+            credB(X) @ Y $ credA(Requester) @ "CA" @ Requester <-_true credB(X) @ Y.
+            "#,
+        )
+        .unwrap();
+        peers.insert(b);
+
+        let out = run(&mut peers, "B", "A", r#"resource("B")"#);
+        assert!(!out.success);
+        assert!(out
+            .refusals
+            .iter()
+            .any(|r| r.reason == RefusalReason::CycleDetected
+                || r.reason == RefusalReason::DepthExceeded
+                || r.reason == RefusalReason::ReleaseDenied));
+    }
+
+    #[test]
+    fn missing_responder_fails_cleanly() {
+        let mut peers = PeerMap::new();
+        peers.insert(NegotiationPeer::new("Alice", registry()));
+        let out = run(&mut peers, "Alice", "Ghost", "anything(1)");
+        assert!(!out.success);
+        assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    fn outcome_metrics_are_populated() {
+        let mut peers = bilateral_peers();
+        let out = run(&mut peers, "Alice", "E-Learn", r#"resource("Alice")"#);
+        assert!(out.messages > 0);
+        assert!(out.bytes > 0);
+        assert!(out.queries >= 1);
+        assert!(out.elapsed_ticks > 0);
+    }
+}

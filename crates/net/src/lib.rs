@@ -1,0 +1,29 @@
+//! # peertrust-net
+//!
+//! The peer-to-peer message substrate PeerTrust negotiations run on — the
+//! stand-in for the 2004 prototype's Java socket layer and the Edutella
+//! P2P infrastructure (see DESIGN.md, "Substitutions").
+//!
+//! * [`message`] — the negotiation message vocabulary: queries, answers,
+//!   credential pushes, failure notices;
+//! * [`sim`] — a deterministic discrete-event network with configurable
+//!   topology and latency, producing the message/byte/round metrics every
+//!   experiment reports;
+//! * [`threaded`] — a crossbeam-channel transport running each peer on a
+//!   real thread, proving the protocol does not depend on deterministic
+//!   scheduling;
+//! * [`topology`] — full-mesh, star (broker) and explicit-link topologies.
+
+pub mod codec;
+pub mod message;
+pub mod routing;
+pub mod sim;
+pub mod threaded;
+pub mod topology;
+
+pub use codec::{decode_frame, encode_frame, CodecError, MAX_FRAME};
+pub use message::{Message, MessageId, NegotiationId, Payload, QueryId};
+pub use routing::{RoutedLookup, RoutingIndex, SuperPeerNetwork};
+pub use sim::{LatencyModel, NetError, NetStats, SimNetwork, Tick, TraceEvent};
+pub use threaded::{channel_network, framed_channel_network, Endpoint, FramedEndpoint, Router};
+pub use topology::Topology;

@@ -1,0 +1,247 @@
+//! The message vocabulary of a PeerTrust negotiation.
+//!
+//! A negotiation (paper §2) is an exchange of *queries* (please establish
+//! this literal for me), *answers* (instances of a queried literal, possibly
+//! empty = failure/refusal), and *credential pushes* (signed rules whose
+//! release policies the sender has verified against the recipient). The
+//! 2004 prototype shipped these over TLS sockets between Java peers; here
+//! they travel over the simulated or threaded transport in
+//! [`crate::sim`] / [`crate::threaded`].
+
+use bytes::Bytes;
+use peertrust_core::{Literal, PeerId, Rule, Sym};
+use peertrust_crypto::SignedRule;
+use std::fmt;
+
+/// Identifies one negotiation (one top-level resource request).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct NegotiationId(pub u64);
+
+/// Identifies one message within the transport.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct MessageId(pub u64);
+
+/// Correlates an answer with the query it answers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct QueryId(pub u64);
+
+/// What a message carries.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Payload {
+    /// Ask the recipient to establish (instances of) `goal`.
+    Query { id: QueryId, goal: Literal },
+    /// Answer instances for the query `id` asked `goal`. Empty `answers`
+    /// means the recipient cannot (or will not) establish the goal.
+    Answers {
+        id: QueryId,
+        goal: Literal,
+        answers: Vec<Literal>,
+    },
+    /// Disclose signed rules (credentials / delegations) to the recipient.
+    /// The sender must have checked each rule's release policy first.
+    CredentialPush { rules: Vec<SignedRule> },
+    /// Explicit refusal/failure notice for query `id` (used by strategies
+    /// that distinguish "no" from "won't say").
+    Failure {
+        id: QueryId,
+        goal: Literal,
+        reason: String,
+    },
+    /// UniPro: ask for the definition of the named (opaque) policy.
+    PolicyRequest { id: QueryId, policy: Sym },
+    /// UniPro: the policy's defining rules (contexts stripped), or empty
+    /// if the policy's own policy was not satisfied.
+    PolicyDisclosure { id: QueryId, rules: Vec<Rule> },
+}
+
+impl Payload {
+    /// Short tag for traces and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::Query { .. } => "query",
+            Payload::Answers { .. } => "answers",
+            Payload::CredentialPush { .. } => "push",
+            Payload::Failure { .. } => "failure",
+            Payload::PolicyRequest { .. } => "policy-request",
+            Payload::PolicyDisclosure { .. } => "policy-disclosure",
+        }
+    }
+}
+
+/// A transport-level message.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Message {
+    pub id: MessageId,
+    pub negotiation: NegotiationId,
+    pub from: PeerId,
+    pub to: PeerId,
+    pub payload: Payload,
+    /// Delegation hop count, bounded by the transport to stop runaway
+    /// forwarding loops.
+    pub hops: u32,
+}
+
+impl Message {
+    /// Wire encoding used for byte-level metrics (experiments report
+    /// message *and* byte counts). Signatures count 32 bytes each; logical
+    /// content is encoded as its canonical text.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = String::new();
+        buf.push_str(self.from.name());
+        buf.push('>');
+        buf.push_str(self.to.name());
+        buf.push('|');
+        match &self.payload {
+            Payload::Query { goal, .. } => {
+                buf.push_str("Q|");
+                buf.push_str(&goal.to_string());
+            }
+            Payload::Answers { goal, answers, .. } => {
+                buf.push_str("A|");
+                buf.push_str(&goal.to_string());
+                for a in answers {
+                    buf.push(';');
+                    buf.push_str(&a.to_string());
+                }
+            }
+            Payload::CredentialPush { rules } => {
+                buf.push_str("C|");
+                for r in rules {
+                    buf.push_str(&r.rule.to_string());
+                    // Account for the signature bytes.
+                    for _ in &r.signatures {
+                        buf.push_str(&"\0".repeat(32));
+                    }
+                }
+            }
+            Payload::Failure { goal, reason, .. } => {
+                buf.push_str("F|");
+                buf.push_str(&goal.to_string());
+                buf.push(';');
+                buf.push_str(reason);
+            }
+            Payload::PolicyRequest { policy, .. } => {
+                buf.push_str("PR|");
+                buf.push_str(policy.as_str());
+            }
+            Payload::PolicyDisclosure { rules, .. } => {
+                buf.push_str("PD|");
+                for r in rules {
+                    buf.push_str(&r.to_string());
+                    buf.push(';');
+                }
+            }
+        }
+        Bytes::from(buf)
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[neg {} msg {}] {} -> {}: {}",
+            self.negotiation.0,
+            self.id.0,
+            self.from,
+            self.to,
+            self.payload.kind()
+        )?;
+        match &self.payload {
+            Payload::Query { goal, .. } => write!(f, " {goal}"),
+            Payload::Answers { goal, answers, .. } => {
+                write!(f, " {goal} ({} answers)", answers.len())
+            }
+            Payload::CredentialPush { rules } => write!(f, " ({} rules)", rules.len()),
+            Payload::Failure { goal, reason, .. } => write!(f, " {goal}: {reason}"),
+            Payload::PolicyRequest { policy, .. } => write!(f, " {policy}"),
+            Payload::PolicyDisclosure { rules, .. } => write!(f, " ({} rules)", rules.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peertrust_core::Term;
+
+    fn msg(payload: Payload) -> Message {
+        Message {
+            id: MessageId(1),
+            negotiation: NegotiationId(7),
+            from: PeerId::new("Alice"),
+            to: PeerId::new("E-Learn"),
+            payload,
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        let q = msg(Payload::Query {
+            id: QueryId(1),
+            goal: Literal::truth(),
+        });
+        assert_eq!(q.payload.kind(), "query");
+    }
+
+    #[test]
+    fn encoded_size_counts_signatures() {
+        let rule = peertrust_core::Rule::fact(
+            Literal::new("student", vec![Term::str("Alice")]).at(Term::str("UIUC")),
+        )
+        .signed_by("UIUC");
+        let unsigned_len = msg(Payload::CredentialPush {
+            rules: vec![SignedRule {
+                rule: rule.clone(),
+                signatures: vec![],
+            }],
+        })
+        .encoded_size();
+        let signed_len = msg(Payload::CredentialPush {
+            rules: vec![SignedRule {
+                rule,
+                signatures: vec![[0u8; 32]],
+            }],
+        })
+        .encoded_size();
+        assert_eq!(signed_len, unsigned_len + 32);
+    }
+
+    #[test]
+    fn answers_encoding_grows_with_answers() {
+        let goal = Literal::new("student", vec![Term::var("X")]);
+        let a0 = msg(Payload::Answers {
+            id: QueryId(1),
+            goal: goal.clone(),
+            answers: vec![],
+        })
+        .encoded_size();
+        let a2 = msg(Payload::Answers {
+            id: QueryId(1),
+            goal: goal.clone(),
+            answers: vec![
+                Literal::new("student", vec![Term::str("Alice")]),
+                Literal::new("student", vec![Term::str("Bob")]),
+            ],
+        })
+        .encoded_size();
+        assert!(a2 > a0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = msg(Payload::Query {
+            id: QueryId(3),
+            goal: Literal::new("student", vec![Term::var("X")]).at(Term::str("UIUC")),
+        });
+        let s = m.to_string();
+        assert!(s.contains("Alice -> E-Learn"));
+        assert!(s.contains("student(X) @ \"UIUC\""));
+    }
+}

@@ -1,0 +1,270 @@
+//! Super-peer query routing (the Edutella substrate of paper §1).
+//!
+//! Edutella organizes peers under *super-peers* that hold routing indices
+//! ("super-peer-based routing and clustering strategies", paper ref [16]):
+//! a peer registers which predicates (metadata attributes, services,
+//! credential types) it can answer, and queries are routed by the
+//! super-peer backbone instead of being flooded.
+//!
+//! This module provides that discovery layer for negotiations where the
+//! requester does not know the responder in advance — "who offers Spanish
+//! courses?" — as the run-time counterpart of §4.2's authority database
+//! ("E-Learn might have a list of authorities it can ask about specific
+//! predicates. These lists of authorities can also come from a broker").
+//!
+//! * [`RoutingIndex`] — one super-peer's predicate → providers index, with
+//!   registration, unregistration and lookup;
+//! * [`SuperPeerNetwork`] — a backbone of super-peers; each leaf peer
+//!   attaches to one super-peer; lookups route hop-by-hop along the
+//!   backbone (HyperCuP-style broadcast tree collapsed to a ring walk for
+//!   determinism), counting hops for the experiments.
+
+use peertrust_core::{PeerId, Sym};
+use std::collections::{HashMap, HashSet};
+
+/// One super-peer's routing index.
+#[derive(Default, Debug, Clone)]
+pub struct RoutingIndex {
+    /// predicate -> providers that registered it.
+    providers: HashMap<Sym, Vec<PeerId>>,
+}
+
+impl RoutingIndex {
+    pub fn new() -> RoutingIndex {
+        RoutingIndex::default()
+    }
+
+    /// Register `peer` as a provider of `predicate`. Idempotent.
+    pub fn register(&mut self, predicate: Sym, peer: PeerId) {
+        let entry = self.providers.entry(predicate).or_default();
+        if !entry.contains(&peer) {
+            entry.push(peer);
+        }
+    }
+
+    /// Remove a provider registration.
+    pub fn unregister(&mut self, predicate: Sym, peer: PeerId) {
+        if let Some(entry) = self.providers.get_mut(&predicate) {
+            entry.retain(|p| *p != peer);
+        }
+    }
+
+    /// Providers of `predicate` known locally.
+    pub fn lookup(&self, predicate: Sym) -> &[PeerId] {
+        self.providers
+            .get(&predicate)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct predicates indexed.
+    pub fn len(&self) -> usize {
+        self.providers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.providers.is_empty()
+    }
+}
+
+/// The result of a routed lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedLookup {
+    /// Providers found, in registration order, deduplicated.
+    pub providers: Vec<PeerId>,
+    /// Backbone hops taken before the answer was complete.
+    pub hops: u32,
+    /// Which super-peer answered first (None if nobody had it).
+    pub answered_by: Option<PeerId>,
+}
+
+/// A backbone of super-peers, each serving a set of attached leaf peers.
+#[derive(Default, Debug)]
+pub struct SuperPeerNetwork {
+    /// Backbone order (the deterministic walk).
+    backbone: Vec<PeerId>,
+    indices: HashMap<PeerId, RoutingIndex>,
+    /// leaf -> its super-peer.
+    attachment: HashMap<PeerId, PeerId>,
+}
+
+impl SuperPeerNetwork {
+    /// Create a backbone with the given super-peers.
+    pub fn new(super_peers: impl IntoIterator<Item = PeerId>) -> SuperPeerNetwork {
+        let backbone: Vec<PeerId> = super_peers.into_iter().collect();
+        let indices = backbone
+            .iter()
+            .map(|sp| (*sp, RoutingIndex::new()))
+            .collect();
+        SuperPeerNetwork {
+            backbone,
+            indices,
+            attachment: HashMap::new(),
+        }
+    }
+
+    pub fn super_peers(&self) -> &[PeerId] {
+        &self.backbone
+    }
+
+    /// Attach a leaf peer to a super-peer. Returns false if the super-peer
+    /// does not exist.
+    pub fn attach(&mut self, leaf: PeerId, super_peer: PeerId) -> bool {
+        if !self.indices.contains_key(&super_peer) {
+            return false;
+        }
+        self.attachment.insert(leaf, super_peer);
+        true
+    }
+
+    /// The super-peer a leaf is attached to.
+    pub fn super_peer_of(&self, leaf: PeerId) -> Option<PeerId> {
+        self.attachment.get(&leaf).copied()
+    }
+
+    /// Register `leaf` as a provider of `predicate` (at its super-peer).
+    /// Returns false if the leaf is not attached.
+    pub fn advertise(&mut self, leaf: PeerId, predicate: Sym) -> bool {
+        let Some(sp) = self.attachment.get(&leaf).copied() else {
+            return false;
+        };
+        self.indices
+            .get_mut(&sp)
+            .expect("attached super-peer exists")
+            .register(predicate, leaf);
+        true
+    }
+
+    /// Routed lookup: start at the requester's super-peer, walk the
+    /// backbone until providers are found (or the walk completes),
+    /// counting hops. All providers across the backbone are gathered when
+    /// `exhaustive` is set; otherwise the walk stops at the first index
+    /// with a hit.
+    pub fn lookup(&self, from_leaf: PeerId, predicate: Sym, exhaustive: bool) -> RoutedLookup {
+        let Some(start) = self.attachment.get(&from_leaf).copied() else {
+            return RoutedLookup {
+                providers: Vec::new(),
+                hops: 0,
+                answered_by: None,
+            };
+        };
+        let start_idx = self
+            .backbone
+            .iter()
+            .position(|sp| *sp == start)
+            .expect("attached super-peer on backbone");
+
+        let mut providers: Vec<PeerId> = Vec::new();
+        let mut seen: HashSet<PeerId> = HashSet::new();
+        let mut hops = 0;
+        let mut answered_by = None;
+        for step in 0..self.backbone.len() {
+            let sp = self.backbone[(start_idx + step) % self.backbone.len()];
+            if step > 0 {
+                hops += 1;
+            }
+            let found = self.indices[&sp].lookup(predicate);
+            if !found.is_empty() && answered_by.is_none() {
+                answered_by = Some(sp);
+            }
+            for p in found {
+                if seen.insert(*p) {
+                    providers.push(*p);
+                }
+            }
+            if !providers.is_empty() && !exhaustive {
+                break;
+            }
+        }
+        RoutedLookup {
+            providers,
+            hops,
+            answered_by,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: &str) -> PeerId {
+        PeerId::new(n)
+    }
+
+    fn sym(n: &str) -> Sym {
+        Sym::new(n)
+    }
+
+    fn network() -> SuperPeerNetwork {
+        let mut net = SuperPeerNetwork::new([p("SP1"), p("SP2"), p("SP3")]);
+        assert!(net.attach(p("E-Learn"), p("SP1")));
+        assert!(net.attach(p("CourseCo"), p("SP2")));
+        assert!(net.attach(p("Alice"), p("SP3")));
+        assert!(net.advertise(p("E-Learn"), sym("spanishCourse")));
+        assert!(net.advertise(p("CourseCo"), sym("spanishCourse")));
+        assert!(net.advertise(p("E-Learn"), sym("discountEnroll")));
+        net
+    }
+
+    #[test]
+    fn index_registration_is_idempotent() {
+        let mut idx = RoutingIndex::new();
+        idx.register(sym("course"), p("A"));
+        idx.register(sym("course"), p("A"));
+        assert_eq!(idx.lookup(sym("course")), &[p("A")]);
+        idx.unregister(sym("course"), p("A"));
+        assert!(idx.lookup(sym("course")).is_empty());
+    }
+
+    #[test]
+    fn local_hit_takes_zero_hops() {
+        let net = network();
+        // E-Learn is attached to SP1, which indexes discountEnroll.
+        let r = net.lookup(p("E-Learn"), sym("discountEnroll"), false);
+        assert_eq!(r.hops, 0);
+        assert_eq!(r.answered_by, Some(p("SP1")));
+        assert_eq!(r.providers, vec![p("E-Learn")]);
+    }
+
+    #[test]
+    fn remote_hit_counts_backbone_hops() {
+        let net = network();
+        // Alice is on SP3; spanishCourse providers live on SP1 and SP2.
+        let r = net.lookup(p("Alice"), sym("spanishCourse"), false);
+        assert!(r.hops >= 1);
+        assert!(!r.providers.is_empty());
+    }
+
+    #[test]
+    fn exhaustive_lookup_gathers_all_providers() {
+        let net = network();
+        let r = net.lookup(p("Alice"), sym("spanishCourse"), true);
+        assert_eq!(r.providers.len(), 2);
+        assert_eq!(r.hops as usize, net.super_peers().len() - 1);
+    }
+
+    #[test]
+    fn missing_predicate_walks_whole_backbone() {
+        let net = network();
+        let r = net.lookup(p("Alice"), sym("noSuchThing"), false);
+        assert!(r.providers.is_empty());
+        assert_eq!(r.answered_by, None);
+        assert_eq!(r.hops as usize, net.super_peers().len() - 1);
+    }
+
+    #[test]
+    fn unattached_leaf_gets_nothing() {
+        let net = network();
+        let r = net.lookup(p("Stranger"), sym("spanishCourse"), false);
+        assert!(r.providers.is_empty());
+        assert_eq!(r.hops, 0);
+    }
+
+    #[test]
+    fn attach_to_unknown_super_peer_fails() {
+        let mut net = network();
+        assert!(!net.attach(p("X"), p("NoSuchSP")));
+        assert!(!net.advertise(p("X"), sym("anything")));
+    }
+}

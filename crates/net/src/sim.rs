@@ -1,0 +1,395 @@
+//! Deterministic simulated network.
+//!
+//! The 2004 prototype ran peers as Java applications talking over secure
+//! sockets. For reproducible experiments we substitute an in-process
+//! discrete-event transport: messages are enqueued with a delivery tick
+//! computed from a [`LatencyModel`], and the negotiation driver pumps the
+//! network by polling each peer's inbox. Determinism (a seeded RNG drives
+//! any latency jitter) makes negotiation traces byte-for-byte reproducible,
+//! which the interop and safety property tests rely on.
+
+use crate::message::{Message, MessageId, Payload};
+use crate::topology::Topology;
+use peertrust_core::PeerId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+/// Abstract network time (one tick ≈ one latency unit).
+pub type Tick = u64;
+
+/// Per-link latency in ticks.
+#[derive(Clone, Debug)]
+pub enum LatencyModel {
+    /// Same latency on every link.
+    Constant(Tick),
+    /// Uniformly random in `[min, max]`, drawn from the seeded RNG.
+    Uniform { min: Tick, max: Tick },
+    /// Explicit per-link latencies; missing links use `default`.
+    PerLink {
+        links: HashMap<(PeerId, PeerId), Tick>,
+        default: Tick,
+    },
+}
+
+impl LatencyModel {
+    fn sample(&self, from: PeerId, to: PeerId, rng: &mut StdRng) -> Tick {
+        match self {
+            LatencyModel::Constant(t) => *t,
+            LatencyModel::Uniform { min, max } => rng.gen_range(*min..=*max),
+            LatencyModel::PerLink { links, default } => {
+                *links.get(&(from, to)).unwrap_or(default)
+            }
+        }
+    }
+}
+
+/// Transport errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NetError {
+    /// Topology forbids this link.
+    NotConnected { from: PeerId, to: PeerId },
+    /// Hop budget exceeded (forwarding loop guard).
+    TooManyHops { limit: u32 },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NotConnected { from, to } => {
+                write!(f, "no link from {from} to {to} in topology")
+            }
+            NetError::TooManyHops { limit } => write!(f, "hop limit {limit} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Aggregate transport metrics (inputs to every experiment's
+/// messages/bytes columns).
+#[derive(Clone, Default, Debug)]
+pub struct NetStats {
+    pub messages_sent: u64,
+    pub bytes_sent: u64,
+    pub queries: u64,
+    pub answers: u64,
+    pub pushes: u64,
+    pub failures: u64,
+    pub per_peer_sent: HashMap<PeerId, u64>,
+}
+
+/// One entry in the network trace.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    pub at: Tick,
+    pub delivered_at: Tick,
+    pub message: Message,
+}
+
+/// The deterministic simulated network.
+pub struct SimNetwork {
+    topology: Topology,
+    latency: LatencyModel,
+    rng: StdRng,
+    now: Tick,
+    next_msg_id: u64,
+    max_hops: u32,
+    /// Messages keyed by delivery tick (BTreeMap gives deterministic
+    /// time-ordered iteration), each bucket FIFO.
+    in_flight: BTreeMap<Tick, VecDeque<Message>>,
+    inboxes: HashMap<PeerId, VecDeque<Message>>,
+    stats: NetStats,
+    trace: Vec<TraceEvent>,
+    record_trace: bool,
+}
+
+impl SimNetwork {
+    /// A full-mesh, constant-latency-1 network with the given seed.
+    pub fn new(seed: u64) -> SimNetwork {
+        SimNetwork::with(Topology::FullMesh, LatencyModel::Constant(1), seed)
+    }
+
+    pub fn with(topology: Topology, latency: LatencyModel, seed: u64) -> SimNetwork {
+        SimNetwork {
+            topology,
+            latency,
+            rng: StdRng::seed_from_u64(seed),
+            now: 0,
+            next_msg_id: 0,
+            max_hops: 256,
+            in_flight: BTreeMap::new(),
+            inboxes: HashMap::new(),
+            stats: NetStats::default(),
+            trace: Vec::new(),
+            record_trace: false,
+        }
+    }
+
+    /// Record every delivery in [`SimNetwork::trace`].
+    pub fn with_trace(mut self) -> SimNetwork {
+        self.record_trace = true;
+        self
+    }
+
+    /// Maximum forwarding hops before a message is rejected.
+    pub fn with_max_hops(mut self, max_hops: u32) -> SimNetwork {
+        self.max_hops = max_hops;
+        self
+    }
+
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Enqueue a message. Assigns the message id; returns it.
+    pub fn send(
+        &mut self,
+        negotiation: crate::message::NegotiationId,
+        from: PeerId,
+        to: PeerId,
+        payload: Payload,
+        hops: u32,
+    ) -> Result<MessageId, NetError> {
+        if !self.topology.can_send(from, to) {
+            return Err(NetError::NotConnected { from, to });
+        }
+        if hops > self.max_hops {
+            return Err(NetError::TooManyHops {
+                limit: self.max_hops,
+            });
+        }
+        let id = MessageId(self.next_msg_id);
+        self.next_msg_id += 1;
+        let msg = Message {
+            id,
+            negotiation,
+            from,
+            to,
+            payload,
+            hops,
+        };
+
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += msg.encoded_size() as u64;
+        *self.stats.per_peer_sent.entry(from).or_default() += 1;
+        match &msg.payload {
+            Payload::Query { .. } => self.stats.queries += 1,
+            Payload::Answers { .. } => self.stats.answers += 1,
+            Payload::CredentialPush { .. } => self.stats.pushes += 1,
+            Payload::Failure { .. } => self.stats.failures += 1,
+            Payload::PolicyRequest { .. } => self.stats.queries += 1,
+            Payload::PolicyDisclosure { .. } => self.stats.answers += 1,
+        }
+
+        let latency = self.latency.sample(from, to, &mut self.rng).max(1);
+        let deliver_at = self.now + latency;
+        if self.record_trace {
+            self.trace.push(TraceEvent {
+                at: self.now,
+                delivered_at: deliver_at,
+                message: msg.clone(),
+            });
+        }
+        self.in_flight.entry(deliver_at).or_default().push_back(msg);
+        Ok(id)
+    }
+
+    /// Are any messages still in flight or queued in inboxes?
+    pub fn idle(&self) -> bool {
+        self.in_flight.is_empty() && self.inboxes.values().all(VecDeque::is_empty)
+    }
+
+    /// Advance time to the next delivery instant, moving due messages into
+    /// inboxes. Returns `false` if nothing was in flight.
+    pub fn step(&mut self) -> bool {
+        let Some((&t, _)) = self.in_flight.iter().next() else {
+            return false;
+        };
+        self.now = t;
+        let batch = self.in_flight.remove(&t).expect("bucket exists");
+        for msg in batch {
+            self.inboxes.entry(msg.to).or_default().push_back(msg);
+        }
+        true
+    }
+
+    /// Drain all messages currently deliverable to `peer`.
+    pub fn poll(&mut self, peer: PeerId) -> Vec<Message> {
+        self.inboxes
+            .get_mut(&peer)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Peek at inbox depth without draining (diagnostics).
+    pub fn inbox_len(&self, peer: PeerId) -> usize {
+        self.inboxes.get(&peer).map_or(0, VecDeque::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{NegotiationId, QueryId};
+    use peertrust_core::Literal;
+
+    fn p(n: &str) -> PeerId {
+        PeerId::new(n)
+    }
+
+    fn query_payload() -> Payload {
+        Payload::Query {
+            id: QueryId(1),
+            goal: Literal::truth(),
+        }
+    }
+
+    #[test]
+    fn send_step_poll_roundtrip() {
+        let mut net = SimNetwork::new(0);
+        net.send(NegotiationId(1), p("a"), p("b"), query_payload(), 0)
+            .unwrap();
+        assert_eq!(net.poll(p("b")).len(), 0, "not delivered before step");
+        assert!(net.step());
+        let msgs = net.poll(p("b"));
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].from, p("a"));
+        assert!(net.idle());
+    }
+
+    #[test]
+    fn constant_latency_orders_deliveries() {
+        let mut net = SimNetwork::with(Topology::FullMesh, LatencyModel::Constant(5), 0);
+        net.send(NegotiationId(1), p("a"), p("b"), query_payload(), 0)
+            .unwrap();
+        net.step();
+        assert_eq!(net.now(), 5);
+        net.send(NegotiationId(1), p("b"), p("a"), query_payload(), 0)
+            .unwrap();
+        net.step();
+        assert_eq!(net.now(), 10);
+    }
+
+    #[test]
+    fn fifo_within_same_tick() {
+        let mut net = SimNetwork::new(0);
+        for i in 0..3 {
+            net.send(NegotiationId(i), p("a"), p("b"), query_payload(), 0)
+                .unwrap();
+        }
+        net.step();
+        let msgs = net.poll(p("b"));
+        let ids: Vec<u64> = msgs.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, [0, 1, 2]);
+    }
+
+    #[test]
+    fn topology_enforced() {
+        let mut net = SimNetwork::with(
+            Topology::Star { hub: p("broker") },
+            LatencyModel::Constant(1),
+            0,
+        );
+        assert!(net
+            .send(NegotiationId(1), p("a"), p("b"), query_payload(), 0)
+            .is_err());
+        assert!(net
+            .send(NegotiationId(1), p("a"), p("broker"), query_payload(), 0)
+            .is_ok());
+    }
+
+    #[test]
+    fn hop_limit_enforced() {
+        let mut net = SimNetwork::new(0).with_max_hops(3);
+        assert!(net
+            .send(NegotiationId(1), p("a"), p("b"), query_payload(), 4)
+            .is_err());
+        assert!(net
+            .send(NegotiationId(1), p("a"), p("b"), query_payload(), 3)
+            .is_ok());
+    }
+
+    #[test]
+    fn stats_accumulate_by_kind() {
+        let mut net = SimNetwork::new(0);
+        net.send(NegotiationId(1), p("a"), p("b"), query_payload(), 0)
+            .unwrap();
+        net.send(
+            NegotiationId(1),
+            p("b"),
+            p("a"),
+            Payload::Answers {
+                id: QueryId(1),
+                goal: Literal::truth(),
+                answers: vec![],
+            },
+            0,
+        )
+        .unwrap();
+        let s = net.stats();
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.answers, 1);
+        assert!(s.bytes_sent > 0);
+        assert_eq!(s.per_peer_sent[&p("a")], 1);
+    }
+
+    #[test]
+    fn uniform_latency_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = SimNetwork::with(
+                Topology::FullMesh,
+                LatencyModel::Uniform { min: 1, max: 10 },
+                seed,
+            );
+            let mut ticks = Vec::new();
+            for i in 0..5 {
+                net.send(NegotiationId(i), p("a"), p("b"), query_payload(), 0)
+                    .unwrap();
+                net.step();
+                ticks.push(net.now());
+            }
+            ticks
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn trace_records_deliveries() {
+        let mut net = SimNetwork::new(0).with_trace();
+        net.send(NegotiationId(1), p("a"), p("b"), query_payload(), 0)
+            .unwrap();
+        assert_eq!(net.trace().len(), 1);
+        assert_eq!(net.trace()[0].delivered_at, 1);
+    }
+
+    #[test]
+    fn per_link_latency() {
+        let mut links = HashMap::new();
+        links.insert((p("a"), p("b")), 7);
+        let mut net = SimNetwork::with(
+            Topology::FullMesh,
+            LatencyModel::PerLink { links, default: 2 },
+            0,
+        );
+        net.send(NegotiationId(1), p("a"), p("b"), query_payload(), 0)
+            .unwrap();
+        net.step();
+        assert_eq!(net.now(), 7);
+        net.send(NegotiationId(1), p("b"), p("a"), query_payload(), 0)
+            .unwrap();
+        net.step();
+        assert_eq!(net.now(), 9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Network topologies.
+//!
+//! The paper's deployments range from direct bilateral negotiations to
+//! broker-mediated ones (§4.2: "These lists of authorities can also come
+//! from a broker") and super-peer Edutella networks. A [`Topology`]
+//! restricts which peer pairs may exchange messages; experiment E10 sweeps
+//! peer counts over mesh and star topologies.
+
+use peertrust_core::PeerId;
+use std::collections::HashSet;
+
+/// Who may talk to whom.
+#[derive(Clone, Debug)]
+pub enum Topology {
+    /// Every peer may message every other peer (the default).
+    FullMesh,
+    /// All traffic must involve the hub (broker) — spokes cannot talk to
+    /// each other directly.
+    Star { hub: PeerId },
+    /// Only explicitly listed undirected links exist.
+    Links(HashSet<(PeerId, PeerId)>),
+}
+
+impl Topology {
+    /// Build a `Links` topology from undirected pairs.
+    pub fn links(pairs: impl IntoIterator<Item = (PeerId, PeerId)>) -> Topology {
+        let mut set = HashSet::new();
+        for (a, b) in pairs {
+            set.insert(normalize(a, b));
+        }
+        Topology::Links(set)
+    }
+
+    /// A chain `p0 - p1 - ... - pn`.
+    pub fn chain(peers: &[PeerId]) -> Topology {
+        Topology::links(peers.windows(2).map(|w| (w[0], w[1])))
+    }
+
+    /// May `a` send a message to `b`?
+    pub fn can_send(&self, a: PeerId, b: PeerId) -> bool {
+        if a == b {
+            return true; // loopback always allowed
+        }
+        match self {
+            Topology::FullMesh => true,
+            Topology::Star { hub } => a == *hub || b == *hub,
+            Topology::Links(set) => set.contains(&normalize(a, b)),
+        }
+    }
+}
+
+fn normalize(a: PeerId, b: PeerId) -> (PeerId, PeerId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: &str) -> PeerId {
+        PeerId::new(n)
+    }
+
+    #[test]
+    fn full_mesh_allows_everything() {
+        let t = Topology::FullMesh;
+        assert!(t.can_send(p("a"), p("b")));
+        assert!(t.can_send(p("b"), p("a")));
+    }
+
+    #[test]
+    fn star_requires_hub() {
+        let t = Topology::Star { hub: p("broker") };
+        assert!(t.can_send(p("a"), p("broker")));
+        assert!(t.can_send(p("broker"), p("a")));
+        assert!(!t.can_send(p("a"), p("b")));
+    }
+
+    #[test]
+    fn links_are_undirected() {
+        let t = Topology::links([(p("a"), p("b"))]);
+        assert!(t.can_send(p("a"), p("b")));
+        assert!(t.can_send(p("b"), p("a")));
+        assert!(!t.can_send(p("a"), p("c")));
+    }
+
+    #[test]
+    fn chain_links_adjacent_only() {
+        let peers = [p("a"), p("b"), p("c")];
+        let t = Topology::chain(&peers);
+        assert!(t.can_send(p("a"), p("b")));
+        assert!(t.can_send(p("b"), p("c")));
+        assert!(!t.can_send(p("a"), p("c")));
+    }
+
+    #[test]
+    fn loopback_always_allowed() {
+        let t = Topology::links([]);
+        assert!(t.can_send(p("a"), p("a")));
+    }
+}

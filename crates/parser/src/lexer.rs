@@ -1,0 +1,521 @@
+//! Tokenizer for the PeerTrust concrete syntax.
+//!
+//! The token set follows the paper's examples:
+//!
+//! * identifiers starting lower-case are **atoms** / predicate names
+//!   (`student`, `cs101`, `policy49`);
+//! * identifiers starting upper-case or `_` are **variables**
+//!   (`Course`, `Requester`, `X`);
+//! * `"..."` are **string constants** (peer names: `"UIUC"`, `"E-Learn"`);
+//! * integers (`2000`), possibly negative;
+//! * punctuation: `(` `)` `[` `]` `{` `}` `,` `.` `:` `@` `$`;
+//! * the rule arrow `<-` (also accepted: `:-` and the Unicode `←`), with an
+//!   optional context subscript introduced by `_` (`<-_true`);
+//! * comparison operators `=` `!=` `<` `<=` `>` `>=`;
+//! * the keyword `signedBy`.
+//!
+//! Comments: `%` and `//` to end of line, `/* ... */` blocks.
+
+use std::fmt;
+
+/// Source position (1-based line and column) for error reporting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Lower-case identifier (atom / predicate name).
+    Ident(String),
+    /// Upper-case / underscore identifier (variable).
+    Var(String),
+    /// Quoted string constant (quotes removed, escapes processed).
+    Str(String),
+    /// Integer constant.
+    Int(i64),
+    /// `signedBy` keyword.
+    SignedBy,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Colon,
+    At,
+    Dollar,
+    /// The rule arrow `<-` / `:-` / `←`.
+    Arrow,
+    /// `_` immediately after an arrow introduces a rule context.
+    Underscore,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Var(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::SignedBy => write!(f, "signedBy"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Colon => write!(f, ":"),
+            Tok::At => write!(f, "@"),
+            Tok::Dollar => write!(f, "$"),
+            Tok::Arrow => write!(f, "<-"),
+            Tok::Underscore => write!(f, "_"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+/// Lexer errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    pub pos: Pos,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src` completely.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pos: Pos,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: src.chars().peekable(),
+            pos: Pos { line: 1, col: 1 },
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            pos: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let pos = self.pos;
+            let Some(c) = self.peek() else { break };
+            let tok = match c {
+                '(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                ')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                '[' => {
+                    self.bump();
+                    Tok::LBracket
+                }
+                ']' => {
+                    self.bump();
+                    Tok::RBracket
+                }
+                '{' => {
+                    self.bump();
+                    Tok::LBrace
+                }
+                '}' => {
+                    self.bump();
+                    Tok::RBrace
+                }
+                ',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                '.' => {
+                    self.bump();
+                    Tok::Dot
+                }
+                '@' => {
+                    self.bump();
+                    Tok::At
+                }
+                '$' => {
+                    self.bump();
+                    Tok::Dollar
+                }
+                '←' => {
+                    self.bump();
+                    Tok::Arrow
+                }
+                ':' => {
+                    self.bump();
+                    if self.peek() == Some('-') {
+                        self.bump();
+                        Tok::Arrow
+                    } else {
+                        Tok::Colon
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('-') => {
+                            self.bump();
+                            Tok::Arrow
+                        }
+                        Some('=') => {
+                            self.bump();
+                            Tok::Le
+                        }
+                        _ => Tok::Lt,
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Tok::Ge
+                    } else {
+                        Tok::Gt
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    Tok::Eq
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Tok::Ne
+                    } else {
+                        return Err(self.error("expected '=' after '!'"));
+                    }
+                }
+                '"' => self.string()?,
+                '-' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(d) if d.is_ascii_digit() => self.int(true)?,
+                        _ => return Err(self.error("expected digit after '-'")),
+                    }
+                }
+                d if d.is_ascii_digit() => self.int(false)?,
+                a if a.is_alphabetic() || a == '_' => self.ident(),
+                other => return Err(self.error(format!("unexpected character {other:?}"))),
+            };
+            out.push(Spanned { tok, pos });
+        }
+        Ok(out)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('%') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') => {
+                    // Look ahead: only a comment if followed by '/' or '*'.
+                    let mut clone = self.chars.clone();
+                    clone.next();
+                    match clone.peek() {
+                        Some('/') => {
+                            while let Some(c) = self.bump() {
+                                if c == '\n' {
+                                    break;
+                                }
+                            }
+                        }
+                        Some('*') => {
+                            self.bump();
+                            self.bump();
+                            let mut prev = ' ';
+                            loop {
+                                match self.bump() {
+                                    Some('/') if prev == '*' => break,
+                                    Some(c) => prev = c,
+                                    None => return Err(self.error("unterminated block comment")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.error("unexpected character '/'")),
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<Tok, LexError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(Tok::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    Some(c) => return Err(self.error(format!("unknown escape \\{c}"))),
+                    None => return Err(self.error("unterminated string")),
+                },
+                Some(c) => s.push(c),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn int(&mut self, negative: bool) -> Result<Tok, LexError> {
+        let mut n: i64 = 0;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                self.bump();
+                n = n
+                    .checked_mul(10)
+                    .and_then(|n| n.checked_add(i64::from(d)))
+                    .ok_or_else(|| self.error("integer literal overflows i64"))?;
+            } else {
+                break;
+            }
+        }
+        Ok(Tok::Int(if negative { -n } else { n }))
+    }
+
+    fn ident(&mut self) -> Tok {
+        // A leading underscore is always its own token; the parser decides
+        // whether it is an anonymous variable (`_`), a named variable
+        // (`_X` = Underscore + ident), or a rule-context subscript
+        // (`<-_true` = Arrow + Underscore + context).
+        if self.peek() == Some('_') {
+            self.bump();
+            return Tok::Underscore;
+        }
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+                s.push(c);
+            } else {
+                break;
+            }
+        }
+        if s == "signedBy" {
+            Tok::SignedBy
+        } else if s.starts_with(char::is_uppercase) {
+            Tok::Var(s)
+        } else {
+            Tok::Ident(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_paper_fact() {
+        assert_eq!(
+            toks(r#"student("Alice") @ "UIUC" signedBy ["UIUC"]."#),
+            vec![
+                Tok::Ident("student".into()),
+                Tok::LParen,
+                Tok::Str("Alice".into()),
+                Tok::RParen,
+                Tok::At,
+                Tok::Str("UIUC".into()),
+                Tok::SignedBy,
+                Tok::LBracket,
+                Tok::Str("UIUC".into()),
+                Tok::RBracket,
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows_in_all_spellings() {
+        assert_eq!(toks("<-"), vec![Tok::Arrow]);
+        assert_eq!(toks(":-"), vec![Tok::Arrow]);
+        assert_eq!(toks("←"), vec![Tok::Arrow]);
+    }
+
+    #[test]
+    fn arrow_with_context_subscript() {
+        assert_eq!(
+            toks("<-_true"),
+            vec![Tok::Arrow, Tok::Underscore, Tok::Ident("true".into())]
+        );
+        assert_eq!(
+            toks("←_true"),
+            vec![Tok::Arrow, Tok::Underscore, Tok::Ident("true".into())]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("= != < <= > >="),
+            vec![Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge]
+        );
+    }
+
+    #[test]
+    fn variables_vs_atoms() {
+        assert_eq!(
+            toks("Course cs101 Requester _X _"),
+            vec![
+                Tok::Var("Course".into()),
+                Tok::Ident("cs101".into()),
+                Tok::Var("Requester".into()),
+                Tok::Underscore,
+                Tok::Var("X".into()),
+                Tok::Underscore,
+            ]
+        );
+    }
+
+    #[test]
+    fn integers_including_negative() {
+        assert_eq!(toks("2000 -5 0"), vec![Tok::Int(2000), Tok::Int(-5), Tok::Int(0)]);
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks(r#""a\"b\n\t\\""#),
+            vec![Tok::Str("a\"b\n\t\\".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_reports_error() {
+        let err = lex("\"abc").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a % line\nb // line2\nc /* block\nblock */ d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let spanned = lex("a\n  b").unwrap();
+        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn colon_vs_colon_dash() {
+        assert_eq!(toks("p : q :- r"), vec![
+            Tok::Ident("p".into()),
+            Tok::Colon,
+            Tok::Ident("q".into()),
+            Tok::Arrow,
+            Tok::Ident("r".into()),
+        ]);
+    }
+
+    #[test]
+    fn bad_character_is_reported_with_position() {
+        let err = lex("p ^ q").unwrap_err();
+        assert_eq!(err.pos.line, 1);
+        assert!(err.message.contains('^'));
+    }
+}

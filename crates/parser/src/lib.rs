@@ -1,0 +1,32 @@
+//! # peertrust-parser
+//!
+//! Lexer, parser and (via `peertrust-core`'s `Display` impls)
+//! pretty-printer for the PeerTrust policy language — the concrete syntax
+//! used throughout the paper:
+//!
+//! ```text
+//! "E-Learn":
+//!   discountEnroll(Course, Party) $ Requester = Party <-
+//!     discountEnroll(Course, Party).
+//!   eligibleForDiscount(X, Course) <- preferred(X) @ "ELENA".
+//!   preferred(X) @ "ELENA" <- signedBy ["ELENA"] student(X) @ "UIUC".
+//! ```
+//!
+//! Entry points:
+//!
+//! * [`parse_rule`] — one `.`-terminated rule;
+//! * [`parse_program`] — a sequence of rules;
+//! * [`parse_labeled_program`] — the paper's peer-labelled listing style;
+//! * [`parse_literal`] / [`parse_goals`] — query syntax.
+//!
+//! The grammar accepts `<-`, `:-` and `←` as the rule arrow, `%`-, `//`- and
+//! `/* */`-style comments, and the paper's placement of `signedBy [...]`
+//! either after a fact head or directly after the arrow.
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{lex, LexError, Pos, Spanned, Tok};
+pub use parser::{
+    parse_goals, parse_labeled_program, parse_literal, parse_program, parse_rule, ParseError,
+};

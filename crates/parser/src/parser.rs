@@ -1,0 +1,645 @@
+//! Recursive-descent parser for the PeerTrust language.
+//!
+//! Grammar (paper §3.1 concrete syntax, with `<-` / `:-` / `←` all accepted
+//! as the rule arrow):
+//!
+//! ```text
+//! program    := statement*
+//! statement  := rule "."
+//! rule       := literal ("$" context)? tail
+//! tail       := ε                                   -- fact
+//!             | "signedBy" "[" names "]"            -- signed fact
+//!             | arrow ("_" ctx_unit)? ("signedBy" "[" names "]")? body?
+//! body       := item ("," item)*
+//! item       := literal | term cmp term             -- e.g. Price < 2000
+//! literal    := callable ("@" term)*
+//! callable   := ident ("(" term ("," term)* ")")?
+//! context    := item ("," item)*                    -- until arrow/"."/signedBy
+//! ctx_unit   := item | "(" context ")"
+//! term       := int | string | Var | "_" | ident ("(" terms ")")?
+//! ```
+//!
+//! `Requester` and `Self` parse as ordinary variables; their pseudo-variable
+//! behaviour is implemented at disclosure time (see `peertrust-core`
+//! contexts). An anonymous `_` becomes a fresh variable `_G<n>`.
+//!
+//! [`parse_labeled_program`] additionally accepts the paper's peer labels
+//! (`"E-Learn":` or `Alice:`) which assign the following rules to a peer.
+
+use crate::lexer::{lex, LexError, Pos, Spanned, Tok};
+use peertrust_core::{Context, Literal, PeerId, Rule, Sym, Term};
+use std::fmt;
+
+/// Parse errors with position and a human-readable expectation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    pub pos: Option<Pos>,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "parse error at {}: {}", p, self.message),
+            None => write!(f, "parse error at end of input: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            pos: Some(e.pos),
+            message: e.message,
+        }
+    }
+}
+
+/// Parse a complete program: a sequence of `.`-terminated rules.
+pub fn parse_program(src: &str) -> Result<Vec<Rule>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut rules = Vec::new();
+    while !p.at_end() {
+        rules.push(p.rule()?);
+    }
+    Ok(rules)
+}
+
+/// Parse a single `.`-terminated rule.
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let mut p = Parser::new(src)?;
+    let r = p.rule()?;
+    p.expect_end()?;
+    Ok(r)
+}
+
+/// Parse one literal (no trailing dot) — the form used for queries.
+pub fn parse_literal(src: &str) -> Result<Literal, ParseError> {
+    let mut p = Parser::new(src)?;
+    let l = p.item()?;
+    p.expect_end()?;
+    Ok(l)
+}
+
+/// Parse a conjunction of literals (no trailing dot) — a query goal list.
+pub fn parse_goals(src: &str) -> Result<Vec<Literal>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let goals = p.conjunction(|p| p.at_end())?;
+    p.expect_end()?;
+    Ok(goals)
+}
+
+/// Parse a program with the paper's peer labels: `"E-Learn":` (or a bare
+/// identifier/variable name followed by `:`) assigns subsequent rules to
+/// that peer until the next label. Rules before any label are an error.
+pub fn parse_labeled_program(src: &str) -> Result<Vec<(PeerId, Vec<Rule>)>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut out: Vec<(PeerId, Vec<Rule>)> = Vec::new();
+    while !p.at_end() {
+        if let Some(name) = p.try_label() {
+            out.push((PeerId::new(&name), Vec::new()));
+            continue;
+        }
+        let rule = p.rule()?;
+        match out.last_mut() {
+            Some((_, rules)) => rules.push(rule),
+            None => {
+                return Err(ParseError {
+                    pos: None,
+                    message: "rule appears before any peer label".into(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+    anon: u32,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            toks: lex(src)?,
+            i: 0,
+            anon: 0,
+        })
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.i + 1).map(|s| &s.tok)
+    }
+
+    fn pos(&self) -> Option<Pos> {
+        self.toks.get(self.i).map(|s| s.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.bump();
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!("expected {what}, found `{t}`"))),
+            None => Err(self.error(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.error("expected end of input"))
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `"Name":` / `Name:` label (only attempted at statement starts).
+    fn try_label(&mut self) -> Option<String> {
+        let name = match (self.peek(), self.peek2()) {
+            (Some(Tok::Str(s)), Some(Tok::Colon)) => s.clone(),
+            (Some(Tok::Ident(s)), Some(Tok::Colon)) => s.clone(),
+            (Some(Tok::Var(s)), Some(Tok::Colon)) => s.clone(),
+            _ => return None,
+        };
+        self.bump();
+        self.bump();
+        Some(name)
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        let head = self.item()?;
+        let mut rule = Rule::fact(head);
+
+        // Optional head context: `$ ctx` up to arrow / dot / signedBy.
+        if self.eat(&Tok::Dollar) {
+            let goals = self.conjunction(|p| {
+                matches!(
+                    p.peek(),
+                    Some(Tok::Arrow) | Some(Tok::Dot) | Some(Tok::SignedBy) | None
+                )
+            })?;
+            rule.head_context = Some(Context::goals(goals));
+        }
+
+        match self.peek() {
+            Some(Tok::Dot) => {
+                self.bump();
+                Ok(rule)
+            }
+            Some(Tok::SignedBy) => {
+                rule.signed_by = self.signed_by()?;
+                self.expect(&Tok::Dot, "`.`")?;
+                Ok(rule)
+            }
+            Some(Tok::Arrow) => {
+                self.bump();
+                // Optional rule context subscript: `_ctx` or `_(c1, c2)`.
+                if self.eat(&Tok::Underscore) {
+                    rule.rule_context = Some(self.ctx_unit()?);
+                }
+                // The paper puts `signedBy [...]` right after the arrow for
+                // signed delegation rules.
+                if self.peek() == Some(&Tok::SignedBy) {
+                    rule.signed_by = self.signed_by()?;
+                }
+                // Body (may be empty if the rule was only decorated).
+                if self.peek() != Some(&Tok::Dot) {
+                    rule.body = self.conjunction(|p| {
+                        matches!(p.peek(), Some(Tok::Dot) | Some(Tok::SignedBy) | None)
+                    })?;
+                }
+                // Also accept trailing `signedBy [...]` after the body.
+                if self.peek() == Some(&Tok::SignedBy) {
+                    if !rule.signed_by.is_empty() {
+                        return Err(self.error("duplicate signedBy clause"));
+                    }
+                    rule.signed_by = self.signed_by()?;
+                }
+                self.expect(&Tok::Dot, "`.`")?;
+                Ok(rule)
+            }
+            Some(t) => Err(self.error(format!("expected `.`, `<-` or `signedBy`, found `{t}`"))),
+            None => Err(self.error("expected `.`, `<-` or `signedBy`, found end of input")),
+        }
+    }
+
+    fn signed_by(&mut self) -> Result<Vec<Sym>, ParseError> {
+        self.expect(&Tok::SignedBy, "`signedBy`")?;
+        self.expect(&Tok::LBracket, "`[`")?;
+        let mut names = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Tok::Str(s)) => names.push(Sym::new(&s)),
+                Some(Tok::Ident(s)) => names.push(Sym::new(&s)),
+                Some(t) => return Err(self.error(format!("expected issuer name, found `{t}`"))),
+                None => return Err(self.error("expected issuer name, found end of input")),
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RBracket, "`]`")?;
+        if names.is_empty() {
+            return Err(self.error("signedBy list must not be empty"));
+        }
+        Ok(names)
+    }
+
+    /// A rule-context subscript: a single item, `true`, or a parenthesized
+    /// conjunction.
+    fn ctx_unit(&mut self) -> Result<Context, ParseError> {
+        if self.eat(&Tok::LParen) {
+            let goals = self.conjunction(|p| matches!(p.peek(), Some(Tok::RParen) | None))?;
+            self.expect(&Tok::RParen, "`)`")?;
+            Ok(Context::goals(goals))
+        } else {
+            let item = self.item()?;
+            Ok(Context::goals(vec![item]))
+        }
+    }
+
+    /// Comma-separated items until `stop` says the terminator is next.
+    fn conjunction(
+        &mut self,
+        stop: impl Fn(&Parser) -> bool,
+    ) -> Result<Vec<Literal>, ParseError> {
+        let mut items = vec![self.item()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.bump();
+            items.push(self.item()?);
+        }
+        if !stop(self) {
+            // Defensive: report a clean error instead of looping.
+            if let Some(t) = self.peek() {
+                return Err(self.error(format!("expected `,` or end of clause, found `{t}`")));
+            }
+        }
+        Ok(items)
+    }
+
+    /// A body/context item: a literal with optional authority chain, or an
+    /// infix comparison like `Price < 2000` / `Requester = Self`.
+    fn item(&mut self) -> Result<Literal, ParseError> {
+        let lhs_start = self.i;
+        // Try: callable literal first (ident, maybe args).
+        if matches!(self.peek(), Some(Tok::Ident(_))) {
+            let lit = self.callable()?;
+            if let Some(op) = self.cmp_op() {
+                // It was really a term on the left of a comparison; re-read
+                // it as a term.
+                self.i = lhs_start;
+                let lhs = self.term()?;
+                self.bump(); // the operator
+                let rhs = self.term()?;
+                return Ok(Literal::cmp(op, lhs, rhs));
+            }
+            // Authority chain.
+            let mut lit = lit;
+            while self.eat(&Tok::At) {
+                lit = lit.at(self.term()?);
+            }
+            return Ok(lit);
+        }
+        // Otherwise it must be `term cmp term`.
+        let lhs = self.term()?;
+        let Some(op) = self.cmp_op() else {
+            return Err(self.error("expected comparison operator after term"));
+        };
+        self.bump();
+        let rhs = self.term()?;
+        Ok(Literal::cmp(op, lhs, rhs))
+    }
+
+    /// Peek at a comparison operator without consuming it.
+    fn cmp_op(&self) -> Option<&'static str> {
+        match self.peek() {
+            Some(Tok::Eq) => Some("="),
+            Some(Tok::Ne) => Some("!="),
+            Some(Tok::Lt) => Some("<"),
+            Some(Tok::Le) => Some("<="),
+            Some(Tok::Gt) => Some(">"),
+            Some(Tok::Ge) => Some(">="),
+            _ => None,
+        }
+    }
+
+    /// `ident` or `ident(args)` as a literal.
+    fn callable(&mut self) -> Result<Literal, ParseError> {
+        let Some(Tok::Ident(name)) = self.bump() else {
+            return Err(self.error("expected predicate name"));
+        };
+        let mut args = Vec::new();
+        if self.eat(&Tok::LParen) {
+            loop {
+                args.push(self.term()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen, "`)`")?;
+        }
+        Ok(Literal::new(name.as_str(), args))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(i)) => Ok(Term::Int(i)),
+            Some(Tok::Str(s)) => Ok(Term::str(s.as_str())),
+            Some(Tok::Var(v)) => Ok(Term::var(v.as_str())),
+            Some(Tok::Underscore) => {
+                // `_X` (named) or `_` (anonymous, fresh each occurrence).
+                match self.peek() {
+                    Some(Tok::Var(v)) => {
+                        let name = format!("_{v}");
+                        self.bump();
+                        Ok(Term::var(name.as_str()))
+                    }
+                    Some(Tok::Ident(v)) => {
+                        let name = format!("_{v}");
+                        self.bump();
+                        Ok(Term::var(name.as_str()))
+                    }
+                    _ => {
+                        self.anon += 1;
+                        Ok(Term::var(format!("_G{}", self.anon).as_str()))
+                    }
+                }
+            }
+            Some(Tok::Ident(name)) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.term()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RParen, "`)`")?;
+                    Ok(Term::compound(name.as_str(), args))
+                } else {
+                    Ok(Term::atom(name.as_str()))
+                }
+            }
+            Some(t) => Err(ParseError {
+                pos: self.toks.get(self.i - 1).map(|s| s.pos),
+                message: format!("expected term, found `{t}`"),
+            }),
+            None => Err(ParseError {
+                pos: None,
+                message: "expected term, found end of input".into(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_signed_fact() {
+        let r = parse_rule(r#"student("Alice") @ "UIUC" signedBy ["UIUC"]."#).unwrap();
+        assert!(r.is_credential());
+        assert_eq!(
+            r.to_string(),
+            r#"student("Alice") @ "UIUC" signedBy ["UIUC"]."#
+        );
+    }
+
+    #[test]
+    fn parses_plain_fact_and_rule() {
+        let r = parse_rule("freeCourse(cs101).").unwrap();
+        assert!(r.is_fact());
+        assert_eq!(r.to_string(), "freeCourse(cs101).");
+
+        let r2 = parse_rule(r#"preferred(X) <- student(X) @ "UIUC"."#).unwrap();
+        assert_eq!(r2.body.len(), 1);
+        assert_eq!(r2.to_string(), r#"preferred(X) <- student(X) @ "UIUC"."#);
+    }
+
+    #[test]
+    fn parses_unicode_arrow_and_subscript_context() {
+        let r = parse_rule(
+            r#"enroll(Course, Requester, Company, Email, 0) ←_true freeCourse(Course), freebieEligible(Course, Requester, Company, Email)."#,
+        )
+        .unwrap();
+        assert!(r.rule_context.as_ref().unwrap().is_public());
+        assert_eq!(r.body.len(), 2);
+    }
+
+    #[test]
+    fn parses_head_context_requester_eq() {
+        // E-Learn's discountEnroll release rule (§4.1).
+        let r = parse_rule(
+            "discountEnroll(Course, Party) $ Requester = Party <- discountEnroll(Course, Party).",
+        )
+        .unwrap();
+        let ctx = r.head_context.unwrap();
+        assert_eq!(ctx.to_string(), "Requester = Party");
+    }
+
+    #[test]
+    fn parses_head_context_with_authority_chain() {
+        // Alice's release policy for student literals (§4.1).
+        let r = parse_rule(
+            r#"student(X) @ Y $ member(Requester) @ "BBB" @ Requester <-_true student(X) @ Y."#,
+        )
+        .unwrap();
+        let ctx = r.head_context.unwrap();
+        assert_eq!(ctx.goals.len(), 1);
+        assert_eq!(
+            ctx.goals[0].to_string(),
+            r#"member(Requester) @ "BBB" @ Requester"#
+        );
+        assert!(r.rule_context.unwrap().is_public());
+    }
+
+    #[test]
+    fn parses_signed_delegation_after_arrow() {
+        // UIUC registrar's delegation (§3.1).
+        let r = parse_rule(
+            r#"student(X) @ "UIUC" <- signedBy ["UIUC"] student(X) @ "UIUC Registrar"."#,
+        )
+        .unwrap();
+        assert_eq!(r.signed_by.len(), 1);
+        assert_eq!(r.signed_by[0].as_str(), "UIUC");
+        assert_eq!(r.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_comparison_in_body() {
+        // Bob's purchase authorization (§4.2).
+        let r = parse_rule(
+            r#"authorized("Bob", Price) @ "IBM" <- signedBy ["IBM"] Price < 2000."#,
+        )
+        .unwrap();
+        assert_eq!(r.body[0].to_string(), "Price < 2000");
+        assert!(r.body[0].is_builtin());
+    }
+
+    #[test]
+    fn parses_policy49_with_externals() {
+        let r = parse_rule(
+            r#"policy49(Course, Requester, Company, Price) <-_true
+                 price(Course, Price),
+                 authorized(Requester, Price) @ Company @ Requester,
+                 visaCard(Company) @ "VISA" @ Requester,
+                 purchaseApproved(Company, Price) @ "VISA"."#,
+        )
+        .unwrap();
+        assert_eq!(r.body.len(), 4);
+        assert_eq!(r.body[1].authority.len(), 2);
+    }
+
+    #[test]
+    fn parses_trailing_signedby() {
+        let r = parse_rule(r#"p(X) <- q(X) signedBy ["A"]."#).unwrap();
+        assert_eq!(r.signed_by.len(), 1);
+        assert_eq!(r.body.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_signedby_rejected() {
+        assert!(parse_rule(r#"p(X) <- signedBy ["A"] q(X) signedBy ["B"]."#).is_err());
+    }
+
+    #[test]
+    fn parses_program_with_comments() {
+        let rules = parse_program(
+            "% course database\nfreeCourse(cs101). freeCourse(cs102).\nprice(cs411, 1000).",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 3);
+    }
+
+    #[test]
+    fn parses_labeled_program() {
+        let peers = parse_labeled_program(
+            r#"
+            "E-Learn":
+              freeCourse(cs101).
+            Alice:
+              student("Alice") @ "UIUC" signedBy ["UIUC"].
+              email("Alice", "alice@uiuc.edu").
+            "#,
+        )
+        .unwrap();
+        assert_eq!(peers.len(), 2);
+        assert_eq!(peers[0].0, PeerId::new("E-Learn"));
+        assert_eq!(peers[0].1.len(), 1);
+        assert_eq!(peers[1].0, PeerId::new("Alice"));
+        assert_eq!(peers[1].1.len(), 2);
+    }
+
+    #[test]
+    fn rule_before_label_is_error() {
+        assert!(parse_labeled_program("p(a).").is_err());
+    }
+
+    #[test]
+    fn parses_goals() {
+        let goals = parse_goals(r#"price(C, P), P < 2000"#).unwrap();
+        assert_eq!(goals.len(), 2);
+        assert_eq!(goals[1].pred.as_str(), "<");
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh() {
+        let r = parse_rule("p(_, _).").unwrap();
+        let vars = r.vars();
+        assert_eq!(vars.len(), 2, "each `_` must be a distinct variable");
+    }
+
+    #[test]
+    fn named_underscore_variable() {
+        let r = parse_rule("p(_X, _X).").unwrap();
+        assert_eq!(r.vars().len(), 1);
+    }
+
+    #[test]
+    fn compound_terms_parse() {
+        let l = parse_literal("p(f(g(X), 1), \"s\")").unwrap();
+        assert_eq!(l.to_string(), "p(f(g(X), 1), \"s\")");
+    }
+
+    #[test]
+    fn missing_dot_is_reported() {
+        let err = parse_rule("p(a)").unwrap_err();
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn garbage_after_rule_is_reported() {
+        assert!(parse_rule("p(a). q(b).").is_err());
+    }
+
+    #[test]
+    fn zero_arity_literal() {
+        let r = parse_rule("ready <- initialized.").unwrap();
+        assert_eq!(r.head.to_string(), "ready");
+        assert_eq!(r.body[0].to_string(), "initialized");
+    }
+
+    #[test]
+    fn roundtrip_all_paper_rules() {
+        // Every distinct rule shape in the paper survives parse → print →
+        // parse unchanged.
+        let sources = [
+            r#"freeEnroll(Course, Requester) $ true <- policeOfficer(Requester) @ "CSP" @ Requester, spanishCourse(Course)."#,
+            r#"eligibleForDiscount(X, Course) <- preferred(X) @ "ELENA"."#,
+            r#"preferred(X) @ "ELENA" <- signedBy ["ELENA"] student(X) @ "UIUC"."#,
+            r#"student(X) @ University <- student(X) @ University @ X."#,
+            r#"member("E-Learn") @ "BBB" signedBy ["BBB"]."#,
+            r#"student(X) $ Requester = "UIUC Registrar" <- student(X) @ "UIUC Registrar"."#,
+            r#"email("Bob", "Bob@ibm.com")."#,
+            r#"authorized("Bob", Price) @ "IBM" <- signedBy ["IBM"] Price < 2000."#,
+            r#"visaCard("IBM") signedBy ["VISA"]."#,
+            r#"policy27(Requester) <- authorizedMerchant(Requester) @ "VISA" @ Requester, member(Requester) @ "ELENA"."#,
+            r#"authority(purchaseApproved, Authority) @ myBroker."#,
+        ];
+        for src in sources {
+            let r1 = parse_rule(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            let printed = r1.to_string();
+            let r2 = parse_rule(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed}: {e}"));
+            assert_eq!(r1, r2, "round trip changed {src}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property test: the pretty-printer and parser are mutually inverse on
+//! the rule shapes the language can express.
+
+use peertrust_core::prelude::*;
+use peertrust_parser::{parse_literal, parse_rule};
+use proptest::prelude::*;
+
+/// Printable terms: variables, atoms, strings, ints, compounds. Symbols
+/// are drawn from a fixed safe alphabet (the printer does not escape
+/// arbitrary atom names; the language requires identifier-shaped atoms).
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        "[A-Z][a-z0-9]{0,4}".prop_map(|v| Term::var(v.as_str())),
+        "[a-z][a-zA-Z0-9_]{0,6}".prop_map(|a| Term::atom(a.as_str())),
+        "[a-zA-Z0-9 ._@-]{0,8}".prop_map(|s| Term::str(s.as_str())),
+        any::<i32>().prop_map(|i| Term::int(i64::from(i))),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        ("[a-z][a-zA-Z0-9_]{0,5}", prop::collection::vec(inner, 1..3))
+            .prop_map(|(f, args)| Term::compound(f.as_str(), args))
+    })
+}
+
+fn arb_plain_literal() -> impl Strategy<Value = Literal> {
+    (
+        "[a-z][a-zA-Z0-9_]{0,6}",
+        prop::collection::vec(arb_term(), 0..3),
+        prop::collection::vec(arb_term(), 0..2),
+    )
+        .prop_map(|(p, args, auth)| {
+            let mut lit = Literal::new(p.as_str(), args);
+            for a in auth {
+                lit = lit.at(a);
+            }
+            lit
+        })
+}
+
+fn arb_comparison() -> impl Strategy<Value = Literal> {
+    (
+        prop_oneof![
+            Just("="),
+            Just("!="),
+            Just("<"),
+            Just("<="),
+            Just(">"),
+            Just(">=")
+        ],
+        arb_term(),
+        arb_term(),
+    )
+        .prop_map(|(op, a, b)| Literal::cmp(op, a, b))
+}
+
+fn arb_body_item() -> impl Strategy<Value = Literal> {
+    prop_oneof![arb_plain_literal(), arb_comparison()]
+}
+
+fn arb_context() -> impl Strategy<Value = Context> {
+    prop::collection::vec(arb_body_item(), 0..3).prop_map(Context::goals)
+}
+
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    (
+        arb_plain_literal(),
+        prop::option::of(arb_context()),
+        prop::option::of(arb_context()),
+        prop::collection::vec(arb_body_item(), 0..4),
+        prop::collection::vec("[A-Za-z][A-Za-z0-9 -]{0,6}", 0..3),
+    )
+        .prop_map(|(head, head_ctx, rule_ctx, body, signers)| {
+            let mut rule = Rule::horn(head, body);
+            rule.head_context = head_ctx;
+            rule.rule_context = rule_ctx;
+            rule.signed_by = signers.iter().map(|s| Sym::new(s)).collect();
+            rule
+        })
+        // The printer only emits a rule context when an arrow is printed,
+        // and the parser's `_ctx` subscript holds a single unit — multi-
+        // goal rule contexts print as `_(a, b)` which round-trips, but a
+        // rule context on a *bare fact* (no arrow) cannot be printed.
+        .prop_filter("rule context needs an arrow", |r| {
+            r.rule_context.is_none() || !r.body.is_empty() || r.signed_by.is_empty()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn literal_roundtrip(lit in arb_plain_literal()) {
+        let printed = lit.to_string();
+        let reparsed = parse_literal(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        prop_assert_eq!(lit, reparsed);
+    }
+
+    #[test]
+    fn comparison_roundtrip(lit in arb_comparison()) {
+        let printed = lit.to_string();
+        let reparsed = parse_literal(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        prop_assert_eq!(lit, reparsed);
+    }
+
+    #[test]
+    fn rule_roundtrip(rule in arb_rule()) {
+        let printed = rule.to_string();
+        let reparsed = parse_rule(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        // Context normalization: `$ true` parses to the public context but
+        // `Some(public)` and explicit goals print identically, so compare
+        // through a second print.
+        prop_assert_eq!(printed.clone(), reparsed.to_string());
+    }
+}

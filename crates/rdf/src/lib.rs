@@ -1,0 +1,25 @@
+//! # peertrust-rdf
+//!
+//! The Edutella-style RDF metadata substrate (paper §1, §6): peers
+//! "manage distributed resources described by RDF metadata", and the
+//! PeerTrust 1.0 prototype "imports RDF metadata to represent policies
+//! for access to resources".
+//!
+//! * [`model`] — IRIs, literals (typed / language-tagged), blank nodes,
+//!   triples;
+//! * [`ntriples`] — a from-scratch N-Triples parser and serializer;
+//! * [`store`] — an indexed triple store with S/P/O pattern queries;
+//! * [`mapping`] — triples into PeerTrust knowledge bases: a generic
+//!   `triple/3` view, a predicate-mapped `p/2` view feeding the paper's
+//!   policies (`price(Course, Price)`), and embedded `peertrustPolicy`
+//!   rule literals.
+
+pub mod mapping;
+pub mod model;
+pub mod ntriples;
+pub mod store;
+
+pub use mapping::{import_metadata, node_to_term, predicate_fact, triple_fact, ImportError, POLICY_PREDICATE};
+pub use model::{Iri, Node, RdfLiteral, Triple};
+pub use ntriples::{parse_ntriples, to_ntriples, NtError};
+pub use store::{Pat, TripleStore};

@@ -1,0 +1,217 @@
+//! Mapping RDF metadata into PeerTrust knowledge bases.
+//!
+//! "PeerTrust 1.0 imports RDF metadata to represent policies for access to
+//! resources" (paper §6). Two mappings are provided:
+//!
+//! * the **generic** mapping: every triple becomes a fact
+//!   `triple("s", "p", "o")`, so rule bodies can query raw metadata;
+//! * the **predicate** mapping: a triple
+//!   `<...#price>(<...courses/cs411>, "1000")` becomes the binary fact
+//!   `price(cs411, 1000)` — predicate IRIs map to predicate symbols via
+//!   their local names, resource IRIs to atoms via theirs, and
+//!   integer-looking literals to integers. This is what lets the §4.2
+//!   policies (`price(Course, Price)`) run directly against imported
+//!   metadata.
+//!
+//! Policy attachment: triples with the reserved predicate local name
+//! `peertrustPolicy` carry a PeerTrust rule *as a literal* (the RDF-borne
+//! policy of the prototype); [`import_metadata`] parses and loads them
+//! alongside the mapped facts.
+
+use crate::model::{Node, Triple};
+use crate::store::TripleStore;
+use peertrust_core::{KnowledgeBase, Literal, Rule, Term};
+use peertrust_parser::parse_rule;
+
+/// The reserved predicate local name carrying embedded PeerTrust rules.
+pub const POLICY_PREDICATE: &str = "peertrustPolicy";
+
+/// Map a node to a PeerTrust term: IRIs and blanks become atoms (local
+/// name), literals become integers when they look like one, else strings.
+pub fn node_to_term(node: &Node) -> Term {
+    match node {
+        Node::Iri(iri) => Term::atom(iri.local_name()),
+        Node::Blank(label) => Term::atom(format!("_bnode_{label}").as_str()),
+        Node::Literal(lit) => match lit.as_int() {
+            Some(i) => Term::int(i),
+            None => Term::str(lit.lexical.as_str()),
+        },
+    }
+}
+
+/// The generic triple fact `triple(s, p, o)`.
+pub fn triple_fact(t: &Triple) -> Rule {
+    Rule::fact(Literal::new(
+        "triple",
+        vec![
+            node_to_term(&t.subject),
+            Term::atom(t.predicate.local_name()),
+            node_to_term(&t.object),
+        ],
+    ))
+}
+
+/// The predicate-mapped binary fact `p(s, o)`.
+pub fn predicate_fact(t: &Triple) -> Rule {
+    Rule::fact(Literal::new(
+        t.predicate.local_name(),
+        vec![node_to_term(&t.subject), node_to_term(&t.object)],
+    ))
+}
+
+/// Errors during metadata import.
+#[derive(Debug)]
+pub enum ImportError {
+    /// An embedded policy literal failed to parse.
+    BadEmbeddedPolicy {
+        subject: String,
+        error: peertrust_parser::ParseError,
+    },
+    /// A policy triple's object is not a literal.
+    NonLiteralPolicy { subject: String },
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::BadEmbeddedPolicy { subject, error } => {
+                write!(f, "bad embedded policy on {subject}: {error}")
+            }
+            ImportError::NonLiteralPolicy { subject } => {
+                write!(f, "policy annotation on {subject} must be a literal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Import a metadata store into a knowledge base:
+///
+/// * every triple as `triple/3` (generic mapping);
+/// * every non-policy triple as `p/2` (predicate mapping);
+/// * every `peertrustPolicy` literal parsed and loaded as a rule.
+///
+/// Returns the number of rules added.
+pub fn import_metadata(store: &TripleStore, kb: &mut KnowledgeBase) -> Result<usize, ImportError> {
+    let mut added = 0;
+    for t in store.iter() {
+        if t.predicate.local_name() == POLICY_PREDICATE {
+            let Some(lit) = t.object.as_literal() else {
+                return Err(ImportError::NonLiteralPolicy {
+                    subject: t.subject.to_string(),
+                });
+            };
+            let rule = parse_rule(&lit.lexical).map_err(|error| {
+                ImportError::BadEmbeddedPolicy {
+                    subject: t.subject.to_string(),
+                    error,
+                }
+            })?;
+            kb.add_local(rule);
+            added += 1;
+            continue;
+        }
+        kb.add_local(triple_fact(t));
+        kb.add_local(predicate_fact(t));
+        added += 2;
+    }
+    Ok(added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntriples::parse_ntriples;
+    use peertrust_core::PeerId;
+    use peertrust_engine::Solver;
+    use peertrust_parser::parse_goals;
+
+    const CATALOG: &str = r#"
+<http://elearn.example/courses/cs101> <http://elearn.example/terms#freeCourse> "true" .
+<http://elearn.example/courses/cs411> <http://elearn.example/terms#price> "1000"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://elearn.example/courses/ml500> <http://elearn.example/terms#price> "2500" .
+<http://elearn.example/courses/cs411> <http://purl.org/dc/terms/title> "Databases" .
+<http://elearn.example/catalog> <http://elearn.example/terms#peertrustPolicy> "affordable(C) <- price(C, P), P < 2000." .
+"#;
+
+    fn imported_kb() -> KnowledgeBase {
+        let store: TripleStore = parse_ntriples(CATALOG).unwrap().into_iter().collect();
+        let mut kb = KnowledgeBase::new();
+        let added = import_metadata(&store, &mut kb).unwrap();
+        assert_eq!(added, 4 * 2 + 1);
+        kb
+    }
+
+    #[test]
+    fn predicate_mapping_feeds_paper_policies() {
+        let kb = imported_kb();
+        // The §4.2 `price(Course, Price)` goal runs directly.
+        let mut solver = Solver::new(&kb, PeerId::new("self"));
+        let sols = solver.solve(&parse_goals("price(cs411, P)").unwrap());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(
+            sols[0].subst.apply(&Term::var("P")),
+            Term::int(1000)
+        );
+    }
+
+    #[test]
+    fn generic_mapping_exposes_raw_triples() {
+        let kb = imported_kb();
+        let mut solver = Solver::new(&kb, PeerId::new("self"));
+        let sols = solver.solve(&parse_goals("triple(cs411, title, T)").unwrap());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(
+            sols[0].subst.apply(&Term::var("T")),
+            Term::str("Databases")
+        );
+    }
+
+    #[test]
+    fn embedded_policy_rule_is_loaded_and_runs() {
+        let kb = imported_kb();
+        let mut solver = Solver::new(&kb, PeerId::new("self"));
+        let sols = solver.solve(&parse_goals("affordable(C)").unwrap());
+        let courses: Vec<String> = sols
+            .iter()
+            .map(|s| s.subst.apply(&Term::var("C")).to_string())
+            .collect();
+        assert_eq!(courses, vec!["cs411"], "ml500 at 2500 is filtered out");
+    }
+
+    #[test]
+    fn bad_embedded_policy_reports_subject() {
+        let src = r#"<http://e/x> <http://e/terms#peertrustPolicy> "broken(" ."#;
+        let store: TripleStore = parse_ntriples(src).unwrap().into_iter().collect();
+        let mut kb = KnowledgeBase::new();
+        let err = import_metadata(&store, &mut kb).unwrap_err();
+        assert!(matches!(err, ImportError::BadEmbeddedPolicy { .. }));
+        assert!(err.to_string().contains("http://e/x"));
+    }
+
+    #[test]
+    fn non_literal_policy_rejected() {
+        let src = r#"<http://e/x> <http://e/terms#peertrustPolicy> <http://e/other> ."#;
+        let store: TripleStore = parse_ntriples(src).unwrap().into_iter().collect();
+        let mut kb = KnowledgeBase::new();
+        assert!(matches!(
+            import_metadata(&store, &mut kb),
+            Err(ImportError::NonLiteralPolicy { .. })
+        ));
+    }
+
+    #[test]
+    fn node_term_mapping_rules() {
+        assert_eq!(
+            node_to_term(&Node::iri("http://e/courses/cs101")),
+            Term::atom("cs101")
+        );
+        assert_eq!(node_to_term(&Node::literal("42")), Term::int(42));
+        assert_eq!(node_to_term(&Node::literal("hello")), Term::str("hello"));
+        assert_eq!(
+            node_to_term(&Node::blank("b0")),
+            Term::atom("_bnode_b0")
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! The RDF data model: IRIs, literals, blank nodes, triples.
+//!
+//! Edutella peers "manage distributed resources described by RDF metadata"
+//! (paper §1). This is the minimal model those descriptions need: graphs
+//! as sets of triples, with typed/tagged literals, ready to be indexed by
+//! [`crate::store::TripleStore`] and mapped into PeerTrust knowledge bases
+//! by [`crate::mapping`].
+
+use std::fmt;
+
+/// An IRI (kept as interned text; no normalization beyond trimming the
+/// angle brackets at parse time).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Iri(pub String);
+
+impl Iri {
+    pub fn new(s: impl Into<String>) -> Iri {
+        Iri(s.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The local name: the part after the last `#` or `/`.
+    pub fn local_name(&self) -> &str {
+        let s = self.0.as_str();
+        match s.rfind(['#', '/']) {
+            Some(i) if i + 1 < s.len() => &s[i + 1..],
+            _ => s,
+        }
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+/// An RDF literal: lexical form plus optional datatype or language tag.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RdfLiteral {
+    pub lexical: String,
+    pub datatype: Option<Iri>,
+    pub language: Option<String>,
+}
+
+impl RdfLiteral {
+    pub fn plain(s: impl Into<String>) -> RdfLiteral {
+        RdfLiteral {
+            lexical: s.into(),
+            datatype: None,
+            language: None,
+        }
+    }
+
+    pub fn typed(s: impl Into<String>, datatype: Iri) -> RdfLiteral {
+        RdfLiteral {
+            lexical: s.into(),
+            datatype: Some(datatype),
+            language: None,
+        }
+    }
+
+    pub fn lang(s: impl Into<String>, tag: impl Into<String>) -> RdfLiteral {
+        RdfLiteral {
+            lexical: s.into(),
+            datatype: None,
+            language: Some(tag.into()),
+        }
+    }
+
+    /// Integer value, when the literal is xsd:integer-typed or its lexical
+    /// form parses as one.
+    pub fn as_int(&self) -> Option<i64> {
+        self.lexical.parse().ok()
+    }
+}
+
+impl fmt::Display for RdfLiteral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", escape(&self.lexical))?;
+        if let Some(dt) = &self.datatype {
+            write!(f, "^^{dt}")?;
+        } else if let Some(tag) = &self.language {
+            write!(f, "@{tag}")?;
+        }
+        Ok(())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\t', "\\t")
+        .replace('\r', "\\r")
+}
+
+/// A node in an RDF graph.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Node {
+    Iri(Iri),
+    Blank(String),
+    Literal(RdfLiteral),
+}
+
+impl Node {
+    pub fn iri(s: impl Into<String>) -> Node {
+        Node::Iri(Iri::new(s))
+    }
+
+    pub fn blank(label: impl Into<String>) -> Node {
+        Node::Blank(label.into())
+    }
+
+    pub fn literal(s: impl Into<String>) -> Node {
+        Node::Literal(RdfLiteral::plain(s))
+    }
+
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Node::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    pub fn as_literal(&self) -> Option<&RdfLiteral> {
+        match self {
+            Node::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Iri(i) => write!(f, "{i}"),
+            Node::Blank(b) => write!(f, "_:{b}"),
+            Node::Literal(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// One RDF statement.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Triple {
+    pub subject: Node,
+    pub predicate: Iri,
+    pub object: Node,
+}
+
+impl Triple {
+    pub fn new(subject: Node, predicate: Iri, object: Node) -> Triple {
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_local_names() {
+        assert_eq!(Iri::new("http://ex.org/terms#title").local_name(), "title");
+        assert_eq!(Iri::new("http://ex.org/courses/cs101").local_name(), "cs101");
+        assert_eq!(Iri::new("noseparator").local_name(), "noseparator");
+        assert_eq!(Iri::new("trailing/").local_name(), "trailing/");
+    }
+
+    #[test]
+    fn literal_display_forms() {
+        assert_eq!(RdfLiteral::plain("hi").to_string(), "\"hi\"");
+        assert_eq!(
+            RdfLiteral::typed("5", Iri::new("http://www.w3.org/2001/XMLSchema#integer"))
+                .to_string(),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+        assert_eq!(RdfLiteral::lang("hola", "es").to_string(), "\"hola\"@es");
+    }
+
+    #[test]
+    fn literal_escaping() {
+        let l = RdfLiteral::plain("a\"b\\c\nd");
+        assert_eq!(l.to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn literal_int_coercion() {
+        assert_eq!(RdfLiteral::plain("1000").as_int(), Some(1000));
+        assert_eq!(RdfLiteral::plain("x").as_int(), None);
+    }
+
+    #[test]
+    fn triple_display() {
+        let t = Triple::new(
+            Node::iri("http://ex.org/cs101"),
+            Iri::new("http://ex.org/terms#price"),
+            Node::literal("1000"),
+        );
+        assert_eq!(
+            t.to_string(),
+            "<http://ex.org/cs101> <http://ex.org/terms#price> \"1000\" ."
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! N-Triples parser and serializer (W3C N-Triples, the line-oriented
+//! subset sufficient for Edutella-style metadata exchange).
+//!
+//! Supported per line: `<iri> | _:blank` subject, `<iri>` predicate,
+//! `<iri> | _:blank | "literal"[^^<dt> | @lang]` object, terminating `.`.
+//! `#` comments and blank lines are skipped. Escapes: `\" \\ \n \t \r
+//! \uXXXX`.
+
+use crate::model::{Iri, Node, RdfLiteral, Triple};
+use std::fmt;
+
+/// Parse errors with line numbers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NtError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for NtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N-Triples error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NtError {}
+
+/// Parse a whole N-Triples document.
+pub fn parse_ntriples(src: &str) -> Result<Vec<Triple>, NtError> {
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(line, line_no)?);
+    }
+    Ok(out)
+}
+
+/// Serialize triples as N-Triples text.
+pub fn to_ntriples(triples: &[Triple]) -> String {
+    let mut s = String::new();
+    for t in triples {
+        s.push_str(&t.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+struct Cursor<'a> {
+    s: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, message: impl Into<String>) -> NtError {
+        NtError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.s[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with([' ', '\t']) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.rest().starts_with(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn take_until(&mut self, stop: char) -> Result<&'a str, NtError> {
+        let rest = self.rest();
+        match rest.find(stop) {
+            Some(i) => {
+                let out = &rest[..i];
+                self.pos += i + stop.len_utf8();
+                Ok(out)
+            }
+            None => Err(self.err(format!("missing `{stop}`"))),
+        }
+    }
+
+    fn iri(&mut self) -> Result<Iri, NtError> {
+        if !self.eat('<') {
+            return Err(self.err("expected `<`"));
+        }
+        let body = self.take_until('>')?;
+        if body.chars().any(|c| c.is_whitespace() || c == '<') {
+            return Err(self.err("malformed IRI"));
+        }
+        Ok(Iri::new(body))
+    }
+
+    fn blank(&mut self) -> Result<Node, NtError> {
+        // caller consumed nothing; expect `_:`
+        if !self.rest().starts_with("_:") {
+            return Err(self.err("expected `_:`"));
+        }
+        self.pos += 2;
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| c.is_whitespace())
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("empty blank node label"));
+        }
+        let label = &rest[..end];
+        self.pos += end;
+        Ok(Node::blank(label))
+    }
+
+    fn literal(&mut self) -> Result<Node, NtError> {
+        if !self.eat('"') {
+            return Err(self.err("expected `\"`"));
+        }
+        let mut lexical = String::new();
+        loop {
+            let rest = self.rest();
+            let mut chars = rest.char_indices();
+            match chars.next() {
+                None => return Err(self.err("unterminated literal")),
+                Some((_, '"')) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some((_, '\\')) => {
+                    let (_, esc) = chars
+                        .next()
+                        .ok_or_else(|| self.err("dangling escape"))?;
+                    let consumed = 1 + esc.len_utf8();
+                    match esc {
+                        'n' => lexical.push('\n'),
+                        't' => lexical.push('\t'),
+                        'r' => lexical.push('\r'),
+                        '"' => lexical.push('"'),
+                        '\\' => lexical.push('\\'),
+                        'u' => {
+                            let hex = rest
+                                .get(2..6)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let c = char::from_u32(cp)
+                                .ok_or_else(|| self.err("invalid code point"))?;
+                            lexical.push(c);
+                            self.pos += 2 + 4;
+                            continue;
+                        }
+                        other => return Err(self.err(format!("unknown escape \\{other}"))),
+                    }
+                    self.pos += consumed;
+                }
+                Some((_, c)) => {
+                    lexical.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        // Optional datatype or language tag.
+        if self.rest().starts_with("^^") {
+            self.pos += 2;
+            let dt = self.iri()?;
+            return Ok(Node::Literal(RdfLiteral::typed(lexical, dt)));
+        }
+        if self.eat('@') {
+            let rest = self.rest();
+            let end = rest
+                .find(|c: char| c.is_whitespace())
+                .unwrap_or(rest.len());
+            if end == 0 {
+                return Err(self.err("empty language tag"));
+            }
+            let tag = &rest[..end];
+            self.pos += end;
+            return Ok(Node::Literal(RdfLiteral::lang(lexical, tag)));
+        }
+        Ok(Node::Literal(RdfLiteral::plain(lexical)))
+    }
+
+    fn subject(&mut self) -> Result<Node, NtError> {
+        if self.rest().starts_with('<') {
+            Ok(Node::Iri(self.iri()?))
+        } else if self.rest().starts_with("_:") {
+            self.blank()
+        } else {
+            Err(self.err("subject must be an IRI or blank node"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Node, NtError> {
+        if self.rest().starts_with('<') {
+            Ok(Node::Iri(self.iri()?))
+        } else if self.rest().starts_with("_:") {
+            self.blank()
+        } else if self.rest().starts_with('"') {
+            self.literal()
+        } else {
+            Err(self.err("object must be an IRI, blank node or literal"))
+        }
+    }
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<Triple, NtError> {
+    let mut c = Cursor {
+        s: line,
+        pos: 0,
+        line: line_no,
+    };
+    let subject = c.subject()?;
+    c.skip_ws();
+    let predicate = c.iri()?;
+    c.skip_ws();
+    let object = c.object()?;
+    c.skip_ws();
+    if !c.eat('.') {
+        return Err(c.err("expected terminating `.`"));
+    }
+    c.skip_ws();
+    if !c.rest().is_empty() && !c.rest().starts_with('#') {
+        return Err(c.err("trailing content after `.`"));
+    }
+    Ok(Triple::new(subject, predicate, object))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+# Course metadata, Edutella-style.
+<http://elearn.example/courses/cs101> <http://purl.org/dc/terms/title> "Intro to CS" .
+<http://elearn.example/courses/cs101> <http://elearn.example/terms#price> "0" .
+<http://elearn.example/courses/cs411> <http://elearn.example/terms#price> "1000"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://elearn.example/courses/cs411> <http://purl.org/dc/terms/title> "Datenbanken"@de .
+_:policy1 <http://elearn.example/terms#guards> <http://elearn.example/courses/cs411> .
+"#;
+
+    #[test]
+    fn parses_mixed_document() {
+        let triples = parse_ntriples(DOC).unwrap();
+        assert_eq!(triples.len(), 5);
+        assert_eq!(
+            triples[0].object,
+            Node::literal("Intro to CS")
+        );
+        assert!(matches!(&triples[4].subject, Node::Blank(b) if b == "policy1"));
+        let lit = triples[2].object.as_literal().unwrap();
+        assert_eq!(lit.as_int(), Some(1000));
+        assert!(lit.datatype.is_some());
+        let de = triples[3].object.as_literal().unwrap();
+        assert_eq!(de.language.as_deref(), Some("de"));
+    }
+
+    #[test]
+    fn roundtrips_through_serializer() {
+        let triples = parse_ntriples(DOC).unwrap();
+        let text = to_ntriples(&triples);
+        let again = parse_ntriples(&text).unwrap();
+        assert_eq!(triples, again);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let src = r#"<http://e/s> <http://e/p> "line1\nline2 \"quoted\" tab\there" ."#;
+        let t = parse_ntriples(src).unwrap();
+        let lit = t[0].object.as_literal().unwrap();
+        assert_eq!(lit.lexical, "line1\nline2 \"quoted\" tab\there");
+        let again = parse_ntriples(&to_ntriples(&t)).unwrap();
+        assert_eq!(t, again);
+    }
+
+    #[test]
+    fn unicode_escape() {
+        let src = r#"<http://e/s> <http://e/p> "café" ."#;
+        let t = parse_ntriples(src).unwrap();
+        assert_eq!(t[0].object.as_literal().unwrap().lexical, "café");
+    }
+
+    #[test]
+    fn error_reporting_with_line_numbers() {
+        let src = "<http://e/s> <http://e/p> \"ok\" .\n<http://e/s <http://e/p> \"bad\" .";
+        let err = parse_ntriples(src).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("malformed IRI"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_ntriples("just words .").is_err());
+        assert!(parse_ntriples("<http://a> <http://b> .").is_err());
+        assert!(parse_ntriples("<http://a> <http://b> \"x\"").is_err());
+        assert!(parse_ntriples("<http://a> <http://b> \"x\" . extra").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let src = "\n# nothing\n\n<http://a> <http://b> <http://c> .\n";
+        assert_eq!(parse_ntriples(src).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn literal_subject_rejected() {
+        assert!(parse_ntriples("\"lit\" <http://p> <http://o> .").is_err());
+    }
+}

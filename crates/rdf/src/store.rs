@@ -1,0 +1,234 @@
+//! An indexed triple store with pattern matching.
+//!
+//! Supports the lookups the metadata layer needs: match any combination of
+//! bound/unbound subject, predicate, object. Indexes: SPO order plus
+//! by-subject, by-predicate, by-object hash indexes over triple ids.
+
+use crate::model::{Iri, Node, Triple};
+use std::collections::HashMap;
+
+/// A pattern component: bound to a value or a wildcard.
+#[derive(Clone, Debug)]
+pub enum Pat<T> {
+    Any,
+    Is(T),
+}
+
+impl<T: PartialEq> Pat<T> {
+    fn matches(&self, v: &T) -> bool {
+        match self {
+            Pat::Any => true,
+            Pat::Is(x) => x == v,
+        }
+    }
+}
+
+/// The store.
+#[derive(Default, Debug)]
+pub struct TripleStore {
+    triples: Vec<Triple>,
+    by_subject: HashMap<Node, Vec<usize>>,
+    by_predicate: HashMap<Iri, Vec<usize>>,
+    by_object: HashMap<Node, Vec<usize>>,
+}
+
+impl TripleStore {
+    pub fn new() -> TripleStore {
+        TripleStore::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Insert, deduplicating exact repeats. Returns whether it was new.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        if self.contains(&t) {
+            return false;
+        }
+        let id = self.triples.len();
+        self.by_subject.entry(t.subject.clone()).or_default().push(id);
+        self.by_predicate
+            .entry(t.predicate.clone())
+            .or_default()
+            .push(id);
+        self.by_object.entry(t.object.clone()).or_default().push(id);
+        self.triples.push(t);
+        true
+    }
+
+    pub fn extend(&mut self, triples: impl IntoIterator<Item = Triple>) -> usize {
+        triples.into_iter().filter(|t| self.insert(t.clone())).count()
+    }
+
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.by_subject
+            .get(&t.subject)
+            .is_some_and(|ids| ids.iter().any(|&i| self.triples[i] == *t))
+    }
+
+    /// All triples matching the pattern, using the most selective
+    /// available index.
+    pub fn query(&self, s: Pat<Node>, p: Pat<Iri>, o: Pat<Node>) -> Vec<&Triple> {
+        let candidates: Box<dyn Iterator<Item = usize> + '_> = match (&s, &p, &o) {
+            (Pat::Is(sv), _, _) => match self.by_subject.get(sv) {
+                Some(ids) => Box::new(ids.iter().copied()),
+                None => Box::new(std::iter::empty()),
+            },
+            (_, _, Pat::Is(ov)) => match self.by_object.get(ov) {
+                Some(ids) => Box::new(ids.iter().copied()),
+                None => Box::new(std::iter::empty()),
+            },
+            (_, Pat::Is(pv), _) => match self.by_predicate.get(pv) {
+                Some(ids) => Box::new(ids.iter().copied()),
+                None => Box::new(std::iter::empty()),
+            },
+            _ => Box::new(0..self.triples.len()),
+        };
+        candidates
+            .map(|i| &self.triples[i])
+            .filter(|t| s.matches(&t.subject) && p.matches(&t.predicate) && o.matches(&t.object))
+            .collect()
+    }
+
+    /// Objects of `(subject, predicate, ?)`.
+    pub fn objects(&self, subject: &Node, predicate: &Iri) -> Vec<&Node> {
+        self.query(
+            Pat::Is(subject.clone()),
+            Pat::Is(predicate.clone()),
+            Pat::Any,
+        )
+        .into_iter()
+        .map(|t| &t.object)
+        .collect()
+    }
+
+    /// Distinct subjects in insertion order.
+    pub fn subjects(&self) -> Vec<&Node> {
+        let mut seen = Vec::new();
+        for t in &self.triples {
+            if !seen.contains(&&t.subject) {
+                seen.push(&t.subject);
+            }
+        }
+        seen
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.triples.iter()
+    }
+}
+
+impl FromIterator<Triple> for TripleStore {
+    fn from_iter<T: IntoIterator<Item = Triple>>(iter: T) -> TripleStore {
+        let mut s = TripleStore::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn course(id: &str, title: &str, price: i64) -> Vec<Triple> {
+        let s = Node::iri(format!("http://e/courses/{id}"));
+        vec![
+            Triple::new(
+                s.clone(),
+                Iri::new("http://purl.org/dc/terms/title"),
+                Node::literal(title),
+            ),
+            Triple::new(
+                s,
+                Iri::new("http://e/terms#price"),
+                Node::literal(price.to_string()),
+            ),
+        ]
+    }
+
+    fn store() -> TripleStore {
+        course("cs101", "Intro", 0)
+            .into_iter()
+            .chain(course("cs411", "Databases", 1000))
+            .collect()
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut s = store();
+        let n = s.len();
+        let dup = s.iter().next().unwrap().clone();
+        assert!(!s.insert(dup));
+        assert_eq!(s.len(), n);
+    }
+
+    #[test]
+    fn query_by_subject() {
+        let s = store();
+        let hits = s.query(
+            Pat::Is(Node::iri("http://e/courses/cs411")),
+            Pat::Any,
+            Pat::Any,
+        );
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn query_by_predicate() {
+        let s = store();
+        let hits = s.query(Pat::Any, Pat::Is(Iri::new("http://e/terms#price")), Pat::Any);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn query_by_object() {
+        let s = store();
+        let hits = s.query(Pat::Any, Pat::Any, Pat::Is(Node::literal("1000")));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            hits[0].subject,
+            Node::iri("http://e/courses/cs411")
+        );
+    }
+
+    #[test]
+    fn fully_bound_query_acts_as_contains() {
+        let s = store();
+        let t = s.iter().next().unwrap().clone();
+        let hits = s.query(
+            Pat::Is(t.subject.clone()),
+            Pat::Is(t.predicate.clone()),
+            Pat::Is(t.object.clone()),
+        );
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn objects_helper() {
+        let s = store();
+        let objs = s.objects(
+            &Node::iri("http://e/courses/cs101"),
+            &Iri::new("http://purl.org/dc/terms/title"),
+        );
+        assert_eq!(objs, vec![&Node::literal("Intro")]);
+    }
+
+    #[test]
+    fn subjects_deduped_in_order() {
+        let s = store();
+        let subs = s.subjects();
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0], &Node::iri("http://e/courses/cs101"));
+    }
+
+    #[test]
+    fn wildcard_query_returns_all() {
+        let s = store();
+        assert_eq!(s.query(Pat::Any, Pat::Any, Pat::Any).len(), 4);
+    }
+}

@@ -1,0 +1,488 @@
+//! Synthetic policy-graph workload generators.
+//!
+//! The paper's evaluation is qualitative; these generators create the
+//! parameterized workloads behind the quantitative experiments in
+//! EXPERIMENTS.md:
+//!
+//! * [`chain`] — E3: alternating release-dependency chains of depth *d*
+//!   (credential *i*'s release policy demands credential *i + 1* from the
+//!   other side; the deepest credential is public);
+//! * [`random_policies`] — E4/E5: random bipartite policy graphs with a
+//!   known ground-truth satisfiability (computed by unlock-set fixpoint);
+//! * [`delegation_chain`] — E6: authority delegation chains of depth *d*
+//!   (A0 delegates to A1 delegates to ... to An, which issued the
+//!   subject's credential);
+//! * [`fleet`] — E10: one server and *n* independent clients, for
+//!   peer-count scaling.
+//!
+//! Every generator is deterministic in its seed.
+
+use peertrust_core::{Literal, PeerId, Term};
+use peertrust_crypto::KeyRegistry;
+use peertrust_negotiation::{NegotiationPeer, PeerMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A ready-to-run negotiation workload.
+pub struct Workload {
+    pub peers: PeerMap,
+    pub registry: KeyRegistry,
+    pub requester: PeerId,
+    pub responder: PeerId,
+    pub goal: Literal,
+    /// Ground truth: does a safe disclosure sequence exist?
+    pub satisfiable: bool,
+}
+
+pub const CLIENT: &str = "Client";
+pub const SERVER: &str = "Server";
+const CA: &str = "WorkloadCA";
+
+fn fresh_registry() -> KeyRegistry {
+    let registry = KeyRegistry::new();
+    registry.register_derived(PeerId::new(CA), 400);
+    registry
+}
+
+/// E3: an alternating release-dependency chain of depth `depth >= 1`.
+///
+/// The server's resource needs `cred1` from the client; `cred{i}`'s
+/// release policy needs `cred{i+1}` from the opposite side; `cred{depth}`
+/// is public. The unique safe sequence discloses `cred{depth} ...
+/// cred{1}` then the resource, so both strategies must succeed with
+/// disclosure count = `depth`.
+pub fn chain(depth: usize) -> Workload {
+    assert!(depth >= 1, "chain depth must be at least 1");
+    let registry = fresh_registry();
+    let mut client = NegotiationPeer::new(CLIENT, registry.clone());
+    let mut server = NegotiationPeer::new(SERVER, registry.clone());
+
+    server
+        .load_program(&format!(
+            r#"resource(X) $ true <- cred1(X) @ "{CA}" @ X."#
+        ))
+        .expect("resource rule parses");
+
+    for i in 1..=depth {
+        // Odd credentials belong to the client, even to the server.
+        let (owner, owner_name) = if i % 2 == 1 {
+            (&mut client, CLIENT)
+        } else {
+            (&mut server, SERVER)
+        };
+        let fact = format!(r#"cred{i}("{owner_name}") @ "{CA}" signedBy ["{CA}"]."#);
+        owner.load_program(&fact).expect("credential parses");
+        let release = if i == depth {
+            format!(r#"cred{i}(X) @ Y $ true <-_true cred{i}(X) @ Y."#)
+        } else {
+            let next = i + 1;
+            format!(
+                r#"cred{i}(X) @ Y $ cred{next}(Requester) @ "{CA}" @ Requester <-_true cred{i}(X) @ Y."#
+            )
+        };
+        owner.load_program(&release).expect("release rule parses");
+    }
+
+    let mut peers = PeerMap::new();
+    peers.insert(client);
+    peers.insert(server);
+    Workload {
+        peers,
+        registry,
+        requester: PeerId::new(CLIENT),
+        responder: PeerId::new(SERVER),
+        goal: Literal::new("resource", vec![Term::str(CLIENT)]),
+        satisfiable: true,
+    }
+}
+
+/// Configuration for [`random_policies`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomPolicyConfig {
+    /// Credentials per side.
+    pub creds_per_side: usize,
+    /// Maximum release-policy dependencies per credential.
+    pub max_deps: usize,
+    /// Probability a credential's release policy is public (no deps).
+    pub public_prob: f64,
+    /// Allow cyclic dependencies (may make the instance unsatisfiable).
+    pub allow_cycles: bool,
+    pub seed: u64,
+}
+
+impl Default for RandomPolicyConfig {
+    fn default() -> Self {
+        RandomPolicyConfig {
+            creds_per_side: 8,
+            max_deps: 2,
+            public_prob: 0.25,
+            allow_cycles: true,
+            seed: 1,
+        }
+    }
+}
+
+/// E4/E5: a random bipartite policy graph.
+///
+/// Each side holds `creds_per_side` credentials; each credential's release
+/// policy is a conjunction of up to `max_deps` credentials of the *other*
+/// side. The server's resource requires the client's credential 0. Ground
+/// truth satisfiability is computed by the standard unlock fixpoint:
+/// repeatedly unlock any credential all of whose dependencies are already
+/// unlocked on the other side; the instance is satisfiable iff the
+/// client's credential 0 ends up unlocked.
+pub fn random_policies(cfg: RandomPolicyConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.creds_per_side;
+    assert!(n >= 1);
+
+    // deps[side][i] = indices (on the other side) this credential needs.
+    let mut deps: [Vec<Vec<usize>>; 2] = [Vec::new(), Vec::new()];
+    for side in 0..2 {
+        for i in 0..n {
+            if rng.gen_bool(cfg.public_prob) {
+                deps[side].push(Vec::new());
+                continue;
+            }
+            let k = rng.gen_range(1..=cfg.max_deps);
+            let mut d: Vec<usize> = Vec::new();
+            for _ in 0..k {
+                let j = if cfg.allow_cycles {
+                    rng.gen_range(0..n)
+                } else {
+                    // Acyclic: only depend on strictly higher indices; if
+                    // impossible, be public.
+                    if i + 1 >= n {
+                        continue;
+                    }
+                    rng.gen_range(i + 1..n)
+                };
+                if !d.contains(&j) {
+                    d.push(j);
+                }
+            }
+            deps[side].push(d);
+        }
+        // Pad in case the loop above pushed fewer entries (never happens,
+        // but keep the invariant obvious).
+        debug_assert_eq!(deps[side].len(), n);
+    }
+
+    // Ground truth: unlock fixpoint.
+    let mut unlocked = [vec![false; n], vec![false; n]];
+    loop {
+        let mut changed = false;
+        for side in 0..2 {
+            for i in 0..n {
+                if unlocked[side][i] {
+                    continue;
+                }
+                if deps[side][i].iter().all(|&j| unlocked[1 - side][j]) {
+                    unlocked[side][i] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let satisfiable = unlocked[0][0]; // side 0 = client, credential 0
+
+    // Build the peers. Side 0 = client, side 1 = server.
+    let registry = fresh_registry();
+    let mut client = NegotiationPeer::new(CLIENT, registry.clone());
+    let mut server = NegotiationPeer::new(SERVER, registry.clone());
+    for side in 0..2 {
+        let (peer, owner_name) = if side == 0 {
+            (&mut client, CLIENT)
+        } else {
+            (&mut server, SERVER)
+        };
+        for i in 0..n {
+            let pred = format!("c{side}_{i}");
+            peer.load_program(&format!(
+                r#"{pred}("{owner_name}") @ "{CA}" signedBy ["{CA}"]."#
+            ))
+            .expect("credential parses");
+            let ctx = if deps[side][i].is_empty() {
+                "true".to_string()
+            } else {
+                deps[side][i]
+                    .iter()
+                    .map(|j| {
+                        let other = 1 - side;
+                        format!(r#"c{other}_{j}(Requester) @ "{CA}" @ Requester"#)
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            peer.load_program(&format!(
+                r#"{pred}(X) @ Y $ {ctx} <-_true {pred}(X) @ Y."#
+            ))
+            .expect("release rule parses");
+        }
+    }
+    server
+        .load_program(&format!(
+            r#"resource(X) $ true <- c0_0(X) @ "{CA}" @ X."#
+        ))
+        .expect("resource rule parses");
+
+    let mut peers = PeerMap::new();
+    peers.insert(client);
+    peers.insert(server);
+    Workload {
+        peers,
+        registry,
+        requester: PeerId::new(CLIENT),
+        responder: PeerId::new(SERVER),
+        goal: Literal::new("resource", vec![Term::str(CLIENT)]),
+        satisfiable,
+    }
+}
+
+/// E6: an authority delegation chain of depth `depth`.
+///
+/// `A0` is the root authority the verifier trusts; each `Ai` delegates
+/// attribute certification to `A(i+1)` with a signed rule; the last
+/// authority issued the subject's credential (and keeps an issuance
+/// record). The verifier's policy asks the subject, whose device fetches
+/// the chain at run time by querying `A0` — credential-chain discovery.
+pub fn delegation_chain(depth: usize) -> Workload {
+    let registry = KeyRegistry::new();
+    for i in 0..=depth {
+        registry.register_derived(PeerId::new(&format!("A{i}")), 500 + i as u64);
+    }
+    let mut peers = PeerMap::new();
+
+    // The verifier.
+    let mut verifier = NegotiationPeer::new(SERVER, registry.clone());
+    verifier
+        .load_program(r#"resource(X) $ true <- attr(X) @ "A0" @ X."#)
+        .expect("verifier rule parses");
+    peers.insert(verifier);
+
+    // The subject: holds only its leaf credential.
+    let mut subject = NegotiationPeer::new(CLIENT, registry.clone());
+    subject
+        .load_program(&format!(
+            r#"
+            attr("{CLIENT}") @ "A{depth}" signedBy ["A{depth}"].
+            attr(X) @ Y $ true <-_true attr(X) @ Y.
+            "#
+        ))
+        .expect("subject program parses");
+    peers.insert(subject);
+
+    // The authorities.
+    for i in 0..depth {
+        let mut a = NegotiationPeer::new(format!("A{i}").as_str(), registry.clone());
+        let next = i + 1;
+        a.load_program(&format!(
+            r#"
+            attr(X) @ "A{i}" <- signedBy ["A{i}"] attr(X) @ "A{next}".
+            attr(X) @ Y $ true <-_true attr(X) @ Y.
+            "#
+        ))
+        .expect("delegation parses");
+        peers.insert(a);
+    }
+    // The issuing (leaf) authority keeps issuance records.
+    let mut leaf = NegotiationPeer::new(format!("A{depth}").as_str(), registry.clone());
+    leaf.load_program(&format!(
+        r#"
+        attr("{CLIENT}") @ "A{depth}" signedBy ["A{depth}"].
+        attr(X) @ Y $ true <-_true attr(X) @ Y.
+        "#
+    ))
+    .expect("leaf program parses");
+    peers.insert(leaf);
+
+    Workload {
+        peers,
+        registry,
+        requester: PeerId::new(CLIENT),
+        responder: PeerId::new(SERVER),
+        goal: Literal::new("resource", vec![Term::str(CLIENT)]),
+        satisfiable: true,
+    }
+}
+
+/// E10: one server, `n` independent clients, each with a depth-2 chain
+/// (client credential guarded by a public server credential). Returns the
+/// shared peer map plus per-client goals.
+pub fn fleet(n: usize) -> (PeerMap, KeyRegistry, Vec<(PeerId, Literal)>) {
+    let registry = fresh_registry();
+    let mut peers = PeerMap::new();
+    let mut server = NegotiationPeer::new(SERVER, registry.clone());
+    server
+        .load_program(&format!(
+            r#"
+            svc("{SERVER}") @ "{CA}" signedBy ["{CA}"].
+            svc(X) @ Y $ true <-_true svc(X) @ Y.
+            "#
+        ))
+        .expect("server creds parse");
+    let mut goals = Vec::new();
+    for c in 0..n {
+        let name = format!("Client{c}");
+        server
+            .load_program(&format!(
+                r#"resource{c}(X) $ true <- id{c}(X) @ "{CA}" @ X."#
+            ))
+            .expect("resource rule parses");
+        let mut client = NegotiationPeer::new(name.as_str(), registry.clone());
+        client
+            .load_program(&format!(
+                r#"
+                id{c}("{name}") @ "{CA}" signedBy ["{CA}"].
+                id{c}(X) @ Y $ svc(Requester) @ "{CA}" @ Requester <-_true id{c}(X) @ Y.
+                "#
+            ))
+            .expect("client program parses");
+        goals.push((
+            PeerId::new(&name),
+            Literal::new(format!("resource{c}").as_str(), vec![Term::str(name.as_str())]),
+        ));
+        peers.insert(client);
+    }
+    peers.insert(server);
+    (peers, registry, goals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peertrust_negotiation::{verify_safe_sequence, Strategy};
+    use peertrust_net::{NegotiationId, SimNetwork};
+
+    fn run(w: &mut Workload, strategy: Strategy) -> peertrust_negotiation::NegotiationOutcome {
+        let mut net = SimNetwork::new(w.requester.0.index() as u64);
+        strategy.run(
+            &mut w.peers,
+            &mut net,
+            NegotiationId(1),
+            w.requester,
+            w.responder,
+            w.goal.clone(),
+        )
+    }
+
+    #[test]
+    fn chain_depth_1_succeeds_trivially() {
+        for strategy in Strategy::ALL {
+            let mut w = chain(1);
+            let out = run(&mut w, strategy);
+            assert!(out.success, "{strategy} on depth 1: {:#?}", out.refusals);
+            assert_eq!(out.credential_count(), 1);
+        }
+    }
+
+    #[test]
+    fn chain_messages_grow_with_depth() {
+        let mut sizes = Vec::new();
+        for depth in [1, 3, 5, 7] {
+            let mut w = chain(depth);
+            let out = run(&mut w, Strategy::Parsimonious);
+            assert!(out.success, "depth {depth}: {:#?}", out.refusals);
+            assert_eq!(out.credential_count(), depth, "depth {depth}");
+            verify_safe_sequence(&out).unwrap();
+            sizes.push(out.messages);
+        }
+        assert!(
+            sizes.windows(2).all(|w| w[0] < w[1]),
+            "messages must grow with depth: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn chain_eager_matches_parsimonious_disclosures() {
+        // On a pure chain, every credential is needed, so both strategies
+        // disclose exactly `depth` credentials.
+        for depth in [2, 4, 6] {
+            let mut wp = chain(depth);
+            let pars = run(&mut wp, Strategy::Parsimonious);
+            let mut we = chain(depth);
+            let eag = run(&mut we, Strategy::Eager);
+            assert!(pars.success && eag.success, "depth {depth}");
+            assert_eq!(pars.credential_count(), depth);
+            assert_eq!(eag.credential_count(), depth);
+            assert!(eag.queries == 0 && pars.queries > 0);
+        }
+    }
+
+    #[test]
+    fn random_acyclic_instances_are_satisfiable_and_strategies_agree() {
+        for seed in 0..10 {
+            let cfg = RandomPolicyConfig {
+                allow_cycles: false,
+                seed,
+                ..RandomPolicyConfig::default()
+            };
+            let w = random_policies(cfg);
+            assert!(w.satisfiable, "acyclic instances always unlock (seed {seed})");
+            for strategy in Strategy::ALL {
+                let mut w = random_policies(cfg);
+                let out = run(&mut w, strategy);
+                assert!(out.success, "seed {seed} {strategy}: {:#?}", out.refusals);
+            }
+        }
+    }
+
+    #[test]
+    fn random_cyclic_instances_match_ground_truth() {
+        let mut sat = 0;
+        let mut unsat = 0;
+        for seed in 0..30 {
+            let cfg = RandomPolicyConfig {
+                allow_cycles: true,
+                public_prob: 0.15,
+                seed,
+                ..RandomPolicyConfig::default()
+            };
+            let w = random_policies(cfg);
+            if w.satisfiable {
+                sat += 1;
+            } else {
+                unsat += 1;
+            }
+            // The eager strategy is complete: success iff satisfiable.
+            let mut we = random_policies(cfg);
+            let out = run(&mut we, Strategy::Eager);
+            assert_eq!(
+                out.success, w.satisfiable,
+                "eager must match ground truth (seed {seed})"
+            );
+        }
+        assert!(sat > 0 && unsat > 0, "sweep covers both outcomes ({sat}/{unsat})");
+    }
+
+    #[test]
+    fn delegation_chain_discovers_and_verifies() {
+        for depth in [1, 2, 4] {
+            let mut w = delegation_chain(depth);
+            let out = run(&mut w, Strategy::Parsimonious);
+            assert!(out.success, "depth {depth}: {:#?}", out.refusals);
+            verify_safe_sequence(&out).unwrap();
+        }
+    }
+
+    #[test]
+    fn fleet_clients_negotiate_independently() {
+        let (mut peers, _reg, goals) = fleet(4);
+        let mut net = SimNetwork::new(99);
+        for (i, (client, goal)) in goals.iter().enumerate() {
+            let out = peertrust_negotiation::negotiate(
+                &mut peers,
+                &mut net,
+                peertrust_negotiation::SessionConfig::default(),
+                NegotiationId(i as u64),
+                *client,
+                PeerId::new(SERVER),
+                goal.clone(),
+            );
+            assert!(out.success, "client {i}: {:#?}", out.refusals);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # peertrust-scenarios
+//!
+//! The paper's worked scenarios as executable negotiations, plus synthetic
+//! workload generators for the quantitative experiments.
+
+pub mod generator;
+pub mod grid;
+pub mod intensional;
+pub mod scenario1;
+pub mod scenario2;
+
+pub use generator::{chain, delegation_chain, fleet, random_policies, RandomPolicyConfig, Workload};
+pub use grid::GridScenario;
+pub use intensional::IntensionalScenario;
+pub use scenario1::{Ablation1, Scenario1};
+pub use scenario2::{Ablation2, Scenario2, Variant2};

@@ -1,0 +1,413 @@
+//! Scenario 2: Bob signs up for learning services (paper §4.2).
+//!
+//! Bob (IBM HR, purchase authority up to $2000) negotiates with E-Learn
+//! for free and pay-per-use courses:
+//!
+//! * **free courses** — available to employees of ELENA member companies.
+//!   E-Learn's `freebieEligible` definition is privileged business
+//!   information (default-private rule context — UniPro);
+//! * **pay-per-use** — needs the company's purchase authorization and the
+//!   company VISA card; Bob discloses the card's existence only under
+//!   `policy27` (VISA-authorized merchant AND ELENA member);
+//! * the **revocation variant** adds `purchaseApproved @ "VISA"` — an
+//!   external call to the card revocation authority — and the authority-
+//!   database / broker variants instantiate that authority at run time.
+//!
+//! Credentials are written in the `lit @ issuer` normal form (§3.2 axiom;
+//! see DESIGN.md), and release policies the paper asserts but does not
+//! show (Bob's email, membership directory lookups) are made explicit.
+
+use peertrust_core::{Literal, PeerId, Term};
+use peertrust_crypto::{Credential, KeyRegistry, RevocationList};
+use peertrust_negotiation::{NegotiationOutcome, NegotiationPeer, PeerMap, Strategy};
+use peertrust_net::{NegotiationId, SimNetwork};
+
+pub const BOB: &str = "Bob";
+pub const ELEARN: &str = "E-Learn";
+pub const IBM: &str = "IBM";
+pub const VISA: &str = "VISA";
+
+/// Variants of the §4.2 setup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant2 {
+    /// The base policies: free + pay-per-use courses.
+    Base,
+    /// policy49 extended with the VISA revocation check
+    /// (`purchaseApproved(Company, Price) @ "VISA"`).
+    RevocationCheck,
+    /// Like `RevocationCheck`, but the authority for `purchaseApproved` is
+    /// looked up in E-Learn's local authority database at run time.
+    AuthorityDb,
+    /// Like `AuthorityDb`, but the lookup goes to a broker peer.
+    Broker,
+}
+
+/// Ablations for the E2 study.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ablation2 {
+    None,
+    /// IBM is not an ELENA member (no membership credentials anywhere):
+    /// free courses must fail, paid enrollment must still work.
+    IbmNotElenaMember,
+    /// The course price exceeds Bob's $2000 authority.
+    PriceTooHigh,
+    /// The company VISA card has been revoked.
+    CardRevoked,
+    /// E-Learn is not a VISA-authorized merchant: Bob's policy27 fails and
+    /// the card is never disclosed.
+    MerchantNotAuthorized,
+}
+
+/// The built scenario.
+pub struct Scenario2 {
+    pub peers: PeerMap,
+    pub registry: KeyRegistry,
+    pub revocations: RevocationList,
+    pub variant: Variant2,
+}
+
+impl Scenario2 {
+    pub fn build(variant: Variant2) -> Scenario2 {
+        Scenario2::build_ablated(variant, Ablation2::None)
+    }
+
+    pub fn build_ablated(variant: Variant2, ablation: Ablation2) -> Scenario2 {
+        let registry = KeyRegistry::new();
+        for (i, issuer) in ["IBM", "VISA", "ELENA"].iter().enumerate() {
+            registry.register_derived(PeerId::new(issuer), 200 + i as u64);
+        }
+        let revocations = RevocationList::new();
+        let mut peers = PeerMap::new();
+
+        // ---------------- Bob ----------------
+        let mut bob = NegotiationPeer::new(BOB, registry.clone());
+        bob.load_program(
+            r#"
+            email("Bob", "Bob@ibm.com") $ true.
+            % Authorization & employment: disclosed to ELENA members only
+            % (§4.2, verbatim modulo the @-issuer normal form).
+            employee("Bob") @ X $ member(Requester) @ "ELENA" <-_true
+                employee("Bob") @ X.
+            employee("Bob") @ "IBM" signedBy ["IBM"].
+            authorized("Bob", Price) @ X $ member(Requester) @ "ELENA" <-_true
+                authorized("Bob", Price) @ X.
+            authorized("Bob", Price) @ "IBM" <- signedBy ["IBM"] Price < 2000.
+            % Hint rule: membership is proven by the requester itself.
+            member(Requester) @ "ELENA" <-_true member(Requester) @ "ELENA" @ Requester.
+            % The company card: existence discussed only under policy27.
+            visaCard("IBM") @ "VISA" $ policy27(Requester) <-_true visaCard("IBM") @ "VISA".
+            policy27(Requester) <-
+                authorizedMerchant(Requester) @ "VISA" @ Requester,
+                member(Requester) @ "ELENA".
+            "#,
+        )
+        .expect("Bob's program parses");
+        if ablation != Ablation2::CardRevoked {
+            // The card itself (name field only, per the paper).
+            bob.load_program(r#"visaCard("IBM") @ "VISA" signedBy ["VISA"]."#)
+                .expect("card parses");
+        } else {
+            // Card exists but is on VISA's revocation list.
+            bob.load_program(r#"visaCard("IBM") @ "VISA" signedBy ["VISA"]."#)
+                .expect("card parses");
+        }
+        if ablation != Ablation2::IbmNotElenaMember {
+            // "From previous interactions, Bob also knows that IBM and
+            // E-Learn are members of the ELENA consortium."
+            bob.load_program(
+                r#"
+                member("IBM") @ "ELENA" $ true signedBy ["ELENA"].
+                member("E-Learn") @ "ELENA" $ true signedBy ["ELENA"].
+                "#,
+            )
+            .expect("memberships parse");
+        } else {
+            bob.load_program(r#"member("E-Learn") @ "ELENA" $ true signedBy ["ELENA"]."#)
+                .expect("membership parses");
+        }
+        peers.insert(bob);
+
+        // ---------------- E-Learn ----------------
+        let mut elearn = NegotiationPeer::new(ELEARN, registry.clone());
+        let price = if ablation == Ablation2::PriceTooHigh {
+            2500
+        } else {
+            1000
+        };
+        elearn
+            .load_program(&format!(
+                r#"
+                enroll(Course, Requester, Company, Email, 0) $ true <-_true
+                    freeCourse(Course),
+                    freebieEligible(Course, Requester, Company, Email).
+                enroll(Course, Requester, Company, Email, Price) $ true <-_true
+                    policy49(Course, Requester, Company, Price).
+                % Privileged: default-private rule context (UniPro).
+                freebieEligible(Course, Requester, Company, EMail) <-
+                    email(Requester, EMail) @ Requester,
+                    employee(Requester) @ Company @ Requester,
+                    member(Company) @ "ELENA" @ Requester.
+                freeCourse(cs101).
+                freeCourse(cs102).
+                price(cs411, {price}).
+                "#
+            ))
+            .expect("E-Learn base program parses");
+        // policy49 in the requested variant.
+        let policy49 = match variant {
+            Variant2::Base => {
+                r#"
+                policy49(Course, Requester, Company, Price) <-_true
+                    price(Course, Price),
+                    authorized(Requester, Price) @ Company @ Requester,
+                    visaCard(Company) @ "VISA" @ Requester.
+                "#
+            }
+            Variant2::RevocationCheck => {
+                r#"
+                policy49(Course, Requester, Company, Price) <-_true
+                    price(Course, Price),
+                    authorized(Requester, Price) @ Company @ Requester,
+                    visaCard(Company) @ "VISA" @ Requester,
+                    purchaseApproved(Company, Price) @ "VISA".
+                "#
+            }
+            Variant2::AuthorityDb => {
+                r#"
+                policy49(Course, Requester, Company, Price) <-_true
+                    price(Course, Price),
+                    authorized(Requester, Price) @ Company @ Requester,
+                    visaCard(Company) @ "VISA" @ Requester,
+                    authority(purchaseApproved, Authority),
+                    purchaseApproved(Company, Price) @ Authority.
+                authority(purchaseApproved, "VISA").
+                "#
+            }
+            Variant2::Broker => {
+                r#"
+                policy49(Course, Requester, Company, Price) <-_true
+                    price(Course, Price),
+                    authorized(Requester, Price) @ Company @ Requester,
+                    visaCard(Company) @ "VISA" @ Requester,
+                    authority(purchaseApproved, Authority) @ "myBroker",
+                    purchaseApproved(Company, Price) @ Authority.
+                "#
+            }
+        };
+        elearn.load_program(policy49).expect("policy49 parses");
+        if ablation != Ablation2::MerchantNotAuthorized {
+            elearn
+                .load_program(
+                    r#"authorizedMerchant("E-Learn") @ "VISA" $ true signedBy ["VISA"]."#,
+                )
+                .expect("merchant credential parses");
+        }
+        // Cached membership for the freebie path (and to answer Bob's
+        // hint-rule query about E-Learn's own membership).
+        elearn
+            .load_program(
+                r#"
+                member("E-Learn") @ "ELENA" $ true signedBy ["ELENA"].
+                "#,
+            )
+            .expect("membership parses");
+        peers.insert(elearn);
+
+        // ---------------- VISA (revocation/approval authority) ----------
+        let mut visa = NegotiationPeer::new(VISA, registry.clone());
+        if ablation != Ablation2::CardRevoked {
+            // VISA approves the purchase: card valid, within limit.
+            visa.load_program(
+                r#"
+                purchaseApproved(Company, Price) $ true <-
+                    cardInGoodStanding(Company), Price < 10000.
+                cardInGoodStanding("IBM").
+                "#,
+            )
+            .expect("VISA program parses");
+        } else {
+            visa.load_program(
+                r#"
+                purchaseApproved(Company, Price) $ true <-
+                    cardInGoodStanding(Company), Price < 10000.
+                "#,
+            )
+            .expect("VISA program parses");
+        }
+        peers.insert(visa);
+
+        // ---------------- Broker ----------------
+        let mut broker = NegotiationPeer::new("myBroker", registry.clone());
+        broker
+            .load_program(r#"authority(purchaseApproved, "VISA") $ true."#)
+            .expect("broker program parses");
+        peers.insert(broker);
+
+        // Mirror the CardRevoked ablation on the CRL substrate, so the
+        // crypto-level check (used by the bench harness) agrees with the
+        // policy-level one.
+        if ablation == Ablation2::CardRevoked {
+            revocations.revoke(PeerId::new(VISA), 1);
+        }
+
+        Scenario2 {
+            peers,
+            registry,
+            revocations,
+            variant,
+        }
+    }
+
+    /// Goal: free enrollment in cs101.
+    pub fn free_goal() -> Literal {
+        Literal::new(
+            "enroll",
+            vec![
+                Term::atom("cs101"),
+                Term::str(BOB),
+                Term::str(IBM),
+                Term::var("Email"),
+                Term::int(0),
+            ],
+        )
+    }
+
+    /// Goal: paid enrollment in cs411.
+    pub fn paid_goal(price: i64) -> Literal {
+        Literal::new(
+            "enroll",
+            vec![
+                Term::atom("cs411"),
+                Term::str(BOB),
+                Term::str(IBM),
+                Term::var("Email"),
+                Term::int(price),
+            ],
+        )
+    }
+
+    /// Run a negotiation for `goal` under `strategy`.
+    pub fn run(&mut self, strategy: Strategy, goal: Literal) -> NegotiationOutcome {
+        let mut net = SimNetwork::new(0xE2);
+        strategy.run(
+            &mut self.peers,
+            &mut net,
+            NegotiationId(2),
+            PeerId::new(BOB),
+            PeerId::new(ELEARN),
+            goal,
+        )
+    }
+
+    /// The VISA-side credential-lifecycle check used by the revocation
+    /// experiment: validates the (simulated) card credential against the
+    /// revocation list.
+    pub fn card_check(&self, now: peertrust_crypto::Tick) -> Result<(), peertrust_crypto::CredentialError> {
+        let bob = self.peers.get(PeerId::new(BOB)).expect("bob exists");
+        let (_, signed) = bob
+            .disclosable_signed_rules()
+            .find(|(_, sr)| sr.rule.head.pred.as_str() == "visaCard")
+            .expect("card credential exists");
+        let cred = Credential::perpetual(1, signed.clone());
+        self.revocations.check(&self.registry, &cred, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peertrust_negotiation::verify_safe_sequence;
+
+    #[test]
+    fn free_course_for_elena_member_employee() {
+        let mut s = Scenario2::build(Variant2::Base);
+        let out = s.run(Strategy::Parsimonious, Scenario2::free_goal());
+        assert!(out.success, "refusals: {:#?}", out.refusals);
+        verify_safe_sequence(&out).unwrap();
+        // The grant binds Bob's email.
+        assert!(out.granted[0].to_string().contains("Bob@ibm.com"));
+    }
+
+    #[test]
+    fn paid_course_with_authorization_and_card() {
+        let mut s = Scenario2::build(Variant2::Base);
+        let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+        assert!(out.success, "refusals: {:#?}", out.refusals);
+        verify_safe_sequence(&out).unwrap();
+        // Bob's card and authorization crossed the wire.
+        assert!(out.credential_count() >= 2);
+    }
+
+    #[test]
+    fn non_member_gets_no_free_course_but_can_pay() {
+        // "If IBM were not a member of ELENA, then IBM employees would not
+        // be eligible for free courses, but Bob would be able to purchase
+        // courses" — with one wrinkle: Bob's own release policies demand
+        // the *requester* be an ELENA member, and E-Learn still is.
+        let mut s = Scenario2::build_ablated(Variant2::Base, Ablation2::IbmNotElenaMember);
+        let free = s.run(Strategy::Parsimonious, Scenario2::free_goal());
+        assert!(!free.success, "free course must be denied");
+
+        let mut s2 = Scenario2::build_ablated(Variant2::Base, Ablation2::IbmNotElenaMember);
+        let paid = s2.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+        assert!(paid.success, "refusals: {:#?}", paid.refusals);
+    }
+
+    #[test]
+    fn price_above_authority_fails() {
+        let mut s = Scenario2::build_ablated(Variant2::Base, Ablation2::PriceTooHigh);
+        let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(2500));
+        assert!(!out.success, "authorization caps at $2000");
+    }
+
+    #[test]
+    fn unauthorized_merchant_never_sees_the_card() {
+        let mut s = Scenario2::build_ablated(Variant2::Base, Ablation2::MerchantNotAuthorized);
+        let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+        assert!(!out.success);
+        // The card credential must not appear in the disclosure sequence.
+        assert!(out.disclosures.iter().all(|d| {
+            !matches!(&d.item, peertrust_negotiation::DisclosedItem::SignedRule(sr)
+                      if sr.rule.head.pred.as_str() == "visaCard")
+        }));
+    }
+
+    #[test]
+    fn revocation_check_blocks_purchase() {
+        let mut s = Scenario2::build_ablated(Variant2::RevocationCheck, Ablation2::CardRevoked);
+        let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+        assert!(!out.success, "revoked card must block the purchase");
+        // The crypto-level CRL agrees.
+        assert!(s.card_check(5).is_err());
+
+        // And with a card in good standing the same variant succeeds.
+        let mut ok = Scenario2::build(Variant2::RevocationCheck);
+        let out_ok = ok.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+        assert!(out_ok.success, "refusals: {:#?}", out_ok.refusals);
+        assert!(ok.card_check(5).is_ok());
+    }
+
+    #[test]
+    fn authority_db_variant_routes_to_visa() {
+        let mut s = Scenario2::build(Variant2::AuthorityDb);
+        let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+        assert!(out.success, "refusals: {:#?}", out.refusals);
+        // VISA participated.
+        assert!(out
+            .disclosures
+            .iter()
+            .any(|d| d.from == PeerId::new(VISA)));
+    }
+
+    #[test]
+    fn broker_variant_instantiates_authority_at_runtime() {
+        let mut s = Scenario2::build(Variant2::Broker);
+        let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+        assert!(out.success, "refusals: {:#?}", out.refusals);
+        // The broker answered the authority lookup.
+        assert!(out
+            .disclosures
+            .iter()
+            .any(|d| d.from == PeerId::new("myBroker")));
+    }
+}

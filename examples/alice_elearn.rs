@@ -1,0 +1,67 @@
+//! Scenario 1 from the paper (§4.1): Alice negotiates a course discount
+//! with E-Learn Associates.
+//!
+//! The full cast: E-Learn (with ELENA's cached signed rule and a BBB
+//! membership), Alice (registrar-issued student ID + UIUC's delegation
+//! rule + a BBB-guarded release policy), and UIUC/registrar peers that —
+//! per the paper — are never contacted at run time.
+//!
+//! The example runs the negotiation under both strategies, then the whole
+//! ablation study: removing any single ingredient makes it fail.
+//!
+//! Run with: `cargo run --example alice_elearn`
+
+use peertrust::negotiation::{verify_safe_sequence, DisclosedItem, Strategy};
+use peertrust::scenarios::{Ablation1, Scenario1};
+
+fn main() {
+    println!("=== Scenario 1: Alice & E-Learn (paper §4.1) ===\n");
+
+    for strategy in Strategy::ALL {
+        let mut scenario = Scenario1::build();
+        let outcome = scenario.run(strategy);
+        println!("--- strategy: {strategy} ---");
+        println!("success:      {}", outcome.success);
+        println!("granted:      {}", outcome.granted[0]);
+        println!("messages:     {}", outcome.messages);
+        println!("queries:      {}", outcome.queries);
+        println!("credentials:  {}", outcome.credential_count());
+        println!("disclosures:");
+        for d in &outcome.disclosures {
+            match &d.item {
+                DisclosedItem::SignedRule(sr) => {
+                    println!("  #{:<2} {:>8} -> {:<8} credential  {}", d.seq, d.from, d.to, sr.rule)
+                }
+                DisclosedItem::Answer(a) => {
+                    println!("  #{:<2} {:>8} -> {:<8} answer      {}", d.seq, d.from, d.to, a)
+                }
+                DisclosedItem::Resource(r) => {
+                    println!("  #{:<2} {:>8} -> {:<8} RESOURCE    {}", d.seq, d.from, d.to, r)
+                }
+                DisclosedItem::Policy(_) => {
+                    println!("  #{:<2} {:>8} -> {:<8} policy", d.seq, d.from, d.to)
+                }
+            }
+        }
+        verify_safe_sequence(&outcome).expect("safe sequence");
+        assert!(outcome.success);
+        println!();
+    }
+
+    println!("--- ablation study (each missing ingredient must break it) ---");
+    for ablation in Ablation1::ALL {
+        if ablation == Ablation1::None {
+            continue;
+        }
+        let mut scenario = Scenario1::build_ablated(ablation);
+        let outcome = scenario.run(Strategy::Parsimonious);
+        println!(
+            "{:22} -> success={} (refusals: {})",
+            format!("{ablation:?}"),
+            outcome.success,
+            outcome.refusals.len()
+        );
+        assert!(!outcome.success);
+    }
+    println!("\nall ablations fail as the paper predicts.");
+}

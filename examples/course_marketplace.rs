@@ -1,0 +1,95 @@
+//! Scenario 2 from the paper (§4.2): Bob buys learning services.
+//!
+//! Exercises every variant the paper sketches:
+//!
+//! * free courses for ELENA-member employees (with the privileged
+//!   `freebieEligible` definition kept private via its rule context);
+//! * pay-per-use courses needing a purchase authorization (`Price < 2000`
+//!   inside a signed rule!) and the company VISA card, whose very
+//!   existence Bob only discusses under `policy27`;
+//! * the VISA revocation check (`purchaseApproved @ "VISA"`);
+//! * run-time authority instantiation from a local authority database and
+//!   from a broker peer;
+//! * UniPro policy disclosure: IBM asks E-Learn for `policy49`'s
+//!   definition, which is guarded by `policy27`.
+//!
+//! Run with: `cargo run --example course_marketplace`
+
+use peertrust::core::{PeerId, Sym};
+use peertrust::negotiation::{request_policy, Strategy};
+use peertrust::net::{NegotiationId, SimNetwork};
+use peertrust::scenarios::{Ablation2, Scenario2, Variant2};
+
+fn main() {
+    println!("=== Scenario 2: Bob & learning services (paper §4.2) ===\n");
+
+    // Free course.
+    let mut s = Scenario2::build(Variant2::Base);
+    let free = s.run(Strategy::Parsimonious, Scenario2::free_goal());
+    println!("free course (cs101):   success={} messages={} creds={}",
+        free.success, free.messages, free.credential_count());
+    println!("  grant: {}", free.granted[0]);
+    assert!(free.success);
+
+    // Pay-per-use.
+    let mut s = Scenario2::build(Variant2::Base);
+    let paid = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+    println!("paid course (cs411):   success={} messages={} creds={}",
+        paid.success, paid.messages, paid.credential_count());
+    assert!(paid.success);
+
+    // Revocation check, card in good standing vs revoked.
+    let mut ok = Scenario2::build(Variant2::RevocationCheck);
+    let approved = ok.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+    println!("revocation check OK:   success={}", approved.success);
+    assert!(approved.success);
+
+    let mut revoked = Scenario2::build_ablated(Variant2::RevocationCheck, Ablation2::CardRevoked);
+    let blocked = revoked.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+    println!("revoked card:          success={} (CRL agrees: {:?})",
+        blocked.success,
+        revoked.card_check(5).err().map(|e| e.to_string()));
+    assert!(!blocked.success);
+
+    // Authority database & broker variants.
+    for variant in [Variant2::AuthorityDb, Variant2::Broker] {
+        let mut s = Scenario2::build(variant);
+        let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+        println!("{variant:?}:          success={} messages={}", out.success, out.messages);
+        assert!(out.success);
+    }
+
+    // The paper's counterfactual: IBM not an ELENA member.
+    let mut s = Scenario2::build_ablated(Variant2::Base, Ablation2::IbmNotElenaMember);
+    let free2 = s.run(Strategy::Parsimonious, Scenario2::free_goal());
+    let mut s = Scenario2::build_ablated(Variant2::Base, Ablation2::IbmNotElenaMember);
+    let paid2 = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+    println!("IBM not ELENA member:  free={} paid={} (paper: \"IBM employees would not be\neligible for free courses, but Bob would be able to purchase courses\")",
+        free2.success, paid2.success);
+    assert!(!free2.success && paid2.success);
+
+    // Price above Bob's authority.
+    let mut s = Scenario2::build_ablated(Variant2::Base, Ablation2::PriceTooHigh);
+    let expensive = s.run(Strategy::Parsimonious, Scenario2::paid_goal(2500));
+    println!("price $2500 > $2000:   success={}", expensive.success);
+    assert!(!expensive.success);
+
+    // UniPro: ask for policy definitions.
+    println!("\n--- UniPro policy protection ---");
+    let mut s = Scenario2::build(Variant2::Base);
+    let mut net = SimNetwork::new(7);
+    let refused = request_policy(
+        &mut s.peers, &mut net, NegotiationId(50),
+        PeerId::new("Bob"), PeerId::new("E-Learn"), Sym::new("freebieEligible"),
+    );
+    println!("freebieEligible definition for Bob: {} rules (privileged -> refused)", refused.rules.len());
+    assert!(refused.rules.is_empty());
+
+    let disclosed = request_policy(
+        &mut s.peers, &mut net, NegotiationId(51),
+        PeerId::new("Bob"), PeerId::new("E-Learn"), Sym::new("policy49"),
+    );
+    println!("policy49 definition for Bob before negotiation: {} rules", disclosed.rules.len());
+
+    println!("\nscenario 2 complete.");
+}

@@ -1,0 +1,38 @@
+//! The grid/handheld delegation scenario (paper §4.2, closing paragraph):
+//! Bob's underpowered device forwards negotiation work to his trusted
+//! home peer, which holds the credentials and releases them only to Bob's
+//! own devices.
+//!
+//! Run with: `cargo run --example grid_delegation`
+
+use peertrust::core::PeerId;
+use peertrust::negotiation::{verify_safe_sequence, Strategy};
+use peertrust::scenarios::GridScenario;
+
+fn main() {
+    println!("=== Grid delegation: handheld -> home peer (paper §4.2) ===\n");
+
+    let mut scenario = GridScenario::build();
+    let outcome = scenario.run(Strategy::Parsimonious);
+
+    println!("success:  {}", outcome.success);
+    println!("messages: {}", outcome.messages);
+    println!("flow:");
+    for d in &outcome.disclosures {
+        println!("  #{:<2} {:>12} -> {:<12} {}", d.seq, d.from, d.to, d.item.kind());
+    }
+    verify_safe_sequence(&outcome).expect("safe sequence");
+    assert!(outcome.success);
+
+    // The credential travelled home -> handheld -> service, never directly.
+    let home = PeerId::new("Bob-Home");
+    let service = PeerId::new("GridService");
+    assert!(outcome.disclosures.iter().all(|d| !(d.from == home && d.to == service)));
+    println!("\nno direct home->service disclosure: the handheld mediated everything.");
+
+    // Offline home peer: negotiation must fail.
+    let mut offline = GridScenario::build_with(false);
+    let failed = offline.run(Strategy::Parsimonious);
+    println!("home peer offline: success={}", failed.success);
+    assert!(!failed.success);
+}

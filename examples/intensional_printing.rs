@@ -1,0 +1,61 @@
+//! Intensional, content-triggered access policies (paper §6's closing
+//! direction): one policy rule covers "color printers on the third floor"
+//! as a query over printer attributes, and document fetches trigger a
+//! clearance negotiation only when the document is classified.
+//!
+//! Run with: `cargo run --example intensional_printing`
+
+use peertrust::core::Term;
+use peertrust::scenarios::IntensionalScenario;
+
+fn main() {
+    println!("=== Intensional & content-triggered policies (paper §6) ===\n");
+
+    // Who can print where?
+    for (who, printer, expect) in [
+        ("Staffer", "eng3a", true),   // 3rd-floor color: staff only
+        ("Guest", "eng3a", false),
+        ("Guest", "eng3m", true),     // monochrome: open
+        ("Guest", "lobby1", true),    // first floor: open
+    ] {
+        let mut s = IntensionalScenario::build();
+        let out = s.run(who, IntensionalScenario::print_goal(printer, who));
+        println!(
+            "print({printer}) as {who:8}: {} (credentials disclosed: {})",
+            if out.success { "GRANTED" } else { "DENIED " },
+            out.credential_count()
+        );
+        assert_eq!(out.success, expect);
+    }
+
+    // Content-triggered fetches.
+    println!();
+    for (who, doc, expect) in [
+        ("Guest", "newsletter", true),    // public: no negotiation
+        ("Guest", "budget2026", false),   // classified: guest lacks clearance
+        ("Staffer", "budget2026", true),  // classified: clearance negotiated
+    ] {
+        let mut s = IntensionalScenario::build();
+        let out = s.run(who, IntensionalScenario::fetch_goal(doc, who));
+        println!(
+            "fetch({doc}) as {who:8}: {} (queries: {}, credentials: {})",
+            if out.success { "GRANTED" } else { "DENIED " },
+            out.queries,
+            out.credential_count()
+        );
+        assert_eq!(out.success, expect);
+    }
+
+    // The intensional family, enumerated per requester.
+    println!();
+    let mut s = IntensionalScenario::build();
+    let out = s.run(
+        "Guest",
+        peertrust::core::Literal::new("print", vec![Term::var("P"), Term::str("Guest")]),
+    );
+    let printers: Vec<String> = out.granted.iter().map(|g| g.args[0].to_string()).collect();
+    println!("printers available to Guest: {printers:?}");
+    assert!(!printers.contains(&"eng3a".to_string()));
+
+    println!("\nintensional policies behave per the paper's sketch.");
+}

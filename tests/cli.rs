@@ -1,0 +1,230 @@
+//! End-to-end tests for the `peertrust` CLI binary.
+
+use std::process::Command;
+
+fn peertrust(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_peertrust"))
+        .args(args)
+        .output()
+        .expect("run peertrust binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const ELEARN: &str = "examples/policies/elearn.pt";
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = peertrust(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("negotiate"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, stderr) = peertrust(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn check_reports_peers_and_rules() {
+    let (ok, stdout, _) = peertrust(&["check", ELEARN]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("E-Learn:"));
+    assert!(stdout.contains("Alice:"));
+    assert!(stdout.contains("signed"));
+}
+
+#[test]
+fn check_rejects_bad_files() {
+    let dir = std::env::temp_dir().join("peertrust-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.pt");
+    std::fs::write(&bad, "Alice:\n p(.").unwrap();
+    let (ok, _, stderr) = peertrust(&["check", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+
+    let (ok2, _, stderr2) = peertrust(&["check", "/nonexistent/x.pt"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("reading"), "{stderr2}");
+}
+
+#[test]
+fn query_prints_proof() {
+    let (ok, stdout, _) = peertrust(&["query", ELEARN, "Alice", r#"student(X) @ "UIUC""#]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("yes (1 answer(s))"));
+    assert!(stdout.contains("by rule:"));
+    assert!(stdout.contains(r#"student("Alice") @ "UIUC Registrar""#));
+}
+
+#[test]
+fn query_no_answers() {
+    let (ok, stdout, _) = peertrust(&["query", ELEARN, "Alice", "nonexistent(1)"]);
+    assert!(ok);
+    assert!(stdout.contains("no (0 answers)"));
+}
+
+#[test]
+fn negotiate_succeeds_with_trace() {
+    let (ok, stdout, _) = peertrust(&[
+        "negotiate",
+        ELEARN,
+        "Alice",
+        "E-Learn",
+        r#"discountEnroll(spanish101, "Alice")"#,
+        "--trace",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("SUCCESS"));
+    assert!(stdout.contains("disclosure sequence:"));
+    assert!(stdout.contains("message trace:"));
+    assert!(stdout.contains("query discountEnroll"));
+}
+
+#[test]
+fn negotiate_eager_strategy() {
+    let (ok, stdout, _) = peertrust(&[
+        "negotiate",
+        ELEARN,
+        "Alice",
+        "E-Learn",
+        r#"discountEnroll(spanish101, "Alice")"#,
+        "--strategy",
+        "eager",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("SUCCESS"));
+    assert!(stdout.contains("strategy=eager"));
+    assert!(stdout.contains("queries=0"));
+}
+
+#[test]
+fn negotiate_failure_with_analysis() {
+    // A file where Alice's release policy can never be satisfied.
+    let dir = std::env::temp_dir().join("peertrust-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let f = dir.join("locked.pt");
+    std::fs::write(
+        &f,
+        r#"
+        "Server":
+          resource(X) $ true <- cred(X) @ "CA" @ X.
+        Alice:
+          cred("Alice") @ "CA" signedBy ["CA"].
+          cred(X) @ Y $ impossible(Requester) <-_true cred(X) @ Y.
+        "#,
+    )
+    .unwrap();
+    let (ok, stdout, _) = peertrust(&[
+        "negotiate",
+        f.to_str().unwrap(),
+        "Alice",
+        "Server",
+        r#"resource("Alice")"#,
+        "--explain-failure",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("FAILURE"));
+    assert!(stdout.contains("refusals:"));
+    assert!(stdout.contains("counterfactual failure analysis:"));
+    assert!(stdout.contains("CRITICAL"), "{stdout}");
+}
+
+#[test]
+fn negotiate_unknown_peer_is_an_error() {
+    let (ok, _, stderr) = peertrust(&["negotiate", ELEARN, "Ghost", "E-Learn", "x(1)"]);
+    assert!(!ok);
+    assert!(stderr.contains("no peer named `Ghost`"));
+}
+
+#[test]
+fn negotiate_json_audit_record() {
+    let (ok, stdout, _) = peertrust(&[
+        "negotiate",
+        ELEARN,
+        "Alice",
+        "E-Learn",
+        r#"discountEnroll(spanish101, "Alice")"#,
+        "--json",
+    ]);
+    assert!(ok, "{stdout}");
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v["success"], serde_json::Value::Bool(true));
+    assert!(v["disclosures"].as_array().unwrap().len() >= 4);
+    assert_eq!(v["requester"], "Alice");
+}
+
+#[test]
+fn lint_clean_file() {
+    let (ok, stdout, _) = peertrust(&["lint", ELEARN]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn lint_reports_deadlock_as_error() {
+    let dir = std::env::temp_dir().join("peertrust-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let f = dir.join("deadlock.pt");
+    std::fs::write(
+        &f,
+        r#"
+        A:
+          credA("A") @ "CA" signedBy ["CA"].
+          credA(X) @ Y $ credB(Requester) @ "CA" @ Requester <-_true credA(X) @ Y.
+        B:
+          credB("B") @ "CA" signedBy ["CA"].
+          credB(X) @ Y $ credA(Requester) @ "CA" @ Requester <-_true credB(X) @ Y.
+        "#,
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = peertrust(&["lint", f.to_str().unwrap()]);
+    assert!(!ok, "deadlock must be an error exit");
+    assert!(stdout.contains("deadlock cycle"), "{stdout}");
+    assert!(stderr.contains("error(s) found"), "{stderr}");
+}
+
+#[test]
+fn marketplace_policy_file_negotiates_free_and_paid() {
+    const MARKET: &str = "examples/policies/marketplace.pt";
+    let (ok, stdout, _) = peertrust(&["lint", MARKET]);
+    assert!(ok, "{stdout}");
+
+    let (ok, stdout, _) = peertrust(&[
+        "negotiate",
+        MARKET,
+        "Bob",
+        "E-Learn",
+        r#"enroll(cs101, "Bob", "IBM", E, 0)"#,
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("SUCCESS"), "{stdout}");
+
+    let (ok, stdout, _) = peertrust(&[
+        "negotiate",
+        MARKET,
+        "Bob",
+        "E-Learn",
+        r#"enroll(cs411, "Bob", "IBM", E, 1000)"#,
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("SUCCESS"), "{stdout}");
+
+    // Over Bob's $2000 authority: fails.
+    let (ok, stdout, _) = peertrust(&[
+        "negotiate",
+        MARKET,
+        "Bob",
+        "E-Learn",
+        r#"enroll(cs411, "Bob", "IBM", E, 2500)"#,
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("FAILURE"), "{stdout}");
+}

@@ -1,0 +1,255 @@
+//! Cross-crate integration tests exercising the public facade: full paper
+//! scenarios, warm-cache re-negotiation, tampering, threaded transport,
+//! and multi-negotiation accounting on a shared network.
+
+use peertrust::core::{PeerId, Term};
+use peertrust::crypto::KeyRegistry;
+use peertrust::negotiation::{
+    negotiate, negotiate_threaded, verify_safe_sequence, NegotiationPeer, PeerMap, SessionConfig,
+    Strategy,
+};
+use peertrust::net::{NegotiationId, SimNetwork};
+use peertrust::parser::parse_literal;
+use peertrust::scenarios::{chain, Ablation1, Scenario1, Scenario2, Variant2};
+
+#[test]
+fn scenario1_succeeds_under_both_strategies_via_facade() {
+    for strategy in Strategy::ALL {
+        let mut s = Scenario1::build();
+        let out = s.run(strategy);
+        assert!(out.success, "{strategy}: {:#?}", out.refusals);
+        verify_safe_sequence(&out).unwrap();
+    }
+}
+
+#[test]
+fn scenario2_full_matrix() {
+    for variant in [
+        Variant2::Base,
+        Variant2::RevocationCheck,
+        Variant2::AuthorityDb,
+        Variant2::Broker,
+    ] {
+        let mut s = Scenario2::build(variant);
+        let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
+        assert!(out.success, "{variant:?}: {:#?}", out.refusals);
+        verify_safe_sequence(&out).unwrap();
+    }
+}
+
+#[test]
+fn ablations_fail_iff_ingredient_missing() {
+    // The headline claim of §4.1 is an *iff*: present => success,
+    // any ingredient absent => failure.
+    let mut full = Scenario1::build();
+    assert!(full.run(Strategy::Parsimonious).success);
+    for ablation in Ablation1::ALL.into_iter().skip(1) {
+        let mut s = Scenario1::build_ablated(ablation);
+        assert!(!s.run(Strategy::Parsimonious).success, "{ablation:?}");
+    }
+}
+
+#[test]
+fn warm_cache_reduces_negotiation_cost() {
+    // After a successful negotiation, the responder has cached the
+    // requester's credentials; re-running the same request takes fewer
+    // messages (E-Learn no longer queries Alice).
+    let mut s = Scenario1::build();
+    let cold = s.run(Strategy::Parsimonious);
+    assert!(cold.success);
+    let warm = s.run(Strategy::Parsimonious);
+    assert!(warm.success);
+    assert!(
+        warm.messages < cold.messages,
+        "warm {} !< cold {}",
+        warm.messages,
+        cold.messages
+    );
+    // Fewer disclosures too: E-Learn answers the BBB counter-query from
+    // cache, so that leg of the negotiation disappears entirely.
+    assert!(warm.credential_count() < cold.credential_count());
+}
+
+#[test]
+fn forged_credential_is_rejected_end_to_end() {
+    // Mallory presents a forged student credential: the signature does not
+    // verify, the push is dropped, verification fails, access denied.
+    let registry = KeyRegistry::new();
+    registry.register_derived(PeerId::new("UIUC"), 1);
+    // Mallory's "own CA" — distinct key even if she claims UIUC signed it.
+    let mallory_reg = KeyRegistry::new();
+    mallory_reg.register_derived(PeerId::new("UIUC"), 666);
+
+    let mut peers = PeerMap::new();
+    let mut server = NegotiationPeer::new("Server", registry.clone());
+    server
+        .load_program(r#"resource(X) $ true <- student(X) @ "UIUC" @ X."#)
+        .unwrap();
+    peers.insert(server);
+
+    // Mallory mints with her wrong key but will be verified against the
+    // real registry.
+    let mut mallory = NegotiationPeer::new("Mallory", mallory_reg);
+    mallory
+        .load_program(
+            r#"
+            student("Mallory") @ "UIUC" signedBy ["UIUC"].
+            student(X) @ Y $ true <-_true student(X) @ Y.
+            "#,
+        )
+        .unwrap();
+    mallory.registry = registry; // she talks to honest verifiers now
+    peers.insert(mallory);
+
+    let mut net = SimNetwork::new(13);
+    let out = negotiate(
+        &mut peers,
+        &mut net,
+        SessionConfig::default(),
+        NegotiationId(1),
+        PeerId::new("Mallory"),
+        PeerId::new("Server"),
+        parse_literal(r#"resource("Mallory")"#).unwrap(),
+    );
+    assert!(!out.success, "forged credential must not grant access");
+}
+
+#[test]
+fn threaded_transport_agrees_with_simulated() {
+    let registry = KeyRegistry::new();
+    registry.register_derived(PeerId::new("UIUC"), 1);
+    registry.register_derived(PeerId::new("BBB"), 2);
+
+    let build = |suffix: &str| {
+        let mut server = NegotiationPeer::new(format!("Srv{suffix}").as_str(), registry.clone());
+        server
+            .load_program(&format!(
+                r#"
+                resource(X) $ true <- student(X) @ "UIUC" @ X.
+                member("Srv{suffix}") @ "BBB" $ true signedBy ["BBB"].
+                "#
+            ))
+            .unwrap();
+        let mut alice = NegotiationPeer::new(format!("Ali{suffix}").as_str(), registry.clone());
+        alice
+            .load_program(&format!(
+                r#"
+                student("Ali{suffix}") @ "UIUC" signedBy ["UIUC"].
+                student(X) @ Y $ member(Requester) @ "BBB" @ Requester <-_true student(X) @ Y.
+                "#
+            ))
+            .unwrap();
+        (alice, server)
+    };
+
+    // Simulated run.
+    let (alice, server) = build("S");
+    let mut peers = PeerMap::new();
+    let alice_id = alice.id;
+    let server_id = server.id;
+    peers.insert(alice);
+    peers.insert(server);
+    let mut net = SimNetwork::new(3);
+    let sim = Strategy::Eager.run(
+        &mut peers,
+        &mut net,
+        NegotiationId(1),
+        alice_id,
+        server_id,
+        parse_literal(r#"resource("AliS")"#).unwrap(),
+    );
+    assert!(sim.success);
+
+    // Threaded run of the identical setup.
+    let (alice_t, server_t) = build("T");
+    let threaded = negotiate_threaded(
+        alice_t,
+        server_t,
+        parse_literal(r#"resource("AliT")"#).unwrap(),
+    );
+    assert!(threaded.success);
+    // Same disclosure count either way.
+    assert_eq!(sim.credential_count(), threaded.disclosures.len());
+}
+
+#[test]
+fn many_negotiations_share_one_network() {
+    let (mut peers, _reg, goals) = peertrust::scenarios::fleet(8);
+    let mut net = SimNetwork::new(5);
+    let mut total_messages = 0;
+    for (i, (client, goal)) in goals.iter().enumerate() {
+        let out = negotiate(
+            &mut peers,
+            &mut net,
+            SessionConfig::default(),
+            NegotiationId(i as u64),
+            *client,
+            PeerId::new("Server"),
+            goal.clone(),
+        );
+        assert!(out.success, "client {i}");
+        total_messages += out.messages;
+    }
+    assert_eq!(net.stats().messages_sent, total_messages);
+    assert!(net.idle());
+}
+
+#[test]
+fn deep_chain_negotiation_on_big_stack() {
+    // E3's deepest configuration runs on a dedicated big-stack thread
+    // (the DFS driver's recursion depth is proportional to chain depth).
+    let handle = std::thread::Builder::new()
+        .stack_size(64 << 20)
+        .spawn(|| {
+            let mut w = chain(48);
+            let mut net = SimNetwork::new(1);
+            let out = negotiate(
+                &mut w.peers,
+                &mut net,
+                SessionConfig::default(),
+                NegotiationId(1),
+                w.requester,
+                w.responder,
+                w.goal.clone(),
+            );
+            (out.success, out.credential_count(), out.messages)
+        })
+        .unwrap();
+    let (success, creds, messages) = handle.join().unwrap();
+    assert!(success);
+    assert_eq!(creds, 48);
+    assert!(messages >= 48 * 3);
+}
+
+#[test]
+fn goal_with_variables_returns_bindings() {
+    let registry = KeyRegistry::new();
+    let mut peers = PeerMap::new();
+    let mut server = NegotiationPeer::new("Catalog", registry.clone());
+    server
+        .load_program(
+            r#"
+            course(C, P) $ true <- price(C, P).
+            price(cs101, 0). price(cs411, 1000). price(ml500, 1500).
+            "#,
+        )
+        .unwrap();
+    peers.insert(server);
+    peers.insert(NegotiationPeer::new("Shopper", registry));
+
+    let mut net = SimNetwork::new(9);
+    let out = negotiate(
+        &mut peers,
+        &mut net,
+        SessionConfig::default(),
+        NegotiationId(2),
+        PeerId::new("Shopper"),
+        PeerId::new("Catalog"),
+        parse_literal("course(C, P)").unwrap(),
+    );
+    assert!(out.success);
+    assert_eq!(out.granted.len(), 3);
+    assert!(out.granted.iter().any(|g| {
+        g.args == vec![Term::atom("cs411"), Term::int(1000)]
+    }));
+}
