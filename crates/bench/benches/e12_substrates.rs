@@ -52,9 +52,7 @@ fn bench_rdf(c: &mut Criterion) {
 fn bench_routing(c: &mut Criterion) {
     let mut group = c.benchmark_group("e12_routing");
     for (sps, providers) in [(4usize, 100usize), (16, 1_000)] {
-        let mut net = SuperPeerNetwork::new(
-            (0..sps).map(|i| PeerId::new(&format!("SP{i}"))),
-        );
+        let mut net = SuperPeerNetwork::new((0..sps).map(|i| PeerId::new(&format!("SP{i}"))));
         for p in 0..providers {
             let leaf = PeerId::new(&format!("prov{p}"));
             net.attach(leaf, PeerId::new(&format!("SP{}", p % sps)));
@@ -88,7 +86,9 @@ fn bench_codec(c: &mut Criterion) {
         },
         hops: 0,
     };
-    group.bench_function("encode_frame", |b| b.iter(|| encode_frame(&msg).unwrap().len()));
+    group.bench_function("encode_frame", |b| {
+        b.iter(|| encode_frame(&msg).unwrap().len())
+    });
     let frame = encode_frame(&msg).unwrap();
     group.bench_function("decode_frame", |b| {
         b.iter_batched(
@@ -184,5 +184,11 @@ fn bench_tickets(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rdf, bench_routing, bench_codec, bench_tickets);
+criterion_group!(
+    benches,
+    bench_rdf,
+    bench_routing,
+    bench_codec,
+    bench_tickets
+);
 criterion_main!(benches);

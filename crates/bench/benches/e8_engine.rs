@@ -3,9 +3,7 @@
 //! and the occurs-check ablation called out in DESIGN.md.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use peertrust_core::{
-    unify_opts, KnowledgeBase, Literal, PeerId, Rule, Subst, Term, UnifyOptions,
-};
+use peertrust_core::{unify_opts, KnowledgeBase, Literal, PeerId, Rule, Subst, Term, UnifyOptions};
 use peertrust_engine::{saturate, EngineConfig, ForwardConfig, Solver};
 
 fn deep_term(depth: usize, leaf: Term) -> Term {
@@ -159,7 +157,11 @@ fn bench_forward(c: &mut Criterion) {
                     }
                     kb
                 },
-                |kb| saturate(&kb, PeerId::new("self"), ForwardConfig::default()).facts.len(),
+                |kb| {
+                    saturate(&kb, PeerId::new("self"), ForwardConfig::default())
+                        .facts
+                        .len()
+                },
                 BatchSize::SmallInput,
             )
         });

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use peertrust_core::{Literal, PeerId, Rule, Term};
-use peertrust_crypto::{hmac::hmac_sha256, sha256_digest, sign_rule, verify_signed_rule, KeyRegistry};
+use peertrust_crypto::{
+    hmac::hmac_sha256, sha256_digest, sign_rule, verify_signed_rule, KeyRegistry,
+};
 
 fn bench_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_primitives");
@@ -25,10 +27,8 @@ fn bench_rule_signing(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_rules");
     let registry = KeyRegistry::new();
     registry.register_derived(PeerId::new("UIUC"), 1);
-    let rule = Rule::fact(
-        Literal::new("student", vec![Term::str("Alice")]).at(Term::str("UIUC")),
-    )
-    .signed_by("UIUC");
+    let rule = Rule::fact(Literal::new("student", vec![Term::str("Alice")]).at(Term::str("UIUC")))
+        .signed_by("UIUC");
 
     group.bench_function("sign_rule", |b| {
         b.iter(|| sign_rule(&registry, &rule).unwrap())

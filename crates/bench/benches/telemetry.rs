@@ -1,0 +1,73 @@
+//! Telemetry overhead: the scenario-1 negotiation with the pipeline
+//! disabled, attached to a no-op recorder, attached to a ring buffer, and
+//! streaming JSONL to an in-memory sink. The disabled and no-op rows bound
+//! the cost of the `enabled()` gates; ring vs JSONL bound the cost of
+//! actually keeping the events.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use peertrust_negotiation::Strategy;
+use peertrust_scenarios::Scenario1;
+use peertrust_telemetry::{JsonlWriter, NoopRecorder, Telemetry};
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(20);
+
+    group.bench_function("disabled", |b| {
+        b.iter_batched(
+            Scenario1::build,
+            |mut s| {
+                let out = s.run_traced(Strategy::Parsimonious, &Telemetry::disabled());
+                assert!(out.success);
+                out.messages
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("noop-recorder", |b| {
+        b.iter_batched(
+            Scenario1::build,
+            |mut s| {
+                let t = Telemetry::with_recorder(Box::new(NoopRecorder));
+                let out = s.run_traced(Strategy::Parsimonious, &t);
+                assert!(out.success);
+                out.messages
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("ring-buffer", |b| {
+        b.iter_batched(
+            Scenario1::build,
+            |mut s| {
+                let (t, ring) = Telemetry::ring(65536);
+                let out = s.run_traced(Strategy::Parsimonious, &t);
+                assert!(out.success);
+                assert!(!ring.events().is_empty());
+                out.messages
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("jsonl-writer", |b| {
+        b.iter_batched(
+            Scenario1::build,
+            |mut s| {
+                let sink: Vec<u8> = Vec::with_capacity(1 << 20);
+                let t = Telemetry::with_recorder(Box::new(JsonlWriter::new(sink)));
+                let out = s.run_traced(Strategy::Parsimonious, &t);
+                assert!(out.success);
+                out.messages
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -8,7 +8,10 @@
 //! cargo run --release -p peertrust-bench --bin experiments
 //! ```
 //!
-//! Pass `--json` to also dump machine-readable rows.
+//! Pass `--json` to also dump machine-readable rows. Every run also
+//! re-executes the two paper scenarios under an instrumented telemetry
+//! pipeline and writes the metrics registry to `metrics.json` alongside a
+//! per-negotiation `timeline.jsonl`.
 
 use peertrust_bench::{run_negotiation, run_workload, with_big_stack, Row};
 use peertrust_core::{PeerId, Sym};
@@ -43,6 +46,50 @@ fn main() {
     if json {
         println!("\n{}", serde_json::to_string_pretty(&rows).unwrap());
     }
+
+    telemetry_export();
+}
+
+/// Re-run the instrumented paper scenarios and export the metrics registry
+/// (`metrics.json`) plus the chronological event stream (`timeline.jsonl`).
+fn telemetry_export() {
+    use peertrust_telemetry::{Telemetry, Timeline};
+
+    println!("\n== Telemetry export (instrumented E1/E2) ==");
+    let (telemetry, ring) = Telemetry::ring(65536);
+
+    let mut s1 = Scenario1::build();
+    let out1 = s1.run_traced(Strategy::Parsimonious, &telemetry);
+    assert!(out1.success);
+    let mut s2 = Scenario2::build(Variant2::Base);
+    let out2 = s2.run_traced(
+        Strategy::Parsimonious,
+        Scenario2::paid_goal(1000),
+        &telemetry,
+    );
+    assert!(out2.success);
+
+    let metrics = telemetry.metrics().expect("telemetry enabled").to_json();
+    std::fs::write("metrics.json", &metrics).expect("write metrics.json");
+
+    let events = ring.events();
+    let timelines = Timeline::from_events(&events);
+    let dump: String = timelines.iter().map(Timeline::to_jsonl).collect();
+    std::fs::write("timeline.jsonl", &dump).expect("write timeline.jsonl");
+
+    for tl in &timelines {
+        println!(
+            "  negotiation {}: {} spans, {} events",
+            tl.negotiation,
+            tl.spans.len(),
+            tl.events.len()
+        );
+    }
+    println!(
+        "  wrote metrics.json ({} bytes) and timeline.jsonl ({} bytes)",
+        metrics.len(),
+        dump.len()
+    );
 }
 
 fn e1(rows: &mut Vec<Row>) {
@@ -78,7 +125,12 @@ fn e2(rows: &mut Vec<Row>) {
     let mut s = Scenario2::build(Variant2::Base);
     let free = s.run(Strategy::Parsimonious, Scenario2::free_goal());
     assert!(free.success);
-    rows.push(Row::from_outcome("E2", "free-course", "parsimonious", &free));
+    rows.push(Row::from_outcome(
+        "E2",
+        "free-course",
+        "parsimonious",
+        &free,
+    ));
 
     for (name, variant) in [
         ("paid-base", Variant2::Base),
@@ -93,9 +145,24 @@ fn e2(rows: &mut Vec<Row>) {
     }
 
     for (name, variant, ablation, goal_price) in [
-        ("revoked-card", Variant2::RevocationCheck, Ablation2::CardRevoked, 1000),
-        ("price-too-high", Variant2::Base, Ablation2::PriceTooHigh, 2500),
-        ("merchant-unauth", Variant2::Base, Ablation2::MerchantNotAuthorized, 1000),
+        (
+            "revoked-card",
+            Variant2::RevocationCheck,
+            Ablation2::CardRevoked,
+            1000,
+        ),
+        (
+            "price-too-high",
+            Variant2::Base,
+            Ablation2::PriceTooHigh,
+            2500,
+        ),
+        (
+            "merchant-unauth",
+            Variant2::Base,
+            Ablation2::MerchantNotAuthorized,
+            1000,
+        ),
     ] {
         let mut s = Scenario2::build_ablated(variant, ablation);
         let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(goal_price));
@@ -106,11 +173,21 @@ fn e2(rows: &mut Vec<Row>) {
     let mut s = Scenario2::build_ablated(Variant2::Base, Ablation2::IbmNotElenaMember);
     let free = s.run(Strategy::Parsimonious, Scenario2::free_goal());
     assert!(!free.success);
-    rows.push(Row::from_outcome("E2", "non-member-free", "parsimonious", &free));
+    rows.push(Row::from_outcome(
+        "E2",
+        "non-member-free",
+        "parsimonious",
+        &free,
+    ));
     let mut s = Scenario2::build_ablated(Variant2::Base, Ablation2::IbmNotElenaMember);
     let paid = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
     assert!(paid.success);
-    rows.push(Row::from_outcome("E2", "non-member-paid", "parsimonious", &paid));
+    rows.push(Row::from_outcome(
+        "E2",
+        "non-member-paid",
+        "parsimonious",
+        &paid,
+    ));
 }
 
 fn e3(rows: &mut Vec<Row>) {
@@ -270,7 +347,12 @@ fn e10(rows: &mut Vec<Row>) {
         Strategy::Parsimonious,
         true,
     );
-    rows.push(Row::from_outcome("E10", "fleet client (n=8)", "parsimonious", &out));
+    rows.push(Row::from_outcome(
+        "E10",
+        "fleet client (n=8)",
+        "parsimonious",
+        &out,
+    ));
 }
 
 fn e11(rows: &mut Vec<Row>) {
@@ -282,7 +364,11 @@ fn e11(rows: &mut Vec<Row>) {
         let mut b = NegotiationPeer::new("B", registry.clone());
         for i in 0..k {
             let next = (i + 1) % k;
-            let (peer, owner) = if i % 2 == 0 { (&mut a, "A") } else { (&mut b, "B") };
+            let (peer, owner) = if i % 2 == 0 {
+                (&mut a, "A")
+            } else {
+                (&mut b, "B")
+            };
             peer.load_program(&format!(
                 r#"
                 cred{i}("{owner}") @ "CA" signedBy ["CA"].

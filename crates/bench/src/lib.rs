@@ -23,7 +23,14 @@ pub fn run_negotiation(
     expect_success: bool,
 ) -> NegotiationOutcome {
     let mut net = SimNetwork::new(7);
-    let out = strategy.run(peers, &mut net, NegotiationId(1), requester, responder, goal);
+    let out = strategy.run(
+        peers,
+        &mut net,
+        NegotiationId(1),
+        requester,
+        responder,
+        goal,
+    );
     if expect_success {
         assert!(out.success, "negotiation failed: {:#?}", out.refusals);
     }
@@ -89,7 +96,16 @@ impl Row {
     pub fn header() -> String {
         format!(
             "{:<4} | {:<28} | {:<12} | {:>3} | {:>6} | {:>8} | {:>7} | {:>5} | {:>6} | {:>6}",
-            "exp", "config", "strategy", "ok", "msgs", "bytes", "queries", "creds", "rounds", "ticks"
+            "exp",
+            "config",
+            "strategy",
+            "ok",
+            "msgs",
+            "bytes",
+            "queries",
+            "creds",
+            "rounds",
+            "ticks"
         )
     }
 }

@@ -57,7 +57,10 @@ impl Context {
     /// A context that is the conjunction of the given literals.
     pub fn goals(goals: Vec<Literal>) -> Context {
         // Normalize: a sole `true` literal is the public context.
-        let goals = goals.into_iter().filter(|g| g.pred.as_str() != "true").collect();
+        let goals = goals
+            .into_iter()
+            .filter(|g| g.pred.as_str() != "true")
+            .collect();
         Context { goals }
     }
 

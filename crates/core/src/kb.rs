@@ -146,11 +146,7 @@ impl KnowledgeBase {
                 .get(&(key.0, key.1, k))
                 .map(Vec::as_slice)
                 .unwrap_or(&[]);
-            let vars = self
-                .var_headed
-                .get(&key)
-                .map(Vec::as_slice)
-                .unwrap_or(&[]);
+            let vars = self.var_headed.get(&key).map(Vec::as_slice).unwrap_or(&[]);
             let mut merged = Vec::with_capacity(exact.len() + vars.len());
             let (mut i, mut j) = (0, 0);
             while i < exact.len() || j < vars.len() {
@@ -179,11 +175,7 @@ impl KnowledgeBase {
         });
         let ids: Vec<usize> = match refined {
             Some(v) => v,
-            None => self
-                .index
-                .get(&key)
-                .map(|v| v.clone())
-                .unwrap_or_default(),
+            None => self.index.get(&key).cloned().unwrap_or_default(),
         };
         ids.into_iter().map(move |i| &self.rules[i])
     }
@@ -206,9 +198,7 @@ impl KnowledgeBase {
 
     /// Iterate over locally defined rules only.
     pub fn local_rules(&self) -> impl Iterator<Item = &StoredRule> {
-        self.rules
-            .iter()
-            .filter(|r| r.origin == RuleOrigin::Local)
+        self.rules.iter().filter(|r| r.origin == RuleOrigin::Local)
     }
 
     /// Distinct predicates (with arity) defined in this KB.
@@ -266,7 +256,10 @@ mod tests {
     fn arity_distinguishes_candidates() {
         let mut kb = KnowledgeBase::new();
         kb.add_local(Rule::fact(Literal::new("p", vec![Term::int(1)])));
-        kb.add_local(Rule::fact(Literal::new("p", vec![Term::int(1), Term::int(2)])));
+        kb.add_local(Rule::fact(Literal::new(
+            "p",
+            vec![Term::int(1), Term::int(2)],
+        )));
         let unary = Literal::new("p", vec![Term::var("X")]);
         assert_eq!(kb.candidates(&unary).count(), 1);
     }
@@ -288,8 +281,7 @@ mod tests {
     #[test]
     fn dedup_insertion() {
         let mut kb = KnowledgeBase::new();
-        let cred = Rule::fact(Literal::new("student", vec![Term::str("Alice")]))
-            .signed_by("UIUC");
+        let cred = Rule::fact(Literal::new("student", vec![Term::str("Alice")])).signed_by("UIUC");
         assert!(kb.add_received_dedup(cred.clone(), PeerId::new("Alice")));
         assert!(!kb.add_received_dedup(cred, PeerId::new("Alice")));
         assert_eq!(kb.len(), 1);
@@ -355,7 +347,10 @@ mod first_arg_tests {
         // A variable-headed rule matches any first argument.
         kb.add_local(Rule::horn(
             Literal::new("fact", vec![Term::var("X"), Term::var("Y")]),
-            vec![Literal::new("derived", vec![Term::var("X"), Term::var("Y")])],
+            vec![Literal::new(
+                "derived",
+                vec![Term::var("X"), Term::var("Y")],
+            )],
         ));
 
         let goal = Literal::new("fact", vec![Term::int(42), Term::var("Y")]);
@@ -389,15 +384,18 @@ mod first_arg_tests {
             vec![Term::compound("x", vec![Term::int(1)])],
         )));
         assert_eq!(
-            kb.candidates(&Literal::new("p", vec![Term::atom("x")])).count(),
+            kb.candidates(&Literal::new("p", vec![Term::atom("x")]))
+                .count(),
             1
         );
         assert_eq!(
-            kb.candidates(&Literal::new("p", vec![Term::str("x")])).count(),
+            kb.candidates(&Literal::new("p", vec![Term::str("x")]))
+                .count(),
             1
         );
         assert_eq!(
-            kb.candidates(&Literal::new("p", vec![Term::int(1)])).count(),
+            kb.candidates(&Literal::new("p", vec![Term::int(1)]))
+                .count(),
             1
         );
         // Compound goals match by functor (over-approximation refined by

@@ -246,10 +246,7 @@ mod tests {
             Literal::new("preferred", vec![Term::var("X")]),
             vec![Literal::new("student", vec![Term::var("X")]).at(Term::str("UIUC"))],
         );
-        assert_eq!(
-            r.to_string(),
-            "preferred(X) <- student(X) @ \"UIUC\"."
-        );
+        assert_eq!(r.to_string(), "preferred(X) <- student(X) @ \"UIUC\".");
     }
 
     #[test]
@@ -309,10 +306,7 @@ mod tests {
             Context::goals(vec![Literal::new("member", vec![Term::var("X")])]),
         );
         let r2 = r.rename_apart(3);
-        assert_eq!(
-            r2.head_context.unwrap().goals[0].to_string(),
-            "member(X_3)"
-        );
+        assert_eq!(r2.head_context.unwrap().goals[0].to_string(), "member(X_3)");
     }
 
     #[test]

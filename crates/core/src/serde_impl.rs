@@ -236,7 +236,12 @@ mod tests {
     fn term_roundtrips() {
         let t = Term::compound(
             "f",
-            vec![Term::var("X"), Term::int(-3), Term::str("a b"), Term::atom("c")],
+            vec![
+                Term::var("X"),
+                Term::int(-3),
+                Term::str("a b"),
+                Term::atom("c"),
+            ],
         );
         let json = serde_json::to_string(&t).unwrap();
         let back: Term = serde_json::from_str(&json).unwrap();

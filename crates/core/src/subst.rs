@@ -137,10 +137,16 @@ mod tests {
     fn apply_descends_into_compounds() {
         let mut s = Subst::new();
         s.bind(v("X"), Term::int(1));
-        let t = Term::compound("f", vec![Term::var("X"), Term::compound("g", vec![Term::var("X")])]);
+        let t = Term::compound(
+            "f",
+            vec![Term::var("X"), Term::compound("g", vec![Term::var("X")])],
+        );
         assert_eq!(
             s.apply(&t),
-            Term::compound("f", vec![Term::int(1), Term::compound("g", vec![Term::int(1)])])
+            Term::compound(
+                "f",
+                vec![Term::int(1), Term::compound("g", vec![Term::int(1)])]
+            )
         );
     }
 

@@ -254,10 +254,7 @@ mod tests {
 
     #[test]
     fn collect_vars_reports_duplicates_in_order() {
-        let t = Term::compound(
-            "f",
-            vec![Term::var("X"), Term::var("Y"), Term::var("X")],
-        );
+        let t = Term::compound("f", vec![Term::var("X"), Term::var("Y"), Term::var("X")]);
         let mut vars = Vec::new();
         t.collect_vars(&mut vars);
         let names: Vec<_> = vars.iter().map(|v| v.name.as_str()).collect();
@@ -267,7 +264,10 @@ mod tests {
     #[test]
     fn size_counts_symbols() {
         assert_eq!(Term::int(7).size(), 1);
-        let t = Term::compound("f", vec![Term::int(1), Term::compound("g", vec![Term::var("X")])]);
+        let t = Term::compound(
+            "f",
+            vec![Term::int(1), Term::compound("g", vec![Term::var("X")])],
+        );
         assert_eq!(t.size(), 4);
     }
 
@@ -286,7 +286,10 @@ mod tests {
         let renamed = t.map_vars(&mut |v| Term::Var(Var::versioned(v.name, v.version + 1)));
         assert_eq!(
             renamed,
-            Term::compound("f", vec![Term::Var(Var::versioned("X", 1)), Term::atom("a")])
+            Term::compound(
+                "f",
+                vec![Term::Var(Var::versioned("X", 1)), Term::atom("a")]
+            )
         );
     }
 

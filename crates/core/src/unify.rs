@@ -179,7 +179,9 @@ mod tests {
             &v("X"),
             &t,
             &mut s,
-            UnifyOptions { occurs_check: false }
+            UnifyOptions {
+                occurs_check: false
+            }
         ));
     }
 

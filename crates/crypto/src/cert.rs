@@ -8,8 +8,8 @@
 //! negotiation-clock ticks, since the simulation has no wall clock), and a
 //! [`RevocationList`] is the authority-side CRL that peers query.
 
-use crate::sig::{verify_signed_rule, SigError, SignedRule};
 use crate::keys::KeyRegistry;
+use crate::sig::{verify_signed_rule, SigError, SignedRule};
 use parking_lot::RwLock;
 use peertrust_core::PeerId;
 use std::collections::HashSet;
@@ -39,10 +39,19 @@ pub enum CredentialError {
     /// Underlying signature failure.
     Sig(SigError),
     /// Outside the validity interval.
-    Expired { at: Tick, not_after: Tick },
-    NotYetValid { at: Tick, not_before: Tick },
+    Expired {
+        at: Tick,
+        not_after: Tick,
+    },
+    NotYetValid {
+        at: Tick,
+        not_before: Tick,
+    },
     /// Present on the issuer's revocation list.
-    Revoked { issuer: PeerId, serial: u64 },
+    Revoked {
+        issuer: PeerId,
+        serial: u64,
+    },
 }
 
 impl fmt::Display for CredentialError {
@@ -53,7 +62,10 @@ impl fmt::Display for CredentialError {
                 write!(f, "credential expired (now {at}, not_after {not_after})")
             }
             CredentialError::NotYetValid { at, not_before } => {
-                write!(f, "credential not yet valid (now {at}, not_before {not_before})")
+                write!(
+                    f,
+                    "credential not yet valid (now {at}, not_before {not_before})"
+                )
             }
             CredentialError::Revoked { issuer, serial } => {
                 write!(f, "credential {serial} revoked by {issuer}")

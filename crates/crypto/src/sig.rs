@@ -135,7 +135,10 @@ mod tests {
     fn unsigned_rule_rejected() {
         let reg = registry();
         let plain = Rule::fact(Literal::new("p", vec![]));
-        assert_eq!(sign_rule(&reg, &plain).unwrap_err(), SigError::NotASignedRule);
+        assert_eq!(
+            sign_rule(&reg, &plain).unwrap_err(),
+            SigError::NotASignedRule
+        );
     }
 
     #[test]
@@ -154,10 +157,9 @@ mod tests {
     fn forged_issuer_claim_fails() {
         let reg = registry();
         // Mallory takes her self-signed rule and claims UIUC signed it.
-        let mallory_rule = Rule::fact(
-            Literal::new("student", vec![Term::str("Mallory")]).at(Term::str("UIUC")),
-        )
-        .signed_by("UIUC");
+        let mallory_rule =
+            Rule::fact(Literal::new("student", vec![Term::str("Mallory")]).at(Term::str("UIUC")))
+                .signed_by("UIUC");
         // She cannot produce UIUC's tag, so she attaches garbage.
         let forged = SignedRule {
             rule: mallory_rule,

@@ -75,7 +75,9 @@ pub fn eval_builtin(lit: &Literal, s: &Subst) -> BuiltinOutcome {
                         BuiltinOutcome::False
                     }
                 }
-                _ => BuiltinOutcome::IllTyped(format!("{op} needs ground integers, got {a} {op} {b}")),
+                _ => BuiltinOutcome::IllTyped(format!(
+                    "{op} needs ground integers, got {a} {op} {b}"
+                )),
             }
         }
         other => BuiltinOutcome::IllTyped(format!("unknown builtin {other}")),
@@ -164,7 +166,10 @@ mod tests {
             BuiltinOutcome::IllTyped(_)
         ));
         let lit2 = Literal::cmp("!=", Term::int(2), Term::int(1));
-        assert!(matches!(eval_builtin(&lit2, &Subst::new()), BuiltinOutcome::True(_)));
+        assert!(matches!(
+            eval_builtin(&lit2, &Subst::new()),
+            BuiltinOutcome::True(_)
+        ));
         let lit3 = Literal::cmp("!=", Term::int(1), Term::int(1));
         assert_eq!(eval_builtin(&lit3, &Subst::new()), BuiltinOutcome::False);
     }
@@ -172,6 +177,9 @@ mod tests {
     #[test]
     fn atom_string_inequality_holds() {
         let lit = Literal::cmp("!=", Term::atom("cs101"), Term::str("cs101"));
-        assert!(matches!(eval_builtin(&lit, &Subst::new()), BuiltinOutcome::True(_)));
+        assert!(matches!(
+            eval_builtin(&lit, &Subst::new()),
+            BuiltinOutcome::True(_)
+        ));
     }
 }

@@ -220,7 +220,17 @@ fn match_body(
             return;
         }
         if let BuiltinOutcome::True(s2) = eval_builtin(&goal, s) {
-            match_body(body, i + 1, pivot, &s2, facts, frontier_start, frontier_end, head, out);
+            match_body(
+                body,
+                i + 1,
+                pivot,
+                &s2,
+                facts,
+                frontier_start,
+                frontier_end,
+                head,
+                out,
+            );
         }
         return;
     }
@@ -232,7 +242,17 @@ fn match_body(
     for fact in &facts[lo..hi] {
         let mut s2 = s.clone();
         if unify_literals(&goal, fact, &mut s2) {
-            match_body(body, i + 1, pivot, &s2, facts, frontier_start, frontier_end, head, out);
+            match_body(
+                body,
+                i + 1,
+                pivot,
+                &s2,
+                facts,
+                frontier_start,
+                frontier_end,
+                head,
+                out,
+            );
         }
     }
 }
@@ -263,13 +283,11 @@ mod tests {
 
     #[test]
     fn transitive_closure_saturates() {
-        let s = sat(
-            r#"
+        let s = sat(r#"
             reach(X, Y) <- edge(X, Y).
             reach(X, Z) <- edge(X, Y), reach(Y, Z).
             edge(1, 2). edge(2, 3). edge(3, 1).
-            "#,
-        );
+            "#);
         // Cyclic graph: all 9 pairs reachable.
         for a in 1..=3 {
             for b in 1..=3 {
@@ -292,10 +310,7 @@ mod tests {
         // Unsafe rule: head variable Y not bound by body.
         let s = sat("bad(X, Y) <- p(X). p(1).");
         assert_eq!(
-            s.facts
-                .iter()
-                .filter(|f| f.pred.as_str() == "bad")
-                .count(),
+            s.facts.iter().filter(|f| f.pred.as_str() == "bad").count(),
             0
         );
     }
@@ -310,12 +325,10 @@ mod tests {
 
     #[test]
     fn authority_chains_respected() {
-        let s = sat(
-            r#"
+        let s = sat(r#"
             student("Alice") @ "UIUC".
             preferred(X) <- student(X) @ "UIUC".
-            "#,
-        );
+            "#);
         assert!(s.contains(&parse_literal(r#"preferred("Alice")"#).unwrap()));
         // No chainless student fact was invented.
         assert!(!s.contains(&parse_literal(r#"student("Alice")"#).unwrap()));

@@ -23,6 +23,6 @@ pub use builtins::{eval_builtin, BuiltinOutcome};
 pub use explain::{explain, explain_with_rules, proof_summary};
 pub use forward::{saturate, ForwardConfig, Saturation};
 pub use sld::{
-    canonicalize, is_variant, EngineConfig, NoRemote, Proof, ProofStep, RemoteFallback, RemoteHook, Solution,
-    Solver, Stats,
+    canonicalize, is_variant, EngineConfig, NoRemote, Proof, ProofStep, RemoteFallback, RemoteHook,
+    Solution, Solver, Stats,
 };

@@ -29,9 +29,8 @@
 //! disclose.
 
 use crate::builtins::{eval_builtin, BuiltinOutcome};
-use peertrust_core::{
-    unify_literals, KnowledgeBase, Literal, PeerId, RuleId, Subst, Term, Var,
-};
+use peertrust_core::{unify_literals, KnowledgeBase, Literal, PeerId, RuleId, Subst, Term, Var};
+use peertrust_telemetry::{Field, Telemetry};
 
 /// When to consult the remote hook for a goal routed to another peer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -148,6 +147,11 @@ impl Proof {
         1 + self.children.iter().map(Proof::size).sum::<usize>()
     }
 
+    /// Tree height: 1 for a leaf.
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(Proof::depth).max().unwrap_or(0)
+    }
+
     fn walk(&self, f: &mut impl FnMut(&Proof)) {
         f(self);
         for c in &self.children {
@@ -184,6 +188,12 @@ pub struct Stats {
     pub depth_cutoffs: u64,
     /// Branches pruned by the ancestor variant check.
     pub loop_prunes: u64,
+    /// Candidate rules whose heads were tried against a goal.
+    pub rule_tries: u64,
+    /// Head/answer unification attempts.
+    pub unify_attempts: u64,
+    /// Builtin evaluations.
+    pub builtin_evals: u64,
     /// Whether the step budget was exhausted (result may be incomplete).
     pub step_budget_exhausted: bool,
 }
@@ -196,6 +206,7 @@ pub struct Solver<'a> {
     hook: Option<&'a mut dyn RemoteHook>,
     rename_counter: u32,
     stats: Stats,
+    telemetry: Telemetry,
 }
 
 /// Work items on the evaluation agenda.
@@ -224,6 +235,7 @@ impl<'a> Solver<'a> {
             hook: None,
             rename_counter: 0,
             stats: Stats::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -234,6 +246,14 @@ impl<'a> Solver<'a> {
 
     pub fn with_hook(mut self, hook: &'a mut dyn RemoteHook) -> Solver<'a> {
         self.hook = Some(hook);
+        self
+    }
+
+    /// Attach a telemetry pipeline: each [`Solver::solve`] call becomes an
+    /// `engine.solve` span, and the evaluation [`Stats`] are flushed into
+    /// the metrics registry when it returns.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Solver<'a> {
+        self.telemetry = telemetry;
         self
     }
 
@@ -250,15 +270,72 @@ impl<'a> Solver<'a> {
         }
         query_vars.dedup();
 
-        let agenda: Vec<GoalItem> = goals
-            .iter()
-            .map(|g| GoalItem::Lit(g.clone(), 0))
-            .collect();
+        let (span, before) = if self.telemetry.enabled() {
+            let goal_text = goals
+                .iter()
+                .map(|g| g.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let span = self.telemetry.span_start(
+                0,
+                0,
+                "engine.solve",
+                vec![Field::str("goal", goal_text)],
+            );
+            (span, self.stats)
+        } else {
+            (peertrust_telemetry::SpanId::NONE, Stats::default())
+        };
+
+        let agenda: Vec<GoalItem> = goals.iter().map(|g| GoalItem::Lit(g.clone(), 0)).collect();
         let mut out = Vec::new();
         let mut anc: Vec<Literal> = Vec::new();
         let mut acc: Vec<Proof> = Vec::new();
-        let _ = self.prove(&agenda, &Subst::new(), &mut anc, &mut acc, &mut out, &query_vars);
+        let _ = self.prove(
+            &agenda,
+            &Subst::new(),
+            &mut anc,
+            &mut acc,
+            &mut out,
+            &query_vars,
+        );
+
+        if self.telemetry.enabled() {
+            self.flush_stats_delta(&before, &out);
+            self.telemetry
+                .span_end(0, span, 0, vec![Field::u64("solutions", out.len() as u64)]);
+        }
         out
+    }
+
+    /// Flush the stats accumulated since `before` into the metrics
+    /// registry, plus per-solve histograms over the solution set.
+    fn flush_stats_delta(&self, before: &Stats, out: &[Solution]) {
+        let d = &self.stats;
+        self.telemetry.incr("engine.steps", d.steps - before.steps);
+        self.telemetry
+            .incr("engine.rule_tries", d.rule_tries - before.rule_tries);
+        self.telemetry.incr(
+            "engine.unify_attempts",
+            d.unify_attempts - before.unify_attempts,
+        );
+        self.telemetry
+            .incr("engine.builtins", d.builtin_evals - before.builtin_evals);
+        self.telemetry
+            .incr("engine.remote_hops", d.remote_calls - before.remote_calls);
+        self.telemetry.incr(
+            "engine.depth_cutoffs",
+            d.depth_cutoffs - before.depth_cutoffs,
+        );
+        self.telemetry
+            .incr("engine.loop_prunes", d.loop_prunes - before.loop_prunes);
+        self.telemetry.observe("engine.solutions", out.len() as u64);
+        let depth = out
+            .iter()
+            .flat_map(|sol| sol.proofs.iter().map(Proof::depth))
+            .max()
+            .unwrap_or(0);
+        self.telemetry.observe("engine.proof_depth", depth as u64);
     }
 
     /// Is the conjunction provable at all?
@@ -342,15 +419,17 @@ impl<'a> Solver<'a> {
                         return Flow::Continue; // flounder: non-ground negation
                     }
                     let refuted = {
-                        let mut sub = Solver::new(self.kb, self.self_id).with_config(
-                            EngineConfig {
+                        let mut sub =
+                            Solver::new(self.kb, self.self_id).with_config(EngineConfig {
                                 max_solutions: 1,
                                 remote_fallback: RemoteFallback::Never,
                                 ..self.config
-                            },
-                        );
+                            });
                         let proved = sub.provable(std::slice::from_ref(&inner));
                         self.stats.steps += sub.stats.steps;
+                        self.stats.rule_tries += sub.stats.rule_tries;
+                        self.stats.unify_attempts += sub.stats.unify_attempts;
+                        self.stats.builtin_evals += sub.stats.builtin_evals;
                         !proved
                     };
                     if !refuted {
@@ -372,6 +451,7 @@ impl<'a> Solver<'a> {
 
                 // Builtins.
                 if goal.is_builtin() {
+                    self.stats.builtin_evals += 1;
                     return match eval_builtin(&goal, s) {
                         BuiltinOutcome::True(s2) => self.alternative(
                             &goal,
@@ -435,9 +515,11 @@ impl<'a> Solver<'a> {
                     if rule.body.len() == 1 && rule.body[0] == rule.head {
                         continue;
                     }
+                    self.stats.rule_tries += 1;
                     self.rename_counter += 1;
                     let renamed = rule.rename_apart(self.rename_counter);
                     let mut s2 = s.clone();
+                    self.stats.unify_attempts += 1;
                     if !unify_literals(&renamed.head, &goal, &mut s2) {
                         continue;
                     }
@@ -470,9 +552,11 @@ impl<'a> Solver<'a> {
                         if rule.body.len() == 1 && rule.body[0] == rule.head {
                             continue;
                         }
+                        self.stats.rule_tries += 1;
                         self.rename_counter += 1;
                         let renamed = rule.rename_apart(self.rename_counter);
                         let mut s2 = s.clone();
+                        self.stats.unify_attempts += 1;
                         if !unify_literals(&renamed.head, &extended, &mut s2) {
                             continue;
                         }
@@ -511,6 +595,7 @@ impl<'a> Solver<'a> {
                         .resolve_remote(peer, &inner);
                     for answer in answers {
                         let mut s2 = s.clone();
+                        self.stats.unify_attempts += 1;
                         if !unify_literals(&inner, &answer, &mut s2) {
                             continue;
                         }
@@ -792,11 +877,9 @@ mod tests {
                 vec![Literal::new("student", vec![Term::str("Alice")]).at(Term::str("UIUC"))]
             }
         }
-        let kb = kb(
-            r#"
+        let kb = kb(r#"
             eligible(X) <- student(X) @ "UIUC" @ X.
-            "#,
-        );
+            "#);
         let mut hook = FakeAlice;
         let mut solver = Solver::new(&kb, PeerId::new("E-Learn")).with_hook(&mut hook);
         let sols = solver.solve(&parse_goals(r#"eligible("Alice")"#).unwrap());
@@ -816,12 +899,10 @@ mod tests {
             }
         }
         // E-Learn cached ELENA's signed rule, so no query to ELENA needed.
-        let kb = kb(
-            r#"
+        let kb = kb(r#"
             preferred(X) @ "ELENA" <- signedBy ["ELENA"] student(X) @ "UIUC".
             student("Alice") @ "UIUC" signedBy ["UIUC"].
-            "#,
-        );
+            "#);
         let mut hook = Panics;
         let mut solver = Solver::new(&kb, PeerId::new("E-Learn")).with_hook(&mut hook);
         let sols = solver.solve(&parse_goals(r#"preferred("Alice") @ "ELENA""#).unwrap());
@@ -880,12 +961,10 @@ mod tests {
                 vec![ans]
             }
         }
-        let kb = kb(
-            r#"
+        let kb = kb(r#"
             authority(purchaseApproved, "VISA").
             ok(C, P) <- authority(purchaseApproved, A), purchaseApproved(C, P) @ A.
-            "#,
-        );
+            "#);
         let mut hook = VisaHook;
         let mut solver = Solver::new(&kb, PeerId::new("E-Learn")).with_hook(&mut hook);
         let sols = solver.solve(&parse_goals(r#"ok("IBM", 1000)"#).unwrap());
@@ -971,7 +1050,10 @@ mod naf_tests {
     #[test]
     fn nonground_negation_flounders() {
         let sols = solve_all("p <- not(q(X)). q(1).", "p");
-        assert!(sols.is_empty(), "non-ground negation must flounder, not succeed");
+        assert!(
+            sols.is_empty(),
+            "non-ground negation must flounder, not succeed"
+        );
     }
 
     #[test]

@@ -21,9 +21,8 @@ fn arb_const() -> impl Strategy<Value = Term> {
 
 fn arb_program() -> impl Strategy<Value = Program> {
     let facts = prop::collection::vec(
-        (0u32..3, arb_const(), arb_const()).prop_map(|(p, a, b)| {
-            Rule::fact(Literal::new(format!("e{p}").as_str(), vec![a, b]))
-        }),
+        (0u32..3, arb_const(), arb_const())
+            .prop_map(|(p, a, b)| Rule::fact(Literal::new(format!("e{p}").as_str(), vec![a, b]))),
         1..8,
     );
     // Rules: head p{k}(X, Y); body: 1-2 edb/idb literals over vars {X, Y, Z}
@@ -33,16 +32,16 @@ fn arb_program() -> impl Strategy<Value = Program> {
             |(hk, b1, b2, use_idb, chain)| {
                 let (x, y, z) = (Term::var("X"), Term::var("Y"), Term::var("Z"));
                 let head = Literal::new(format!("p{hk}").as_str(), vec![x.clone(), y.clone()]);
-                let first = Literal::new(format!("e{b1}").as_str(), vec![x.clone(), if chain { z.clone() } else { y.clone() }]);
+                let first = Literal::new(
+                    format!("e{b1}").as_str(),
+                    vec![x.clone(), if chain { z.clone() } else { y.clone() }],
+                );
                 let second_name = if use_idb {
                     format!("p{}", b2 % 2)
                 } else {
                     format!("e{b2}")
                 };
-                let second = Literal::new(
-                    second_name.as_str(),
-                    vec![if chain { z } else { x }, y],
-                );
+                let second = Literal::new(second_name.as_str(), vec![if chain { z } else { x }, y]);
                 Rule::horn(head, vec![first, second])
             },
         ),

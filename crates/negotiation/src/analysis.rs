@@ -43,9 +43,17 @@ pub enum Finding {
     /// A rule whose head variables are not all bound by its body.
     UnsafeRule { owner: PeerId, rule: Rule },
     /// An authority argument naming a peer that does not exist.
-    UnknownAuthority { owner: PeerId, authority: PeerId, rule: Rule },
+    UnknownAuthority {
+        owner: PeerId,
+        authority: PeerId,
+        rule: Rule,
+    },
     /// A `signedBy` issuer not present in the key registry.
-    UnknownIssuer { owner: PeerId, issuer: PeerId, rule: Rule },
+    UnknownIssuer {
+        owner: PeerId,
+        issuer: PeerId,
+        rule: Rule,
+    },
 }
 
 impl Finding {
@@ -80,10 +88,18 @@ impl std::fmt::Display for Finding {
             Finding::UnsafeRule { owner, rule } => {
                 write!(f, "{owner}: unsafe rule (unbound head variables): {rule}")
             }
-            Finding::UnknownAuthority { owner, authority, rule } => {
+            Finding::UnknownAuthority {
+                owner,
+                authority,
+                rule,
+            } => {
                 write!(f, "{owner}: unknown authority {authority} in: {rule}")
             }
-            Finding::UnknownIssuer { owner, issuer, rule } => {
+            Finding::UnknownIssuer {
+                owner,
+                issuer,
+                rule,
+            } => {
                 write!(f, "{owner}: unknown issuer {issuer} in: {rule}")
             }
         }
@@ -98,7 +114,10 @@ pub struct AnalysisReport {
 
 impl AnalysisReport {
     pub fn errors(&self) -> Vec<&Finding> {
-        self.findings.iter().filter(|f| f.severity() == "error").collect()
+        self.findings
+            .iter()
+            .filter(|f| f.severity() == "error")
+            .collect()
     }
 
     pub fn warnings(&self) -> Vec<&Finding> {
@@ -483,7 +502,10 @@ mod tests {
 
         let report = analyze(&peers, &known());
         assert!(
-            !report.findings.iter().any(|f| matches!(f, Finding::DeadlockCycle(_))),
+            !report
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::DeadlockCycle(_))),
             "{:#?}",
             report.findings
         );
@@ -494,7 +516,8 @@ mod tests {
         let reg = registry();
         let mut peers = PeerMap::new();
         let mut a = NegotiationPeer::new("A", reg);
-        a.load_program(r#"secret("A") @ "CA" signedBy ["CA"]."#).unwrap();
+        a.load_program(r#"secret("A") @ "CA" signedBy ["CA"]."#)
+            .unwrap();
         peers.insert(a);
         let report = analyze(&peers, &known());
         assert!(report
@@ -512,11 +535,14 @@ mod tests {
         a.load_program("broken(X, Y) <- base(X). base(1).").unwrap();
         peers.insert(a);
         let report = analyze(&peers, &known());
-        assert!(report
-            .findings
-            .iter()
-            .any(|f| matches!(f, Finding::UnsafeRule { .. })),
-            "{:#?}", report.findings);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::UnsafeRule { .. })),
+            "{:#?}",
+            report.findings
+        );
     }
 
     #[test]
@@ -553,7 +579,8 @@ mod tests {
         let reg = registry();
         let mut peers = PeerMap::new();
         let mut a = NegotiationPeer::new("A", reg);
-        a.load_program(r#"secret("A") @ "CA" signedBy ["CA"]."#).unwrap();
+        a.load_program(r#"secret("A") @ "CA" signedBy ["CA"]."#)
+            .unwrap();
         peers.insert(a);
         let lines = lint_report(&peers, &known());
         assert!(lines.iter().any(|l| l.starts_with("warning:")), "{lines:?}");
@@ -568,7 +595,11 @@ mod tests {
         let mut b = NegotiationPeer::new("B", reg);
         for i in 0..4 {
             let next = (i + 1) % 4;
-            let (peer, owner) = if i % 2 == 0 { (&mut a, "A") } else { (&mut b, "B") };
+            let (peer, owner) = if i % 2 == 0 {
+                (&mut a, "A")
+            } else {
+                (&mut b, "B")
+            };
             peer.load_program(&format!(
                 r#"
                 c{i}("{owner}") @ "CA" signedBy ["CA"].

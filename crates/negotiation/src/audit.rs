@@ -56,7 +56,12 @@ impl AuditLog {
         &self.records
     }
 
-    fn chain_digest(prev: Option<&Digest>, seq: u64, at: Tick, outcome: &NegotiationOutcome) -> Digest {
+    fn chain_digest(
+        prev: Option<&Digest>,
+        seq: u64,
+        at: Tick,
+        outcome: &NegotiationOutcome,
+    ) -> Digest {
         let mut bytes = Vec::new();
         if let Some(p) = prev {
             bytes.extend_from_slice(p);
@@ -106,6 +111,41 @@ impl AuditLog {
             prev = Some(&r.digest);
         }
         Ok(())
+    }
+
+    /// The digest of the newest record, if any. Publishing `(len, tip)`
+    /// out of band anchors the log: [`AuditLog::verify_anchored`] can then
+    /// detect tail truncation, which [`AuditLog::verify_chain`] alone
+    /// cannot (a truncated log is a valid shorter chain).
+    pub fn tip(&self) -> Option<Digest> {
+        self.records.last().map(|r| r.digest)
+    }
+
+    /// [`AuditLog::verify_chain`] plus an anchor check against a
+    /// previously published `(expected_len, tip)` pair. A truncated tail
+    /// is reported with `seq` = the length of the surviving prefix (the
+    /// position of the first missing record).
+    pub fn verify_anchored(&self, expected_len: u64, tip: &Digest) -> Result<(), ChainViolation> {
+        self.verify_chain()?;
+        let len = self.records.len() as u64;
+        if len != expected_len {
+            return Err(ChainViolation {
+                seq: len.min(expected_len),
+                description: format!(
+                    "length mismatch: log has {len} records, anchor says {expected_len} \
+                     (tail truncated or records appended)"
+                ),
+            });
+        }
+        match self.records.last() {
+            Some(last) if last.digest == *tip => Ok(()),
+            Some(last) => Err(ChainViolation {
+                seq: last.seq,
+                description: "tip digest does not match the published anchor".into(),
+            }),
+            None if expected_len == 0 => Ok(()),
+            None => unreachable!("len == expected_len > 0 but log is empty"),
+        }
     }
 
     /// Records involving `peer` as requester or responder.
@@ -203,6 +243,50 @@ mod tests {
         let back = AuditLog::from_json(&json).unwrap();
         back.verify_chain().unwrap();
         assert_eq!(back.len(), 5);
+    }
+
+    #[test]
+    fn tampered_outcome_reports_exact_seq() {
+        // Flip the middle record's outcome: verification must name seq 2,
+        // not just "somewhere broken".
+        let mut log = sample_log();
+        log.records[2].outcome.success = !log.records[2].outcome.success;
+        let v = log.verify_chain().unwrap_err();
+        assert_eq!(v.seq, 2);
+        assert!(v.description.contains("digest mismatch"), "{v:?}");
+        // Records before the edit still verify on their own.
+        let prefix = AuditLog {
+            records: log.records[..2].to_vec(),
+        };
+        prefix.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_reports_first_missing_seq() {
+        let log = sample_log();
+        let anchor = (log.len() as u64, log.tip().unwrap());
+
+        // Plain chain verification cannot see truncation: the shorter log
+        // is a valid chain.
+        let mut truncated = AuditLog {
+            records: log.records[..3].to_vec(),
+        };
+        truncated.verify_chain().unwrap();
+
+        // The anchor pins it down to the first missing record, seq 3.
+        let v = truncated.verify_anchored(anchor.0, &anchor.1).unwrap_err();
+        assert_eq!(v.seq, 3);
+        assert!(v.description.contains("length mismatch"), "{v:?}");
+
+        // An edit *and* matching length: the anchor reports the tip.
+        truncated.record(99, outcome(9, true));
+        truncated.record(100, outcome(10, false));
+        let v = truncated.verify_anchored(anchor.0, &anchor.1).unwrap_err();
+        assert_eq!(v.seq, 4);
+        assert!(v.description.contains("tip digest"), "{v:?}");
+
+        // The untouched log passes the anchored check.
+        log.verify_anchored(anchor.0, &anchor.1).unwrap();
     }
 
     #[test]

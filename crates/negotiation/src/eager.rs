@@ -207,20 +207,12 @@ fn releasable_credentials(
     };
     let mut out = Vec::new();
     for (_id, sr) in peer.disclosable_signed_rules() {
-        if sent
-            .iter()
-            .any(|(p, r)| *p == owner && *r == sr.rule)
-        {
+        if sent.iter().any(|(p, r)| *p == owner && *r == sr.rule) {
             continue;
         }
-        if let Some((ctx, ev)) = license_locally(
-            peer,
-            recipient,
-            &sr.rule.head,
-            &peer.kb,
-            ledger,
-            rename_seq,
-        ) {
+        if let Some((ctx, ev)) =
+            license_locally(peer, recipient, &sr.rule.head, &peer.kb, ledger, rename_seq)
+        {
             out.push((sr.clone(), ctx, ev));
         }
     }
@@ -394,7 +386,12 @@ mod tests {
         r
     }
 
-    fn run_eager(peers: &mut PeerMap, requester: &str, responder: &str, goal: &str) -> NegotiationOutcome {
+    fn run_eager(
+        peers: &mut PeerMap,
+        requester: &str,
+        responder: &str,
+        goal: &str,
+    ) -> NegotiationOutcome {
         let mut net = SimNetwork::new(3);
         negotiate_eager(
             peers,
@@ -511,10 +508,9 @@ mod tests {
             .iter()
             .find(|d| d.from == PeerId::new("B"))
             .unwrap();
-        assert!(b_discl
-            .evidence
-            .iter()
-            .any(|e| matches!(e, Evidence::ReceivedRule { from, .. } if *from == PeerId::new("A"))));
+        assert!(b_discl.evidence.iter().any(
+            |e| matches!(e, Evidence::ReceivedRule { from, .. } if *from == PeerId::new("A"))
+        ));
     }
 
     #[test]
@@ -549,7 +545,8 @@ mod tests {
         let reg = registry();
         let mut peers = PeerMap::new();
         let mut a = NegotiationPeer::new("A", reg.clone());
-        a.load_program(r#"resource(X) $ true <- never(X)."#).unwrap();
+        a.load_program(r#"resource(X) $ true <- never(X)."#)
+            .unwrap();
         peers.insert(a);
         peers.insert(NegotiationPeer::new("B", reg));
 

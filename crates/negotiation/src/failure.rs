@@ -250,9 +250,7 @@ mod tests {
             peers.insert(elearn);
             // Alice has no student credential at all.
             let mut alice = NegotiationPeer::new("Alice", reg.clone());
-            alice
-                .load_program(r#"unrelated(1)."#)
-                .unwrap();
+            alice.load_program(r#"unrelated(1)."#).unwrap();
             peers.insert(alice);
             peers
         };
@@ -291,9 +289,7 @@ mod tests {
             let mut peers = PeerMap::new();
             let mut server = NegotiationPeer::new("Server", reg.clone());
             server
-                .load_program(
-                    r#"resource(X) $ true <- credA(X) @ "CA" @ X, credB(X) @ "CA" @ X."#,
-                )
+                .load_program(r#"resource(X) $ true <- credA(X) @ "CA" @ X, credB(X) @ "CA" @ X."#)
                 .unwrap();
             peers.insert(server);
             // Client holds both credentials, each locked behind an

@@ -36,23 +36,23 @@ pub mod outcome;
 pub mod peer;
 pub mod session;
 pub mod strategy;
-pub mod ticket;
 pub mod threaded_host;
+pub mod ticket;
 pub mod unipro;
 
-pub use outcome::{
-    verify_safe_sequence, DisclosedItem, Disclosure, Evidence, NegotiationOutcome, Refusal,
-    RefusalReason, SafetyViolation,
-};
 pub use analysis::{analyze, lint_report, AnalysisReport, Finding};
 pub use audit::{AuditLog, AuditRecord, ChainViolation};
 pub use eager::{negotiate_eager, EagerConfig};
 pub use failure::{analyze_failure, find_rescue_set, AnalyzedRefusal, FailureAnalysis};
+pub use outcome::{
+    verify_safe_sequence, DisclosedItem, Disclosure, Evidence, NegotiationOutcome, Refusal,
+    RefusalReason, SafetyViolation,
+};
 pub use peer::{issuer_extended, sender_extended, NegotiationPeer, PeerConfig, PeerError};
-pub use session::{negotiate, PeerMap, SessionConfig};
+pub use session::{negotiate, negotiate_traced, PeerMap, SessionConfig};
 pub use strategy::Strategy;
-pub use ticket::{issue_ticket, redeem_ticket, Ticket, TicketError, TOKEN_PREDICATE};
 pub use threaded_host::{negotiate_threaded, ThreadedOutcome};
+pub use ticket::{issue_ticket, redeem_ticket, Ticket, TicketError, TOKEN_PREDICATE};
 pub use unipro::{
     disclosable_definition, request_policy, unlock_policy_chain, PolicyDisclosureOutcome,
 };

@@ -417,10 +417,7 @@ mod audit_tests {
                 seq: 0,
                 from: PeerId::new("E-Learn"),
                 to: PeerId::new("Alice"),
-                item: DisclosedItem::Resource(Literal::new(
-                    "resource",
-                    vec![Term::str("Alice")],
-                )),
+                item: DisclosedItem::Resource(Literal::new("resource", vec![Term::str("Alice")])),
                 context: Context::public(),
                 evidence: vec![Evidence::Initial(Rule::fact(Literal::truth()))],
             }],

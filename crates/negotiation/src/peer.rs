@@ -101,13 +101,8 @@ pub fn issuer_extended(rule: &Rule) -> Option<Rule> {
 /// `head @ sender`, the receiver's note that `sender` asserted the
 /// credential's content by sending it. `None` for non-credentials.
 pub fn sender_extended(rule: &Rule, from: PeerId) -> Option<Rule> {
-    rule.is_credential().then(|| {
-        Rule::fact(
-            rule.head
-                .clone()
-                .at(peertrust_core::Term::peer(from)),
-        )
-    })
+    rule.is_credential()
+        .then(|| Rule::fact(rule.head.clone().at(peertrust_core::Term::peer(from))))
 }
 
 /// One party in trust negotiations.
@@ -336,10 +331,8 @@ mod tests {
             .unwrap());
         // Credential + its sender-extended fact.
         assert_eq!(elearn.kb.len(), 2);
-        let extended = peertrust_parser::parse_literal(
-            r#"student("Alice") @ "UIUC" @ "Alice""#,
-        )
-        .unwrap();
+        let extended =
+            peertrust_parser::parse_literal(r#"student("Alice") @ "UIUC" @ "Alice""#).unwrap();
         assert!(elearn
             .kb
             .candidates(&extended)
@@ -353,8 +346,10 @@ mod tests {
 
     #[test]
     fn effort_policy_filters_queries() {
-        let mut cfg = PeerConfig::default();
-        cfg.answerable = Some([Sym::new("student")].into_iter().collect());
+        let mut cfg = PeerConfig {
+            answerable: Some([Sym::new("student")].into_iter().collect()),
+            ..Default::default()
+        };
         cfg.deny_peers.insert(PeerId::new("Mallory"));
         let p = NegotiationPeer::new("UIUC", registry()).with_config(cfg);
 

@@ -31,6 +31,7 @@ use peertrust_core::{Context, KnowledgeBase, Literal, PeerId, Subst};
 use peertrust_crypto::SignedRule;
 use peertrust_engine::{canonicalize, Proof, ProofStep, RemoteHook, Solver};
 use peertrust_net::{NegotiationId, Payload, QueryId, SimNetwork};
+use peertrust_telemetry::{Field, SpanId, Telemetry};
 use std::collections::HashMap;
 
 /// The collection of peers participating in negotiations.
@@ -113,10 +114,48 @@ pub fn negotiate(
     responder: PeerId,
     goal: Literal,
 ) -> NegotiationOutcome {
+    negotiate_traced(
+        peers,
+        net,
+        cfg,
+        nid,
+        requester,
+        responder,
+        goal,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`negotiate`] with a telemetry pipeline: the negotiation becomes a
+/// `negotiation` span, every query/disclosure/refusal an event linked to
+/// it by negotiation id, and per-peer counters accumulate in the metrics
+/// registry. With `Telemetry::disabled()` this is exactly [`negotiate`].
+#[allow(clippy::too_many_arguments)]
+pub fn negotiate_traced(
+    peers: &mut PeerMap,
+    net: &mut SimNetwork,
+    cfg: SessionConfig,
+    nid: NegotiationId,
+    requester: PeerId,
+    responder: PeerId,
+    goal: Literal,
+    telemetry: &Telemetry,
+) -> NegotiationOutcome {
     let msgs0 = net.stats().messages_sent;
     let bytes0 = net.stats().bytes_sent;
     let queries0 = net.stats().queries;
     let tick0 = net.now();
+
+    let span = telemetry.span_start(
+        tick0,
+        nid.0,
+        "negotiation",
+        vec![
+            Field::str("requester", requester.to_string()),
+            Field::str("responder", responder.to_string()),
+            Field::str("goal", goal.to_string()),
+        ],
+    );
 
     let mut session = Session {
         peers,
@@ -132,13 +171,15 @@ pub fn negotiate(
         rename_seq: 0,
         received_rules: HashMap::new(),
         received_answers: HashMap::new(),
+        telemetry: telemetry.clone(),
+        span,
     };
 
     let granted = session.request(requester, responder, goal.clone(), 0);
     let success = !granted.is_empty();
     if success {
         let seq = session.disclosures.len();
-        session.disclosures.push(Disclosure {
+        session.record_disclosure(Disclosure {
             seq,
             from: responder,
             to: requester,
@@ -154,7 +195,7 @@ pub fn negotiate(
         max_depth_seen,
         ..
     } = session;
-    NegotiationOutcome {
+    let outcome = NegotiationOutcome {
         success,
         requester,
         responder,
@@ -167,7 +208,39 @@ pub fn negotiate(
         queries: net.stats().queries - queries0,
         rounds: u64::from(max_depth_seen),
         elapsed_ticks: net.now() - tick0,
+    };
+
+    if telemetry.enabled() {
+        record_outcome(telemetry, &outcome);
+        telemetry.span_end(
+            net.now(),
+            span,
+            nid.0,
+            vec![
+                Field::bool("success", outcome.success),
+                Field::u64("disclosures", outcome.disclosures.len() as u64),
+                Field::u64("refusals", outcome.refusals.len() as u64),
+            ],
+        );
     }
+    outcome
+}
+
+/// Flush outcome-level counters and histograms shared by both strategy
+/// drivers.
+pub(crate) fn record_outcome(telemetry: &Telemetry, outcome: &NegotiationOutcome) {
+    telemetry.incr("negotiation.completed", 1);
+    telemetry.incr(
+        if outcome.success {
+            "negotiation.success"
+        } else {
+            "negotiation.failure"
+        },
+        1,
+    );
+    telemetry.observe("negotiation.rounds", outcome.rounds);
+    telemetry.observe("negotiation.wall_ticks", outcome.elapsed_ticks);
+    telemetry.observe("negotiation.messages", outcome.messages);
 }
 
 /// The outcome of a release check.
@@ -202,6 +275,9 @@ pub(crate) struct Session<'a> {
     received_rules: HashMap<PeerId, Vec<(peertrust_core::Rule, PeerId)>>,
     /// Answers each peer received during this session (answer, sender).
     received_answers: HashMap<PeerId, Vec<(Literal, PeerId)>>,
+    telemetry: Telemetry,
+    /// The enclosing `negotiation` span (NONE when telemetry is off).
+    span: SpanId,
 }
 
 struct SessionHook<'s, 'a> {
@@ -218,6 +294,58 @@ impl RemoteHook for SessionHook<'_, '_> {
 }
 
 impl<'a> Session<'a> {
+    /// Append to the disclosure sequence, mirroring the entry into the
+    /// telemetry pipeline (counter per item kind + a timeline event).
+    fn record_disclosure(&mut self, d: Disclosure) {
+        if self.telemetry.enabled() {
+            let kind = match &d.item {
+                DisclosedItem::Resource(_) => "resource",
+                DisclosedItem::SignedRule(_) => "rule",
+                DisclosedItem::Answer(_) => "answer",
+                DisclosedItem::Policy(_) => "policy",
+            };
+            self.telemetry.incr("negotiation.disclosures", 1);
+            self.telemetry
+                .incr(&format!("negotiation.disclosures.{kind}"), 1);
+            self.telemetry.event(
+                self.net.now(),
+                self.span,
+                self.nid.0,
+                "negotiation.disclosure",
+                vec![
+                    Field::u64("seq", d.seq as u64),
+                    Field::str("from", d.from.to_string()),
+                    Field::str("to", d.to.to_string()),
+                    Field::str("kind", kind),
+                ],
+            );
+        }
+        self.disclosures.push(d);
+    }
+
+    /// Append to the refusal list, mirroring the entry into the telemetry
+    /// pipeline (counter per [`RefusalReason`] + a timeline event).
+    fn record_refusal(&mut self, r: Refusal) {
+        if self.telemetry.enabled() {
+            self.telemetry.incr("negotiation.refusals", 1);
+            self.telemetry
+                .incr(&format!("negotiation.refusals.{:?}", r.reason), 1);
+            self.telemetry.event(
+                self.net.now(),
+                self.span,
+                self.nid.0,
+                "negotiation.refusal",
+                vec![
+                    Field::str("peer", r.peer.to_string()),
+                    Field::str("requester", r.requester.to_string()),
+                    Field::str("goal", r.goal.to_string()),
+                    Field::str("reason", format!("{:?}", r.reason)),
+                ],
+            );
+        }
+        self.refusals.push(r);
+    }
+
     /// `from` asks `to` to establish `goal`. Returns the answer instances
     /// `from` accepts (after verification).
     pub(crate) fn request(
@@ -229,7 +357,7 @@ impl<'a> Session<'a> {
     ) -> Vec<Literal> {
         self.max_depth_seen = self.max_depth_seen.max(depth);
         if depth > self.cfg.max_hop_depth {
-            self.refusals.push(Refusal {
+            self.record_refusal(Refusal {
                 peer: to,
                 requester: from,
                 goal,
@@ -239,7 +367,7 @@ impl<'a> Session<'a> {
         }
         let key = (to, canonicalize(&goal));
         if self.in_flight.contains(&key) {
-            self.refusals.push(Refusal {
+            self.record_refusal(Refusal {
                 peer: to,
                 requester: from,
                 goal,
@@ -269,6 +397,25 @@ impl<'a> Session<'a> {
             .is_err()
         {
             return Vec::new(); // topology/hop failure
+        }
+        if self.telemetry.enabled() {
+            self.telemetry
+                .incr(&format!("negotiation.queries_issued.{from}"), 1);
+            self.telemetry
+                .incr(&format!("negotiation.queries_received.{to}"), 1);
+            self.telemetry.event(
+                self.net.now(),
+                self.span,
+                self.nid.0,
+                "negotiation.query",
+                vec![
+                    Field::u64("qid", qid.0),
+                    Field::str("from", from.to_string()),
+                    Field::str("to", to.to_string()),
+                    Field::str("goal", goal.to_string()),
+                    Field::u64("depth", u64::from(depth)),
+                ],
+            );
         }
         self.net.step();
         let _ = self.net.poll(to);
@@ -334,26 +481,24 @@ impl<'a> Session<'a> {
                     .get_mut(from)
                     .expect("requester exists")
                     .receive_signed_mode(wire.clone(), to, sticky);
-                match accepted {
-                    Ok(_) => {
-                        let ledger = self.received_rules.entry(from).or_default();
-                        if !ledger.iter().any(|(r, s)| *r == wire.rule && *s == to) {
-                            ledger.push((wire.rule.clone(), to));
-                            if let Some(ext) = crate::peer::sender_extended(&wire.rule, to) {
-                                self.received_rules.entry(from).or_default().push((ext, to));
-                            }
-                            let seq = self.disclosures.len();
-                            self.disclosures.push(Disclosure {
-                                seq,
-                                from: to,
-                                to: from,
-                                item: DisclosedItem::SignedRule(wire),
-                                context: ctx,
-                                evidence: ev,
-                            });
+                // On a bad signature the recipient simply drops the rule.
+                if accepted.is_ok() {
+                    let ledger = self.received_rules.entry(from).or_default();
+                    if !ledger.iter().any(|(r, s)| *r == wire.rule && *s == to) {
+                        ledger.push((wire.rule.clone(), to));
+                        if let Some(ext) = crate::peer::sender_extended(&wire.rule, to) {
+                            self.received_rules.entry(from).or_default().push((ext, to));
                         }
+                        let seq = self.disclosures.len();
+                        self.record_disclosure(Disclosure {
+                            seq,
+                            from: to,
+                            to: from,
+                            item: DisclosedItem::SignedRule(wire),
+                            context: ctx,
+                            evidence: ev,
+                        });
                     }
-                    Err(_) => {} // bad signature: recipient drops it
                 }
             }
         }
@@ -376,6 +521,10 @@ impl<'a> Session<'a> {
         {
             return Vec::new();
         }
+        if self.telemetry.enabled() {
+            self.telemetry
+                .incr(&format!("negotiation.queries_answered.{to}"), 1);
+        }
         self.net.step();
         let _ = self.net.poll(from);
 
@@ -386,7 +535,7 @@ impl<'a> Session<'a> {
                 .or_default()
                 .push((answer.clone(), to));
             let seq = self.disclosures.len();
-            self.disclosures.push(Disclosure {
+            self.record_disclosure(Disclosure {
                 seq,
                 from: to,
                 to: from,
@@ -419,7 +568,7 @@ impl<'a> Session<'a> {
                 ok
             });
             for a in dropped {
-                self.refusals.push(Refusal {
+                self.record_refusal(Refusal {
                     peer: from,
                     requester: to,
                     goal: a,
@@ -448,7 +597,7 @@ impl<'a> Session<'a> {
             return (Vec::new(), Vec::new());
         };
         if !peer.accepts_query(requester, goal) {
-            self.refusals.push(Refusal {
+            self.record_refusal(Refusal {
                 peer: responder,
                 requester,
                 goal: goal.clone(),
@@ -460,7 +609,7 @@ impl<'a> Session<'a> {
         let counter = self.answered.entry(responder).or_insert(0);
         *counter += 1;
         if *counter > budget {
-            self.refusals.push(Refusal {
+            self.record_refusal(Refusal {
                 peer: responder,
                 requester,
                 goal: goal.clone(),
@@ -474,6 +623,7 @@ impl<'a> Session<'a> {
         let strict_push = self.cfg.strict_push_release;
 
         let solutions = {
+            let telemetry = self.telemetry.clone();
             let mut hook = SessionHook {
                 session: self,
                 peer: responder,
@@ -481,7 +631,8 @@ impl<'a> Session<'a> {
             };
             let mut solver = Solver::new(&kb, responder)
                 .with_config(engine_cfg)
-                .with_hook(&mut hook);
+                .with_hook(&mut hook)
+                .with_telemetry(telemetry);
             solver.solve(std::slice::from_ref(goal))
         };
 
@@ -513,11 +664,9 @@ impl<'a> Session<'a> {
                             }
                             // Never echo back what the requester itself
                             // provided (now or in an earlier negotiation).
-                            if peer
-                                .kb
-                                .get(rid)
-                                .is_some_and(|st| st.origin == peertrust_core::kb::RuleOrigin::Received(requester))
-                            {
+                            if peer.kb.get(rid).is_some_and(|st| {
+                                st.origin == peertrust_core::kb::RuleOrigin::Received(requester)
+                            }) {
                                 continue;
                             }
                             if strict_push {
@@ -569,14 +718,12 @@ impl<'a> Session<'a> {
                                             continue;
                                         }
                                         if !ctx.is_public() {
-                                            let goals =
-                                                ctx.instantiate(requester, responder);
+                                            let goals = ctx.instantiate(requester, responder);
                                             let mut cfg = peer.config.engine;
                                             cfg.remote_fallback =
                                                 peertrust_engine::RemoteFallback::Never;
                                             let mut solver =
-                                                Solver::new(&peer.kb, responder)
-                                                    .with_config(cfg);
+                                                Solver::new(&peer.kb, responder).with_config(cfg);
                                             if !solver.provable(&goals) {
                                                 continue;
                                             }
@@ -586,10 +733,8 @@ impl<'a> Session<'a> {
                                 if let Some(sr) = peer.signed_rule_for(&rule) {
                                     // Relays keep whatever context the rule
                                     // arrived with (retained in sticky mode).
-                                    let raw = rule
-                                        .head_context
-                                        .clone()
-                                        .unwrap_or_else(Context::public);
+                                    let raw =
+                                        rule.head_context.clone().unwrap_or_else(Context::public);
                                     pushes.push((
                                         sr.clone(),
                                         Context::public(),
@@ -606,7 +751,7 @@ impl<'a> Session<'a> {
                     answers.push((answer, context, evidence));
                 }
                 Release::Denied => {
-                    self.refusals.push(Refusal {
+                    self.record_refusal(Refusal {
                         peer: responder,
                         requester,
                         goal: answer,
@@ -720,9 +865,7 @@ impl<'a> Session<'a> {
         // §3.2 self-closure: a chainless answer is equivalent to
         // `answer @ responder`, so licensing rules written with the
         // explicit authority also apply.
-        let extended = answer
-            .clone()
-            .at(peertrust_core::Term::peer(responder));
+        let extended = answer.clone().at(peertrust_core::Term::peer(responder));
         for (id, rule) in candidates {
             self.rename_seq += 1;
             let renamed = rule.rename_apart(self.rename_seq);
@@ -745,6 +888,7 @@ impl<'a> Session<'a> {
             if !ctx.is_public() {
                 ctx_goals = ctx.instantiate(requester, responder);
                 let solutions = {
+                    let telemetry = self.telemetry.clone();
                     let mut hook = SessionHook {
                         session: self,
                         peer: responder,
@@ -752,7 +896,8 @@ impl<'a> Session<'a> {
                     };
                     let mut solver = Solver::new(kb, responder)
                         .with_config(engine_cfg)
-                        .with_hook(&mut hook);
+                        .with_hook(&mut hook)
+                        .with_telemetry(telemetry);
                     solver.solve(&ctx_goals)
                 };
                 match solutions.into_iter().next() {
@@ -769,6 +914,7 @@ impl<'a> Session<'a> {
             let body_is_answer = body.len() == 1 && body[0] == *answer;
             if Some(id) != root_id && !renamed.body.is_empty() && !body_is_answer {
                 let ok = {
+                    let telemetry = self.telemetry.clone();
                     let mut hook = SessionHook {
                         session: self,
                         peer: responder,
@@ -776,7 +922,8 @@ impl<'a> Session<'a> {
                     };
                     let mut solver = Solver::new(kb, responder)
                         .with_config(engine_cfg)
-                        .with_hook(&mut hook);
+                        .with_hook(&mut hook)
+                        .with_telemetry(telemetry);
                     solver.provable(&body)
                 };
                 if !ok {
@@ -845,7 +992,6 @@ pub(crate) fn classify_evidence(
     evidence
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -855,9 +1001,17 @@ mod tests {
 
     fn registry() -> KeyRegistry {
         let r = KeyRegistry::new();
-        for (i, name) in ["UIUC", "UIUC Registrar", "BBB", "ELENA", "VISA", "IBM", "CSP"]
-            .iter()
-            .enumerate()
+        for (i, name) in [
+            "UIUC",
+            "UIUC Registrar",
+            "BBB",
+            "ELENA",
+            "VISA",
+            "IBM",
+            "CSP",
+        ]
+        .iter()
+        .enumerate()
         {
             r.register_derived(PeerId::new(name), i as u64 + 1);
         }
@@ -922,7 +1076,11 @@ mod tests {
         assert_eq!(out.granted[0].to_string(), "resource(\"Alice\")");
         // Disclosure sequence includes Alice's credential and E-Learn's
         // membership answer or credential.
-        assert!(out.credential_count() >= 2, "sequence: {:#?}", out.disclosures);
+        assert!(
+            out.credential_count() >= 2,
+            "sequence: {:#?}",
+            out.disclosures
+        );
         verify_safe_sequence(&out).unwrap();
         assert!(out.messages >= 4);
     }
@@ -981,7 +1139,8 @@ mod tests {
         let reg = registry();
         let mut peers = PeerMap::new();
         let mut srv = NegotiationPeer::new("Server", reg.clone());
-        srv.load_program("open(X) $ true <- base(X). base(1).").unwrap();
+        srv.load_program("open(X) $ true <- base(X). base(1).")
+            .unwrap();
         peers.insert(srv);
         peers.insert(NegotiationPeer::new("Client", reg));
 

@@ -10,9 +10,10 @@
 
 use crate::eager::{negotiate_eager, EagerConfig};
 use crate::outcome::NegotiationOutcome;
-use crate::session::{negotiate, PeerMap, SessionConfig};
+use crate::session::{negotiate, negotiate_traced, record_outcome, PeerMap, SessionConfig};
 use peertrust_core::{Literal, PeerId};
 use peertrust_net::{NegotiationId, SimNetwork};
+use peertrust_telemetry::{Field, Telemetry};
 
 /// Which negotiation strategy drives the disclosure process.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -64,6 +65,70 @@ impl Strategy {
                 responder,
                 goal,
             ),
+        }
+    }
+
+    /// [`Strategy::run`] with a telemetry pipeline. The parsimonious
+    /// driver traces every query/disclosure/refusal; the eager driver is
+    /// wrapped in a `negotiation` span with outcome-level metrics (its
+    /// round loop has no per-item decision points to instrument).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_traced(
+        self,
+        peers: &mut PeerMap,
+        net: &mut SimNetwork,
+        nid: NegotiationId,
+        requester: PeerId,
+        responder: PeerId,
+        goal: Literal,
+        telemetry: &Telemetry,
+    ) -> NegotiationOutcome {
+        match self {
+            Strategy::Parsimonious => negotiate_traced(
+                peers,
+                net,
+                SessionConfig::default(),
+                nid,
+                requester,
+                responder,
+                goal,
+                telemetry,
+            ),
+            Strategy::Eager => {
+                let span = telemetry.span_start(
+                    net.now(),
+                    nid.0,
+                    "negotiation",
+                    vec![
+                        Field::str("strategy", "eager"),
+                        Field::str("requester", requester.to_string()),
+                        Field::str("responder", responder.to_string()),
+                        Field::str("goal", goal.to_string()),
+                    ],
+                );
+                let outcome = negotiate_eager(
+                    peers,
+                    net,
+                    EagerConfig::default(),
+                    nid,
+                    requester,
+                    responder,
+                    goal,
+                );
+                if telemetry.enabled() {
+                    record_outcome(telemetry, &outcome);
+                    telemetry.span_end(
+                        net.now(),
+                        span,
+                        nid.0,
+                        vec![
+                            Field::bool("success", outcome.success),
+                            Field::u64("disclosures", outcome.disclosures.len() as u64),
+                        ],
+                    );
+                }
+                outcome
+            }
         }
     }
 }

@@ -108,8 +108,7 @@ fn new_disclosures(
         if sent.contains(&sr.rule) {
             continue;
         }
-        if crate::eager::license_locally_for_host(peer, other, &sr.rule.head, &mut rename)
-            .is_some()
+        if crate::eager::license_locally_for_host(peer, other, &sr.rule.head, &mut rename).is_some()
         {
             sent.push(sr.rule.clone());
             out.push(sr.clone());
@@ -170,11 +169,7 @@ fn requester_loop(
     }
 }
 
-fn responder_loop(
-    mut peer: NegotiationPeer,
-    ep: Endpoint,
-    requester: PeerId,
-) -> Vec<Disclosure> {
+fn responder_loop(mut peer: NegotiationPeer, ep: Endpoint, requester: PeerId) -> Vec<Disclosure> {
     let me = peer.id;
     let mut sent: Vec<peertrust_core::Rule> = Vec::new();
     let mut disclosures = Vec::new();
@@ -307,7 +302,15 @@ mod tests {
         );
         assert!(out.success, "disclosures: {:#?}", out.disclosures);
         assert!(out.messages_routed >= 4);
-        assert_eq!(out.disclosures.len(), 2, "disclosures: {:#?}", out.disclosures.iter().map(|d| format!("{} -> {}: {:?}", d.from, d.to, d.item.kind())).collect::<Vec<_>>());
+        assert_eq!(
+            out.disclosures.len(),
+            2,
+            "disclosures: {:#?}",
+            out.disclosures
+                .iter()
+                .map(|d| format!("{} -> {}: {:?}", d.from, d.to, d.item.kind()))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl std::fmt::Display for TicketError {
         match self {
             TicketError::BadSignature => write!(f, "ticket signature does not verify"),
             TicketError::WrongHolder { expected, actual } => {
-                write!(f, "ticket is nontransferable: held by {expected}, presented by {actual}")
+                write!(
+                    f,
+                    "ticket is nontransferable: held by {expected}, presented by {actual}"
+                )
             }
             TicketError::WrongResource => write!(f, "ticket does not cover this resource"),
             TicketError::Expired { expiry, now } => {
@@ -114,9 +117,7 @@ pub fn redeem_ticket(
     if head.pred.as_str() != TOKEN_PREDICATE || head.args.len() != 3 {
         return Err(TicketError::Malformed);
     }
-    let holder = head.args[0]
-        .as_peer()
-        .ok_or(TicketError::Malformed)?;
+    let holder = head.args[0].as_peer().ok_or(TicketError::Malformed)?;
     if holder != presenter {
         return Err(TicketError::WrongHolder {
             expected: holder,
@@ -232,7 +233,10 @@ mod tests {
         let resource = parse_literal(r#"resource("Alice")"#).unwrap();
         assert_eq!(
             redeem_ticket(server, &crl, &ticket, PeerId::new("Alice"), &resource, 100),
-            Err(TicketError::Expired { expiry: 100, now: 100 })
+            Err(TicketError::Expired {
+                expiry: 100,
+                now: 100
+            })
         );
     }
 

@@ -77,7 +77,8 @@ pub fn request_policy(
     let _ = net.poll(owner);
 
     // Owner-side check.
-    let disclosed = disclosable_definition(peers.get(owner).expect("owner exists"), requester, policy);
+    let disclosed =
+        disclosable_definition(peers.get(owner).expect("owner exists"), requester, policy);
 
     // Ship the disclosure (possibly empty = refusal).
     let _ = net.send(
@@ -201,11 +202,7 @@ pub fn definition_mentions(rules: &[Rule], pred: Sym) -> bool {
             b.pred == pred
                 || b.args.iter().any(|t| {
                     let mut s = Subst::new();
-                    peertrust_core::unify(
-                        t,
-                        &peertrust_core::Term::atom(pred.as_str()),
-                        &mut s,
-                    )
+                    peertrust_core::unify(t, &peertrust_core::Term::atom(pred.as_str()), &mut s)
                 })
         })
     })
@@ -273,7 +270,7 @@ mod tests {
         assert_eq!(res.messages, 2);
         // The requester cached it.
         let ibm = peers.get(PeerId::new("IBM")).unwrap();
-        assert!(ibm.kb.len() > 0);
+        assert!(!ibm.kb.is_empty());
     }
 
     #[test]
@@ -353,7 +350,8 @@ mod tests {
     fn owner_sees_own_policies_unconditionally() {
         let reg = registry();
         let peer = elearn_with_policies(&reg);
-        let own = disclosable_definition(&peer, PeerId::new("E-Learn"), Sym::new("freebieEligible"));
+        let own =
+            disclosable_definition(&peer, PeerId::new("E-Learn"), Sym::new("freebieEligible"));
         assert_eq!(own.len(), 1);
     }
 

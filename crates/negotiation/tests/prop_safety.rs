@@ -16,7 +16,9 @@
 
 use peertrust_core::{Literal, PeerId, Term};
 use peertrust_crypto::KeyRegistry;
-use peertrust_negotiation::{verify_safe_sequence, NegotiationPeer, PeerMap, Strategy as NegStrategy};
+use peertrust_negotiation::{
+    verify_safe_sequence, NegotiationPeer, PeerMap, Strategy as NegStrategy,
+};
 use peertrust_net::{NegotiationId, SimNetwork};
 use proptest::prelude::*;
 
@@ -58,10 +60,11 @@ impl Instance {
 
     fn acyclic(&self) -> bool {
         // Dependencies only on strictly larger indices => acyclic.
-        self.deps
-            .iter()
-            .enumerate()
-            .all(|(_, side)| side.iter().enumerate().all(|(i, d)| d.iter().all(|&j| j > i)))
+        self.deps.iter().all(|side| {
+            side.iter()
+                .enumerate()
+                .all(|(i, d)| d.iter().all(|&j| j > i))
+        })
     }
 
     fn build(&self) -> (PeerMap, Literal) {
@@ -78,10 +81,8 @@ impl Instance {
             };
             for i in 0..n {
                 let pred = format!("c{side}_{i}");
-                peer.load_program(&format!(
-                    r#"{pred}("{owner}") @ "{CA}" signedBy ["{CA}"]."#
-                ))
-                .unwrap();
+                peer.load_program(&format!(r#"{pred}("{owner}") @ "{CA}" signedBy ["{CA}"]."#))
+                    .unwrap();
                 let ctx = if self.deps[side][i].is_empty() {
                     "true".to_string()
                 } else {
@@ -91,10 +92,8 @@ impl Instance {
                         .collect::<Vec<_>>()
                         .join(", ")
                 };
-                peer.load_program(&format!(
-                    r#"{pred}(X) @ Y $ {ctx} <-_true {pred}(X) @ Y."#
-                ))
-                .unwrap();
+                peer.load_program(&format!(r#"{pred}(X) @ Y $ {ctx} <-_true {pred}(X) @ Y."#))
+                    .unwrap();
             }
         }
         server
@@ -109,10 +108,7 @@ impl Instance {
 
 fn arb_instance(allow_cycles: bool) -> impl Strategy<Value = Instance> {
     (2usize..6).prop_flat_map(move |n| {
-        let side = prop::collection::vec(
-            prop::collection::vec(0usize..n, 0..3),
-            n,
-        );
+        let side = prop::collection::vec(prop::collection::vec(0usize..n, 0..3), n);
         (side.clone(), side).prop_map(move |(mut s0, mut s1)| {
             for side in [&mut s0, &mut s1] {
                 for (i, d) in side.iter_mut().enumerate() {
@@ -128,7 +124,12 @@ fn arb_instance(allow_cycles: bool) -> impl Strategy<Value = Instance> {
     })
 }
 
-fn run(peers: &mut PeerMap, goal: &Literal, strategy: NegStrategy, seed: u64) -> peertrust_negotiation::NegotiationOutcome {
+fn run(
+    peers: &mut PeerMap,
+    goal: &Literal,
+    strategy: NegStrategy,
+    seed: u64,
+) -> peertrust_negotiation::NegotiationOutcome {
     let mut net = SimNetwork::new(seed);
     strategy.run(
         peers,

@@ -6,9 +6,7 @@
 
 use peertrust_core::PeerId;
 use peertrust_crypto::KeyRegistry;
-use peertrust_negotiation::{
-    negotiate, DisclosedItem, NegotiationPeer, PeerMap, SessionConfig,
-};
+use peertrust_negotiation::{negotiate, DisclosedItem, NegotiationPeer, PeerMap, SessionConfig};
 use peertrust_net::{NegotiationId, SimNetwork};
 use peertrust_parser::parse_literal;
 

@@ -107,10 +107,9 @@ mod tests {
 
     #[test]
     fn roundtrip_credential_push_with_signatures() {
-        let rule = Rule::fact(
-            Literal::new("student", vec![Term::str("Alice")]).at(Term::str("UIUC")),
-        )
-        .signed_by("UIUC");
+        let rule =
+            Rule::fact(Literal::new("student", vec![Term::str("Alice")]).at(Term::str("UIUC")))
+                .signed_by("UIUC");
         let msg = Message {
             payload: Payload::CredentialPush {
                 rules: vec![SignedRule {
@@ -181,10 +180,9 @@ mod tests {
         // The real thing: sign, encode, decode, verify.
         let reg = peertrust_crypto::KeyRegistry::new();
         reg.register_derived(PeerId::new("UIUC"), 5);
-        let rule = Rule::fact(
-            Literal::new("student", vec![Term::str("Alice")]).at(Term::str("UIUC")),
-        )
-        .signed_by("UIUC");
+        let rule =
+            Rule::fact(Literal::new("student", vec![Term::str("Alice")]).at(Term::str("UIUC")))
+                .signed_by("UIUC");
         let signed = peertrust_crypto::sign_rule(&reg, &rule).unwrap();
         let msg = Message {
             payload: Payload::CredentialPush {

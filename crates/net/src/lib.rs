@@ -25,5 +25,8 @@ pub use codec::{decode_frame, encode_frame, CodecError, MAX_FRAME};
 pub use message::{Message, MessageId, NegotiationId, Payload, QueryId};
 pub use routing::{RoutedLookup, RoutingIndex, SuperPeerNetwork};
 pub use sim::{LatencyModel, NetError, NetStats, SimNetwork, Tick, TraceEvent};
-pub use threaded::{channel_network, framed_channel_network, Endpoint, FramedEndpoint, Router};
+pub use threaded::{
+    channel_network, channel_network_with_telemetry, framed_channel_network, Endpoint,
+    FramedEndpoint, Router,
+};
 pub use topology::Topology;

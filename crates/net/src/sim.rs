@@ -11,6 +11,7 @@
 use crate::message::{Message, MessageId, Payload};
 use crate::topology::Topology;
 use peertrust_core::PeerId;
+use peertrust_telemetry::{Field, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -38,9 +39,7 @@ impl LatencyModel {
         match self {
             LatencyModel::Constant(t) => *t,
             LatencyModel::Uniform { min, max } => rng.gen_range(*min..=*max),
-            LatencyModel::PerLink { links, default } => {
-                *links.get(&(from, to)).unwrap_or(default)
-            }
+            LatencyModel::PerLink { links, default } => *links.get(&(from, to)).unwrap_or(default),
         }
     }
 }
@@ -103,6 +102,7 @@ pub struct SimNetwork {
     stats: NetStats,
     trace: Vec<TraceEvent>,
     record_trace: bool,
+    telemetry: Telemetry,
 }
 
 impl SimNetwork {
@@ -124,6 +124,7 @@ impl SimNetwork {
             stats: NetStats::default(),
             trace: Vec::new(),
             record_trace: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -136,6 +137,14 @@ impl SimNetwork {
     /// Maximum forwarding hops before a message is rejected.
     pub fn with_max_hops(mut self, max_hops: u32) -> SimNetwork {
         self.max_hops = max_hops;
+        self
+    }
+
+    /// Attach a telemetry pipeline: every send/delivery becomes a trace
+    /// event, and per-peer / per-kind transport counters accumulate in
+    /// the metrics registry.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> SimNetwork {
+        self.telemetry = telemetry;
         self
     }
 
@@ -193,6 +202,31 @@ impl SimNetwork {
 
         let latency = self.latency.sample(from, to, &mut self.rng).max(1);
         let deliver_at = self.now + latency;
+
+        if self.telemetry.enabled() {
+            let bytes = msg.encoded_size() as u64;
+            self.telemetry.incr("net.messages", 1);
+            self.telemetry.incr("net.bytes", bytes);
+            self.telemetry.incr(&format!("net.sent.{from}"), 1);
+            self.telemetry.incr(&format!("net.recv.{to}"), 1);
+            self.telemetry
+                .incr(&format!("net.payload.{}", msg.payload.kind()), 1);
+            self.telemetry.event(
+                self.now,
+                peertrust_telemetry::SpanId::NONE,
+                negotiation.0,
+                "net.send",
+                vec![
+                    Field::str("from", from.to_string()),
+                    Field::str("to", to.to_string()),
+                    Field::str("kind", msg.payload.kind()),
+                    Field::u64("bytes", bytes),
+                    Field::u64("deliver_at", deliver_at),
+                    Field::u64("hops", u64::from(hops)),
+                ],
+            );
+        }
+
         if self.record_trace {
             self.trace.push(TraceEvent {
                 at: self.now,
@@ -218,6 +252,18 @@ impl SimNetwork {
         self.now = t;
         let batch = self.in_flight.remove(&t).expect("bucket exists");
         for msg in batch {
+            if self.telemetry.enabled() {
+                self.telemetry.event(
+                    self.now,
+                    peertrust_telemetry::SpanId::NONE,
+                    msg.negotiation.0,
+                    "net.deliver",
+                    vec![
+                        Field::str("to", msg.to.to_string()),
+                        Field::str("kind", msg.payload.kind()),
+                    ],
+                );
+            }
             self.inboxes.entry(msg.to).or_default().push_back(msg);
         }
         true
@@ -225,10 +271,15 @@ impl SimNetwork {
 
     /// Drain all messages currently deliverable to `peer`.
     pub fn poll(&mut self, peer: PeerId) -> Vec<Message> {
-        self.inboxes
+        let msgs: Vec<Message> = self
+            .inboxes
             .get_mut(&peer)
             .map(|q| q.drain(..).collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        if self.telemetry.enabled() && !msgs.is_empty() {
+            self.telemetry.observe("net.inbox_depth", msgs.len() as u64);
+        }
+        msgs
     }
 
     /// Peek at inbox depth without draining (diagnostics).

@@ -11,6 +11,7 @@
 use crate::message::Message;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use peertrust_core::PeerId;
+use peertrust_telemetry::{Field, SpanId, Telemetry};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -20,11 +21,27 @@ pub struct Endpoint {
     pub peer: PeerId,
     to_router: Sender<Message>,
     from_router: Receiver<Message>,
+    telemetry: Telemetry,
 }
 
 impl Endpoint {
     /// Send a message (routing is by `msg.to`).
     pub fn send(&self, msg: Message) -> Result<(), String> {
+        if self.telemetry.enabled() {
+            self.telemetry
+                .incr(&format!("net.thread.sent.{}", self.peer), 1);
+            self.telemetry.event(
+                0,
+                SpanId::NONE,
+                msg.negotiation.0,
+                "net.thread.send",
+                vec![
+                    Field::str("from", self.peer.to_string()),
+                    Field::str("to", msg.to.to_string()),
+                    Field::str("kind", msg.payload.kind()),
+                ],
+            );
+        }
         self.to_router
             .send(msg)
             .map_err(|e| format!("router gone: {e}"))
@@ -33,7 +50,23 @@ impl Endpoint {
     /// Blocking receive with timeout; `None` on timeout or router shutdown.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
         match self.from_router.recv_timeout(timeout) {
-            Ok(m) => Some(m),
+            Ok(m) => {
+                if self.telemetry.enabled() {
+                    self.telemetry
+                        .incr(&format!("net.thread.recv.{}", self.peer), 1);
+                    self.telemetry.event(
+                        0,
+                        SpanId::NONE,
+                        m.negotiation.0,
+                        "net.thread.recv",
+                        vec![
+                            Field::str("to", self.peer.to_string()),
+                            Field::str("kind", m.payload.kind()),
+                        ],
+                    );
+                }
+                Some(m)
+            }
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
         }
     }
@@ -43,6 +76,10 @@ impl Endpoint {
         let mut out = Vec::new();
         while let Ok(m) = self.from_router.try_recv() {
             out.push(m);
+        }
+        if self.telemetry.enabled() && !out.is_empty() {
+            self.telemetry
+                .observe("net.thread.queue_depth", out.len() as u64);
         }
         out
     }
@@ -77,6 +114,17 @@ impl Drop for Router {
 /// Create endpoints for `peers` plus the router thread connecting them.
 /// Messages to unknown peers are dropped (counted but not delivered).
 pub fn channel_network(peers: &[PeerId]) -> (HashMap<PeerId, Endpoint>, Router) {
+    channel_network_with_telemetry(peers, Telemetry::disabled())
+}
+
+/// [`channel_network`] with a telemetry pipeline shared by every endpoint:
+/// sends, receives and drain depths are recorded per peer. The handle is
+/// cloned into each endpoint, so events from all peer threads interleave
+/// into one stream.
+pub fn channel_network_with_telemetry(
+    peers: &[PeerId],
+    telemetry: Telemetry,
+) -> (HashMap<PeerId, Endpoint>, Router) {
     let (to_router, router_rx) = unbounded::<Message>();
     let mut endpoints = HashMap::new();
     let mut peer_txs: HashMap<PeerId, Sender<Message>> = HashMap::new();
@@ -89,6 +137,7 @@ pub fn channel_network(peers: &[PeerId]) -> (HashMap<PeerId, Endpoint>, Router) 
                 peer,
                 to_router: to_router.clone(),
                 from_router: rx,
+                telemetry: telemetry.clone(),
             },
         );
     }
@@ -110,9 +159,12 @@ pub fn channel_network(peers: &[PeerId]) -> (HashMap<PeerId, Endpoint>, Router) 
         })
         .expect("spawn router");
 
-    (endpoints, Router {
-        handle: Some(handle),
-    })
+    (
+        endpoints,
+        Router {
+            handle: Some(handle),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -162,7 +214,9 @@ mod tests {
         let a = eps.remove(&p("u-a")).unwrap();
         a.send(mk(p("u-a"), p("u-ghost"), 1)).unwrap();
         a.send(mk(p("u-a"), p("u-a"), 2)).unwrap();
-        let got = a.recv_timeout(Duration::from_secs(2)).expect("self message");
+        let got = a
+            .recv_timeout(Duration::from_secs(2))
+            .expect("self message");
         assert_eq!(got.id, MessageId(2));
         drop(a);
         assert_eq!(router.join(), 1);
@@ -257,7 +311,10 @@ impl FramedEndpoint {
 /// through the wire codec.
 pub fn framed_channel_network(
     peers: &[peertrust_core::PeerId],
-) -> (std::collections::HashMap<peertrust_core::PeerId, FramedEndpoint>, Router) {
+) -> (
+    std::collections::HashMap<peertrust_core::PeerId, FramedEndpoint>,
+    Router,
+) {
     let (endpoints, router) = channel_network(peers);
     let framed = endpoints
         .into_iter()

@@ -454,7 +454,10 @@ mod tests {
 
     #[test]
     fn integers_including_negative() {
-        assert_eq!(toks("2000 -5 0"), vec![Tok::Int(2000), Tok::Int(-5), Tok::Int(0)]);
+        assert_eq!(
+            toks("2000 -5 0"),
+            vec![Tok::Int(2000), Tok::Int(-5), Tok::Int(0)]
+        );
     }
 
     #[test]
@@ -464,10 +467,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            toks(r#""a\"b\n\t\\""#),
-            vec![Tok::Str("a\"b\n\t\\".into())]
-        );
+        assert_eq!(toks(r#""a\"b\n\t\\""#), vec![Tok::Str("a\"b\n\t\\".into())]);
     }
 
     #[test]
@@ -503,13 +503,16 @@ mod tests {
 
     #[test]
     fn colon_vs_colon_dash() {
-        assert_eq!(toks("p : q :- r"), vec![
-            Tok::Ident("p".into()),
-            Tok::Colon,
-            Tok::Ident("q".into()),
-            Tok::Arrow,
-            Tok::Ident("r".into()),
-        ]);
+        assert_eq!(
+            toks("p : q :- r"),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::Colon,
+                Tok::Ident("q".into()),
+                Tok::Arrow,
+                Tok::Ident("r".into()),
+            ]
+        );
     }
 
     #[test]

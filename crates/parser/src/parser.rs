@@ -296,10 +296,7 @@ impl Parser {
     }
 
     /// Comma-separated items until `stop` says the terminator is next.
-    fn conjunction(
-        &mut self,
-        stop: impl Fn(&Parser) -> bool,
-    ) -> Result<Vec<Literal>, ParseError> {
+    fn conjunction(&mut self, stop: impl Fn(&Parser) -> bool) -> Result<Vec<Literal>, ParseError> {
         let mut items = vec![self.item()?];
         while self.peek() == Some(&Tok::Comma) {
             self.bump();
@@ -506,10 +503,8 @@ mod tests {
     #[test]
     fn parses_comparison_in_body() {
         // Bob's purchase authorization (§4.2).
-        let r = parse_rule(
-            r#"authorized("Bob", Price) @ "IBM" <- signedBy ["IBM"] Price < 2000."#,
-        )
-        .unwrap();
+        let r = parse_rule(r#"authorized("Bob", Price) @ "IBM" <- signedBy ["IBM"] Price < 2000."#)
+            .unwrap();
         assert_eq!(r.body[0].to_string(), "Price < 2000");
         assert!(r.body[0].is_builtin());
     }
@@ -637,8 +632,7 @@ mod tests {
         for src in sources {
             let r1 = parse_rule(src).unwrap_or_else(|e| panic!("{src}: {e}"));
             let printed = r1.to_string();
-            let r2 = parse_rule(&printed)
-                .unwrap_or_else(|e| panic!("reparse of {printed}: {e}"));
+            let r2 = parse_rule(&printed).unwrap_or_else(|e| panic!("reparse of {printed}: {e}"));
             assert_eq!(r1, r2, "round trip changed {src}");
         }
     }

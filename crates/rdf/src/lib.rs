@@ -19,7 +19,9 @@ pub mod model;
 pub mod ntriples;
 pub mod store;
 
-pub use mapping::{import_metadata, node_to_term, predicate_fact, triple_fact, ImportError, POLICY_PREDICATE};
+pub use mapping::{
+    import_metadata, node_to_term, predicate_fact, triple_fact, ImportError, POLICY_PREDICATE,
+};
 pub use model::{Iri, Node, RdfLiteral, Triple};
 pub use ntriples::{parse_ntriples, to_ntriples, NtError};
 pub use store::{Pat, TripleStore};

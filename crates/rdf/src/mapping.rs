@@ -102,12 +102,11 @@ pub fn import_metadata(store: &TripleStore, kb: &mut KnowledgeBase) -> Result<us
                     subject: t.subject.to_string(),
                 });
             };
-            let rule = parse_rule(&lit.lexical).map_err(|error| {
-                ImportError::BadEmbeddedPolicy {
+            let rule =
+                parse_rule(&lit.lexical).map_err(|error| ImportError::BadEmbeddedPolicy {
                     subject: t.subject.to_string(),
                     error,
-                }
-            })?;
+                })?;
             kb.add_local(rule);
             added += 1;
             continue;
@@ -150,10 +149,7 @@ mod tests {
         let mut solver = Solver::new(&kb, PeerId::new("self"));
         let sols = solver.solve(&parse_goals("price(cs411, P)").unwrap());
         assert_eq!(sols.len(), 1);
-        assert_eq!(
-            sols[0].subst.apply(&Term::var("P")),
-            Term::int(1000)
-        );
+        assert_eq!(sols[0].subst.apply(&Term::var("P")), Term::int(1000));
     }
 
     #[test]
@@ -162,10 +158,7 @@ mod tests {
         let mut solver = Solver::new(&kb, PeerId::new("self"));
         let sols = solver.solve(&parse_goals("triple(cs411, title, T)").unwrap());
         assert_eq!(sols.len(), 1);
-        assert_eq!(
-            sols[0].subst.apply(&Term::var("T")),
-            Term::str("Databases")
-        );
+        assert_eq!(sols[0].subst.apply(&Term::var("T")), Term::str("Databases"));
     }
 
     #[test]
@@ -209,9 +202,6 @@ mod tests {
         );
         assert_eq!(node_to_term(&Node::literal("42")), Term::int(42));
         assert_eq!(node_to_term(&Node::literal("hello")), Term::str("hello"));
-        assert_eq!(
-            node_to_term(&Node::blank("b0")),
-            Term::atom("_bnode_b0")
-        );
+        assert_eq!(node_to_term(&Node::blank("b0")), Term::atom("_bnode_b0"));
     }
 }

@@ -175,7 +175,10 @@ mod tests {
     #[test]
     fn iri_local_names() {
         assert_eq!(Iri::new("http://ex.org/terms#title").local_name(), "title");
-        assert_eq!(Iri::new("http://ex.org/courses/cs101").local_name(), "cs101");
+        assert_eq!(
+            Iri::new("http://ex.org/courses/cs101").local_name(),
+            "cs101"
+        );
         assert_eq!(Iri::new("noseparator").local_name(), "noseparator");
         assert_eq!(Iri::new("trailing/").local_name(), "trailing/");
     }

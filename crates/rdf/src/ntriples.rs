@@ -111,9 +111,7 @@ impl<'a> Cursor<'a> {
         }
         self.pos += 2;
         let rest = self.rest();
-        let end = rest
-            .find(|c: char| c.is_whitespace())
-            .unwrap_or(rest.len());
+        let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
         if end == 0 {
             return Err(self.err("empty blank node label"));
         }
@@ -137,9 +135,7 @@ impl<'a> Cursor<'a> {
                     break;
                 }
                 Some((_, '\\')) => {
-                    let (_, esc) = chars
-                        .next()
-                        .ok_or_else(|| self.err("dangling escape"))?;
+                    let (_, esc) = chars.next().ok_or_else(|| self.err("dangling escape"))?;
                     let consumed = 1 + esc.len_utf8();
                     match esc {
                         'n' => lexical.push('\n'),
@@ -153,8 +149,8 @@ impl<'a> Cursor<'a> {
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let cp = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
-                            let c = char::from_u32(cp)
-                                .ok_or_else(|| self.err("invalid code point"))?;
+                            let c =
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?;
                             lexical.push(c);
                             self.pos += 2 + 4;
                             continue;
@@ -177,9 +173,7 @@ impl<'a> Cursor<'a> {
         }
         if self.eat('@') {
             let rest = self.rest();
-            let end = rest
-                .find(|c: char| c.is_whitespace())
-                .unwrap_or(rest.len());
+            let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
             if end == 0 {
                 return Err(self.err("empty language tag"));
             }
@@ -252,10 +246,7 @@ _:policy1 <http://elearn.example/terms#guards> <http://elearn.example/courses/cs
     fn parses_mixed_document() {
         let triples = parse_ntriples(DOC).unwrap();
         assert_eq!(triples.len(), 5);
-        assert_eq!(
-            triples[0].object,
-            Node::literal("Intro to CS")
-        );
+        assert_eq!(triples[0].object, Node::literal("Intro to CS"));
         assert!(matches!(&triples[4].subject, Node::Blank(b) if b == "policy1"));
         let lit = triples[2].object.as_literal().unwrap();
         assert_eq!(lit.as_int(), Some(1000));

@@ -51,7 +51,10 @@ impl TripleStore {
             return false;
         }
         let id = self.triples.len();
-        self.by_subject.entry(t.subject.clone()).or_default().push(id);
+        self.by_subject
+            .entry(t.subject.clone())
+            .or_default()
+            .push(id);
         self.by_predicate
             .entry(t.predicate.clone())
             .or_default()
@@ -62,7 +65,10 @@ impl TripleStore {
     }
 
     pub fn extend(&mut self, triples: impl IntoIterator<Item = Triple>) -> usize {
-        triples.into_iter().filter(|t| self.insert(t.clone())).count()
+        triples
+            .into_iter()
+            .filter(|t| self.insert(t.clone()))
+            .count()
     }
 
     pub fn contains(&self, t: &Triple) -> bool {
@@ -181,7 +187,11 @@ mod tests {
     #[test]
     fn query_by_predicate() {
         let s = store();
-        let hits = s.query(Pat::Any, Pat::Is(Iri::new("http://e/terms#price")), Pat::Any);
+        let hits = s.query(
+            Pat::Any,
+            Pat::Is(Iri::new("http://e/terms#price")),
+            Pat::Any,
+        );
         assert_eq!(hits.len(), 2);
     }
 
@@ -190,10 +200,7 @@ mod tests {
         let s = store();
         let hits = s.query(Pat::Any, Pat::Any, Pat::Is(Node::literal("1000")));
         assert_eq!(hits.len(), 1);
-        assert_eq!(
-            hits[0].subject,
-            Node::iri("http://e/courses/cs411")
-        );
+        assert_eq!(hits[0].subject, Node::iri("http://e/courses/cs411"));
     }
 
     #[test]

@@ -58,9 +58,7 @@ pub fn chain(depth: usize) -> Workload {
     let mut server = NegotiationPeer::new(SERVER, registry.clone());
 
     server
-        .load_program(&format!(
-            r#"resource(X) $ true <- cred1(X) @ "{CA}" @ X."#
-        ))
+        .load_program(&format!(r#"resource(X) $ true <- cred1(X) @ "{CA}" @ X."#))
         .expect("resource rule parses");
 
     for i in 1..=depth {
@@ -138,10 +136,10 @@ pub fn random_policies(cfg: RandomPolicyConfig) -> Workload {
 
     // deps[side][i] = indices (on the other side) this credential needs.
     let mut deps: [Vec<Vec<usize>>; 2] = [Vec::new(), Vec::new()];
-    for side in 0..2 {
+    for side_deps in deps.iter_mut() {
         for i in 0..n {
             if rng.gen_bool(cfg.public_prob) {
-                deps[side].push(Vec::new());
+                side_deps.push(Vec::new());
                 continue;
             }
             let k = rng.gen_range(1..=cfg.max_deps);
@@ -161,11 +159,11 @@ pub fn random_policies(cfg: RandomPolicyConfig) -> Workload {
                     d.push(j);
                 }
             }
-            deps[side].push(d);
+            side_deps.push(d);
         }
         // Pad in case the loop above pushed fewer entries (never happens,
         // but keep the invariant obvious).
-        debug_assert_eq!(deps[side].len(), n);
+        debug_assert_eq!(side_deps.len(), n);
     }
 
     // Ground truth: unlock fixpoint.
@@ -193,22 +191,22 @@ pub fn random_policies(cfg: RandomPolicyConfig) -> Workload {
     let registry = fresh_registry();
     let mut client = NegotiationPeer::new(CLIENT, registry.clone());
     let mut server = NegotiationPeer::new(SERVER, registry.clone());
-    for side in 0..2 {
+    for (side, side_deps) in deps.iter().enumerate() {
         let (peer, owner_name) = if side == 0 {
             (&mut client, CLIENT)
         } else {
             (&mut server, SERVER)
         };
-        for i in 0..n {
+        for (i, cred_deps) in side_deps.iter().enumerate() {
             let pred = format!("c{side}_{i}");
             peer.load_program(&format!(
                 r#"{pred}("{owner_name}") @ "{CA}" signedBy ["{CA}"]."#
             ))
             .expect("credential parses");
-            let ctx = if deps[side][i].is_empty() {
+            let ctx = if cred_deps.is_empty() {
                 "true".to_string()
             } else {
-                deps[side][i]
+                cred_deps
                     .iter()
                     .map(|j| {
                         let other = 1 - side;
@@ -217,16 +215,12 @@ pub fn random_policies(cfg: RandomPolicyConfig) -> Workload {
                     .collect::<Vec<_>>()
                     .join(", ")
             };
-            peer.load_program(&format!(
-                r#"{pred}(X) @ Y $ {ctx} <-_true {pred}(X) @ Y."#
-            ))
-            .expect("release rule parses");
+            peer.load_program(&format!(r#"{pred}(X) @ Y $ {ctx} <-_true {pred}(X) @ Y."#))
+                .expect("release rule parses");
         }
     }
     server
-        .load_program(&format!(
-            r#"resource(X) $ true <- c0_0(X) @ "{CA}" @ X."#
-        ))
+        .load_program(&format!(r#"resource(X) $ true <- c0_0(X) @ "{CA}" @ X."#))
         .expect("resource rule parses");
 
     let mut peers = PeerMap::new();
@@ -343,7 +337,10 @@ pub fn fleet(n: usize) -> (PeerMap, KeyRegistry, Vec<(PeerId, Literal)>) {
             .expect("client program parses");
         goals.push((
             PeerId::new(&name),
-            Literal::new(format!("resource{c}").as_str(), vec![Term::str(name.as_str())]),
+            Literal::new(
+                format!("resource{c}").as_str(),
+                vec![Term::str(name.as_str())],
+            ),
         ));
         peers.insert(client);
     }
@@ -421,7 +418,10 @@ mod tests {
                 ..RandomPolicyConfig::default()
             };
             let w = random_policies(cfg);
-            assert!(w.satisfiable, "acyclic instances always unlock (seed {seed})");
+            assert!(
+                w.satisfiable,
+                "acyclic instances always unlock (seed {seed})"
+            );
             for strategy in Strategy::ALL {
                 let mut w = random_policies(cfg);
                 let out = run(&mut w, strategy);
@@ -455,7 +455,10 @@ mod tests {
                 "eager must match ground truth (seed {seed})"
             );
         }
-        assert!(sat > 0 && unsat > 0, "sweep covers both outcomes ({sat}/{unsat})");
+        assert!(
+            sat > 0 && unsat > 0,
+            "sweep covers both outcomes ({sat}/{unsat})"
+        );
     }
 
     #[test]

@@ -96,11 +96,7 @@ impl IntensionalScenario {
         IntensionalScenario { peers, registry }
     }
 
-    pub fn run(
-        &mut self,
-        requester: &str,
-        goal: Literal,
-    ) -> NegotiationOutcome {
+    pub fn run(&mut self, requester: &str, goal: Literal) -> NegotiationOutcome {
         let mut net = SimNetwork::new(0x1917);
         Strategy::Parsimonious.run(
             &mut self.peers,
@@ -202,11 +198,7 @@ mod tests {
             Literal::new("print", vec![Term::var("P"), Term::str(GUEST)]),
         );
         assert!(out.success);
-        let printers: Vec<String> = out
-            .granted
-            .iter()
-            .map(|g| g.args[0].to_string())
-            .collect();
+        let printers: Vec<String> = out.granted.iter().map(|g| g.args[0].to_string()).collect();
         // Guest: monochrome (eng3m, lobby1 via mono) + floor1 (lobby1,
         // deduped) — but NOT the color third-floor machines.
         assert!(printers.contains(&"eng3m".to_string()));

@@ -9,7 +9,9 @@ pub mod intensional;
 pub mod scenario1;
 pub mod scenario2;
 
-pub use generator::{chain, delegation_chain, fleet, random_policies, RandomPolicyConfig, Workload};
+pub use generator::{
+    chain, delegation_chain, fleet, random_policies, RandomPolicyConfig, Workload,
+};
 pub use grid::GridScenario;
 pub use intensional::IntensionalScenario;
 pub use scenario1::{Ablation1, Scenario1};

@@ -72,7 +72,10 @@ impl Scenario1 {
     /// Build with one ingredient removed.
     pub fn build_ablated(ablation: Ablation1) -> Scenario1 {
         let registry = KeyRegistry::new();
-        for (i, issuer) in ["UIUC", "UIUC Registrar", "ELENA", "BBB"].iter().enumerate() {
+        for (i, issuer) in ["UIUC", "UIUC Registrar", "ELENA", "BBB"]
+            .iter()
+            .enumerate()
+        {
             registry.register_derived(PeerId::new(issuer), 100 + i as u64);
         }
         let mut peers = PeerMap::new();
@@ -118,9 +121,7 @@ impl Scenario1 {
         let mut alice = NegotiationPeer::new(ALICE, registry.clone());
         if ablation != Ablation1::NoStudentId {
             alice
-                .load_program(
-                    r#"student("Alice") @ "UIUC Registrar" signedBy ["UIUC Registrar"]."#,
-                )
+                .load_program(r#"student("Alice") @ "UIUC Registrar" signedBy ["UIUC Registrar"]."#)
                 .expect("student ID parses");
         }
         if ablation != Ablation1::NoDelegationRule {
@@ -160,22 +161,30 @@ impl Scenario1 {
     /// The standard resource request: Alice asks for discounted enrollment
     /// in the Spanish course.
     pub fn goal() -> Literal {
-        Literal::new(
-            "discountEnroll",
-            vec![Term::atom(COURSE), Term::str(ALICE)],
-        )
+        Literal::new("discountEnroll", vec![Term::atom(COURSE), Term::str(ALICE)])
     }
 
     /// Run the negotiation under `strategy` with a fresh seeded network.
     pub fn run(&mut self, strategy: Strategy) -> NegotiationOutcome {
-        let mut net = SimNetwork::new(0xE1);
-        strategy.run(
+        self.run_traced(strategy, &peertrust_telemetry::Telemetry::disabled())
+    }
+
+    /// [`Scenario1::run`] with a telemetry pipeline attached to both the
+    /// network and the negotiation driver.
+    pub fn run_traced(
+        &mut self,
+        strategy: Strategy,
+        telemetry: &peertrust_telemetry::Telemetry,
+    ) -> NegotiationOutcome {
+        let mut net = SimNetwork::new(0xE1).with_telemetry(telemetry.clone());
+        strategy.run_traced(
             &mut self.peers,
             &mut net,
             NegotiationId(1),
             PeerId::new(ALICE),
             PeerId::new(ELEARN),
             Scenario1::goal(),
+            telemetry,
         )
     }
 }
@@ -217,10 +226,7 @@ mod tests {
             for strategy in Strategy::ALL {
                 let mut s = Scenario1::build_ablated(ablation);
                 let out = s.run(strategy);
-                assert!(
-                    !out.success,
-                    "{ablation:?} under {strategy} should fail"
-                );
+                assert!(!out.success, "{ablation:?} under {strategy} should fail");
             }
         }
     }

@@ -197,9 +197,7 @@ impl Scenario2 {
         elearn.load_program(policy49).expect("policy49 parses");
         if ablation != Ablation2::MerchantNotAuthorized {
             elearn
-                .load_program(
-                    r#"authorizedMerchant("E-Learn") @ "VISA" $ true signedBy ["VISA"]."#,
-                )
+                .load_program(r#"authorizedMerchant("E-Learn") @ "VISA" $ true signedBy ["VISA"]."#)
                 .expect("merchant credential parses");
         }
         // Cached membership for the freebie path (and to answer Bob's
@@ -288,21 +286,36 @@ impl Scenario2 {
 
     /// Run a negotiation for `goal` under `strategy`.
     pub fn run(&mut self, strategy: Strategy, goal: Literal) -> NegotiationOutcome {
-        let mut net = SimNetwork::new(0xE2);
-        strategy.run(
+        self.run_traced(strategy, goal, &peertrust_telemetry::Telemetry::disabled())
+    }
+
+    /// [`Scenario2::run`] with a telemetry pipeline attached to both the
+    /// network and the negotiation driver.
+    pub fn run_traced(
+        &mut self,
+        strategy: Strategy,
+        goal: Literal,
+        telemetry: &peertrust_telemetry::Telemetry,
+    ) -> NegotiationOutcome {
+        let mut net = SimNetwork::new(0xE2).with_telemetry(telemetry.clone());
+        strategy.run_traced(
             &mut self.peers,
             &mut net,
             NegotiationId(2),
             PeerId::new(BOB),
             PeerId::new(ELEARN),
             goal,
+            telemetry,
         )
     }
 
     /// The VISA-side credential-lifecycle check used by the revocation
     /// experiment: validates the (simulated) card credential against the
     /// revocation list.
-    pub fn card_check(&self, now: peertrust_crypto::Tick) -> Result<(), peertrust_crypto::CredentialError> {
+    pub fn card_check(
+        &self,
+        now: peertrust_crypto::Tick,
+    ) -> Result<(), peertrust_crypto::CredentialError> {
         let bob = self.peers.get(PeerId::new(BOB)).expect("bob exists");
         let (_, signed) = bob
             .disclosable_signed_rules()
@@ -393,10 +406,7 @@ mod tests {
         let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
         assert!(out.success, "refusals: {:#?}", out.refusals);
         // VISA participated.
-        assert!(out
-            .disclosures
-            .iter()
-            .any(|d| d.from == PeerId::new(VISA)));
+        assert!(out.disclosures.iter().any(|d| d.from == PeerId::new(VISA)));
     }
 
     #[test]

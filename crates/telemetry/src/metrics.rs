@@ -1,0 +1,182 @@
+//! The metrics registry: named counters and histograms.
+//!
+//! Names are dotted paths; per-peer series append the peer name as the
+//! last segment (`negotiation.queries_issued.Alice`). The registry is a
+//! pair of locked `BTreeMap`s — sorted iteration makes every snapshot and
+//! JSON export deterministic, which the experiment tables rely on.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Running aggregate of one histogram series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of the whole registry, serializable to JSON.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// The thread-safe registry.
+#[derive(Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, HistogramSnapshot>>,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add `by` to counter `name`, creating it at 0.
+    pub fn incr(&self, name: &str, by: u64) {
+        let mut counters = self.counters.lock();
+        match counters.get_mut(name) {
+            Some(v) => *v += by,
+            None => {
+                counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    /// Record one observation into histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut histograms = self.histograms.lock();
+        match histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                histograms.insert(
+                    name.to_string(),
+                    HistogramSnapshot {
+                        count: 1,
+                        sum: value,
+                        min: value,
+                        max: value,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Current aggregate of histogram `name`, if any value was observed.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.histograms.lock().get(name).copied()
+    }
+
+    /// Copy out the whole registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.lock().clone(),
+            histograms: self.histograms.lock().clone(),
+        }
+    }
+
+    /// Serialize the registry as pretty JSON (the `metrics.json` format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        assert_eq!(m.counter("a"), 0);
+        m.incr("a", 1);
+        m.incr("a", 2);
+        m.incr("b", 5);
+        assert_eq!(m.counter("a"), 3);
+        assert_eq!(m.counter("b"), 5);
+    }
+
+    #[test]
+    fn histograms_track_aggregates() {
+        let m = Metrics::new();
+        assert!(m.histogram("h").is_none());
+        for v in [4, 2, 9] {
+            m.observe("h", v);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 15);
+        assert_eq!(h.min, 2);
+        assert_eq!(h.max, 9);
+        assert!((h.mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let m = Metrics::new();
+        m.incr("negotiation.queries_issued.Alice", 4);
+        m.observe("engine.proof_depth", 3);
+        let json = m.to_json();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m.snapshot());
+        assert_eq!(back.counters["negotiation.queries_issued.Alice"], 4);
+    }
+
+    #[test]
+    fn snapshot_is_deterministically_ordered() {
+        let m = Metrics::new();
+        m.incr("zebra", 1);
+        m.incr("alpha", 1);
+        let snap = m.snapshot();
+        let names: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(names, ["alpha", "zebra"]);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let m = std::sync::Arc::new(Metrics::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.incr("shared", 1);
+                        m.observe("obs", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.counter("shared"), 4000);
+        assert_eq!(m.histogram("obs").unwrap().count, 4000);
+    }
+}

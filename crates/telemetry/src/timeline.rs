@@ -1,0 +1,211 @@
+//! Chronological per-negotiation view of an event stream.
+//!
+//! [`crate::Telemetry`] emits a flat, interleaved stream: engine, network
+//! and negotiation events from every concurrent negotiation share one
+//! sequence. A [`Timeline`] regroups that stream by negotiation id and
+//! reconstructs span intervals from their `span.start`/`span.end` event
+//! pairs — the run-time complement to `peertrust_engine::explain`, which
+//! renders a single proof tree after the fact: the timeline shows *when*
+//! each query, disclosure and refusal happened, across peers, in order.
+
+use crate::event::{SpanId, TraceEvent};
+
+/// A reconstructed span interval.
+#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Span {
+    pub id: u64,
+    pub name: String,
+    pub negotiation: u64,
+    /// Sequence numbers of the delimiting events (`end_seq` is 0 for a
+    /// span never closed — e.g. truncated by ring-buffer eviction).
+    pub start_seq: u64,
+    pub end_seq: u64,
+    /// Domain ticks of the delimiting events.
+    pub start_at: u64,
+    pub end_at: u64,
+}
+
+impl Span {
+    /// Ticks between start and end (0 if still open).
+    pub fn duration(&self) -> u64 {
+        self.end_at.saturating_sub(self.start_at)
+    }
+}
+
+/// All telemetry belonging to one negotiation, in sequence order.
+#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Timeline {
+    pub negotiation: u64,
+    pub spans: Vec<Span>,
+    pub events: Vec<TraceEvent>,
+}
+
+impl Timeline {
+    /// Group `events` into one timeline per negotiation id, ordered by id.
+    /// Events with negotiation 0 (layer-internal, e.g. standalone engine
+    /// runs) are grouped under a timeline with `negotiation == 0`.
+    pub fn from_events(events: &[TraceEvent]) -> Vec<Timeline> {
+        let mut ids: Vec<u64> = events.iter().map(|e| e.negotiation).collect();
+        ids.sort_unstable();
+        ids.dedup();
+
+        ids.into_iter()
+            .map(|nid| {
+                let mut evs: Vec<TraceEvent> = events
+                    .iter()
+                    .filter(|e| e.negotiation == nid)
+                    .cloned()
+                    .collect();
+                evs.sort_by_key(|e| e.seq);
+                let spans = reconstruct_spans(&evs, nid);
+                Timeline {
+                    negotiation: nid,
+                    spans,
+                    events: evs,
+                }
+            })
+            .collect()
+    }
+
+    /// Events of a given kind, in order.
+    pub fn events_of_kind(&self, kind: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// The span named `name`, if present.
+    pub fn span_named(&self, name: &str) -> Option<&Span> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Serialize the timeline's events as JSON Lines (the archival
+    /// format; spans are derived data and are reconstructed on load).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&serde_json::to_string(e).expect("events serialize"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL event dump (as written by [`Timeline::to_jsonl`] or
+    /// [`crate::JsonlWriter`]) back into timelines.
+    pub fn from_jsonl(input: &str) -> Result<Vec<Timeline>, serde_json::Error> {
+        let mut events = Vec::new();
+        for line in input.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(serde_json::from_str::<TraceEvent>(line)?);
+        }
+        Ok(Timeline::from_events(&events))
+    }
+}
+
+fn reconstruct_spans(events: &[TraceEvent], negotiation: u64) -> Vec<Span> {
+    let mut spans: Vec<Span> = Vec::new();
+    for e in events {
+        let sid = SpanId(e.span);
+        if sid == SpanId::NONE {
+            continue;
+        }
+        match e.kind.as_str() {
+            "span.start" => spans.push(Span {
+                id: e.span,
+                name: e.str_field("name").unwrap_or("<unnamed>").to_string(),
+                negotiation,
+                start_seq: e.seq,
+                end_seq: 0,
+                start_at: e.at,
+                end_at: 0,
+            }),
+            "span.end" => {
+                if let Some(span) = spans.iter_mut().rev().find(|s| s.id == e.span) {
+                    span.end_seq = e.seq;
+                    span.end_at = e.at;
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Field;
+    use crate::Telemetry;
+
+    /// Drive a realistic two-negotiation stream through a ring pipeline.
+    fn sample_events() -> Vec<TraceEvent> {
+        let (t, ring) = Telemetry::ring(64);
+        for nid in [1u64, 2] {
+            let span = t.span_start(nid * 10, nid, "negotiation", vec![]);
+            t.event(
+                nid * 10 + 1,
+                span,
+                nid,
+                "negotiation.query",
+                vec![Field::u64("qid", 0)],
+            );
+            t.event(
+                nid * 10 + 2,
+                span,
+                nid,
+                "negotiation.disclosure",
+                vec![Field::str("item", "credential")],
+            );
+            t.span_end(nid * 10 + 3, span, nid, vec![]);
+        }
+        ring.events()
+    }
+
+    #[test]
+    fn groups_by_negotiation() {
+        let timelines = Timeline::from_events(&sample_events());
+        assert_eq!(timelines.len(), 2);
+        assert_eq!(timelines[0].negotiation, 1);
+        assert_eq!(timelines[1].negotiation, 2);
+        for tl in &timelines {
+            assert_eq!(tl.events.len(), 4);
+            assert_eq!(tl.events_of_kind("negotiation.query").len(), 1);
+        }
+    }
+
+    #[test]
+    fn spans_are_reconstructed_with_durations() {
+        let timelines = Timeline::from_events(&sample_events());
+        let tl = &timelines[0];
+        assert_eq!(tl.spans.len(), 1);
+        let span = tl.span_named("negotiation").unwrap();
+        assert_eq!(span.start_at, 10);
+        assert_eq!(span.end_at, 13);
+        assert_eq!(span.duration(), 3);
+        assert!(span.start_seq < span.end_seq);
+    }
+
+    #[test]
+    fn unclosed_span_has_zero_end() {
+        let (t, ring) = Telemetry::ring(8);
+        let _open = t.span_start(5, 1, "dangling", vec![]);
+        let timelines = Timeline::from_events(&ring.events());
+        let span = timelines[0].span_named("dangling").unwrap();
+        assert_eq!(span.end_seq, 0);
+        assert_eq!(span.duration(), 0);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_timelines() {
+        let timelines = Timeline::from_events(&sample_events());
+        let dump: String = timelines.iter().map(Timeline::to_jsonl).collect();
+        let back = Timeline::from_jsonl(&dump).unwrap();
+        assert_eq!(back, timelines);
+    }
+
+    #[test]
+    fn malformed_jsonl_is_an_error() {
+        assert!(Timeline::from_jsonl("{not json}").is_err());
+        assert_eq!(Timeline::from_jsonl("\n  \n").unwrap().len(), 0);
+    }
+}

@@ -30,13 +30,22 @@ fn main() {
         for d in &outcome.disclosures {
             match &d.item {
                 DisclosedItem::SignedRule(sr) => {
-                    println!("  #{:<2} {:>8} -> {:<8} credential  {}", d.seq, d.from, d.to, sr.rule)
+                    println!(
+                        "  #{:<2} {:>8} -> {:<8} credential  {}",
+                        d.seq, d.from, d.to, sr.rule
+                    )
                 }
                 DisclosedItem::Answer(a) => {
-                    println!("  #{:<2} {:>8} -> {:<8} answer      {}", d.seq, d.from, d.to, a)
+                    println!(
+                        "  #{:<2} {:>8} -> {:<8} answer      {}",
+                        d.seq, d.from, d.to, a
+                    )
                 }
                 DisclosedItem::Resource(r) => {
-                    println!("  #{:<2} {:>8} -> {:<8} RESOURCE    {}", d.seq, d.from, d.to, r)
+                    println!(
+                        "  #{:<2} {:>8} -> {:<8} RESOURCE    {}",
+                        d.seq, d.from, d.to, r
+                    )
                 }
                 DisclosedItem::Policy(_) => {
                     println!("  #{:<2} {:>8} -> {:<8} policy", d.seq, d.from, d.to)

@@ -26,16 +26,24 @@ fn main() {
     // Free course.
     let mut s = Scenario2::build(Variant2::Base);
     let free = s.run(Strategy::Parsimonious, Scenario2::free_goal());
-    println!("free course (cs101):   success={} messages={} creds={}",
-        free.success, free.messages, free.credential_count());
+    println!(
+        "free course (cs101):   success={} messages={} creds={}",
+        free.success,
+        free.messages,
+        free.credential_count()
+    );
     println!("  grant: {}", free.granted[0]);
     assert!(free.success);
 
     // Pay-per-use.
     let mut s = Scenario2::build(Variant2::Base);
     let paid = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
-    println!("paid course (cs411):   success={} messages={} creds={}",
-        paid.success, paid.messages, paid.credential_count());
+    println!(
+        "paid course (cs411):   success={} messages={} creds={}",
+        paid.success,
+        paid.messages,
+        paid.credential_count()
+    );
     assert!(paid.success);
 
     // Revocation check, card in good standing vs revoked.
@@ -46,16 +54,21 @@ fn main() {
 
     let mut revoked = Scenario2::build_ablated(Variant2::RevocationCheck, Ablation2::CardRevoked);
     let blocked = revoked.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
-    println!("revoked card:          success={} (CRL agrees: {:?})",
+    println!(
+        "revoked card:          success={} (CRL agrees: {:?})",
         blocked.success,
-        revoked.card_check(5).err().map(|e| e.to_string()));
+        revoked.card_check(5).err().map(|e| e.to_string())
+    );
     assert!(!blocked.success);
 
     // Authority database & broker variants.
     for variant in [Variant2::AuthorityDb, Variant2::Broker] {
         let mut s = Scenario2::build(variant);
         let out = s.run(Strategy::Parsimonious, Scenario2::paid_goal(1000));
-        println!("{variant:?}:          success={} messages={}", out.success, out.messages);
+        println!(
+            "{variant:?}:          success={} messages={}",
+            out.success, out.messages
+        );
         assert!(out.success);
     }
 
@@ -79,17 +92,31 @@ fn main() {
     let mut s = Scenario2::build(Variant2::Base);
     let mut net = SimNetwork::new(7);
     let refused = request_policy(
-        &mut s.peers, &mut net, NegotiationId(50),
-        PeerId::new("Bob"), PeerId::new("E-Learn"), Sym::new("freebieEligible"),
+        &mut s.peers,
+        &mut net,
+        NegotiationId(50),
+        PeerId::new("Bob"),
+        PeerId::new("E-Learn"),
+        Sym::new("freebieEligible"),
     );
-    println!("freebieEligible definition for Bob: {} rules (privileged -> refused)", refused.rules.len());
+    println!(
+        "freebieEligible definition for Bob: {} rules (privileged -> refused)",
+        refused.rules.len()
+    );
     assert!(refused.rules.is_empty());
 
     let disclosed = request_policy(
-        &mut s.peers, &mut net, NegotiationId(51),
-        PeerId::new("Bob"), PeerId::new("E-Learn"), Sym::new("policy49"),
+        &mut s.peers,
+        &mut net,
+        NegotiationId(51),
+        PeerId::new("Bob"),
+        PeerId::new("E-Learn"),
+        Sym::new("policy49"),
     );
-    println!("policy49 definition for Bob before negotiation: {} rules", disclosed.rules.len());
+    println!(
+        "policy49 definition for Bob before negotiation: {} rules",
+        disclosed.rules.len()
+    );
 
     println!("\nscenario 2 complete.");
 }

@@ -88,7 +88,11 @@ fn main() {
     println!(
         "3. negotiation: success={} granted={:?} messages={}",
         outcome.success,
-        outcome.granted.iter().map(ToString::to_string).collect::<Vec<_>>(),
+        outcome
+            .granted
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>(),
         outcome.messages
     );
     assert!(outcome.success);
@@ -116,7 +120,10 @@ fn main() {
     audit.record(net.now(), outcome);
     audit.verify_chain().unwrap();
     let (ok, fail) = audit.stats();
-    println!("5. audit: {} record(s), chain verified ({ok} success / {fail} failure)", audit.len());
+    println!(
+        "5. audit: {} record(s), chain verified ({ok} success / {fail} failure)",
+        audit.len()
+    );
 
     println!("\nworkflow complete.");
 }

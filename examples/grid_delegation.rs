@@ -19,7 +19,13 @@ fn main() {
     println!("messages: {}", outcome.messages);
     println!("flow:");
     for d in &outcome.disclosures {
-        println!("  #{:<2} {:>12} -> {:<12} {}", d.seq, d.from, d.to, d.item.kind());
+        println!(
+            "  #{:<2} {:>12} -> {:<12} {}",
+            d.seq,
+            d.from,
+            d.to,
+            d.item.kind()
+        );
     }
     verify_safe_sequence(&outcome).expect("safe sequence");
     assert!(outcome.success);
@@ -27,7 +33,10 @@ fn main() {
     // The credential travelled home -> handheld -> service, never directly.
     let home = PeerId::new("Bob-Home");
     let service = PeerId::new("GridService");
-    assert!(outcome.disclosures.iter().all(|d| !(d.from == home && d.to == service)));
+    assert!(outcome
+        .disclosures
+        .iter()
+        .all(|d| !(d.from == home && d.to == service)));
     println!("\nno direct home->service disclosure: the handheld mediated everything.");
 
     // Offline home peer: negotiation must fail.

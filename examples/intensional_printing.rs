@@ -13,10 +13,10 @@ fn main() {
 
     // Who can print where?
     for (who, printer, expect) in [
-        ("Staffer", "eng3a", true),   // 3rd-floor color: staff only
+        ("Staffer", "eng3a", true), // 3rd-floor color: staff only
         ("Guest", "eng3a", false),
-        ("Guest", "eng3m", true),     // monochrome: open
-        ("Guest", "lobby1", true),    // first floor: open
+        ("Guest", "eng3m", true),  // monochrome: open
+        ("Guest", "lobby1", true), // first floor: open
     ] {
         let mut s = IntensionalScenario::build();
         let out = s.run(who, IntensionalScenario::print_goal(printer, who));
@@ -31,9 +31,9 @@ fn main() {
     // Content-triggered fetches.
     println!();
     for (who, doc, expect) in [
-        ("Guest", "newsletter", true),    // public: no negotiation
-        ("Guest", "budget2026", false),   // classified: guest lacks clearance
-        ("Staffer", "budget2026", true),  // classified: clearance negotiated
+        ("Guest", "newsletter", true),   // public: no negotiation
+        ("Guest", "budget2026", false),  // classified: guest lacks clearance
+        ("Staffer", "budget2026", true), // classified: clearance negotiated
     ] {
         let mut s = IntensionalScenario::build();
         let out = s.run(who, IntensionalScenario::fetch_goal(doc, who));

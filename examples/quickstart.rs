@@ -67,13 +67,26 @@ fn main() {
 
     // 4. Inspect the result.
     println!("success:   {}", outcome.success);
-    println!("granted:   {:?}", outcome.granted.iter().map(ToString::to_string).collect::<Vec<_>>());
+    println!(
+        "granted:   {:?}",
+        outcome
+            .granted
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
     println!("messages:  {}", outcome.messages);
     println!("bytes:     {}", outcome.bytes);
     println!();
     println!("disclosure sequence (C1, ..., Ck, R):");
     for d in &outcome.disclosures {
-        println!("  #{:<2} {:>8} -> {:<8} {}", d.seq, d.from, d.to, d.item.kind());
+        println!(
+            "  #{:<2} {:>8} -> {:<8} {}",
+            d.seq,
+            d.from,
+            d.to,
+            d.item.kind()
+        );
     }
     println!();
     println!("network trace:");

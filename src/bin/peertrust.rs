@@ -28,9 +28,7 @@
 use peertrust::core::{PeerId, Rule, Sym};
 use peertrust::crypto::KeyRegistry;
 use peertrust::engine::{explain_with_rules, Solver};
-use peertrust::negotiation::{
-    analyze_failure, NegotiationPeer, PeerMap, SessionConfig, Strategy,
-};
+use peertrust::negotiation::{analyze_failure, NegotiationPeer, PeerMap, SessionConfig, Strategy};
 use peertrust::net::{NegotiationId, SimNetwork};
 use peertrust::parser::{parse_labeled_program, parse_literal};
 use std::process::ExitCode;
@@ -255,7 +253,11 @@ fn cmd_negotiate(args: &[String]) -> Result<(), String> {
     }
     println!(
         "negotiation: {}",
-        if outcome.success { "SUCCESS" } else { "FAILURE" }
+        if outcome.success {
+            "SUCCESS"
+        } else {
+            "FAILURE"
+        }
     );
     for g in &outcome.granted {
         println!("  granted: {g}");
@@ -272,7 +274,13 @@ fn cmd_negotiate(args: &[String]) -> Result<(), String> {
     if !outcome.disclosures.is_empty() {
         println!("\ndisclosure sequence:");
         for d in &outcome.disclosures {
-            println!("  #{:<2} {:>12} -> {:<12} {}", d.seq, d.from, d.to, d.item.kind());
+            println!(
+                "  #{:<2} {:>12} -> {:<12} {}",
+                d.seq,
+                d.from,
+                d.to,
+                d.item.kind()
+            );
         }
     }
     if trace {
@@ -285,7 +293,10 @@ fn cmd_negotiate(args: &[String]) -> Result<(), String> {
         if !outcome.refusals.is_empty() {
             println!("\nrefusals:");
             for r in &outcome.refusals {
-                println!("  {} refused `{}` to {} ({:?})", r.peer, r.goal, r.requester, r.reason);
+                println!(
+                    "  {} refused `{}` to {} ({:?})",
+                    r.peer, r.goal, r.requester, r.reason
+                );
             }
         }
         if explain_fail {

@@ -21,6 +21,8 @@
 //!   triple store, KB mapping).
 //! * [`scenarios`] — the paper's worked scenarios and synthetic workload
 //!   generators.
+//! * [`telemetry`] — zero-dependency tracing spans, per-peer metrics, and
+//!   JSONL timeline export for negotiations (see README "Observability").
 //!
 //! ## Quickstart
 //!
@@ -35,6 +37,7 @@ pub use peertrust_net as net;
 pub use peertrust_parser as parser;
 pub use peertrust_rdf as rdf;
 pub use peertrust_scenarios as scenarios;
+pub use peertrust_telemetry as telemetry;
 
 /// One-stop prelude for applications.
 pub mod prelude {

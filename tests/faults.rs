@@ -105,11 +105,7 @@ fn eager_strategy_survives_partition() {
     // Eager pushes are simply dropped by the transport; the round loop
     // reaches its fixpoint and reports failure.
     let mut ps = peers();
-    let mut net = SimNetwork::with(
-        Topology::links([]),
-        LatencyModel::Constant(1),
-        0,
-    );
+    let mut net = SimNetwork::with(Topology::links([]), LatencyModel::Constant(1), 0);
     let out = Strategy::Eager.run(
         &mut ps,
         &mut net,

@@ -249,7 +249,8 @@ fn goal_with_variables_returns_bindings() {
     );
     assert!(out.success);
     assert_eq!(out.granted.len(), 3);
-    assert!(out.granted.iter().any(|g| {
-        g.args == vec![Term::atom("cs411"), Term::int(1000)]
-    }));
+    assert!(out
+        .granted
+        .iter()
+        .any(|g| { g.args == vec![Term::atom("cs411"), Term::int(1000)] }));
 }

@@ -95,7 +95,11 @@ fn course_over_budget_is_rejected_by_metadata() {
     let (mut peers, _) = build();
     let out = run(&mut peers, r#"enrollPaid(ml500, "Bob")"#);
     assert!(!out.success);
-    assert_eq!(out.credential_count(), 0, "no negotiation for a filtered course");
+    assert_eq!(
+        out.credential_count(),
+        0,
+        "no negotiation for a filtered course"
+    );
 }
 
 #[test]
@@ -114,8 +118,5 @@ fn raw_triples_are_queryable_alongside() {
     let mut solver = peertrust::engine::Solver::new(&elearn.kb, PeerId::new("E-Learn"));
     let sols = solver.solve(&peertrust::parser::parse_goals("triple(cs411, title, T)").unwrap());
     assert_eq!(sols.len(), 1);
-    assert_eq!(
-        sols[0].subst.apply(&Term::var("T")),
-        Term::str("Databases")
-    );
+    assert_eq!(sols[0].subst.apply(&Term::var("T")), Term::str("Databases"));
 }

@@ -1,0 +1,294 @@
+//! Deserialization half of the vendored serde subset.
+
+use crate::{Content, ContentError};
+
+/// Error constraint every deserializer error type must satisfy.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A source of serialized values; one required method, mirroring
+/// [`crate::Serializer::serialize_content`].
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Owned-deserializable helper (all our types are owned).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+impl<'de> Deserializer<'de> for Content {
+    type Error = ContentError;
+
+    fn deserialize_content(self) -> Result<Content, ContentError> {
+        Ok(self)
+    }
+}
+
+/// Deserialize a value out of a [`Content`] tree.
+pub fn from_content<T: DeserializeOwned>(content: Content) -> Result<T, ContentError> {
+    T::deserialize(content)
+}
+
+fn type_name(content: &Content) -> &'static str {
+    match content {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::I64(_) => "integer",
+        Content::U64(_) => "integer",
+        Content::F64(_) => "float",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "sequence",
+        Content::Map(_) => "map",
+    }
+}
+
+fn unexpected(content: &Content, expected: &str) -> ContentError {
+    ContentError(format!("expected {expected}, found {}", type_name(content)))
+}
+
+/// Pull `key` out of a struct's field map, deserializing its value.
+/// A missing field is accepted only if `T` deserializes from null
+/// (i.e. `Option`), mirroring serde's missing-field behavior closely
+/// enough for this workspace.
+pub fn take_field<T: DeserializeOwned>(
+    fields: &mut Vec<(Content, Content)>,
+    key: &str,
+) -> Result<T, ContentError> {
+    let pos = fields
+        .iter()
+        .position(|(k, _)| matches!(k, Content::Str(s) if s == key));
+    match pos {
+        Some(i) => {
+            let (_, v) = fields.remove(i);
+            T::deserialize(v).map_err(|e| ContentError(format!("field `{key}`: {e}")))
+        }
+        None => T::deserialize(Content::Null)
+            .map_err(|_| ContentError(format!("missing field `{key}`"))),
+    }
+}
+
+/// Expect a map (struct body) and return its entries.
+pub fn expect_map(content: Content) -> Result<Vec<(Content, Content)>, ContentError> {
+    match content {
+        Content::Map(m) => Ok(m),
+        other => Err(unexpected(&other, "map")),
+    }
+}
+
+/// Expect a sequence of exactly `len` elements.
+pub fn expect_seq(content: Content, len: usize) -> Result<Vec<Content>, ContentError> {
+    match content {
+        Content::Seq(s) if s.len() == len => Ok(s),
+        Content::Seq(s) => Err(ContentError(format!(
+            "expected sequence of {len} elements, found {}",
+            s.len()
+        ))),
+        other => Err(unexpected(&other, "sequence")),
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_content()
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(Error::custom(unexpected(&other, "string"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(Error::custom(unexpected(&other, "bool"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(unexpected(&other, "single-char string"))),
+        }
+    }
+}
+
+fn content_i64(content: &Content) -> Option<i64> {
+    match content {
+        Content::I64(i) => Some(*i),
+        Content::U64(u) => i64::try_from(*u).ok(),
+        _ => None,
+    }
+}
+
+fn content_u64(content: &Content) -> Option<u64> {
+    match content {
+        Content::U64(u) => Some(*u),
+        Content::I64(i) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($ty:ty : $via:ident),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let c = deserializer.deserialize_content()?;
+                $via(&c)
+                    .and_then(|v| <$ty>::try_from(v).ok())
+                    .ok_or_else(|| Error::custom(unexpected(&c, stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+deserialize_int! {
+    i8: content_i64, i16: content_i64, i32: content_i64, i64: content_i64,
+    isize: content_i64,
+    u8: content_u64, u16: content_u64, u32: content_u64, u64: content_u64,
+    usize: content_u64,
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(f) => Ok(f),
+            Content::I64(i) => Ok(i as f64),
+            Content::U64(u) => Ok(u as f64),
+            other => Err(Error::custom(unexpected(&other, "float"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => Err(Error::custom(unexpected(&other, "null"))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some).map_err(Error::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|c| T::deserialize(c).map_err(Error::custom))
+                .collect(),
+            other => Err(Error::custom(unexpected(&other, "sequence"))),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(deserializer)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of {N} elements, found {len}")))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($($name:ident),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                let c = deserializer.deserialize_content()?;
+                const LEN: usize = [$(stringify!($name)),+].len();
+                let items = expect_seq(c, LEN).map_err(Error::custom)?;
+                let mut iter = items.into_iter();
+                Ok(($(
+                    $name::deserialize(iter.next().expect("length checked"))
+                        .map_err(Error::custom)?,
+                )+))
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+fn map_entries<K, V, E>(content: Content) -> Result<Vec<(K, V)>, E>
+where
+    K: DeserializeOwned,
+    V: DeserializeOwned,
+    E: Error,
+{
+    match content {
+        Content::Map(entries) => entries
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    K::deserialize(k).map_err(Error::custom)?,
+                    V::deserialize(v).map_err(Error::custom)?,
+                ))
+            })
+            .collect(),
+        other => Err(Error::custom(unexpected(&other, "map"))),
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V>
+where
+    K: DeserializeOwned + std::hash::Hash + Eq,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries: Vec<(K, V)> = map_entries(deserializer.deserialize_content()?)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: DeserializeOwned + Ord,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries: Vec<(K, V)> = map_entries(deserializer.deserialize_content()?)?;
+        Ok(entries.into_iter().collect())
+    }
+}

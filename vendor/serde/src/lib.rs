@@ -1,0 +1,56 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
+//! Vendored subset of serde for offline builds.
+//!
+//! Same trait names and call-site signatures as serde proper, but the data
+//! model is a single self-describing [`Content`] tree instead of the full
+//! visitor machinery. `serde_json` (also vendored) renders and parses that
+//! tree. Only the surface actually used by this workspace is provided.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree both sides of the bridge speak.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(Content, Content)>),
+}
+
+/// Error used by the in-memory [`Content`] serializer/deserializer.
+#[derive(Clone, Debug)]
+pub struct ContentError(pub String);
+
+impl std::fmt::Display for ContentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl ser::Error for ContentError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl de::Error for ContentError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+/// Serialize any value into a [`Content`] tree.
+pub fn to_content<T: ?Sized + Serialize>(value: &T) -> Result<Content, ContentError> {
+    value.serialize(ser::ContentSerializer)
+}

@@ -1,0 +1,473 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde subset. Parses the item's token stream by hand (no syn /
+//! quote) and emits impls against `::serde`'s Content-based data model.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! * unit / tuple / named-field structs (non-generic)
+//! * enums with unit, tuple, and named-field variants (non-generic)
+//!
+//! JSON encodings match serde's external tagging: newtype structs are
+//! transparent, unit variants are strings, other variants are
+//! single-entry maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                None => Shape::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                other => return Err(format!("unexpected token after struct name: {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Field names of a named-field struct or struct variant.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple struct / tuple variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip to the comma separating variants (covers discriminants).
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------- Serialize
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let (name, body) = match &item {
+        Item::Struct { name, shape } => (name, serialize_struct_body(shape)),
+        Item::Enum { name, variants } => (name, serialize_enum_body(name, variants)),
+    };
+    let out = format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S)\n\
+         -> ::core::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}"
+    );
+    out.parse().unwrap()
+}
+
+/// `to_content(expr)` with the error converted to `S::Error`.
+fn ser_field(expr: &str) -> String {
+    format!(
+        "match ::serde::to_content({expr}) {{\n\
+         ::core::result::Result::Ok(c) => c,\n\
+         ::core::result::Result::Err(e) => return ::core::result::Result::Err(\n\
+             <S::Error as ::serde::ser::Error>::custom(e)),\n}}"
+    )
+}
+
+fn named_fields_to_map(fields: &[String], prefix: &str) -> String {
+    let mut s = String::from(
+        "let mut __map: ::std::vec::Vec<(::serde::Content, ::serde::Content)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        s.push_str(&format!(
+            "__map.push((::serde::Content::Str(::std::string::String::from({f:?})), {}));\n",
+            ser_field(&format!("&{prefix}{f}"))
+        ));
+    }
+    s
+}
+
+fn serialize_struct_body(shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => {
+            "::serde::ser::Serializer::serialize_content(serializer, ::serde::Content::Null)"
+                .to_string()
+        }
+        // Newtype structs are transparent, matching serde.
+        Shape::Tuple(1) => format!(
+            "let __c = {};\n\
+             ::serde::ser::Serializer::serialize_content(serializer, __c)",
+            ser_field("&self.0")
+        ),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n).map(|i| ser_field(&format!("&self.{i}"))).collect();
+            format!(
+                "let __seq = ::std::vec![{}];\n\
+                 ::serde::ser::Serializer::serialize_content(serializer, \
+                 ::serde::Content::Seq(__seq))",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => format!(
+            "{}::serde::ser::Serializer::serialize_content(serializer, \
+             ::serde::Content::Map(__map))",
+            named_fields_to_map(fields, "self.")
+        ),
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::ser::Serializer::serialize_content(serializer, \
+                 ::serde::Content::Str(::std::string::String::from({vname:?}))),\n"
+            )),
+            Shape::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vname}(__f0) => {{\n\
+                 let __c = {};\n\
+                 ::serde::ser::Serializer::serialize_content(serializer, ::serde::Content::Map(\
+                 ::std::vec![(::serde::Content::Str(::std::string::String::from({vname:?})), __c)]))\n\
+                 }},\n",
+                ser_field("__f0")
+            )),
+            Shape::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let items: Vec<String> = binders.iter().map(|b| ser_field(b)).collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => {{\n\
+                     let __seq = ::std::vec![{}];\n\
+                     ::serde::ser::Serializer::serialize_content(serializer, ::serde::Content::Map(\
+                     ::std::vec![(::serde::Content::Str(::std::string::String::from({vname:?})), \
+                     ::serde::Content::Seq(__seq))]))\n\
+                     }},\n",
+                    binders.join(", "),
+                    items.join(", ")
+                ))
+            }
+            Shape::Named(fields) => {
+                let binders = fields.join(", ");
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binders} }} => {{\n\
+                     {}\
+                     ::serde::ser::Serializer::serialize_content(serializer, ::serde::Content::Map(\
+                     ::std::vec![(::serde::Content::Str(::std::string::String::from({vname:?})), \
+                     ::serde::Content::Map(__map))]))\n\
+                     }},\n",
+                    named_fields_to_map(fields, "")
+                ))
+            }
+        }
+    }
+    format!("match self {{\n{arms}\n}}")
+}
+
+// -------------------------------------------------------------- Deserialize
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let (name, body) = match &item {
+        Item::Struct { name, shape } => (name, deserialize_struct_body(name, shape)),
+        Item::Enum { name, variants } => (name, deserialize_enum_body(name, variants)),
+    };
+    let out = format!(
+        "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: D)\n\
+         -> ::core::result::Result<Self, D::Error> {{\n\
+         let __content = ::serde::de::Deserializer::deserialize_content(deserializer)?;\n\
+         {body}\n}}\n}}"
+    );
+    out.parse().unwrap()
+}
+
+/// `Err(D::Error::custom(e))` conversion helper, as a suffix on a Result.
+const MAP_ERR: &str = ".map_err(|e| <D::Error as ::serde::de::Error>::custom(e))?";
+
+fn named_fields_from_map(type_path: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::de::take_field(&mut __fields, {f:?}){MAP_ERR},\n"
+        ));
+    }
+    format!(
+        "let mut __fields = ::serde::de::expect_map(__content){MAP_ERR};\n\
+         ::core::result::Result::Ok({type_path} {{\n{inits}}})"
+    )
+}
+
+fn tuple_from_seq(type_path: &str, n: usize) -> String {
+    if n == 1 {
+        // Newtype structs are transparent, matching serde.
+        return format!(
+            "::core::result::Result::Ok({type_path}(\
+             ::serde::de::from_content(__content){MAP_ERR}))"
+        );
+    }
+    let mut items = String::new();
+    for _ in 0..n {
+        items.push_str(&format!(
+            "::serde::de::from_content(__iter.next().expect(\"length checked\")){MAP_ERR},\n"
+        ));
+    }
+    format!(
+        "let __seq = ::serde::de::expect_seq(__content, {n}){MAP_ERR};\n\
+         let mut __iter = __seq.into_iter();\n\
+         ::core::result::Result::Ok({type_path}({items}))"
+    )
+}
+
+fn deserialize_struct_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!(
+            "match __content {{\n\
+             ::serde::Content::Null => ::core::result::Result::Ok({name}),\n\
+             _ => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+             \"expected null for unit struct\")),\n}}"
+        ),
+        Shape::Tuple(n) => tuple_from_seq(name, *n),
+        Shape::Named(fields) => named_fields_from_map(name, fields),
+    }
+}
+
+/// Variant payload deserialization, with `__content` holding the payload.
+fn variant_payload(name: &str, v: &Variant) -> String {
+    let path = format!("{name}::{}", v.name);
+    match &v.shape {
+        Shape::Unit => format!("{{ let _ = __content; ::core::result::Result::Ok({path}) }}"),
+        Shape::Tuple(n) => format!("{{ {} }}", tuple_from_seq(&path, *n)),
+        Shape::Named(fields) => format!("{{ {} }}", named_fields_from_map(&path, fields)),
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    for v in variants {
+        if matches!(v.shape, Shape::Unit) {
+            unit_arms.push_str(&format!(
+                "{:?} => ::core::result::Result::Ok({name}::{}),\n",
+                v.name, v.name
+            ));
+        }
+    }
+    let mut payload_arms = String::new();
+    for v in variants {
+        payload_arms.push_str(&format!("{:?} => {},\n", v.name, variant_payload(name, v)));
+    }
+    format!(
+        "match __content {{\n\
+         ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+             ::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+         }},\n\
+         ::serde::Content::Map(mut __m) if __m.len() == 1 => {{\n\
+         let (__k, __content) = __m.pop().expect(\"length checked\");\n\
+         let __k = match __k {{\n\
+             ::serde::Content::Str(s) => s,\n\
+             _ => return ::core::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::custom(\"variant key must be a string\")),\n\
+         }};\n\
+         match __k.as_str() {{\n\
+         {payload_arms}\
+         __other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+             ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+         }}\n\
+         }},\n\
+         __other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+             ::std::format!(\"expected string or single-entry map for enum {name}\"))),\n\
+         }}"
+    )
+}

@@ -1,0 +1,83 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
+//! Vendored JSON serializer/deserializer over the offline serde subset.
+//!
+//! Output format matches serde_json: compact (`{"a":1}`) from
+//! [`to_string`], 2-space-indented pretty form (`"a": 1`) from
+//! [`to_string_pretty`].
+
+use serde::{Content, ContentError};
+
+mod parse;
+mod print;
+mod value;
+
+pub use value::{Number, Value};
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl From<ContentError> for Error {
+    fn from(e: ContentError) -> Error {
+        Error::new(e.0)
+    }
+}
+
+fn content_of<T: ?Sized + serde::Serialize>(value: &T) -> Result<Content, Error> {
+    serde::to_content(value).map_err(Error::from)
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&content_of(value)?))
+}
+
+/// Serialize to a pretty JSON string (2-space indent).
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&content_of(value)?))
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: ?Sized + serde::Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let content = parse::parse(s)?;
+    T::deserialize(content).map_err(Error::from)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}

@@ -1,0 +1,125 @@
+//! JSON rendering of a Content tree, compact and pretty.
+
+use serde::Content;
+
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn float_repr(f: f64) -> String {
+    if f.is_finite() {
+        let s = format!("{f}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        // serde_json refuses non-finite floats; null is the closest total
+        // behavior and keeps metrics export infallible.
+        "null".to_string()
+    }
+}
+
+fn key_string(k: &Content) -> String {
+    match k {
+        Content::Str(s) => s.clone(),
+        Content::I64(i) => i.to_string(),
+        Content::U64(u) => u.to_string(),
+        Content::Bool(b) => b.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+pub(crate) fn compact(c: &Content) -> String {
+    let mut out = String::new();
+    write_compact(&mut out, c);
+    out
+}
+
+fn write_compact(out: &mut String, c: &Content) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(i) => out.push_str(&i.to_string()),
+        Content::U64(u) => out.push_str(&u.to_string()),
+        Content::F64(f) => out.push_str(&float_repr(*f)),
+        Content::Str(s) => escape_into(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, &key_string(k));
+                out.push(':');
+                write_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub(crate) fn pretty(c: &Content) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, c, 0);
+    out
+}
+
+fn write_pretty(out: &mut String, c: &Content, indent: usize) {
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&"  ".repeat(indent + 1));
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&"  ".repeat(indent + 1));
+                escape_into(out, &key_string(k));
+                out.push_str(": ");
+                write_pretty(out, v, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
