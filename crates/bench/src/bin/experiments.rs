@@ -14,7 +14,7 @@
 //! per-negotiation `timeline.jsonl`.
 
 use peertrust_bench::{run_negotiation, run_workload, with_big_stack, Row};
-use peertrust_core::{PeerId, Sym};
+use peertrust_core::{KnowledgeBase, Literal, PeerId, Rule, Sym, Term};
 use peertrust_negotiation::{
     request_policy, verify_safe_sequence, NegotiationPeer, PeerMap, Strategy,
 };
@@ -68,6 +68,62 @@ fn telemetry_export() {
         &telemetry,
     );
     assert!(out2.success);
+
+    // E13: exercise both caching layers so their counters are in the
+    // export — a tabled transitive-closure solve (engine.table.*) and a
+    // warm repeat of the E6 delegation chain through the shared
+    // remote-answer cache (negotiation.cache.*).
+    let mut kb = KnowledgeBase::new();
+    kb.add_local(Rule::horn(
+        Literal::new("reach", vec![Term::var("X"), Term::var("Y")]),
+        vec![Literal::new("edge", vec![Term::var("X"), Term::var("Y")])],
+    ));
+    kb.add_local(Rule::horn(
+        Literal::new("reach", vec![Term::var("X"), Term::var("Z")]),
+        vec![
+            Literal::new("edge", vec![Term::var("X"), Term::var("Y")]),
+            Literal::new("reach", vec![Term::var("Y"), Term::var("Z")]),
+        ],
+    ));
+    for i in 0..32i64 {
+        kb.add_local(Rule::fact(Literal::new(
+            "edge",
+            vec![Term::int(i), Term::int(i + 1)],
+        )));
+    }
+    let mut solver = peertrust_engine::Solver::new(&kb, PeerId::new("exporter"))
+        .with_config(peertrust_engine::EngineConfig {
+            tabling: true,
+            max_solutions: usize::MAX,
+            max_depth: 4096,
+            ..Default::default()
+        })
+        .with_telemetry(telemetry.clone());
+    let reach = solver.solve(&[Literal::new("reach", vec![Term::int(0), Term::var("W")])]);
+    assert_eq!(reach.len(), 32);
+
+    let mut w = delegation_chain(4);
+    let mut cache = peertrust_negotiation::RemoteAnswerCache::new();
+    for nid in [3u64, 4] {
+        let mut net = SimNetwork::new(nid).with_telemetry(telemetry.clone());
+        let out = peertrust_negotiation::negotiate_cached(
+            &mut w.peers,
+            &mut net,
+            peertrust_negotiation::SessionConfig::default(),
+            NegotiationId(nid),
+            w.requester,
+            w.responder,
+            w.goal.clone(),
+            &mut cache,
+            &telemetry,
+        );
+        assert!(out.success, "delegation repeat {nid}");
+    }
+    let cache_stats = cache.stats();
+    println!(
+        "  remote-answer cache: {} hits / {} misses / {} inserts",
+        cache_stats.hits, cache_stats.misses, cache_stats.inserts
+    );
 
     let metrics = telemetry.metrics().expect("telemetry enabled").to_json();
     std::fs::write("metrics.json", &metrics).expect("write metrics.json");

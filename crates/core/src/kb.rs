@@ -139,45 +139,33 @@ impl KnowledgeBase {
         // First-argument refinement: a ground constant first argument
         // narrows the scan to exact-key clauses plus variable-headed ones,
         // merged back into clause (insertion) order so resolution order is
-        // unchanged.
-        let refined: Option<Vec<usize>> = goal.args.first().and_then(arg_key).map(|k| {
-            let exact = self
-                .first_arg
-                .get(&(key.0, key.1, k))
-                .map(Vec::as_slice)
-                .unwrap_or(&[]);
-            let vars = self.var_headed.get(&key).map(Vec::as_slice).unwrap_or(&[]);
-            let mut merged = Vec::with_capacity(exact.len() + vars.len());
-            let (mut i, mut j) = (0, 0);
-            while i < exact.len() || j < vars.len() {
-                match (exact.get(i), vars.get(j)) {
-                    (Some(&a), Some(&b)) => {
-                        if a < b {
-                            merged.push(a);
-                            i += 1;
-                        } else {
-                            merged.push(b);
-                            j += 1;
-                        }
-                    }
-                    (Some(&a), None) => {
-                        merged.push(a);
-                        i += 1;
-                    }
-                    (None, Some(&b)) => {
-                        merged.push(b);
-                        j += 1;
-                    }
-                    (None, None) => unreachable!(),
+        // unchanged. The merge only allocates when *both* buckets are
+        // non-empty; every other shape iterates the index slice in place —
+        // this sits on the hottest engine path (one call per goal
+        // selection).
+        let ids = match goal.args.first().and_then(arg_key) {
+            Some(k) => {
+                let exact = self
+                    .first_arg
+                    .get(&(key.0, key.1, k))
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                let vars = self.var_headed.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                match (exact.is_empty(), vars.is_empty()) {
+                    (true, _) => CandidateIds::Borrowed(vars.iter()),
+                    (false, true) => CandidateIds::Borrowed(exact.iter()),
+                    (false, false) => CandidateIds::Owned(merge_ordered(exact, vars).into_iter()),
                 }
             }
-            merged
-        });
-        let ids: Vec<usize> = match refined {
-            Some(v) => v,
-            None => self.index.get(&key).cloned().unwrap_or_default(),
+            None => CandidateIds::Borrowed(
+                self.index
+                    .get(&key)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[])
+                    .iter(),
+            ),
         };
-        ids.into_iter().map(move |i| &self.rules[i])
+        ids.map(move |i| &self.rules[i])
     }
 
     /// Iterate over every stored rule.
@@ -207,6 +195,60 @@ impl KnowledgeBase {
         keys.sort();
         keys
     }
+}
+
+/// Clause ids from either a borrowed index slice (no allocation) or an
+/// owned merge of two buckets.
+enum CandidateIds<'a> {
+    Borrowed(std::slice::Iter<'a, usize>),
+    Owned(std::vec::IntoIter<usize>),
+}
+
+impl Iterator for CandidateIds<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            CandidateIds::Borrowed(it) => it.next().copied(),
+            CandidateIds::Owned(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            CandidateIds::Borrowed(it) => it.size_hint(),
+            CandidateIds::Owned(it) => it.size_hint(),
+        }
+    }
+}
+
+/// Merge two ascending clause-id lists, preserving insertion order.
+fn merge_ordered(exact: &[usize], vars: &[usize]) -> Vec<usize> {
+    let mut merged = Vec::with_capacity(exact.len() + vars.len());
+    let (mut i, mut j) = (0, 0);
+    while i < exact.len() || j < vars.len() {
+        match (exact.get(i), vars.get(j)) {
+            (Some(&a), Some(&b)) => {
+                if a < b {
+                    merged.push(a);
+                    i += 1;
+                } else {
+                    merged.push(b);
+                    j += 1;
+                }
+            }
+            (Some(&a), None) => {
+                merged.push(a);
+                i += 1;
+            }
+            (None, Some(&b)) => {
+                merged.push(b);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    merged
 }
 
 impl fmt::Display for KnowledgeBase {

@@ -13,16 +13,22 @@
 //!   negotiation strategy and for differential testing against SLD.
 //! * [`builtins`] — the comparison predicates policies use
 //!   (`Price < 2000`, `Requester = Self`).
+//! * [`table`] — SLD answer tabling for the definite-Horn fragment,
+//!   enabled via [`EngineConfig::tabling`]; memoizes answers (with their
+//!   proofs) per goal variant so negotiations stop re-deriving the same
+//!   subgoals.
 
 pub mod builtins;
 pub mod explain;
 pub mod forward;
 pub mod sld;
+pub mod table;
 
 pub use builtins::{eval_builtin, BuiltinOutcome};
 pub use explain::{explain, explain_with_rules, proof_summary};
 pub use forward::{saturate, ForwardConfig, Saturation};
 pub use sld::{
     canonicalize, is_variant, EngineConfig, NoRemote, Proof, ProofStep, RemoteFallback, RemoteHook,
-    Solution, Solver, Stats,
+    SharedTable, Solution, Solver, Stats,
 };
+pub use table::{AnswerTable, Disposition, TableStats, TabledAnswer};

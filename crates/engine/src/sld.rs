@@ -29,8 +29,17 @@
 //! disclose.
 
 use crate::builtins::{eval_builtin, BuiltinOutcome};
+use crate::table::{AnswerTable, Disposition, TableStats, TabledAnswer};
 use peertrust_core::{unify_literals, KnowledgeBase, Literal, PeerId, RuleId, Subst, Term, Var};
 use peertrust_telemetry::{Field, Telemetry};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A shareable answer table: pass the same handle to successive solvers
+/// over the *same* knowledge base to keep memoized answers warm across
+/// [`Solver::solve`] calls.
+pub type SharedTable = Rc<RefCell<AnswerTable>>;
 
 /// When to consult the remote hook for a goal routed to another peer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -58,6 +67,14 @@ pub struct EngineConfig {
     pub ancestor_loop_check: bool,
     /// Remote consultation policy.
     pub remote_fallback: RemoteFallback,
+    /// Memoize answers to authority-free goals in an [`AnswerTable`]
+    /// (see `crate::table` for the completion policy and soundness
+    /// argument). Off by default: tabling trades memory for speed and is
+    /// only sound across solve calls while the KB grows monotonically.
+    pub tabling: bool,
+    /// Cap on answers collected per tabled variant; a variant that hits
+    /// the cap is recorded incomplete and resolved inline thereafter.
+    pub table_max_answers: usize,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +85,8 @@ impl Default for EngineConfig {
             max_steps: 1_000_000,
             ancestor_loop_check: true,
             remote_fallback: RemoteFallback::OnlyIfNoLocalClause,
+            tabling: false,
+            table_max_answers: 512,
         }
     }
 }
@@ -207,6 +226,7 @@ pub struct Solver<'a> {
     rename_counter: u32,
     stats: Stats,
     telemetry: Telemetry,
+    table: Option<SharedTable>,
 }
 
 /// Work items on the evaluation agenda.
@@ -236,6 +256,7 @@ impl<'a> Solver<'a> {
             rename_counter: 0,
             stats: Stats::default(),
             telemetry: Telemetry::disabled(),
+            table: None,
         }
     }
 
@@ -257,19 +278,47 @@ impl<'a> Solver<'a> {
         self
     }
 
+    /// Attach a (possibly pre-warmed) answer table. Implies nothing about
+    /// `config.tabling` — the flag still controls whether the table is
+    /// consulted. Sharing a table between solvers is sound only while
+    /// they evaluate the *same, monotonically growing* knowledge base for
+    /// the same peer; call [`AnswerTable::clear`] on any non-monotone
+    /// change (rule retraction or body edit).
+    pub fn with_table(mut self, table: SharedTable) -> Solver<'a> {
+        self.table = Some(table);
+        self
+    }
+
     pub fn stats(&self) -> Stats {
         self.stats
+    }
+
+    /// The answer table handle, if tabling ever ran (or one was attached).
+    pub fn table(&self) -> Option<SharedTable> {
+        self.table.clone()
+    }
+
+    /// Snapshot of the answer-table counters (zeroes when tabling is off).
+    pub fn table_stats(&self) -> TableStats {
+        self.table
+            .as_ref()
+            .map(|t| t.borrow().stats())
+            .unwrap_or_default()
     }
 
     /// Prove the conjunction `goals`, returning up to
     /// `config.max_solutions` answers with proofs.
     pub fn solve(&mut self, goals: &[Literal]) -> Vec<Solution> {
+        if self.config.tabling && self.table.is_none() {
+            self.table = Some(Rc::new(RefCell::new(AnswerTable::new())));
+        }
         let mut query_vars: Vec<Var> = Vec::new();
         for g in goals {
             g.collect_vars(&mut query_vars);
         }
         query_vars.dedup();
 
+        let table_before = self.table_stats();
         let (span, before) = if self.telemetry.enabled() {
             let goal_text = goals
                 .iter()
@@ -302,10 +351,36 @@ impl<'a> Solver<'a> {
 
         if self.telemetry.enabled() {
             self.flush_stats_delta(&before, &out);
+            self.flush_table_delta(&table_before);
             self.telemetry
                 .span_end(0, span, 0, vec![Field::u64("solutions", out.len() as u64)]);
         }
         out
+    }
+
+    /// Flush answer-table counter deltas and size histograms.
+    fn flush_table_delta(&self, before: &TableStats) {
+        let Some(table) = self.table.as_ref() else {
+            return;
+        };
+        let t = table.borrow();
+        let d = t.stats();
+        self.telemetry
+            .incr("engine.table.hits", d.hits - before.hits);
+        self.telemetry
+            .incr("engine.table.misses", d.misses - before.misses);
+        self.telemetry
+            .incr("engine.table.inserts", d.inserts - before.inserts);
+        self.telemetry
+            .incr("engine.table.incomplete", d.incomplete - before.incomplete);
+        self.telemetry.incr(
+            "engine.table.inline_fallbacks",
+            d.inline_fallbacks - before.inline_fallbacks,
+        );
+        self.telemetry
+            .observe("engine.table.variants", t.len() as u64);
+        self.telemetry
+            .observe("engine.table.answers", t.answer_count() as u64);
     }
 
     /// Flush the stats accumulated since `before` into the metrics
@@ -474,12 +549,25 @@ impl<'a> Solver<'a> {
                     return Flow::Continue;
                 }
 
-                // Ancestor loop check: prune variants of open goals.
+                // Ancestor loop check: prune variants of open goals. This
+                // runs *before* the table lookup so cyclic programs behave
+                // identically with tabling on or off.
                 if self.config.ancestor_loop_check
                     && anc.iter().any(|a| is_variant(&s.apply_literal(a), &goal))
                 {
                     self.stats.loop_prunes += 1;
                     return Flow::Continue;
+                }
+
+                // Tabling: only authority-free goals — goals with a chain
+                // may route to another peer and belong to the negotiation
+                // layer's remote-answer cache, not this per-solver table.
+                if self.config.tabling && goal.authority.is_empty() && self.table.is_some() {
+                    if let Some(flow) = self.tabled(&goal, rest, s, anc, acc, out, query_vars) {
+                        return flow;
+                    }
+                    // `None`: variant in progress or incomplete — resolve
+                    // this occurrence inline below.
                 }
 
                 // Self-authority stripping: lit @ ... @ Self  ->  lit @ ...
@@ -661,6 +749,166 @@ impl<'a> Solver<'a> {
         let flow = self.prove(&agenda, s, anc, acc, out, query_vars);
         anc.pop();
         flow
+    }
+
+    /// Answer `goal` from the table. Returns the flow to propagate, or
+    /// `None` when the occurrence must be resolved inline (variant in
+    /// progress — a cycle through the table — or recorded incomplete).
+    #[allow(clippy::too_many_arguments)]
+    fn tabled(
+        &mut self,
+        goal: &Literal,
+        rest: &[GoalItem],
+        s: &Subst,
+        anc: &mut Vec<Literal>,
+        acc: &mut Vec<Proof>,
+        out: &mut Vec<Solution>,
+        query_vars: &[Var],
+    ) -> Option<Flow> {
+        let table = self.table.clone().expect("tabling requires a table");
+        let key = canonical(goal);
+
+        let cached: Option<Vec<TabledAnswer>> = {
+            let mut t = table.borrow_mut();
+            if t.in_progress(&key) || t.disposition(&key) == Some(Disposition::Incomplete) {
+                t.note_inline_fallback();
+                return None;
+            }
+            t.lookup(&key).map(<[TabledAnswer]>::to_vec)
+        };
+        if let Some(answers) = cached {
+            return Some(self.reuse(goal, &answers, rest, s, anc, acc, out, query_vars));
+        }
+
+        // Fresh variant: evaluate the canonical goal in an isolated
+        // sub-derivation (same solver — shared hook, step budget and
+        // rename counter; fresh agenda, ancestors and solution set).
+        table.borrow_mut().begin(key.clone());
+        let mut sub_vars: Vec<Var> = Vec::new();
+        key.collect_vars(&mut sub_vars);
+        sub_vars.dedup();
+        let cutoffs_before = self.stats.depth_cutoffs;
+        let saved_max = self.config.max_solutions;
+        self.config.max_solutions = self.config.table_max_answers;
+        let agenda = vec![GoalItem::Lit(key.clone(), 0)];
+        let mut sub_out: Vec<Solution> = Vec::new();
+        let mut sub_anc: Vec<Literal> = Vec::new();
+        let mut sub_acc: Vec<Proof> = Vec::new();
+        let _ = self.prove(
+            &agenda,
+            &Subst::new(),
+            &mut sub_anc,
+            &mut sub_acc,
+            &mut sub_out,
+            &sub_vars,
+        );
+        self.config.max_solutions = saved_max;
+
+        let capped = sub_out.len() >= self.config.table_max_answers;
+        let cut = self.stats.depth_cutoffs > cutoffs_before;
+        let exhausted = self.stats.step_budget_exhausted;
+        let mut answers: Vec<TabledAnswer> = Vec::new();
+        for sol in &sub_out {
+            let proof = sol.proofs.first().expect("one proof per goal").clone();
+            if answers.iter().any(|a| a.answer == proof.goal) {
+                continue;
+            }
+            answers.push(TabledAnswer {
+                answer: proof.goal.clone(),
+                proof,
+            });
+        }
+        let disposition = if capped || cut || exhausted {
+            Disposition::Incomplete
+        } else {
+            Disposition::Complete
+        };
+        table
+            .borrow_mut()
+            .complete(key, disposition, answers.clone());
+
+        if exhausted {
+            return Some(Flow::Stop);
+        }
+        if disposition == Disposition::Incomplete {
+            // Resource-bounded result: never reuse, resolve inline so the
+            // answers at this occurrence match the untabled evaluation.
+            table.borrow_mut().note_inline_fallback();
+            return None;
+        }
+        Some(self.reuse(goal, &answers, rest, s, anc, acc, out, query_vars))
+    }
+
+    /// Resolve `goal` against memoized answers: each stored answer (and
+    /// its proof) is renamed apart, unified with the goal, and its proof
+    /// node pushed in place of a derivation.
+    #[allow(clippy::too_many_arguments)]
+    fn reuse(
+        &mut self,
+        goal: &Literal,
+        answers: &[TabledAnswer],
+        rest: &[GoalItem],
+        s: &Subst,
+        anc: &mut Vec<Literal>,
+        acc: &mut Vec<Proof>,
+        out: &mut Vec<Solution>,
+        query_vars: &[Var],
+    ) -> Flow {
+        for ta in answers {
+            let (ans, proof) = self.rename_answer_apart(ta);
+            let mut s2 = s.clone();
+            self.stats.unify_attempts += 1;
+            if !unify_literals(goal, &ans, &mut s2) {
+                continue;
+            }
+            acc.push(proof);
+            let flow = self.prove(rest, &s2, anc, acc, out, query_vars);
+            acc.pop();
+            if let Flow::Stop = flow {
+                return Flow::Stop;
+            }
+        }
+        Flow::Continue
+    }
+
+    /// Standardize a stored answer (and its proof tree) apart from every
+    /// variable in play. Each distinct variable gets its own fresh version
+    /// — a single shared version would merge distinct variables that
+    /// happen to share a name.
+    fn rename_answer_apart(&mut self, ta: &TabledAnswer) -> (Literal, Proof) {
+        let mut vars: Vec<Var> = Vec::new();
+        ta.answer.collect_vars(&mut vars);
+        proof_vars(&ta.proof, &mut vars);
+        if vars.is_empty() {
+            return (ta.answer.clone(), ta.proof.clone());
+        }
+        let mut map: HashMap<Var, Term> = HashMap::new();
+        for v in vars {
+            if let std::collections::hash_map::Entry::Vacant(e) = map.entry(v) {
+                self.rename_counter += 1;
+                e.insert(Term::Var(Var::versioned(v.name, self.rename_counter)));
+            }
+        }
+        let mut f = |v: Var| map.get(&v).cloned().unwrap_or(Term::Var(v));
+        (
+            ta.answer.map_vars(&mut f),
+            map_proof_vars(&ta.proof, &mut f),
+        )
+    }
+}
+
+fn proof_vars(p: &Proof, out: &mut Vec<Var>) {
+    p.goal.collect_vars(out);
+    for c in &p.children {
+        proof_vars(c, out);
+    }
+}
+
+fn map_proof_vars(p: &Proof, f: &mut impl FnMut(Var) -> Term) -> Proof {
+    Proof {
+        goal: p.goal.map_vars(f),
+        step: p.step.clone(),
+        children: p.children.iter().map(|c| map_proof_vars(c, f)).collect(),
     }
 }
 
@@ -1006,6 +1254,154 @@ mod tests {
             "secret(X)",
         );
         assert_eq!(sols.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod tabling_tests {
+    use super::*;
+    use peertrust_core::Term;
+    use peertrust_parser::{parse_goals, parse_program};
+
+    fn kb(src: &str) -> KnowledgeBase {
+        parse_program(src).unwrap().into_iter().collect()
+    }
+
+    fn tabled_config() -> EngineConfig {
+        EngineConfig {
+            tabling: true,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn answers(sols: &[Solution], var: &str) -> Vec<String> {
+        let mut a: Vec<String> = sols
+            .iter()
+            .map(|s| s.subst.apply(&Term::var(var)).to_string())
+            .collect();
+        a.sort();
+        a
+    }
+
+    #[test]
+    fn tabling_preserves_answers_and_proofs() {
+        let src = r#"
+            eligible(X) <- preferred(X).
+            preferred(X) <- student(X).
+            student("Alice"). student("Bob").
+        "#;
+        let kb = kb(src);
+        let mut plain = Solver::new(&kb, PeerId::new("self"));
+        let mut tabled = Solver::new(&kb, PeerId::new("self")).with_config(tabled_config());
+        let goals = parse_goals("eligible(W)").unwrap();
+        let a = plain.solve(&goals);
+        let b = tabled.solve(&goals);
+        assert_eq!(answers(&a, "W"), answers(&b, "W"));
+        // Proof shape survives memoization (negotiation depends on it).
+        assert_eq!(a[0].proofs[0].size(), b[0].proofs[0].size());
+        assert_eq!(a[0].proofs[0].used_rules(), b[0].proofs[0].used_rules());
+    }
+
+    #[test]
+    fn repeated_subgoals_hit_the_table() {
+        // Both branches re-derive the same ground `base(1)` variant.
+        let src = "top(X) <- left(X), right(X). left(X) <- base(X). right(X) <- base(X). base(1). base(2).";
+        let kb = kb(src);
+        let mut solver = Solver::new(&kb, PeerId::new("self")).with_config(tabled_config());
+        let sols = solver.solve(&parse_goals("top(1)").unwrap());
+        assert_eq!(sols.len(), 1);
+        let ts = solver.table_stats();
+        assert!(ts.hits >= 1, "expected table hits, got {ts:?}");
+        assert!(ts.inserts >= 2);
+    }
+
+    #[test]
+    fn warm_table_answers_without_rule_tries() {
+        let kb = kb("p(X) <- q(X). q(1). q(2). q(3).");
+        let table: SharedTable = Rc::new(RefCell::new(AnswerTable::new()));
+        let goals = parse_goals("p(X)").unwrap();
+
+        let mut cold = Solver::new(&kb, PeerId::new("self"))
+            .with_config(tabled_config())
+            .with_table(table.clone());
+        let first = cold.solve(&goals);
+        assert_eq!(first.len(), 3);
+        let cold_steps = cold.stats().steps;
+
+        let mut warm = Solver::new(&kb, PeerId::new("self"))
+            .with_config(tabled_config())
+            .with_table(table.clone());
+        let second = warm.solve(&goals);
+        assert_eq!(answers(&first, "X"), answers(&second, "X"));
+        assert!(
+            warm.stats().steps < cold_steps,
+            "warm solve must do fewer resolution steps ({} vs {cold_steps})",
+            warm.stats().steps
+        );
+        assert_eq!(warm.stats().rule_tries, 0);
+        assert!(table.borrow().stats().hits >= 1);
+    }
+
+    #[test]
+    fn cyclic_programs_terminate_with_tabling() {
+        let src = r#"
+            reach(X, Y) <- edge(X, Y).
+            reach(X, Z) <- edge(X, Y), reach(Y, Z).
+            edge(1, 2). edge(2, 1). edge(2, 3).
+        "#;
+        let kb = kb(src);
+        let mut plain = Solver::new(&kb, PeerId::new("self"));
+        let mut tabled = Solver::new(&kb, PeerId::new("self")).with_config(tabled_config());
+        let goals = parse_goals("reach(1, W)").unwrap();
+        let a = plain.solve(&goals);
+        let b = tabled.solve(&goals);
+        assert_eq!(answers(&a, "W"), answers(&b, "W"));
+    }
+
+    #[test]
+    fn nonground_answers_rename_apart_on_reuse() {
+        // `open(X)` has the non-ground answer open(_). Reusing it for
+        // open(A) and open(B) must not alias A and B through the stored
+        // answer's variable: the follow-up bindings A=1, B=2 only succeed
+        // when each reuse got a fresh renaming.
+        let kb = kb("open(X). pair(A, B) <- open(A), open(B), A = 1, B = 2.");
+        let mut solver = Solver::new(&kb, PeerId::new("self")).with_config(tabled_config());
+        let sols = solver.solve(&parse_goals("pair(A, B)").unwrap());
+        assert_eq!(sols.len(), 1, "distinct instantiations must both succeed");
+        assert!(solver.table_stats().hits >= 1);
+    }
+
+    #[test]
+    fn authority_goals_are_not_tabled() {
+        let kb = kb(r#"student("Alice") @ "UIUC" signedBy ["UIUC"]."#);
+        let mut solver = Solver::new(&kb, PeerId::new("self")).with_config(tabled_config());
+        let sols = solver.solve(&parse_goals(r#"student(X) @ "UIUC""#).unwrap());
+        assert_eq!(sols.len(), 1);
+        let ts = solver.table_stats();
+        assert_eq!(
+            ts.misses, 0,
+            "authority-chained goals must bypass the table: {ts:?}"
+        );
+    }
+
+    #[test]
+    fn incomplete_variants_resolve_inline() {
+        let kb = kb("n(1). n(2). n(3). n(4). n(5).");
+        let mut solver = Solver::new(&kb, PeerId::new("self")).with_config(EngineConfig {
+            tabling: true,
+            table_max_answers: 2, // forces Incomplete on n(X)
+            ..EngineConfig::default()
+        });
+        let sols = solver.solve(&parse_goals("n(X)").unwrap());
+        // Inline fallback recovers the full answer set.
+        assert_eq!(sols.len(), 5);
+        let ts = solver.table_stats();
+        assert_eq!(ts.incomplete, 1);
+        assert!(ts.inline_fallbacks >= 1);
+        // A second occurrence still resolves inline, never from the table.
+        let sols2 = solver.solve(&parse_goals("n(Y)").unwrap());
+        assert_eq!(sols2.len(), 5);
+        assert_eq!(solver.table_stats().hits, 0);
     }
 }
 

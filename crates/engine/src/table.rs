@@ -1,0 +1,249 @@
+//! SLD answer tabling (memoization) for the definite-Horn fragment.
+//!
+//! Negotiations re-derive the same subgoals over and over: the §4.1/§4.2
+//! scenarios evaluate identical `lit @ Authority` bodies on every
+//! iteration, and licensing scans re-prove the same context goals per
+//! candidate rule. For definite programs memoization is sound — a derived
+//! answer stays derivable because knowledge bases only *grow* during a
+//! negotiation — so the solver can keep an [`AnswerTable`]: answers keyed
+//! by the *canonical form* (variant class) of the goal, each paired with
+//! the proof that established it.
+//!
+//! The completion policy is deliberately simple (no full SLG/WAM
+//! machinery):
+//!
+//! * a goal variant is evaluated **once**, by an isolated sub-derivation
+//!   inside the same solver (sharing hook, step budget, and rename
+//!   counter);
+//! * while that evaluation is open the variant sits in an *in-progress*
+//!   set; re-occurrences inside it fall back to plain SLD resolution, so
+//!   cyclic programs terminate exactly as they do untabled (the ancestor
+//!   variant check still prunes loops);
+//! * an evaluation that was cut short — answer cap hit, step budget
+//!   exhausted, depth cutoff observed — is recorded as [`Disposition::Incomplete`];
+//!   incomplete variants are never reused and never re-evaluated as
+//!   tables (each occurrence resolves inline), preserving the untabled
+//!   semantics under resource bounds.
+//!
+//! Only authority-free goals are tabled. A goal with an authority chain
+//! may route to another peer, and remote answers belong to the
+//! negotiation layer's remote-answer cache
+//! (`peertrust_negotiation::RemoteAnswerCache`) with its TTL and
+//! invalidation story, not to this per-solver table. (Remote answers that
+//! back a *local* rule application are still captured transparently in
+//! the stored proof.)
+
+use crate::sld::Proof;
+use peertrust_core::Literal;
+use std::collections::{HashMap, HashSet};
+
+/// One memoized answer: the answer instance of the tabled goal plus the
+/// proof tree that established it.
+#[derive(Clone, Debug)]
+pub struct TabledAnswer {
+    pub answer: Literal,
+    pub proof: Proof,
+}
+
+/// How a variant's evaluation ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Disposition {
+    /// The sub-derivation ran to exhaustion: the answer list is the
+    /// complete SLD answer set for the variant and may be reused.
+    Complete,
+    /// The sub-derivation was cut short by a resource bound; the variant
+    /// is resolved inline on every occurrence.
+    Incomplete,
+}
+
+struct Entry {
+    disposition: Disposition,
+    answers: Vec<TabledAnswer>,
+}
+
+/// Table usage counters (flushed into the telemetry registry by the
+/// solver).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct TableStats {
+    /// Goal occurrences answered from a completed table entry.
+    pub hits: u64,
+    /// Goal occurrences that triggered a fresh variant evaluation.
+    pub misses: u64,
+    /// Answers inserted into the table.
+    pub inserts: u64,
+    /// Variant evaluations recorded incomplete (resource bound hit).
+    pub incomplete: u64,
+    /// Occurrences that fell back to inline resolution because their
+    /// variant was in progress (cycle) or incomplete.
+    pub inline_fallbacks: u64,
+}
+
+/// The per-solver (optionally shared) answer table.
+#[derive(Default)]
+pub struct AnswerTable {
+    entries: HashMap<Literal, Entry>,
+    in_progress: HashSet<Literal>,
+    stats: TableStats,
+}
+
+impl AnswerTable {
+    pub fn new() -> AnswerTable {
+        AnswerTable::default()
+    }
+
+    /// Number of variants with a recorded entry.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total answers stored across all complete entries.
+    pub fn answer_count(&self) -> usize {
+        self.entries.values().map(|e| e.answers.len()).sum()
+    }
+
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Is this variant currently being evaluated (cycle guard)?
+    pub fn in_progress(&self, canonical: &Literal) -> bool {
+        self.in_progress.contains(canonical)
+    }
+
+    /// Mark a variant as under evaluation.
+    pub fn begin(&mut self, canonical: Literal) {
+        self.stats.misses += 1;
+        self.in_progress.insert(canonical);
+    }
+
+    /// Record the outcome of a variant evaluation and release the
+    /// in-progress mark.
+    pub fn complete(
+        &mut self,
+        canonical: Literal,
+        disposition: Disposition,
+        answers: Vec<TabledAnswer>,
+    ) {
+        self.in_progress.remove(&canonical);
+        if disposition == Disposition::Incomplete {
+            self.stats.incomplete += 1;
+        }
+        self.stats.inserts += answers.len() as u64;
+        self.entries.insert(
+            canonical,
+            Entry {
+                disposition,
+                answers,
+            },
+        );
+    }
+
+    /// Abort a variant evaluation without recording anything (used when
+    /// the solver must unwind early, e.g. on a stop signal).
+    pub fn abort(&mut self, canonical: &Literal) {
+        self.in_progress.remove(canonical);
+    }
+
+    /// The disposition recorded for a variant, if any.
+    pub fn disposition(&self, canonical: &Literal) -> Option<Disposition> {
+        self.entries.get(canonical).map(|e| e.disposition)
+    }
+
+    /// Completed answers for a variant; `None` unless the entry exists
+    /// and is complete. Records a hit.
+    pub fn lookup(&mut self, canonical: &Literal) -> Option<&[TabledAnswer]> {
+        match self.entries.get(canonical) {
+            Some(e) if e.disposition == Disposition::Complete => {
+                self.stats.hits += 1;
+                Some(&e.answers)
+            }
+            _ => None,
+        }
+    }
+
+    /// Record one inline fallback (in-progress or incomplete variant).
+    pub fn note_inline_fallback(&mut self) {
+        self.stats.inline_fallbacks += 1;
+    }
+
+    /// Drop every entry (keeps the stats).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.in_progress.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sld::ProofStep;
+    use peertrust_core::Term;
+
+    fn lit(name: &str, n: i64) -> Literal {
+        Literal::new(name, vec![Term::int(n)])
+    }
+
+    fn ans(name: &str, n: i64) -> TabledAnswer {
+        TabledAnswer {
+            answer: lit(name, n),
+            proof: Proof {
+                goal: lit(name, n),
+                step: ProofStep::Builtin,
+                children: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn complete_entries_are_reusable() {
+        let mut t = AnswerTable::new();
+        let key = lit("p", 0);
+        assert!(t.lookup(&key).is_none());
+        t.begin(key.clone());
+        assert!(t.in_progress(&key));
+        t.complete(key.clone(), Disposition::Complete, vec![ans("p", 1)]);
+        assert!(!t.in_progress(&key));
+        assert_eq!(t.lookup(&key).unwrap().len(), 1);
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+        assert_eq!(t.stats().inserts, 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.answer_count(), 1);
+    }
+
+    #[test]
+    fn incomplete_entries_never_reused() {
+        let mut t = AnswerTable::new();
+        let key = lit("q", 0);
+        t.begin(key.clone());
+        t.complete(key.clone(), Disposition::Incomplete, vec![ans("q", 1)]);
+        assert!(t.lookup(&key).is_none());
+        assert_eq!(t.disposition(&key), Some(Disposition::Incomplete));
+        assert_eq!(t.stats().incomplete, 1);
+    }
+
+    #[test]
+    fn abort_releases_in_progress_without_entry() {
+        let mut t = AnswerTable::new();
+        let key = lit("r", 0);
+        t.begin(key.clone());
+        t.abort(&key);
+        assert!(!t.in_progress(&key));
+        assert!(t.disposition(&key).is_none());
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let mut t = AnswerTable::new();
+        t.begin(lit("p", 0));
+        t.complete(lit("p", 0), Disposition::Complete, vec![ans("p", 1)]);
+        let _ = t.lookup(&lit("p", 0));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.stats().hits, 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Remote-answer caching for negotiations.
+//!
+//! The engine's answer table (`peertrust_engine::table`) memoizes *local*
+//! derivations; this module memoizes the expensive step the paper's
+//! scenarios repeat most — full inter-peer query round-trips. Two layers:
+//!
+//! * **Per-session** (inside `Session`, on by default via
+//!   [`crate::SessionConfig::cache_remote_answers`]): within one
+//!   negotiation, a repeat of an already-answered `(requester, responder,
+//!   canonical goal)` query returns the previously accepted answers
+//!   without touching the network. Credential pushes are not repeated —
+//!   the requester already holds the rules from the first exchange.
+//! * **Cross-negotiation** ([`RemoteAnswerCache`], opt-in via
+//!   `negotiate_cached`): a shared cache that survives negotiations, with
+//!   a TTL in network ticks and invalidation on disclosure-set change
+//!   (the responder's knowledge base growing means its answer set may
+//!   have grown too). Only answers released under a **public** context
+//!   ever enter this cache: a context-guarded release was licensed for
+//!   one specific requester at one specific point of a negotiation, and
+//!   replaying it outside that exchange would bypass the release policy.
+//!
+//! Both layers cache only *non-empty* answer sets. Disclosure sets grow
+//! monotonically, so a query that failed once may succeed later — caching
+//! failures would freeze a negotiation's progress.
+
+use peertrust_core::{Literal, PeerId};
+use std::collections::HashMap;
+
+/// Cache key: who asked, who answered, and the canonical (variant-normal)
+/// form of the query. The requester is part of the key because release
+/// policies bind `Requester` — different requesters legitimately receive
+/// different answer sets for the same goal.
+pub type CacheKey = (PeerId, PeerId, Literal);
+
+/// Usage counters, exported into the telemetry registry by the session.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found no (valid) entry.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries dropped because the responder's disclosure set changed.
+    pub invalidated: u64,
+    /// Entries dropped by the TTL.
+    pub expired: u64,
+}
+
+struct Entry {
+    answers: Vec<Literal>,
+    inserted_at: u64,
+    /// Responder KB size at insert time — the disclosure-set fingerprint.
+    /// KBs are insert-only, so a changed length means new rules arrived.
+    responder_kb_len: usize,
+}
+
+/// Cross-negotiation remote-answer cache. Share one instance across
+/// `negotiate_cached` calls over the same `PeerMap`/network.
+pub struct RemoteAnswerCache {
+    /// `None` = no expiry; `Some(t)` = entries older than `t` ticks lapse.
+    ttl_ticks: Option<u64>,
+    entries: HashMap<CacheKey, Entry>,
+    stats: CacheStats,
+}
+
+impl RemoteAnswerCache {
+    /// A cache whose entries never expire by age (disclosure-set
+    /// invalidation still applies).
+    pub fn new() -> RemoteAnswerCache {
+        RemoteAnswerCache {
+            ttl_ticks: None,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A cache whose entries lapse `ttl_ticks` network ticks after
+    /// insertion.
+    pub fn with_ttl(ttl_ticks: u64) -> RemoteAnswerCache {
+        RemoteAnswerCache {
+            ttl_ticks: Some(ttl_ticks),
+            ..RemoteAnswerCache::new()
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop every entry (keeps the stats).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Cached answers for `(requester, responder, canonical)`, checking
+    /// freshness against the current tick and the responder's current KB
+    /// size. Stale entries are evicted on the spot.
+    pub fn lookup(
+        &mut self,
+        requester: PeerId,
+        responder: PeerId,
+        canonical: &Literal,
+        now: u64,
+        responder_kb_len: usize,
+    ) -> Option<Vec<Literal>> {
+        let key = (requester, responder, canonical.clone());
+        let Some(entry) = self.entries.get(&key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        if entry.responder_kb_len != responder_kb_len {
+            self.entries.remove(&key);
+            self.stats.invalidated += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        if let Some(ttl) = self.ttl_ticks {
+            if now.saturating_sub(entry.inserted_at) > ttl {
+                self.entries.remove(&key);
+                self.stats.expired += 1;
+                self.stats.misses += 1;
+                return None;
+            }
+        }
+        self.stats.hits += 1;
+        Some(self.entries[&key].answers.clone())
+    }
+
+    /// Record a fully public, verified answer set. Callers must ensure
+    /// every answer was released under a public context — guarded answers
+    /// never cross negotiations (see the module docs).
+    pub fn insert(
+        &mut self,
+        requester: PeerId,
+        responder: PeerId,
+        canonical: Literal,
+        answers: Vec<Literal>,
+        now: u64,
+        responder_kb_len: usize,
+    ) {
+        if answers.is_empty() {
+            return;
+        }
+        self.stats.inserts += 1;
+        self.entries.insert(
+            (requester, responder, canonical),
+            Entry {
+                answers,
+                inserted_at: now,
+                responder_kb_len,
+            },
+        );
+    }
+}
+
+impl Default for RemoteAnswerCache {
+    fn default() -> Self {
+        RemoteAnswerCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peertrust_core::Term;
+
+    fn lit(n: i64) -> Literal {
+        Literal::new("p", vec![Term::int(n)])
+    }
+
+    fn peers() -> (PeerId, PeerId) {
+        (PeerId::new("alice"), PeerId::new("bob"))
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let (a, b) = peers();
+        let mut c = RemoteAnswerCache::new();
+        assert!(c.lookup(a, b, &lit(0), 0, 5).is_none());
+        c.insert(a, b, lit(0), vec![lit(1)], 0, 5);
+        assert_eq!(c.lookup(a, b, &lit(0), 100, 5).unwrap(), vec![lit(1)]);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn requester_is_part_of_the_key() {
+        let (a, b) = peers();
+        let mut c = RemoteAnswerCache::new();
+        c.insert(a, b, lit(0), vec![lit(1)], 0, 5);
+        assert!(c.lookup(PeerId::new("carol"), b, &lit(0), 0, 5).is_none());
+    }
+
+    #[test]
+    fn kb_growth_invalidates() {
+        let (a, b) = peers();
+        let mut c = RemoteAnswerCache::new();
+        c.insert(a, b, lit(0), vec![lit(1)], 0, 5);
+        // Responder learned a new rule since: entry evicted.
+        assert!(c.lookup(a, b, &lit(0), 1, 6).is_none());
+        assert_eq!(c.stats().invalidated, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let (a, b) = peers();
+        let mut c = RemoteAnswerCache::with_ttl(10);
+        c.insert(a, b, lit(0), vec![lit(1)], 100, 5);
+        assert!(c.lookup(a, b, &lit(0), 110, 5).is_some());
+        assert!(c.lookup(a, b, &lit(0), 111, 5).is_none());
+        assert_eq!(c.stats().expired, 1);
+    }
+
+    #[test]
+    fn empty_answer_sets_are_never_cached() {
+        let (a, b) = peers();
+        let mut c = RemoteAnswerCache::new();
+        c.insert(a, b, lit(0), Vec::new(), 0, 5);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().inserts, 0);
+    }
+}

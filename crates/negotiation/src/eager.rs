@@ -1,6 +1,6 @@
 //! The eager negotiation strategy.
 //!
-//! Yu, Winslett & Seamons' *eager* strategy (paper §5, [21]): in each round
+//! Yu, Winslett & Seamons' *eager* strategy (paper §5, \[21\]): in each round
 //! a party discloses **every** credential whose release policy is already
 //! satisfied by what it has received so far, without waiting to learn
 //! whether the other side needs it. No policy content ever crosses the
@@ -40,7 +40,7 @@ impl Default for EagerConfig {
 
 /// Run one eager negotiation between `requester` and `responder`.
 ///
-/// Only the two principals disclose (the strategy set of [21] is defined
+/// Only the two principals disclose (the strategy set of \[21\] is defined
 /// for two-party negotiations); credentials issued by third parties are
 /// fine — they were collected beforehand — but no third peer is contacted
 /// at run time.
@@ -205,9 +205,16 @@ fn releasable_credentials(
     let Some(peer) = peers.get(owner) else {
         return Vec::new();
     };
-    let mut out = Vec::new();
+    let mut out: Vec<(peertrust_crypto::SignedRule, Context, Vec<Evidence>)> = Vec::new();
     for (_id, sr) in peer.disclosable_signed_rules() {
         if sent.iter().any(|(p, r)| *p == owner && *r == sr.rule) {
+            continue;
+        }
+        // A credential registered under several rule ids (re-minted, or
+        // received through different channels) must still cross the wire
+        // once per round — the `sent` ledger only catches repeats across
+        // rounds, so dedup within the batch as well.
+        if out.iter().any(|(prev, _, _)| prev.rule == sr.rule) {
             continue;
         }
         if let Some((ctx, ev)) =

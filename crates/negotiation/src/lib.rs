@@ -29,6 +29,7 @@
 //!   crossbeam router, one peer per thread.
 
 pub mod analysis;
+pub mod answer_cache;
 pub mod audit;
 pub mod eager;
 pub mod failure;
@@ -41,6 +42,7 @@ pub mod ticket;
 pub mod unipro;
 
 pub use analysis::{analyze, lint_report, AnalysisReport, Finding};
+pub use answer_cache::{CacheKey, CacheStats, RemoteAnswerCache};
 pub use audit::{AuditLog, AuditRecord, ChainViolation};
 pub use eager::{negotiate_eager, EagerConfig};
 pub use failure::{analyze_failure, find_rescue_set, AnalyzedRefusal, FailureAnalysis};
@@ -49,7 +51,7 @@ pub use outcome::{
     RefusalReason, SafetyViolation,
 };
 pub use peer::{issuer_extended, sender_extended, NegotiationPeer, PeerConfig, PeerError};
-pub use session::{negotiate, negotiate_traced, PeerMap, SessionConfig};
+pub use session::{negotiate, negotiate_cached, negotiate_traced, PeerMap, SessionConfig};
 pub use strategy::Strategy;
 pub use threaded_host::{negotiate_threaded, ThreadedOutcome};
 pub use ticket::{issue_ticket, redeem_ticket, Ticket, TicketError, TOKEN_PREDICATE};

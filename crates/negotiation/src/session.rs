@@ -23,6 +23,7 @@
 //! E11: hop-depth budget, per-peer query budgets, and cycle detection on
 //! in-flight query variants.
 
+use crate::answer_cache::{CacheKey, RemoteAnswerCache};
 use crate::outcome::{
     DisclosedItem, Disclosure, Evidence, NegotiationOutcome, Refusal, RefusalReason,
 };
@@ -86,6 +87,11 @@ pub struct SessionConfig {
     /// against each new recipient. Off by default (contexts stripped on
     /// the wire, per the paper's main line).
     pub sticky_policies: bool,
+    /// Answer repeated `(requester, responder, canonical goal)` queries
+    /// from a per-session memo instead of re-sending them over the
+    /// network. Only non-empty answer sets are memoized (disclosure sets
+    /// grow monotonically, so a failed query may succeed later).
+    pub cache_remote_answers: bool,
 }
 
 impl Default for SessionConfig {
@@ -99,6 +105,7 @@ impl Default for SessionConfig {
             strict_push_release: false,
             release_overrides: Vec::new(),
             sticky_policies: false,
+            cache_remote_answers: true,
         }
     }
 }
@@ -141,6 +148,53 @@ pub fn negotiate_traced(
     goal: Literal,
     telemetry: &Telemetry,
 ) -> NegotiationOutcome {
+    negotiate_with_cache(
+        peers, net, cfg, nid, requester, responder, goal, None, telemetry,
+    )
+}
+
+/// [`negotiate_traced`] backed by a shared cross-negotiation
+/// [`RemoteAnswerCache`]: delegated queries whose (public, verified)
+/// answers were cached by an earlier negotiation are answered locally
+/// instead of crossing the network. See `crate::answer_cache` for the
+/// freshness and soundness rules.
+#[allow(clippy::too_many_arguments)]
+pub fn negotiate_cached(
+    peers: &mut PeerMap,
+    net: &mut SimNetwork,
+    cfg: SessionConfig,
+    nid: NegotiationId,
+    requester: PeerId,
+    responder: PeerId,
+    goal: Literal,
+    cache: &mut RemoteAnswerCache,
+    telemetry: &Telemetry,
+) -> NegotiationOutcome {
+    negotiate_with_cache(
+        peers,
+        net,
+        cfg,
+        nid,
+        requester,
+        responder,
+        goal,
+        Some(cache),
+        telemetry,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn negotiate_with_cache(
+    peers: &mut PeerMap,
+    net: &mut SimNetwork,
+    cfg: SessionConfig,
+    nid: NegotiationId,
+    requester: PeerId,
+    responder: PeerId,
+    goal: Literal,
+    answer_cache: Option<&mut RemoteAnswerCache>,
+    telemetry: &Telemetry,
+) -> NegotiationOutcome {
     let msgs0 = net.stats().messages_sent;
     let bytes0 = net.stats().bytes_sent;
     let queries0 = net.stats().queries;
@@ -171,6 +225,8 @@ pub fn negotiate_traced(
         rename_seq: 0,
         received_rules: HashMap::new(),
         received_answers: HashMap::new(),
+        session_answers: HashMap::new(),
+        answer_cache,
         telemetry: telemetry.clone(),
         span,
     };
@@ -275,6 +331,11 @@ pub(crate) struct Session<'a> {
     received_rules: HashMap<PeerId, Vec<(peertrust_core::Rule, PeerId)>>,
     /// Answers each peer received during this session (answer, sender).
     received_answers: HashMap<PeerId, Vec<(Literal, PeerId)>>,
+    /// Per-session remote-answer memo: accepted answers keyed by
+    /// (requester, responder, canonical goal). See `crate::answer_cache`.
+    session_answers: HashMap<CacheKey, Vec<Literal>>,
+    /// Optional shared cross-negotiation cache (public answers only).
+    answer_cache: Option<&'a mut RemoteAnswerCache>,
     telemetry: Telemetry,
     /// The enclosing `negotiation` span (NONE when telemetry is off).
     span: SpanId,
@@ -377,6 +438,33 @@ impl<'a> Session<'a> {
         }
         if !self.peers.contains(to) {
             return Vec::new();
+        }
+
+        // Remote-answer caches: a repeat of an already answered query is
+        // served without a network round-trip (and without re-pushing
+        // credentials — the requester holds them from the first exchange).
+        let cache_key: CacheKey = (from, to, key.1.clone());
+        if self.cfg.cache_remote_answers {
+            if let Some(hit) = self.session_answers.get(&cache_key) {
+                if self.telemetry.enabled() {
+                    self.telemetry.incr("negotiation.cache.session_hits", 1);
+                }
+                return hit.clone();
+            }
+        }
+        if let Some(cache) = self.answer_cache.as_deref_mut() {
+            let kb_len = self.peers.get(to).map(|p| p.kb.len()).unwrap_or(0);
+            if let Some(hit) = cache.lookup(from, to, &cache_key.2, self.net.now(), kb_len) {
+                if self.telemetry.enabled() {
+                    self.telemetry.incr("negotiation.cache.cross_hits", 1);
+                }
+                return hit;
+            }
+        }
+        if self.telemetry.enabled()
+            && (self.cfg.cache_remote_answers || self.answer_cache.is_some())
+        {
+            self.telemetry.incr("negotiation.cache.misses", 1);
         }
 
         // Ship the query.
@@ -529,6 +617,7 @@ impl<'a> Session<'a> {
         let _ = self.net.poll(from);
 
         let mut accepted_answers = Vec::new();
+        let all_public = answers.iter().all(|(_, ctx, _)| ctx.is_public());
         for (answer, ctx, ev) in answers {
             self.received_answers
                 .entry(from)
@@ -554,6 +643,7 @@ impl<'a> Session<'a> {
             .map(|p| p.config.verify_answers)
             .unwrap_or(false);
         let self_certified = goal.authority.is_empty() || goal.eval_peer() == Some(to);
+        let mut any_dropped = false;
         if verify && !self_certified {
             let requester_peer = self.peers.get(from).expect("requester exists");
             let signed_kb = requester_peer.signed_only_kb();
@@ -567,6 +657,7 @@ impl<'a> Session<'a> {
                 }
                 ok
             });
+            any_dropped = !dropped.is_empty();
             for a in dropped {
                 self.record_refusal(Refusal {
                     peer: from,
@@ -574,6 +665,26 @@ impl<'a> Session<'a> {
                     goal: a,
                     reason: RefusalReason::VerificationFailed,
                 });
+            }
+        }
+
+        if !accepted_answers.is_empty() {
+            if self.cfg.cache_remote_answers {
+                self.session_answers
+                    .insert(cache_key.clone(), accepted_answers.clone());
+            }
+            // Cross-negotiation entries must be replayable outside this
+            // exchange: every answer publicly released and none dropped by
+            // verification. Context-guarded answers never cross sessions.
+            if all_public && !any_dropped {
+                if let Some(cache) = self.answer_cache.as_deref_mut() {
+                    let kb_len = self.peers.get(to).map(|p| p.kb.len()).unwrap_or(0);
+                    let now = self.net.now();
+                    cache.insert(from, to, cache_key.2, accepted_answers.clone(), now, kb_len);
+                    if self.telemetry.enabled() {
+                        self.telemetry.incr("negotiation.cache.inserts", 1);
+                    }
+                }
             }
         }
         accepted_answers

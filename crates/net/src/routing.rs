@@ -1,7 +1,7 @@
 //! Super-peer query routing (the Edutella substrate of paper §1).
 //!
 //! Edutella organizes peers under *super-peers* that hold routing indices
-//! ("super-peer-based routing and clustering strategies", paper ref [16]):
+//! ("super-peer-based routing and clustering strategies", paper ref \[16\]):
 //! a peer registers which predicates (metadata attributes, services,
 //! credential types) it can answer, and queries are routed by the
 //! super-peer backbone instead of being flooded.

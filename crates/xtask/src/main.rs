@@ -1,0 +1,111 @@
+//! Workspace automation (the cargo-xtask pattern: a plain binary crate,
+//! no build dependencies).
+//!
+//! `cargo xtask verify` runs the exact step sequence of
+//! `.github/workflows/ci.yml` — format, clippy, release build, tests,
+//! docs, the experiments binary, and the `e13_caching` bench smoke — so
+//! the local verification recipe and CI cannot drift: editing one means
+//! editing [`STEPS`], which is what both consume.
+
+use std::process::Command;
+
+/// One CI step: display name, cargo arguments, extra environment.
+struct Step {
+    name: &'static str,
+    cargo_args: &'static [&'static str],
+    env: &'static [(&'static str, &'static str)],
+}
+
+const fn step(
+    name: &'static str,
+    cargo_args: &'static [&'static str],
+    env: &'static [(&'static str, &'static str)],
+) -> Step {
+    Step {
+        name,
+        cargo_args,
+        env,
+    }
+}
+
+/// The CI pipeline, in `.github/workflows/ci.yml` order.
+const STEPS: &[Step] = &[
+    step("format", &["fmt", "--check"], &[]),
+    step(
+        "clippy",
+        &[
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ],
+        &[],
+    ),
+    step("build (release)", &["build", "--release"], &[]),
+    step("test", &["test", "-q"], &[]),
+    step(
+        "docs",
+        &["doc", "--workspace", "--no-deps"],
+        &[("RUSTDOCFLAGS", "-D warnings")],
+    ),
+    step(
+        "experiments (writes metrics.json + timeline.jsonl)",
+        &[
+            "run",
+            "--release",
+            "-p",
+            "peertrust-bench",
+            "--bin",
+            "experiments",
+        ],
+        &[],
+    ),
+    step(
+        "bench smoke (e13_caching)",
+        &[
+            "bench",
+            "-p",
+            "peertrust-bench",
+            "--bench",
+            "e13_caching",
+            "--",
+            "--measurement-time",
+            "1",
+        ],
+        &[],
+    ),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("verify") => verify(),
+        _ => {
+            eprintln!("usage: cargo xtask verify");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn verify() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    for s in STEPS {
+        println!("== xtask verify: {} ==", s.name);
+        let mut cmd = Command::new(&cargo);
+        cmd.args(s.cargo_args);
+        for (k, v) in s.env {
+            cmd.env(k, v);
+        }
+        let status = cmd.status().unwrap_or_else(|e| {
+            eprintln!("xtask verify: failed to spawn cargo for '{}': {e}", s.name);
+            std::process::exit(1);
+        });
+        if !status.success() {
+            eprintln!("xtask verify: step '{}' failed", s.name);
+            std::process::exit(status.code().unwrap_or(1));
+        }
+    }
+    println!("xtask verify: all steps passed");
+}
