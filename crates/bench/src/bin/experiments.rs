@@ -125,6 +125,26 @@ fn telemetry_export() {
         cache_stats.hits, cache_stats.misses, cache_stats.inserts
     );
 
+    // E14: one batch over the throughput grid through the scheduler so the
+    // negotiation.throughput.* series (sessions, sessions_per_sec, worker
+    // busy/utilization, shared-cache deltas) land in the export.
+    let grid = peertrust_scenarios::throughput_grid(4, 2, 2);
+    let batch_cfg = peertrust_negotiation::BatchConfig {
+        workers: 2,
+        shared_cache: Some(peertrust_negotiation::SharedRemoteAnswerCache::new()),
+        ..peertrust_negotiation::BatchConfig::default()
+    };
+    let report =
+        peertrust_negotiation::negotiate_batch(&grid.peers, &grid.jobs, &batch_cfg, &telemetry);
+    assert_eq!(report.stats.successes, grid.jobs.len(), "batch export");
+    println!(
+        "  batch throughput: {} sessions, {} workers, {:.0} negotiations/sec, {:.0}% utilization",
+        report.stats.jobs,
+        report.stats.workers,
+        report.stats.negotiations_per_sec,
+        report.stats.utilization_pct
+    );
+
     let metrics = telemetry.metrics().expect("telemetry enabled").to_json();
     std::fs::write("metrics.json", &metrics).expect("write metrics.json");
 

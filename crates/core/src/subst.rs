@@ -57,7 +57,14 @@ impl Subst {
 
     /// Fully apply the substitution, producing a term with every bound
     /// variable replaced (recursively) by its binding.
+    ///
+    /// Fast path: the empty substitution cannot change anything, so the
+    /// term is cloned without walking it (this runs under every
+    /// resolution step, where fresh-goal substitutions are often empty).
     pub fn apply(&self, t: &Term) -> Term {
+        if self.map.is_empty() {
+            return t.clone();
+        }
         let t = self.walk(t);
         match t {
             Term::Var(_) | Term::Atom(_) | Term::Str(_) | Term::Int(_) => t.clone(),
@@ -68,7 +75,14 @@ impl Subst {
     }
 
     /// Apply to every argument and authority of a literal.
+    ///
+    /// Fast paths: an empty substitution or a ground literal (no
+    /// variables anywhere, the common case for facts and credential
+    /// instances) is an early clone with no per-argument recursion.
     pub fn apply_literal(&self, l: &Literal) -> Literal {
+        if self.map.is_empty() || l.is_ground() {
+            return l.clone();
+        }
         Literal {
             pred: l.pred,
             args: l.args.iter().map(|t| self.apply(t)).collect(),
@@ -175,6 +189,29 @@ mod tests {
         let s = Subst::new();
         let p = s.project(&[v("X")]);
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn empty_subst_applies_as_identity() {
+        let s = Subst::new();
+        let t = Term::compound("f", vec![Term::var("X"), Term::int(1)]);
+        assert_eq!(s.apply(&t), t);
+        let l = Literal::new("p", vec![Term::var("X")]).at(Term::var("A"));
+        assert_eq!(s.apply_literal(&l), l);
+    }
+
+    #[test]
+    fn ground_literal_applies_as_identity_even_with_bindings() {
+        let mut s = Subst::new();
+        s.bind(v("X"), Term::int(1));
+        let l = Literal::new("cred", vec![Term::str("alice")]).at(Term::str("CA"));
+        assert_eq!(s.apply_literal(&l), l);
+        // A non-ground literal with the same shape still gets rewritten.
+        let open = Literal::new("cred", vec![Term::var("X")]).at(Term::str("CA"));
+        assert_eq!(
+            s.apply_literal(&open),
+            Literal::new("cred", vec![Term::int(1)]).at(Term::str("CA"))
+        );
     }
 
     #[test]

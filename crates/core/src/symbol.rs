@@ -10,10 +10,17 @@
 //! a policy workload is small (thousands of entries) and giving out
 //! `&'static str` keeps every downstream type `Copy`-friendly and
 //! lifetime-free.
+//!
+//! The table is sharded 16 ways by an FxHash of the string, with one
+//! read-write lock per shard, so concurrent solver threads interning
+//! distinct names rarely contend and a writer only stalls readers of its
+//! own shard. A symbol's shard is recoverable from its id (the low 4
+//! bits), so [`Sym::as_str`] locks exactly one shard too.
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::OnceLock;
 
 /// An interned string. Cheap to copy, compare and hash.
@@ -31,49 +38,89 @@ use std::sync::OnceLock;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Sym(u32);
 
-struct Interner {
-    map: HashMap<&'static str, u32>,
+/// FxHash (the rustc-internal multiply-rotate hash): far cheaper than
+/// SipHash for the short identifier strings the interner sees, and we
+/// need no DoS resistance — symbol names come from policies, not
+/// attacker-controlled network input.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x517c_c1b7_2722_0a95);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// Shard count; must be a power of two (ids store the shard in the low
+/// `SHARD_BITS` bits).
+const SHARD_BITS: u32 = 4;
+const SHARDS: usize = 1 << SHARD_BITS;
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<&'static str, u32, FxBuild>,
     strings: Vec<&'static str>,
 }
 
-fn interner() -> &'static RwLock<Interner> {
-    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        RwLock::new(Interner {
-            map: HashMap::new(),
-            strings: Vec::new(),
-        })
-    })
+fn shards() -> &'static [RwLock<Shard>; SHARDS] {
+    static SHARDS_TABLE: OnceLock<[RwLock<Shard>; SHARDS]> = OnceLock::new();
+    SHARDS_TABLE.get_or_init(|| std::array::from_fn(|_| RwLock::new(Shard::default())))
+}
+
+fn shard_of(s: &str) -> usize {
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    // The map inside the shard uses the same hash; take the *high* bits
+    // for shard selection so shard-mates don't collide within the map.
+    (h.finish() >> (64 - SHARD_BITS)) as usize
 }
 
 impl Sym {
-    /// Intern `s`, returning its symbol. Idempotent.
+    /// Intern `s`, returning its symbol. Idempotent: all threads racing
+    /// on the same string get the same id.
     pub fn new(s: &str) -> Sym {
-        // Fast path: already interned.
+        let shard_idx = shard_of(s);
+        let shard = &shards()[shard_idx];
+        // Fast path: already interned (read lock on one shard only).
         {
-            let int = interner().read();
-            if let Some(&id) = int.map.get(s) {
+            let sh = shard.read();
+            if let Some(&id) = sh.map.get(s) {
                 return Sym(id);
             }
         }
-        let mut int = interner().write();
+        let mut sh = shard.write();
         // Re-check under the write lock (another thread may have interned it).
-        if let Some(&id) = int.map.get(s) {
+        if let Some(&id) = sh.map.get(s) {
             return Sym(id);
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = u32::try_from(int.strings.len()).expect("interner overflow");
-        int.strings.push(leaked);
-        int.map.insert(leaked, id);
+        let local = u32::try_from(sh.strings.len())
+            .ok()
+            .filter(|l| l.leading_zeros() >= SHARD_BITS)
+            .expect("interner overflow");
+        let id = (local << SHARD_BITS) | shard_idx as u32;
+        sh.strings.push(leaked);
+        sh.map.insert(leaked, id);
         Sym(id)
     }
 
-    /// The interned text.
+    /// The interned text (read lock on the symbol's own shard).
     pub fn as_str(self) -> &'static str {
-        interner().read().strings[self.0 as usize]
+        let shard = &shards()[(self.0 & (SHARDS as u32 - 1)) as usize];
+        shard.read().strings[(self.0 >> SHARD_BITS) as usize]
     }
 
-    /// Raw index, useful as a dense map key.
+    /// Raw index, useful as a dense map key or a deterministic seed.
+    /// Encodes the shard in the low bits; unique per symbol but not
+    /// contiguous.
     pub fn index(self) -> u32 {
         self.0
     }
@@ -214,6 +261,42 @@ mod tests {
             .collect();
         let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn concurrent_interning_of_many_strings_round_trips() {
+        // 8 threads × 64 strings, every thread interning the same set in
+        // a different order: ids must agree across threads and every id
+        // must read back its text (exercises all shards and the
+        // write-lock re-check under real contention).
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..64u32)
+                        .map(|i| {
+                            let i = (i + t * 7) % 64;
+                            let name = format!("stress-sym-{i}");
+                            let sym = Sym::new(&name);
+                            assert_eq!(sym.as_str(), name);
+                            (i, sym.index())
+                        })
+                        .collect::<std::collections::BTreeMap<u32, u32>>()
+                })
+            })
+            .collect();
+        let maps: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for m in &maps[1..] {
+            assert_eq!(m, &maps[0], "intern ids diverged between threads");
+        }
+    }
+
+    #[test]
+    fn ids_recover_their_shard() {
+        let s = Sym::new("shard-recovery-probe");
+        assert_eq!(
+            (s.index() & (SHARDS as u32 - 1)) as usize,
+            shard_of("shard-recovery-probe")
+        );
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub use explain::{explain, explain_with_rules, proof_summary};
 pub use forward::{saturate, ForwardConfig, Saturation};
 pub use sld::{
     canonicalize, is_variant, EngineConfig, NoRemote, Proof, ProofStep, RemoteFallback, RemoteHook,
-    SharedTable, Solution, Solver, Stats,
+    SharedTable, Solution, Solver, Stats, TableHandle,
 };
-pub use table::{AnswerTable, Disposition, TableStats, TabledAnswer};
+pub use table::{AnswerTable, ConcurrentTable, Disposition, Probe, TableStats, TabledAnswer};

@@ -4,9 +4,10 @@
 //! on canonicalized instance sets, not multisets.
 
 use peertrust_core::prelude::*;
-use peertrust_engine::{canonicalize, EngineConfig, Solver};
+use peertrust_engine::{canonicalize, ConcurrentTable, EngineConfig, Solver};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A random safe Datalog program over a small universe, mirroring the
 /// generator in `prop_agreement.rs`: EDB facts `e{i}(c, c)` plus rules
@@ -68,6 +69,28 @@ fn answer_set(kb: &KnowledgeBase, goal: &Literal, tabling: bool) -> (BTreeSet<St
     (set, solver.stats().step_budget_exhausted)
 }
 
+/// All answers for `goal` through a shared concurrent table.
+fn concurrent_answer_set(
+    kb: &KnowledgeBase,
+    goal: &Literal,
+    table: &Arc<ConcurrentTable>,
+) -> (BTreeSet<String>, bool) {
+    let mut solver = Solver::new(kb, PeerId::new("self"))
+        .with_config(EngineConfig {
+            max_solutions: 512,
+            max_steps: 500_000,
+            tabling: true,
+            ..EngineConfig::default()
+        })
+        .with_concurrent_table(Arc::clone(table));
+    let sols = solver.solve(std::slice::from_ref(goal));
+    let set = sols
+        .iter()
+        .map(|s| canonicalize(&s.subst.apply_literal(goal)).to_string())
+        .collect();
+    (set, solver.stats().step_budget_exhausted)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -87,6 +110,26 @@ proptest! {
                 &plain, &tabled,
                 "answer sets diverge for {}: plain {:?} vs tabled {:?}",
                 pred, plain, tabled
+            );
+        }
+    }
+
+    /// The concurrent table preserves answer sets too — including when
+    /// one warm table is reused across every query of the program (the
+    /// sharing pattern of the batch scheduler's solver threads).
+    #[test]
+    fn concurrent_tabling_preserves_answer_sets(prog in arb_program()) {
+        let kb: KnowledgeBase = prog.rules.iter().cloned().collect();
+        let table = Arc::new(ConcurrentTable::new());
+        for pred in ["p0", "p1", "e0", "e1", "e2"] {
+            let goal = Literal::new(pred, vec![Term::var("A"), Term::var("B")]);
+            let (plain, plain_exhausted) = answer_set(&kb, &goal, false);
+            let (shared, shared_exhausted) = concurrent_answer_set(&kb, &goal, &table);
+            prop_assume!(!plain_exhausted && !shared_exhausted);
+            prop_assert_eq!(
+                &plain, &shared,
+                "answer sets diverge for {}: plain {:?} vs concurrent-tabled {:?}",
+                pred, plain, shared
             );
         }
     }

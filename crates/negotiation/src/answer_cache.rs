@@ -23,8 +23,10 @@
 //! monotonically, so a query that failed once may succeed later — caching
 //! failures would freeze a negotiation's progress.
 
+use parking_lot::Mutex;
 use peertrust_core::{Literal, PeerId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Cache key: who asked, who answered, and the canonical (variant-normal)
 /// form of the query. The requester is part of the key because release
@@ -168,6 +170,84 @@ impl Default for RemoteAnswerCache {
     }
 }
 
+/// A [`RemoteAnswerCache`] shareable between negotiation sessions running
+/// on different worker threads (the batch scheduler's warm-cache mode).
+///
+/// One mutex around the whole cache, not sharding: a session touches the
+/// cross-negotiation cache only at remote-query boundaries (a handful of
+/// times per negotiation, between network round-trips that dwarf the
+/// critical section), so contention here is negligible and the simple
+/// lock keeps hit/miss accounting exactly as sequential runs report it.
+#[derive(Clone, Default)]
+pub struct SharedRemoteAnswerCache {
+    inner: Arc<Mutex<RemoteAnswerCache>>,
+}
+
+impl SharedRemoteAnswerCache {
+    /// An empty cache with no TTL.
+    pub fn new() -> SharedRemoteAnswerCache {
+        SharedRemoteAnswerCache::default()
+    }
+
+    /// Wrap an existing (possibly pre-warmed or TTL-configured) cache.
+    pub fn from_cache(cache: RemoteAnswerCache) -> SharedRemoteAnswerCache {
+        SharedRemoteAnswerCache {
+            inner: Arc::new(Mutex::new(cache)),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats()
+    }
+
+    /// Drop every entry (keeps the stats).
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// See [`RemoteAnswerCache::lookup`].
+    pub fn lookup(
+        &self,
+        requester: PeerId,
+        responder: PeerId,
+        canonical: &Literal,
+        now: u64,
+        responder_kb_len: usize,
+    ) -> Option<Vec<Literal>> {
+        self.inner
+            .lock()
+            .lookup(requester, responder, canonical, now, responder_kb_len)
+    }
+
+    /// See [`RemoteAnswerCache::insert`].
+    pub fn insert(
+        &self,
+        requester: PeerId,
+        responder: PeerId,
+        canonical: Literal,
+        answers: Vec<Literal>,
+        now: u64,
+        responder_kb_len: usize,
+    ) {
+        self.inner.lock().insert(
+            requester,
+            responder,
+            canonical,
+            answers,
+            now,
+            responder_kb_len,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +299,38 @@ mod tests {
         assert!(c.lookup(a, b, &lit(0), 110, 5).is_some());
         assert!(c.lookup(a, b, &lit(0), 111, 5).is_none());
         assert_eq!(c.stats().expired, 1);
+    }
+
+    #[test]
+    fn shared_cache_is_one_cache_across_clones() {
+        let (a, b) = peers();
+        let shared = SharedRemoteAnswerCache::new();
+        let other = shared.clone();
+        shared.insert(a, b, lit(0), vec![lit(1)], 0, 5);
+        assert_eq!(other.lookup(a, b, &lit(0), 0, 5).unwrap(), vec![lit(1)]);
+        assert_eq!(shared.stats().hits, 1);
+        assert_eq!(other.len(), 1);
+    }
+
+    #[test]
+    fn shared_cache_concurrent_inserts_and_lookups() {
+        let shared = SharedRemoteAnswerCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..8i64 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let (a, b) = peers();
+                    for i in 0..16 {
+                        let g = lit(t * 100 + i);
+                        shared.insert(a, b, g.clone(), vec![lit(1)], 0, 5);
+                        assert!(shared.lookup(a, b, &g, 0, 5).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.len(), 8 * 16);
+        assert_eq!(shared.stats().inserts, 8 * 16);
+        assert_eq!(shared.stats().hits, 8 * 16);
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //! * [`ticket`] — §3.1's nontransferable, expiring access tokens;
 //! * [`audit`] — §3.1's audit trail, hash-chained and tamper-evident;
 //! * [`threaded_host`] — the eager protocol over real threads and the
-//!   crossbeam router, one peer per thread.
+//!   crossbeam router, one peer per thread;
+//! * [`scheduler`] — the multi-core batch driver: N independent
+//!   negotiations over a worker pool with per-job peer-map snapshots, an
+//!   optional shared answer cache, and deterministic outcome ordering.
 
 pub mod analysis;
 pub mod answer_cache;
@@ -35,6 +38,7 @@ pub mod eager;
 pub mod failure;
 pub mod outcome;
 pub mod peer;
+pub mod scheduler;
 pub mod session;
 pub mod strategy;
 pub mod threaded_host;
@@ -42,7 +46,7 @@ pub mod ticket;
 pub mod unipro;
 
 pub use analysis::{analyze, lint_report, AnalysisReport, Finding};
-pub use answer_cache::{CacheKey, CacheStats, RemoteAnswerCache};
+pub use answer_cache::{CacheKey, CacheStats, RemoteAnswerCache, SharedRemoteAnswerCache};
 pub use audit::{AuditLog, AuditRecord, ChainViolation};
 pub use eager::{negotiate_eager, EagerConfig};
 pub use failure::{analyze_failure, find_rescue_set, AnalyzedRefusal, FailureAnalysis};
@@ -51,9 +55,14 @@ pub use outcome::{
     RefusalReason, SafetyViolation,
 };
 pub use peer::{issuer_extended, sender_extended, NegotiationPeer, PeerConfig, PeerError};
-pub use session::{negotiate, negotiate_cached, negotiate_traced, PeerMap, SessionConfig};
+pub use scheduler::{negotiate_batch, BatchConfig, BatchJob, BatchReport, BatchStats};
+pub use session::{
+    negotiate, negotiate_cached, negotiate_shared_cached, negotiate_traced, PeerMap, SessionConfig,
+};
 pub use strategy::Strategy;
-pub use threaded_host::{negotiate_threaded, ThreadedOutcome};
+pub use threaded_host::{
+    negotiate_threaded, negotiate_threaded_with, ThreadedConfig, ThreadedFailure, ThreadedOutcome,
+};
 pub use ticket::{issue_ticket, redeem_ticket, Ticket, TicketError, TOKEN_PREDICATE};
 pub use unipro::{
     disclosable_definition, request_policy, unlock_policy_chain, PolicyDisclosureOutcome,

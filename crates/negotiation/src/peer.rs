@@ -106,6 +106,11 @@ pub fn sender_extended(rule: &Rule, from: PeerId) -> Option<Rule> {
 }
 
 /// One party in trust negotiations.
+///
+/// `Clone` snapshots the peer (KB rules are `Arc`-shared, the registry
+/// is `Arc`-backed) — the batch scheduler clones the peer map per job so
+/// each negotiation mutates its own copy.
+#[derive(Clone)]
 pub struct NegotiationPeer {
     pub id: PeerId,
     pub kb: KnowledgeBase,

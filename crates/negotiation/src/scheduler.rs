@@ -1,0 +1,451 @@
+//! Multi-core batch negotiation scheduler.
+//!
+//! [`negotiate_batch`] runs a workload of independent negotiations — one
+//! `(requester, responder, goal)` triple per job — across a fixed pool
+//! of worker threads, and returns their outcomes **in submission order**
+//! regardless of which worker finished when.
+//!
+//! Determinism (DESIGN.md §4d): each job gets
+//!
+//! * its own *pristine* snapshot of the peer map — [`PeerMap`] cloning is
+//!   cheap because KB rules and registries are `Arc`-shared — so jobs
+//!   never observe each other's session mutations;
+//! * its own [`SimNetwork`] seeded from `(net_seed, job index)` via
+//!   [`SimNetwork::for_job`], so the latency/ordering stream depends
+//!   only on the job, never on the executing thread;
+//! * a [`NegotiationId`] equal to `job index + 1`.
+//!
+//! With no shared cache, a batch is therefore bit-identical across runs
+//! *and worker counts*. With a shared [`SharedRemoteAnswerCache`], the
+//! negotiated results (success, granted literals, disclosure contents)
+//! are still scheduling-independent — the cache only ever returns what
+//! recomputation would produce — but transport *counters* (messages,
+//! bytes) can differ with cache warmth, which varies with interleaving.
+//!
+//! Telemetry: each worker records into a private registry (no cross-core
+//! lock traffic on the hot path); the registries merge into the caller's
+//! at join, and batch-level `negotiation.throughput.*` series are
+//! recorded on top.
+
+use crate::answer_cache::{CacheStats, SharedRemoteAnswerCache};
+use crate::outcome::NegotiationOutcome;
+use crate::session::{negotiate_shared_cached, negotiate_traced, PeerMap, SessionConfig};
+use peertrust_core::{Literal, PeerId};
+use peertrust_net::message::NegotiationId;
+use peertrust_net::sim::SimNetwork;
+use peertrust_telemetry::{MetricsSnapshot, NoopRecorder, Telemetry};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One unit of work: `requester` asks `responder` to establish `goal`.
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    pub requester: PeerId,
+    pub responder: PeerId,
+    pub goal: Literal,
+}
+
+impl BatchJob {
+    pub fn new(requester: PeerId, responder: PeerId, goal: Literal) -> BatchJob {
+        BatchJob {
+            requester,
+            responder,
+            goal,
+        }
+    }
+}
+
+/// Batch-level configuration.
+#[derive(Clone)]
+pub struct BatchConfig {
+    /// Worker threads. `0` is treated as `1`.
+    pub workers: usize,
+    /// Per-session configuration, cloned into every job.
+    pub session: SessionConfig,
+    /// Base seed for the per-job simulated networks.
+    pub net_seed: u64,
+    /// Cross-negotiation answer cache shared by every worker. `None`
+    /// runs each job cold (fully deterministic transport counters).
+    pub shared_cache: Option<SharedRemoteAnswerCache>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            workers: 1,
+            session: SessionConfig::default(),
+            net_seed: 7,
+            shared_cache: None,
+        }
+    }
+}
+
+/// Aggregate measurements of one batch run.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Jobs whose negotiation succeeded.
+    pub successes: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Negotiations per wall-clock second.
+    pub negotiations_per_sec: f64,
+    /// Per-worker busy time (time spent inside jobs, not idle/queueing).
+    pub worker_busy: Vec<Duration>,
+    /// Mean worker utilization over the batch wall time, in percent.
+    pub utilization_pct: f64,
+    /// Shared-cache counter deltas for this batch (zeroes when no cache).
+    pub cache: CacheStats,
+}
+
+/// Outcomes (in submission order) plus batch statistics.
+pub struct BatchReport {
+    pub outcomes: Vec<NegotiationOutcome>,
+    pub stats: BatchStats,
+}
+
+/// Run every job in `jobs` across `cfg.workers` threads. See the module
+/// docs for the isolation and determinism model.
+pub fn negotiate_batch(
+    peers: &PeerMap,
+    jobs: &[BatchJob],
+    cfg: &BatchConfig,
+    telemetry: &Telemetry,
+) -> BatchReport {
+    let workers = cfg.workers.max(1).min(jobs.len().max(1));
+    let cache_before = cfg
+        .shared_cache
+        .as_ref()
+        .map(|c| c.stats())
+        .unwrap_or_default();
+
+    let next_job = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<NegotiationOutcome>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let started = Instant::now();
+
+    let per_worker: Vec<(Duration, MetricsSnapshot)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next_job = &next_job;
+                let slots = &slots;
+                scope.spawn(move || {
+                    // A private registry per worker: counters accumulate
+                    // lock-free with respect to other workers and merge
+                    // into the caller's registry at join.
+                    let worker_tele = if telemetry.enabled() {
+                        Telemetry::with_recorder(Box::new(NoopRecorder))
+                    } else {
+                        Telemetry::disabled()
+                    };
+                    let mut busy = Duration::ZERO;
+                    loop {
+                        let idx = next_job.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(idx) else {
+                            break;
+                        };
+                        let job_started = Instant::now();
+                        let outcome = run_job(peers, job, idx, cfg, &worker_tele);
+                        busy += job_started.elapsed();
+                        slots.lock().expect("slot lock")[idx] = Some(outcome);
+                    }
+                    let snapshot = worker_tele
+                        .metrics()
+                        .map(|m| m.snapshot())
+                        .unwrap_or_default();
+                    (busy, snapshot)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    let wall = started.elapsed();
+    let outcomes: Vec<NegotiationOutcome> = slots
+        .into_inner()
+        .expect("slot lock")
+        .into_iter()
+        .map(|o| o.expect("every job filled its slot"))
+        .collect();
+
+    // Merge per-worker metric registries into the caller's.
+    if let Some(metrics) = telemetry.metrics() {
+        for (_, snapshot) in &per_worker {
+            metrics.merge(snapshot);
+        }
+    }
+
+    let successes = outcomes.iter().filter(|o| o.success).count();
+    let worker_busy: Vec<Duration> = per_worker.iter().map(|(busy, _)| *busy).collect();
+    let busy_total: Duration = worker_busy.iter().sum();
+    let wall_secs = wall.as_secs_f64();
+    let negotiations_per_sec = if wall_secs > 0.0 {
+        jobs.len() as f64 / wall_secs
+    } else {
+        0.0
+    };
+    let utilization_pct = if wall_secs > 0.0 && workers > 0 {
+        100.0 * busy_total.as_secs_f64() / (wall_secs * workers as f64)
+    } else {
+        0.0
+    };
+    let cache_after = cfg
+        .shared_cache
+        .as_ref()
+        .map(|c| c.stats())
+        .unwrap_or_default();
+    let cache = CacheStats {
+        hits: cache_after.hits - cache_before.hits,
+        misses: cache_after.misses - cache_before.misses,
+        inserts: cache_after.inserts - cache_before.inserts,
+        invalidated: cache_after.invalidated - cache_before.invalidated,
+        expired: cache_after.expired - cache_before.expired,
+    };
+
+    let stats = BatchStats {
+        jobs: jobs.len(),
+        successes,
+        workers,
+        wall,
+        negotiations_per_sec,
+        worker_busy,
+        utilization_pct,
+        cache,
+    };
+    flush_throughput_metrics(telemetry, &stats);
+    BatchReport { outcomes, stats }
+}
+
+/// Execute one job on an isolated peer-map snapshot and per-job network.
+fn run_job(
+    peers: &PeerMap,
+    job: &BatchJob,
+    idx: usize,
+    cfg: &BatchConfig,
+    telemetry: &Telemetry,
+) -> NegotiationOutcome {
+    let mut job_peers = peers.clone();
+    let mut net = SimNetwork::for_job(cfg.net_seed, idx);
+    let nid = NegotiationId(idx as u64 + 1);
+    match &cfg.shared_cache {
+        Some(cache) => negotiate_shared_cached(
+            &mut job_peers,
+            &mut net,
+            cfg.session.clone(),
+            nid,
+            job.requester,
+            job.responder,
+            job.goal.clone(),
+            cache,
+            telemetry,
+        ),
+        None => negotiate_traced(
+            &mut job_peers,
+            &mut net,
+            cfg.session.clone(),
+            nid,
+            job.requester,
+            job.responder,
+            job.goal.clone(),
+            telemetry,
+        ),
+    }
+}
+
+/// Record the batch-level `negotiation.throughput.*` series.
+fn flush_throughput_metrics(telemetry: &Telemetry, stats: &BatchStats) {
+    if !telemetry.enabled() {
+        return;
+    }
+    telemetry.incr("negotiation.throughput.sessions", stats.jobs as u64);
+    telemetry.incr("negotiation.throughput.succeeded", stats.successes as u64);
+    telemetry.observe("negotiation.throughput.workers", stats.workers as u64);
+    telemetry.observe(
+        "negotiation.throughput.sessions_per_sec",
+        stats.negotiations_per_sec as u64,
+    );
+    telemetry.observe(
+        "negotiation.throughput.wall_ms",
+        stats.wall.as_millis() as u64,
+    );
+    for busy in &stats.worker_busy {
+        telemetry.observe(
+            "negotiation.throughput.worker_busy_ms",
+            busy.as_millis() as u64,
+        );
+    }
+    telemetry.observe(
+        "negotiation.throughput.worker_utilization_pct",
+        stats.utilization_pct as u64,
+    );
+    telemetry.incr("negotiation.throughput.cache.hits", stats.cache.hits);
+    telemetry.incr("negotiation.throughput.cache.misses", stats.cache.misses);
+    telemetry.incr("negotiation.throughput.cache.inserts", stats.cache.inserts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::NegotiationPeer;
+    use peertrust_crypto::KeyRegistry;
+    use peertrust_parser::parse_literal;
+
+    /// The bilateral scenario from the session tests, repeated as a batch
+    /// workload: E-Learn guards `resource` behind a UIUC credential that
+    /// Alice only releases to BBB members.
+    fn bilateral_batch(repeats: usize) -> (PeerMap, Vec<BatchJob>) {
+        let reg = KeyRegistry::new();
+        for (i, name) in ["UIUC", "BBB"].iter().enumerate() {
+            reg.register_derived(PeerId::new(name), i as u64 + 1);
+        }
+        let mut peers = PeerMap::new();
+        let mut elearn = NegotiationPeer::new("E-Learn", reg.clone());
+        elearn
+            .load_program(
+                r#"
+                resource(X) $ true <- student(X) @ "UIUC" @ X.
+                member("E-Learn") @ "BBB" $ true signedBy ["BBB"].
+                "#,
+            )
+            .unwrap();
+        peers.insert(elearn);
+        let mut alice = NegotiationPeer::new("Alice", reg);
+        alice
+            .load_program(
+                r#"
+                student("Alice") @ "UIUC" signedBy ["UIUC"].
+                student(X) @ Y $ member(Requester) @ "BBB" @ Requester <-_true student(X) @ Y.
+                "#,
+            )
+            .unwrap();
+        peers.insert(alice);
+        let goal = parse_literal(r#"resource("Alice")"#).unwrap();
+        let jobs = (0..repeats)
+            .map(|_| BatchJob::new(PeerId::new("Alice"), PeerId::new("E-Learn"), goal.clone()))
+            .collect();
+        (peers, jobs)
+    }
+
+    fn outcome_key(o: &NegotiationOutcome) -> String {
+        format!(
+            "{}|{}|{}|{}|{:?}",
+            o.success,
+            o.requester,
+            o.responder,
+            o.goal,
+            o.granted.iter().map(|g| g.to_string()).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Full outcome fingerprint, transport counters included.
+    fn full_key(o: &NegotiationOutcome) -> String {
+        serde_json::to_string(o).unwrap()
+    }
+
+    #[test]
+    fn batch_outcomes_are_ordered_and_succeed() {
+        let (peers, jobs) = bilateral_batch(6);
+        let report = negotiate_batch(
+            &peers,
+            &jobs,
+            &BatchConfig::default(),
+            &Telemetry::disabled(),
+        );
+        assert_eq!(report.outcomes.len(), 6);
+        assert_eq!(report.stats.successes, 6);
+        for o in &report.outcomes {
+            assert!(o.success, "bilateral negotiation should succeed");
+        }
+    }
+
+    #[test]
+    fn uncached_batches_are_bit_identical_across_worker_counts() {
+        let (peers, jobs) = bilateral_batch(8);
+        let baseline: Vec<String> = negotiate_batch(
+            &peers,
+            &jobs,
+            &BatchConfig::default(),
+            &Telemetry::disabled(),
+        )
+        .outcomes
+        .iter()
+        .map(full_key)
+        .collect();
+        for workers in [2, 4, 8] {
+            let cfg = BatchConfig {
+                workers,
+                ..BatchConfig::default()
+            };
+            let run: Vec<String> = negotiate_batch(&peers, &jobs, &cfg, &Telemetry::disabled())
+                .outcomes
+                .iter()
+                .map(full_key)
+                .collect();
+            assert_eq!(run, baseline, "divergence at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn shared_cache_preserves_negotiated_results_across_worker_counts() {
+        let (peers, jobs) = bilateral_batch(8);
+        let baseline: Vec<String> = negotiate_batch(
+            &peers,
+            &jobs,
+            &BatchConfig::default(),
+            &Telemetry::disabled(),
+        )
+        .outcomes
+        .iter()
+        .map(outcome_key)
+        .collect();
+        for workers in [1, 2, 4] {
+            let cfg = BatchConfig {
+                workers,
+                shared_cache: Some(SharedRemoteAnswerCache::new()),
+                ..BatchConfig::default()
+            };
+            let report = negotiate_batch(&peers, &jobs, &cfg, &Telemetry::disabled());
+            let run: Vec<String> = report.outcomes.iter().map(outcome_key).collect();
+            assert_eq!(run, baseline, "divergence at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn batch_emits_throughput_metrics() {
+        let (peers, jobs) = bilateral_batch(4);
+        let (tele, _ring) = Telemetry::ring(1024);
+        let cfg = BatchConfig {
+            workers: 2,
+            shared_cache: Some(SharedRemoteAnswerCache::new()),
+            ..BatchConfig::default()
+        };
+        let report = negotiate_batch(&peers, &jobs, &cfg, &tele);
+        assert_eq!(report.stats.jobs, 4);
+        let metrics = tele.metrics().unwrap();
+        assert_eq!(metrics.counter("negotiation.throughput.sessions"), 4);
+        assert_eq!(metrics.counter("negotiation.throughput.succeeded"), 4);
+        assert!(metrics
+            .histogram("negotiation.throughput.wall_ms")
+            .is_some());
+        assert!(metrics
+            .histogram("negotiation.throughput.worker_busy_ms")
+            .is_some());
+        // Per-worker session counters merged into the caller's registry.
+        assert!(metrics.counter("negotiation.queries_issued.Alice") > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (peers, _) = bilateral_batch(1);
+        let report = negotiate_batch(&peers, &[], &BatchConfig::default(), &Telemetry::disabled());
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.stats.jobs, 0);
+    }
+}

@@ -23,7 +23,7 @@
 //! E11: hop-depth budget, per-peer query budgets, and cycle detection on
 //! in-flight query variants.
 
-use crate::answer_cache::{CacheKey, RemoteAnswerCache};
+use crate::answer_cache::{CacheKey, RemoteAnswerCache, SharedRemoteAnswerCache};
 use crate::outcome::{
     DisclosedItem, Disclosure, Evidence, NegotiationOutcome, Refusal, RefusalReason,
 };
@@ -36,7 +36,7 @@ use peertrust_telemetry::{Field, SpanId, Telemetry};
 use std::collections::HashMap;
 
 /// The collection of peers participating in negotiations.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct PeerMap {
     map: HashMap<PeerId, NegotiationPeer>,
 }
@@ -149,7 +149,15 @@ pub fn negotiate_traced(
     telemetry: &Telemetry,
 ) -> NegotiationOutcome {
     negotiate_with_cache(
-        peers, net, cfg, nid, requester, responder, goal, None, telemetry,
+        peers,
+        net,
+        cfg,
+        nid,
+        requester,
+        responder,
+        goal,
+        CacheRef::None,
+        telemetry,
     )
 }
 
@@ -178,9 +186,109 @@ pub fn negotiate_cached(
         requester,
         responder,
         goal,
-        Some(cache),
+        CacheRef::Exclusive(cache),
         telemetry,
     )
+}
+
+/// [`negotiate_cached`] against a thread-safe
+/// [`SharedRemoteAnswerCache`]: the same semantics, but the cache can be
+/// shared with sessions running concurrently on other threads (the batch
+/// scheduler's warm-cache mode).
+#[allow(clippy::too_many_arguments)]
+pub fn negotiate_shared_cached(
+    peers: &mut PeerMap,
+    net: &mut SimNetwork,
+    cfg: SessionConfig,
+    nid: NegotiationId,
+    requester: PeerId,
+    responder: PeerId,
+    goal: Literal,
+    cache: &SharedRemoteAnswerCache,
+    telemetry: &Telemetry,
+) -> NegotiationOutcome {
+    negotiate_with_cache(
+        peers,
+        net,
+        cfg,
+        nid,
+        requester,
+        responder,
+        goal,
+        CacheRef::Shared(cache),
+        telemetry,
+    )
+}
+
+/// How a session reaches the cross-negotiation answer cache: not at all,
+/// through an exclusive borrow (single-threaded `negotiate_cached`), or
+/// through a thread-safe shared handle (`negotiate_shared_cached`). The
+/// enum keeps one `Session` implementation serving both regimes.
+enum CacheRef<'a> {
+    None,
+    Exclusive(&'a mut RemoteAnswerCache),
+    Shared(&'a SharedRemoteAnswerCache),
+}
+
+impl CacheRef<'_> {
+    fn is_attached(&self) -> bool {
+        !matches!(self, CacheRef::None)
+    }
+
+    fn lookup(
+        &mut self,
+        requester: PeerId,
+        responder: PeerId,
+        canonical: &Literal,
+        now: u64,
+        responder_kb_len: usize,
+    ) -> Option<Vec<Literal>> {
+        match self {
+            CacheRef::None => None,
+            CacheRef::Exclusive(c) => {
+                c.lookup(requester, responder, canonical, now, responder_kb_len)
+            }
+            CacheRef::Shared(c) => c.lookup(requester, responder, canonical, now, responder_kb_len),
+        }
+    }
+
+    /// Insert, returning whether a cache was attached (for accounting).
+    #[allow(clippy::too_many_arguments)]
+    fn insert(
+        &mut self,
+        requester: PeerId,
+        responder: PeerId,
+        canonical: Literal,
+        answers: Vec<Literal>,
+        now: u64,
+        responder_kb_len: usize,
+    ) -> bool {
+        match self {
+            CacheRef::None => false,
+            CacheRef::Exclusive(c) => {
+                c.insert(
+                    requester,
+                    responder,
+                    canonical,
+                    answers,
+                    now,
+                    responder_kb_len,
+                );
+                true
+            }
+            CacheRef::Shared(c) => {
+                c.insert(
+                    requester,
+                    responder,
+                    canonical,
+                    answers,
+                    now,
+                    responder_kb_len,
+                );
+                true
+            }
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -192,7 +300,7 @@ fn negotiate_with_cache(
     requester: PeerId,
     responder: PeerId,
     goal: Literal,
-    answer_cache: Option<&mut RemoteAnswerCache>,
+    answer_cache: CacheRef<'_>,
     telemetry: &Telemetry,
 ) -> NegotiationOutcome {
     let msgs0 = net.stats().messages_sent;
@@ -335,7 +443,7 @@ pub(crate) struct Session<'a> {
     /// (requester, responder, canonical goal). See `crate::answer_cache`.
     session_answers: HashMap<CacheKey, Vec<Literal>>,
     /// Optional shared cross-negotiation cache (public answers only).
-    answer_cache: Option<&'a mut RemoteAnswerCache>,
+    answer_cache: CacheRef<'a>,
     telemetry: Telemetry,
     /// The enclosing `negotiation` span (NONE when telemetry is off).
     span: SpanId,
@@ -452,9 +560,13 @@ impl<'a> Session<'a> {
                 return hit.clone();
             }
         }
-        if let Some(cache) = self.answer_cache.as_deref_mut() {
+        if self.answer_cache.is_attached() {
             let kb_len = self.peers.get(to).map(|p| p.kb.len()).unwrap_or(0);
-            if let Some(hit) = cache.lookup(from, to, &cache_key.2, self.net.now(), kb_len) {
+            let now = self.net.now();
+            if let Some(hit) = self
+                .answer_cache
+                .lookup(from, to, &cache_key.2, now, kb_len)
+            {
                 if self.telemetry.enabled() {
                     self.telemetry.incr("negotiation.cache.cross_hits", 1);
                 }
@@ -462,7 +574,7 @@ impl<'a> Session<'a> {
             }
         }
         if self.telemetry.enabled()
-            && (self.cfg.cache_remote_answers || self.answer_cache.is_some())
+            && (self.cfg.cache_remote_answers || self.answer_cache.is_attached())
         {
             self.telemetry.incr("negotiation.cache.misses", 1);
         }
@@ -677,13 +789,18 @@ impl<'a> Session<'a> {
             // exchange: every answer publicly released and none dropped by
             // verification. Context-guarded answers never cross sessions.
             if all_public && !any_dropped {
-                if let Some(cache) = self.answer_cache.as_deref_mut() {
-                    let kb_len = self.peers.get(to).map(|p| p.kb.len()).unwrap_or(0);
-                    let now = self.net.now();
-                    cache.insert(from, to, cache_key.2, accepted_answers.clone(), now, kb_len);
-                    if self.telemetry.enabled() {
-                        self.telemetry.incr("negotiation.cache.inserts", 1);
-                    }
+                let kb_len = self.peers.get(to).map(|p| p.kb.len()).unwrap_or(0);
+                let now = self.net.now();
+                let inserted = self.answer_cache.insert(
+                    from,
+                    to,
+                    cache_key.2,
+                    accepted_answers.clone(),
+                    now,
+                    kb_len,
+                );
+                if inserted && self.telemetry.enabled() {
+                    self.telemetry.incr("negotiation.cache.inserts", 1);
                 }
             }
         }

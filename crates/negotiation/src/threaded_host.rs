@@ -26,6 +26,18 @@ use peertrust_net::{
 };
 use std::time::Duration;
 
+/// Why a threaded negotiation did not grant the resource.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadedFailure {
+    /// The disclosure fixpoint was reached without deriving the goal —
+    /// the protocol's negative answer (`Answers{[]}`).
+    Fixpoint,
+    /// The requester's receive timer expired before any answer arrived
+    /// (peer hung, died, or the derivation outlived
+    /// [`ThreadedConfig::timeout`]).
+    Timeout,
+}
+
 /// Result of a threaded negotiation.
 #[derive(Debug)]
 pub struct ThreadedOutcome {
@@ -35,9 +47,25 @@ pub struct ThreadedOutcome {
     pub messages_routed: u64,
     /// Credentials each side disclosed.
     pub disclosures: Vec<Disclosure>,
+    /// `None` on success; on failure, which way it failed.
+    pub failure: Option<ThreadedFailure>,
 }
 
-const TIMEOUT: Duration = Duration::from_secs(10);
+/// Tuning for the threaded transport.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedConfig {
+    /// How long either loop waits on its inbox before giving up. The
+    /// requester reports expiry as [`ThreadedFailure::Timeout`].
+    pub timeout: Duration,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> ThreadedConfig {
+        ThreadedConfig {
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
 
 /// Run one eager negotiation with each peer on its own thread.
 ///
@@ -47,6 +75,17 @@ pub fn negotiate_threaded(
     requester: NegotiationPeer,
     responder: NegotiationPeer,
     goal: Literal,
+) -> ThreadedOutcome {
+    negotiate_threaded_with(requester, responder, goal, ThreadedConfig::default())
+}
+
+/// [`negotiate_threaded`] with an explicit [`ThreadedConfig`] (notably a
+/// non-default timeout).
+pub fn negotiate_threaded_with(
+    requester: NegotiationPeer,
+    responder: NegotiationPeer,
+    goal: Literal,
+    cfg: ThreadedConfig,
 ) -> ThreadedOutcome {
     let req_id = requester.id;
     let resp_id = responder.id;
@@ -58,16 +97,16 @@ pub fn negotiate_threaded(
     let responder_thread = std::thread::Builder::new()
         .name(format!("peer-{resp_id}"))
         .stack_size(8 << 20)
-        .spawn(move || responder_loop(responder, resp_ep, req_id))
+        .spawn(move || responder_loop(responder, resp_ep, req_id, cfg))
         .expect("spawn responder");
 
     let requester_thread = std::thread::Builder::new()
         .name(format!("peer-{req_id}"))
         .stack_size(8 << 20)
-        .spawn(move || requester_loop(requester, req_ep, resp_id, goal_clone))
+        .spawn(move || requester_loop(requester, req_ep, resp_id, goal_clone, cfg))
         .expect("spawn requester");
 
-    let (granted, req_disclosures) = requester_thread.join().expect("requester thread");
+    let (granted, req_disclosures, timed_out) = requester_thread.join().expect("requester thread");
     let resp_disclosures = responder_thread.join().expect("responder thread");
 
     let mut disclosures = req_disclosures;
@@ -77,11 +116,18 @@ pub fn negotiate_threaded(
     }
 
     let messages_routed = router.join();
+    let success = !granted.is_empty();
+    let failure = match (success, timed_out) {
+        (true, _) => None,
+        (false, true) => Some(ThreadedFailure::Timeout),
+        (false, false) => Some(ThreadedFailure::Fixpoint),
+    };
     ThreadedOutcome {
-        success: !granted.is_empty(),
+        success,
         granted,
         messages_routed,
         disclosures,
+        failure,
     }
 }
 
@@ -122,7 +168,8 @@ fn requester_loop(
     ep: Endpoint,
     responder: PeerId,
     goal: Literal,
-) -> (Vec<Literal>, Vec<Disclosure>) {
+    cfg: ThreadedConfig,
+) -> (Vec<Literal>, Vec<Disclosure>, bool) {
     let me = peer.id;
     let mut sent: Vec<peertrust_core::Rule> = Vec::new();
     let mut disclosures = Vec::new();
@@ -148,12 +195,14 @@ fn requester_loop(
 
     // Then alternate until the responder answers.
     loop {
-        let Some(msg) = ep.recv_timeout(TIMEOUT) else {
-            return (Vec::new(), disclosures); // responder gone / timeout
+        let Some(msg) = ep.recv_timeout(cfg.timeout) else {
+            // Responder gone or still grinding: distinct from a protocol
+            // fixpoint, which always arrives as an explicit `Answers{[]}`.
+            return (Vec::new(), disclosures, true);
         };
         match msg.payload {
             Payload::Answers { answers, .. } => {
-                return (answers, disclosures);
+                return (answers, disclosures, false);
             }
             Payload::CredentialPush { rules } => {
                 for sr in rules {
@@ -169,7 +218,12 @@ fn requester_loop(
     }
 }
 
-fn responder_loop(mut peer: NegotiationPeer, ep: Endpoint, requester: PeerId) -> Vec<Disclosure> {
+fn responder_loop(
+    mut peer: NegotiationPeer,
+    ep: Endpoint,
+    requester: PeerId,
+    cfg: ThreadedConfig,
+) -> Vec<Disclosure> {
     let me = peer.id;
     let mut sent: Vec<peertrust_core::Rule> = Vec::new();
     let mut disclosures = Vec::new();
@@ -178,7 +232,7 @@ fn responder_loop(mut peer: NegotiationPeer, ep: Endpoint, requester: PeerId) ->
     let mut quiet_turns = 0u32;
 
     loop {
-        let Some(msg) = ep.recv_timeout(TIMEOUT) else {
+        let Some(msg) = ep.recv_timeout(cfg.timeout) else {
             return disclosures;
         };
         match msg.payload {
@@ -328,5 +382,37 @@ mod tests {
             parse_literal(r#"resource("F-Client")"#).unwrap(),
         );
         assert!(!out.success);
+        assert_eq!(
+            out.failure,
+            Some(ThreadedFailure::Fixpoint),
+            "an explicit empty answer is a fixpoint, not a timeout"
+        );
+    }
+
+    #[test]
+    fn expiry_is_reported_as_timeout() {
+        // The responder's derivation is combinatorial (20^4 bindings all
+        // failing on `never(A)`), taking far longer than the 5ms timeout,
+        // so the requester's timer deterministically expires first —
+        // distinguishable from the fixpoint failure above.
+        let reg = registry();
+        let mut server = NegotiationPeer::new("S-Server", reg.clone());
+        let mut program = String::from("resource(X) $ true <- n(A), n(B), n(C), n(D), never(A).\n");
+        for i in 0..20 {
+            program.push_str(&format!("n(\"v{i}\").\n"));
+        }
+        server.load_program(&program).unwrap();
+        let client = NegotiationPeer::new("S-Client", reg);
+
+        let out = negotiate_threaded_with(
+            client,
+            server,
+            parse_literal(r#"resource("S-Client")"#).unwrap(),
+            ThreadedConfig {
+                timeout: Duration::from_millis(5),
+            },
+        );
+        assert!(!out.success);
+        assert_eq!(out.failure, Some(ThreadedFailure::Timeout));
     }
 }

@@ -13,13 +13,16 @@
 //!   (A0 delegates to A1 delegates to ... to An, which issued the
 //!   subject's credential);
 //! * [`fleet`] — E10: one server and *n* independent clients, for
-//!   peer-count scaling.
+//!   peer-count scaling;
+//! * [`throughput_grid`] — E14: one server and *n* clients each behind a
+//!   namespaced release chain, plus a round-robin job list for the batch
+//!   scheduler's negotiations/sec benchmark.
 //!
 //! Every generator is deterministic in its seed.
 
 use peertrust_core::{Literal, PeerId, Term};
 use peertrust_crypto::KeyRegistry;
-use peertrust_negotiation::{NegotiationPeer, PeerMap};
+use peertrust_negotiation::{BatchJob, NegotiationPeer, PeerMap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -348,6 +351,87 @@ pub fn fleet(n: usize) -> (PeerMap, KeyRegistry, Vec<(PeerId, Literal)>) {
     (peers, registry, goals)
 }
 
+/// A ready-to-run batch-scheduler workload: the shared peer map plus the
+/// job list to feed `negotiate_batch`.
+pub struct BatchWorkload {
+    pub peers: PeerMap,
+    pub registry: KeyRegistry,
+    pub jobs: Vec<BatchJob>,
+}
+
+/// E14: one server, `clients` clients, each client `c` gated by its own
+/// alternating release chain of depth `depth` over namespaced predicates
+/// (`cred{c}_{i}`, exactly the [`chain`] construction), and a job list of
+/// `repeats * clients` negotiations round-robin over the clients.
+///
+/// Distinct predicates per client mean jobs exercise distinct goal
+/// variants (no accidental sharing through the engine table), while
+/// repeats of the same client exercise warm-cache reuse. Every job is
+/// satisfiable with exactly `depth` disclosures.
+pub fn throughput_grid(clients: usize, repeats: usize, depth: usize) -> BatchWorkload {
+    assert!(clients >= 1 && repeats >= 1 && depth >= 1);
+    let registry = fresh_registry();
+    let mut server = NegotiationPeer::new(SERVER, registry.clone());
+    let mut peers = PeerMap::new();
+    let mut client_ids = Vec::new();
+
+    for c in 0..clients {
+        let name = format!("Client{c}");
+        let mut client = NegotiationPeer::new(name.as_str(), registry.clone());
+        server
+            .load_program(&format!(
+                r#"resource{c}(X) $ true <- cred{c}_1(X) @ "{CA}" @ X."#
+            ))
+            .expect("resource rule parses");
+        for i in 1..=depth {
+            // Odd credentials belong to the client, even to the server.
+            let (owner, owner_name): (&mut NegotiationPeer, &str) = if i % 2 == 1 {
+                (&mut client, name.as_str())
+            } else {
+                (&mut server, SERVER)
+            };
+            let pred = format!("cred{c}_{i}");
+            owner
+                .load_program(&format!(
+                    r#"{pred}("{owner_name}") @ "{CA}" signedBy ["{CA}"]."#
+                ))
+                .expect("credential parses");
+            let release = if i == depth {
+                format!(r#"{pred}(X) @ Y $ true <-_true {pred}(X) @ Y."#)
+            } else {
+                let next = format!("cred{c}_{}", i + 1);
+                format!(
+                    r#"{pred}(X) @ Y $ {next}(Requester) @ "{CA}" @ Requester <-_true {pred}(X) @ Y."#
+                )
+            };
+            owner.load_program(&release).expect("release rule parses");
+        }
+        client_ids.push(PeerId::new(&name));
+        peers.insert(client);
+    }
+    peers.insert(server);
+
+    let server_id = PeerId::new(SERVER);
+    let mut jobs = Vec::with_capacity(clients * repeats);
+    for _ in 0..repeats {
+        for (c, client_id) in client_ids.iter().enumerate() {
+            jobs.push(BatchJob::new(
+                *client_id,
+                server_id,
+                Literal::new(
+                    format!("resource{c}").as_str(),
+                    vec![Term::str(format!("Client{c}").as_str())],
+                ),
+            ));
+        }
+    }
+    BatchWorkload {
+        peers,
+        registry,
+        jobs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,6 +552,56 @@ mod tests {
             let out = run(&mut w, Strategy::Parsimonious);
             assert!(out.success, "depth {depth}: {:#?}", out.refusals);
             verify_safe_sequence(&out).unwrap();
+        }
+    }
+
+    #[test]
+    fn throughput_grid_jobs_all_succeed_in_a_batch() {
+        use peertrust_negotiation::{negotiate_batch, BatchConfig};
+        let w = throughput_grid(3, 2, 2);
+        assert_eq!(w.jobs.len(), 6);
+        let report = negotiate_batch(
+            &w.peers,
+            &w.jobs,
+            &BatchConfig::default(),
+            &peertrust_telemetry::Telemetry::disabled(),
+        );
+        assert_eq!(report.outcomes.len(), 6);
+        for (i, out) in report.outcomes.iter().enumerate() {
+            assert!(out.success, "job {i}: {:#?}", out.refusals);
+            assert_eq!(out.credential_count(), 2, "job {i} discloses the chain");
+            verify_safe_sequence(out).unwrap();
+        }
+        assert_eq!(report.stats.successes, 6);
+    }
+
+    #[test]
+    fn throughput_grid_warm_cache_matches_cold_results() {
+        use peertrust_negotiation::{negotiate_batch, BatchConfig, SharedRemoteAnswerCache};
+        let w = throughput_grid(2, 3, 2);
+        let cold = negotiate_batch(
+            &w.peers,
+            &w.jobs,
+            &BatchConfig::default(),
+            &peertrust_telemetry::Telemetry::disabled(),
+        );
+        let cache = SharedRemoteAnswerCache::new();
+        let warm_cfg = BatchConfig {
+            workers: 2,
+            shared_cache: Some(cache),
+            ..BatchConfig::default()
+        };
+        let warm = negotiate_batch(
+            &w.peers,
+            &w.jobs,
+            &warm_cfg,
+            &peertrust_telemetry::Telemetry::disabled(),
+        );
+        for (c, wo) in cold.outcomes.iter().zip(warm.outcomes.iter()) {
+            assert_eq!(c.success, wo.success);
+            assert_eq!(c.granted, wo.granted);
+            assert_eq!(c.requester, wo.requester);
+            assert_eq!(c.goal, wo.goal);
         }
     }
 

@@ -10,7 +10,8 @@ pub mod scenario1;
 pub mod scenario2;
 
 pub use generator::{
-    chain, delegation_chain, fleet, random_policies, RandomPolicyConfig, Workload,
+    chain, delegation_chain, fleet, random_policies, throughput_grid, BatchWorkload,
+    RandomPolicyConfig, Workload,
 };
 pub use grid::GridScenario;
 pub use intensional::IntensionalScenario;

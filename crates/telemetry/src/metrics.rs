@@ -33,6 +33,18 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Fold another aggregate into this one, as if every observation
+    /// behind `other` had been observed here.
+    pub fn absorb(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// A point-in-time copy of the whole registry, serializable to JSON.
@@ -92,6 +104,36 @@ impl Metrics {
     /// Current aggregate of histogram `name`, if any value was observed.
     pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
         self.histograms.lock().get(name).copied()
+    }
+
+    /// Record a pre-aggregated histogram series under `name`, merging
+    /// with whatever has been observed locally.
+    pub fn observe_aggregate(&self, name: &str, agg: &HistogramSnapshot) {
+        if agg.count == 0 {
+            return;
+        }
+        let mut histograms = self.histograms.lock();
+        match histograms.get_mut(name) {
+            Some(h) => h.absorb(agg),
+            None => {
+                histograms.insert(name.to_string(), *agg);
+            }
+        }
+    }
+
+    /// Fold a whole snapshot into this registry: counters add, histogram
+    /// aggregates absorb. This is how per-worker registries from a batch
+    /// run merge into the caller's registry at join — merging snapshots
+    /// from k workers is equivalent (up to observation order, which the
+    /// aggregates don't record) to all workers sharing one registry,
+    /// without the cross-thread lock traffic while they run.
+    pub fn merge(&self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            self.incr(name, *value);
+        }
+        for (name, agg) in &other.histograms {
+            self.observe_aggregate(name, agg);
+        }
     }
 
     /// Copy out the whole registry.
@@ -157,6 +199,55 @@ mod tests {
         let snap = m.snapshot();
         let names: Vec<&String> = snap.counters.keys().collect();
         assert_eq!(names, ["alpha", "zebra"]);
+    }
+
+    #[test]
+    fn merge_equals_shared_registry() {
+        // Two per-worker registries merged into a third equal one
+        // registry that saw every event directly.
+        let direct = Metrics::new();
+        let w1 = Metrics::new();
+        let w2 = Metrics::new();
+        for (m, k) in [(&w1, 1u64), (&w2, 2u64)] {
+            m.incr("sessions", k);
+            m.incr("shared.counter", 10 * k);
+            for v in [k, 7 * k] {
+                m.observe("latency", v);
+            }
+            direct.incr("sessions", k);
+            direct.incr("shared.counter", 10 * k);
+            for v in [k, 7 * k] {
+                direct.observe("latency", v);
+            }
+        }
+        let merged = Metrics::new();
+        merged.merge(&w1.snapshot());
+        merged.merge(&w2.snapshot());
+        assert_eq!(merged.snapshot(), direct.snapshot());
+    }
+
+    #[test]
+    fn absorb_handles_empty_and_disjoint_ranges() {
+        let mut a = HistogramSnapshot {
+            count: 2,
+            sum: 10,
+            min: 3,
+            max: 7,
+        };
+        a.absorb(&HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        });
+        assert_eq!(a.count, 2);
+        a.absorb(&HistogramSnapshot {
+            count: 1,
+            sum: 100,
+            min: 100,
+            max: 100,
+        });
+        assert_eq!((a.count, a.sum, a.min, a.max), (3, 110, 3, 100));
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //!
 //! `cargo xtask verify` runs the exact step sequence of
 //! `.github/workflows/ci.yml` — format, clippy, release build, tests,
-//! docs, the experiments binary, and the `e13_caching` bench smoke — so
-//! the local verification recipe and CI cannot drift: editing one means
-//! editing [`STEPS`], which is what both consume.
+//! docs, the experiments binary, and the `e13_caching`/`e14_throughput`
+//! bench smokes — so the local verification recipe and CI cannot drift:
+//! editing one means editing [`STEPS`], which is what both consume.
+//! `cargo xtask verify --threads` appends [`THREAD_STEPS`], the
+//! concurrent-path smoke pass (shared-table stress, batch-scheduler
+//! determinism, shared-cache concurrency).
 
 use std::process::Command;
 
@@ -76,22 +79,83 @@ const STEPS: &[Step] = &[
         ],
         &[],
     ),
+    step(
+        "bench smoke (e14_throughput)",
+        &[
+            "bench",
+            "-p",
+            "peertrust-bench",
+            "--bench",
+            "e14_throughput",
+            "--",
+            "--measurement-time",
+            "1",
+        ],
+        &[],
+    ),
+];
+
+/// Extra steps behind `cargo xtask verify --threads`: the concurrent-path
+/// smoke pass — the 8-thread shared-table stress test, the batch
+/// scheduler's determinism suite, and the shared-cache concurrency tests.
+const THREAD_STEPS: &[Step] = &[
+    step(
+        "engine concurrent-table stress",
+        &[
+            "test",
+            "-q",
+            "-p",
+            "peertrust-engine",
+            "--test",
+            "concurrent_table",
+        ],
+        &[],
+    ),
+    step(
+        "batch scheduler determinism",
+        &[
+            "test",
+            "-q",
+            "-p",
+            "peertrust-negotiation",
+            "--lib",
+            "scheduler::",
+        ],
+        &[],
+    ),
+    step(
+        "shared remote-answer cache",
+        &[
+            "test",
+            "-q",
+            "-p",
+            "peertrust-negotiation",
+            "--lib",
+            "answer_cache::tests::shared_cache",
+        ],
+        &[],
+    ),
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("verify") => verify(),
+        Some("verify") => verify(args.iter().any(|a| a == "--threads")),
         _ => {
-            eprintln!("usage: cargo xtask verify");
+            eprintln!("usage: cargo xtask verify [--threads]");
             std::process::exit(2);
         }
     }
 }
 
-fn verify() {
+fn verify(threads: bool) {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
-    for s in STEPS {
+    let steps: Vec<&Step> = if threads {
+        STEPS.iter().chain(THREAD_STEPS).collect()
+    } else {
+        STEPS.iter().collect()
+    };
+    for s in steps {
         println!("== xtask verify: {} ==", s.name);
         let mut cmd = Command::new(&cargo);
         cmd.args(s.cargo_args);
