@@ -1,0 +1,82 @@
+//! E15: negotiation resilience under deterministic fault injection — the
+//! batch scheduler on the E14 grid, swept over drop rates × retry
+//! budgets. Measures throughput degradation as the fault lane sheds
+//! load, and asserts the convergence bar in-line: with the default retry
+//! budget, every scenario at drop ≤ 0.2 reaches 100% of the fault-free
+//! success count; with retries disabled, loss shows up as failed (but
+//! cleanly terminated) sessions.
+//!
+//! The fault plans are seeded, so every sample of every benchmark runs
+//! the identical fault schedule — criterion's variance here measures the
+//! machine, not the faults.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use peertrust_negotiation::{negotiate_batch, BatchConfig};
+use peertrust_scenarios::resilience_grid;
+use peertrust_telemetry::Telemetry;
+
+const CLIENTS: usize = 4;
+const REPEATS: usize = 3;
+const DEPTH: usize = 2;
+const FAULT_SEED: u64 = 15;
+
+const DROP_RATES: &[f64] = &[0.0, 0.05, 0.2];
+const RETRY_BUDGETS: &[u32] = &[0, 4];
+
+/// Throughput of the resilient batch at every grid point, with the
+/// convergence bar asserted on the retry-enabled cells.
+fn bench_resilience_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_resilience");
+    group.sample_size(10);
+    let (w, points) = resilience_grid(
+        CLIENTS,
+        REPEATS,
+        DEPTH,
+        FAULT_SEED,
+        DROP_RATES,
+        RETRY_BUDGETS,
+    );
+    group.throughput(Throughput::Elements(w.jobs.len() as u64));
+
+    let clean = negotiate_batch(
+        &w.peers,
+        &w.jobs,
+        &BatchConfig::default(),
+        &Telemetry::disabled(),
+    );
+    assert_eq!(clean.stats.successes, w.jobs.len());
+
+    for point in &points {
+        let cfg = BatchConfig {
+            workers: 2,
+            faults: Some(point.faults.clone()),
+            ..BatchConfig::default()
+        };
+        // The E15 acceptance bar, checked once up front: a retry budget
+        // recovers 100% of the fault-free successes at drop ≤ 0.2.
+        let report = negotiate_batch(&w.peers, &w.jobs, &cfg, &Telemetry::disabled());
+        if point.max_retries > 0 {
+            assert_eq!(
+                report.stats.successes, clean.stats.successes,
+                "{}: retries must recover the fault-free success count",
+                point.label
+            );
+            assert_eq!(report.stats.converged, report.stats.jobs, "{}", point.label);
+        } else if point.drop_rate > 0.0 {
+            // No budget: loss must surface as terminated failures, not
+            // hangs (the bench itself would time out on a hang).
+            assert!(report.stats.converged <= report.stats.jobs);
+        }
+        group.bench_with_input(BenchmarkId::new("batch", &point.label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let report = negotiate_batch(&w.peers, &w.jobs, cfg, &Telemetry::disabled());
+                assert_eq!(report.outcomes.len(), w.jobs.len());
+                report.stats.negotiations_per_sec
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resilience_grid);
+criterion_main!(benches);

@@ -145,6 +145,62 @@ fn telemetry_export() {
         report.stats.utilization_pct
     );
 
+    // E15: resilience under deterministic fault injection. One
+    // instrumented resilient negotiation over a lossy, telemetry-attached
+    // network puts the `net.fault.*` series in the export; a faulty batch
+    // through the scheduler adds the `negotiation.resilience.*` series.
+    {
+        use peertrust_net::{FaultPlan, LinkFaults};
+        let budget = peertrust_negotiation::ResilienceConfig {
+            max_retries: 8,
+            query_deadline_ticks: 256,
+            ..peertrust_negotiation::ResilienceConfig::default()
+        };
+        let mut w15 = chain(2);
+        let mut net = SimNetwork::new(15)
+            .with_telemetry(telemetry.clone())
+            .with_faults(FaultPlan::uniform(15, LinkFaults::lossy(0.2)));
+        let (out, rep) = peertrust_negotiation::negotiate_resilient(
+            &mut w15.peers,
+            &mut net,
+            peertrust_negotiation::SessionConfig::default(),
+            budget,
+            NegotiationId(15),
+            w15.requester,
+            w15.responder,
+            w15.goal.clone(),
+            &telemetry,
+        );
+        assert!(out.success && rep.converged, "resilient chain export");
+
+        let (grid15, points) = peertrust_scenarios::resilience_grid(2, 2, 2, 15, &[0.2], &[4]);
+        let point = &points[0];
+        let faulty_cfg = peertrust_negotiation::BatchConfig {
+            workers: 2,
+            faults: Some(point.faults.clone()),
+            ..peertrust_negotiation::BatchConfig::default()
+        };
+        let report = peertrust_negotiation::negotiate_batch(
+            &grid15.peers,
+            &grid15.jobs,
+            &faulty_cfg,
+            &telemetry,
+        );
+        assert_eq!(
+            report.stats.converged, report.stats.jobs,
+            "resilience export"
+        );
+        println!(
+            "  resilience ({}): {}/{} sessions converged, {} retries, {} timeouts, {} duplicates suppressed",
+            point.label,
+            report.stats.converged,
+            report.stats.jobs,
+            report.stats.resilience.retries + rep.stats.retries,
+            report.stats.resilience.timeouts + rep.stats.timeouts,
+            report.stats.resilience.duplicates_suppressed + rep.stats.duplicates_suppressed,
+        );
+    }
+
     let metrics = telemetry.metrics().expect("telemetry enabled").to_json();
     std::fs::write("metrics.json", &metrics).expect("write metrics.json");
 

@@ -29,7 +29,11 @@
 //!   crossbeam router, one peer per thread;
 //! * [`scheduler`] — the multi-core batch driver: N independent
 //!   negotiations over a worker pool with per-job peer-map snapshots, an
-//!   optional shared answer cache, and deterministic outcome ordering.
+//!   optional shared answer cache, and deterministic outcome ordering;
+//! * [`resilience`] — delivery supervision over a faulty transport
+//!   (`peertrust_net::faults`): per-message deadlines, bounded retries
+//!   with deterministic exponential backoff, duplicate suppression, and
+//!   crash-resume by pristine-restore + disclosure-log replay.
 
 pub mod analysis;
 pub mod answer_cache;
@@ -38,6 +42,7 @@ pub mod eager;
 pub mod failure;
 pub mod outcome;
 pub mod peer;
+pub mod resilience;
 pub mod scheduler;
 pub mod session;
 pub mod strategy;
@@ -55,7 +60,11 @@ pub use outcome::{
     RefusalReason, SafetyViolation,
 };
 pub use peer::{issuer_extended, sender_extended, NegotiationPeer, PeerConfig, PeerError};
-pub use scheduler::{negotiate_batch, BatchConfig, BatchJob, BatchReport, BatchStats};
+pub use resilience::{
+    negotiate_resilient, negotiate_resilient_shared, ResilienceConfig, ResilienceFailure,
+    ResilienceReport, ResilienceStats,
+};
+pub use scheduler::{negotiate_batch, BatchConfig, BatchFaults, BatchJob, BatchReport, BatchStats};
 pub use session::{
     negotiate, negotiate_cached, negotiate_shared_cached, negotiate_traced, PeerMap, SessionConfig,
 };

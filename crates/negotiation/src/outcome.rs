@@ -87,6 +87,10 @@ pub enum RefusalReason {
     /// A received answer could not be re-derived from signed material and
     /// was dropped by the requester's verification step.
     VerificationFailed,
+    /// Transport-level delivery gave up: the resilience layer exhausted
+    /// its retry budget or per-message deadline for this peer (see
+    /// `crate::resilience`).
+    Unreachable,
 }
 
 /// The result of one negotiation.

@@ -29,8 +29,13 @@
 
 use crate::answer_cache::{CacheStats, SharedRemoteAnswerCache};
 use crate::outcome::NegotiationOutcome;
+use crate::resilience::{
+    negotiate_resilient, negotiate_resilient_shared, ResilienceConfig, ResilienceReport,
+    ResilienceStats,
+};
 use crate::session::{negotiate_shared_cached, negotiate_traced, PeerMap, SessionConfig};
 use peertrust_core::{Literal, PeerId};
+use peertrust_net::faults::FaultPlan;
 use peertrust_net::message::NegotiationId;
 use peertrust_net::sim::SimNetwork;
 use peertrust_telemetry::{MetricsSnapshot, NoopRecorder, Telemetry};
@@ -56,6 +61,19 @@ impl BatchJob {
     }
 }
 
+/// Fault-injection grid for a batch: every job runs against its own
+/// deterministic reseeding of `plan` (via [`FaultPlan::for_job`]) with
+/// the resilience layer supervising deliveries. Because the per-job plan
+/// depends only on the job index, a faulty batch stays bit-identical
+/// across runs and worker counts, exactly like a fault-free one.
+#[derive(Clone)]
+pub struct BatchFaults {
+    /// Base fault schedule; job `i` runs under `plan.for_job(i)`.
+    pub plan: FaultPlan,
+    /// Retry/timeout policy for every session in the batch.
+    pub resilience: ResilienceConfig,
+}
+
 /// Batch-level configuration.
 #[derive(Clone)]
 pub struct BatchConfig {
@@ -68,6 +86,10 @@ pub struct BatchConfig {
     /// Cross-negotiation answer cache shared by every worker. `None`
     /// runs each job cold (fully deterministic transport counters).
     pub shared_cache: Option<SharedRemoteAnswerCache>,
+    /// Fault grid: when set, every job's network is wrapped in a fault
+    /// lane and driven resiliently. `None` is the historical fault-free
+    /// path, bit-identical to before this field existed.
+    pub faults: Option<BatchFaults>,
 }
 
 impl Default for BatchConfig {
@@ -77,6 +99,7 @@ impl Default for BatchConfig {
             session: SessionConfig::default(),
             net_seed: 7,
             shared_cache: None,
+            faults: None,
         }
     }
 }
@@ -100,11 +123,20 @@ pub struct BatchStats {
     pub utilization_pct: f64,
     /// Shared-cache counter deltas for this batch (zeroes when no cache).
     pub cache: CacheStats,
+    /// Jobs whose resilience layer abandoned no delivery. Equals `jobs`
+    /// when no fault grid is configured.
+    pub converged: usize,
+    /// Aggregated resilience counters across every job (zeroes without a
+    /// fault grid).
+    pub resilience: ResilienceStats,
 }
 
 /// Outcomes (in submission order) plus batch statistics.
 pub struct BatchReport {
     pub outcomes: Vec<NegotiationOutcome>,
+    /// Per-job resilience reports, aligned with `outcomes`; `None`
+    /// entries when the batch ran without a fault grid.
+    pub resilience: Vec<Option<ResilienceReport>>,
     pub stats: BatchStats,
 }
 
@@ -124,7 +156,8 @@ pub fn negotiate_batch(
         .unwrap_or_default();
 
     let next_job = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<NegotiationOutcome>>> =
+    #[allow(clippy::type_complexity)]
+    let slots: Mutex<Vec<Option<(NegotiationOutcome, Option<ResilienceReport>)>>> =
         Mutex::new((0..jobs.len()).map(|_| None).collect());
     let started = Instant::now();
 
@@ -168,12 +201,12 @@ pub fn negotiate_batch(
     });
 
     let wall = started.elapsed();
-    let outcomes: Vec<NegotiationOutcome> = slots
+    let (outcomes, resilience): (Vec<NegotiationOutcome>, Vec<Option<ResilienceReport>>) = slots
         .into_inner()
         .expect("slot lock")
         .into_iter()
         .map(|o| o.expect("every job filled its slot"))
-        .collect();
+        .unzip();
 
     // Merge per-worker metric registries into the caller's.
     if let Some(metrics) = telemetry.metrics() {
@@ -209,6 +242,21 @@ pub fn negotiate_batch(
         expired: cache_after.expired - cache_before.expired,
     };
 
+    // Resilience rollup: without a fault grid every job trivially
+    // converged (nothing could be lost).
+    let converged = resilience
+        .iter()
+        .filter(|r| r.as_ref().map(|r| r.converged).unwrap_or(true))
+        .count();
+    let mut resilience_stats = ResilienceStats::default();
+    for report in resilience.iter().flatten() {
+        resilience_stats.retries += report.stats.retries;
+        resilience_stats.timeouts += report.stats.timeouts;
+        resilience_stats.duplicates_suppressed += report.stats.duplicates_suppressed;
+        resilience_stats.crash_resumes += report.stats.crash_resumes;
+        resilience_stats.gave_up += report.stats.gave_up;
+    }
+
     let stats = BatchStats {
         jobs: jobs.len(),
         successes,
@@ -218,9 +266,25 @@ pub fn negotiate_batch(
         worker_busy,
         utilization_pct,
         cache,
+        converged,
+        resilience: resilience_stats,
     };
     flush_throughput_metrics(telemetry, &stats);
-    BatchReport { outcomes, stats }
+    if cfg.faults.is_some() && telemetry.enabled() {
+        telemetry.incr(
+            "negotiation.resilience.converged_sessions",
+            stats.converged as u64,
+        );
+        telemetry.incr(
+            "negotiation.resilience.failed_sessions",
+            (stats.jobs - stats.converged) as u64,
+        );
+    }
+    BatchReport {
+        outcomes,
+        resilience,
+        stats,
+    }
 }
 
 /// Execute one job on an isolated peer-map snapshot and per-job network.
@@ -230,11 +294,40 @@ fn run_job(
     idx: usize,
     cfg: &BatchConfig,
     telemetry: &Telemetry,
-) -> NegotiationOutcome {
+) -> (NegotiationOutcome, Option<ResilienceReport>) {
     let mut job_peers = peers.clone();
     let mut net = SimNetwork::for_job(cfg.net_seed, idx);
     let nid = NegotiationId(idx as u64 + 1);
-    match &cfg.shared_cache {
+    if let Some(faults) = &cfg.faults {
+        net = net.with_faults(faults.plan.for_job(idx));
+        let (outcome, report) = match &cfg.shared_cache {
+            Some(cache) => negotiate_resilient_shared(
+                &mut job_peers,
+                &mut net,
+                cfg.session.clone(),
+                faults.resilience.clone(),
+                nid,
+                job.requester,
+                job.responder,
+                job.goal.clone(),
+                cache,
+                telemetry,
+            ),
+            None => negotiate_resilient(
+                &mut job_peers,
+                &mut net,
+                cfg.session.clone(),
+                faults.resilience.clone(),
+                nid,
+                job.requester,
+                job.responder,
+                job.goal.clone(),
+                telemetry,
+            ),
+        };
+        return (outcome, Some(report));
+    }
+    let outcome = match &cfg.shared_cache {
         Some(cache) => negotiate_shared_cached(
             &mut job_peers,
             &mut net,
@@ -256,7 +349,8 @@ fn run_job(
             job.goal.clone(),
             telemetry,
         ),
-    }
+    };
+    (outcome, None)
 }
 
 /// Record the batch-level `negotiation.throughput.*` series.
@@ -439,6 +533,75 @@ mod tests {
             .is_some());
         // Per-worker session counters merged into the caller's registry.
         assert!(metrics.counter("negotiation.queries_issued.Alice") > 0);
+    }
+
+    #[test]
+    fn faulty_batches_are_bit_identical_across_worker_counts() {
+        use peertrust_net::LinkFaults;
+        let (peers, jobs) = bilateral_batch(8);
+        let faulty = |workers| BatchConfig {
+            workers,
+            faults: Some(BatchFaults {
+                plan: FaultPlan::uniform(11, LinkFaults::lossy(0.2)),
+                resilience: ResilienceConfig {
+                    max_retries: 8,
+                    query_deadline_ticks: 256,
+                    ..ResilienceConfig::default()
+                },
+            }),
+            ..BatchConfig::default()
+        };
+        let fingerprint = |cfg: &BatchConfig| -> Vec<String> {
+            let report = negotiate_batch(&peers, &jobs, cfg, &Telemetry::disabled());
+            report
+                .outcomes
+                .iter()
+                .zip(&report.resilience)
+                .map(|(o, r)| format!("{}|{}", full_key(o), serde_json::to_string(r).unwrap()))
+                .collect()
+        };
+        let baseline = fingerprint(&faulty(1));
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                fingerprint(&faulty(workers)),
+                baseline,
+                "divergence at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_batch_with_retries_reaches_fault_free_outcomes() {
+        use peertrust_net::LinkFaults;
+        let (peers, jobs) = bilateral_batch(12);
+        let clean = negotiate_batch(
+            &peers,
+            &jobs,
+            &BatchConfig::default(),
+            &Telemetry::disabled(),
+        );
+        let report = negotiate_batch(
+            &peers,
+            &jobs,
+            &BatchConfig {
+                workers: 4,
+                faults: Some(BatchFaults {
+                    plan: FaultPlan::uniform(23, LinkFaults::drops(0.2)),
+                    resilience: ResilienceConfig {
+                        max_retries: 8,
+                        query_deadline_ticks: 256,
+                        ..ResilienceConfig::default()
+                    },
+                }),
+                ..BatchConfig::default()
+            },
+            &Telemetry::disabled(),
+        );
+        assert_eq!(report.stats.converged, report.stats.jobs);
+        assert_eq!(report.stats.successes, clean.stats.successes);
+        for (faulty, clean) in report.outcomes.iter().zip(&clean.outcomes) {
+            assert_eq!(outcome_key(faulty), outcome_key(clean));
+        }
     }
 
     #[test]

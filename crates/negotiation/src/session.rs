@@ -28,10 +28,11 @@ use crate::outcome::{
     DisclosedItem, Disclosure, Evidence, NegotiationOutcome, Refusal, RefusalReason,
 };
 use crate::peer::NegotiationPeer;
+use crate::resilience::{ResilienceConfig, ResilienceFailure, ResilienceReport, ResilienceState};
 use peertrust_core::{Context, KnowledgeBase, Literal, PeerId, Subst};
 use peertrust_crypto::SignedRule;
 use peertrust_engine::{canonicalize, Proof, ProofStep, RemoteHook, Solver};
-use peertrust_net::{NegotiationId, Payload, QueryId, SimNetwork};
+use peertrust_net::{MessageFate, MessageId, NegotiationId, Payload, QueryId, SimNetwork};
 use peertrust_telemetry::{Field, SpanId, Telemetry};
 use std::collections::HashMap;
 
@@ -157,8 +158,10 @@ pub fn negotiate_traced(
         responder,
         goal,
         CacheRef::None,
+        None,
         telemetry,
     )
+    .0
 }
 
 /// [`negotiate_traced`] backed by a shared cross-negotiation
@@ -187,8 +190,10 @@ pub fn negotiate_cached(
         responder,
         goal,
         CacheRef::Exclusive(cache),
+        None,
         telemetry,
     )
+    .0
 }
 
 /// [`negotiate_cached`] against a thread-safe
@@ -216,15 +221,17 @@ pub fn negotiate_shared_cached(
         responder,
         goal,
         CacheRef::Shared(cache),
+        None,
         telemetry,
     )
+    .0
 }
 
 /// How a session reaches the cross-negotiation answer cache: not at all,
 /// through an exclusive borrow (single-threaded `negotiate_cached`), or
 /// through a thread-safe shared handle (`negotiate_shared_cached`). The
 /// enum keeps one `Session` implementation serving both regimes.
-enum CacheRef<'a> {
+pub(crate) enum CacheRef<'a> {
     None,
     Exclusive(&'a mut RemoteAnswerCache),
     Shared(&'a SharedRemoteAnswerCache),
@@ -292,7 +299,7 @@ impl CacheRef<'_> {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn negotiate_with_cache(
+pub(crate) fn negotiate_with_cache(
     peers: &mut PeerMap,
     net: &mut SimNetwork,
     cfg: SessionConfig,
@@ -301,8 +308,12 @@ fn negotiate_with_cache(
     responder: PeerId,
     goal: Literal,
     answer_cache: CacheRef<'_>,
+    resilience: Option<ResilienceConfig>,
     telemetry: &Telemetry,
-) -> NegotiationOutcome {
+) -> (NegotiationOutcome, Option<ResilienceReport>) {
+    // The pristine snapshot crash-resume restores from must predate any
+    // disclosure of this session.
+    let resilience = resilience.map(|rc| ResilienceState::new(rc, peers.clone()));
     let msgs0 = net.stats().messages_sent;
     let bytes0 = net.stats().bytes_sent;
     let queries0 = net.stats().queries;
@@ -335,6 +346,7 @@ fn negotiate_with_cache(
         received_answers: HashMap::new(),
         session_answers: HashMap::new(),
         answer_cache,
+        resilience,
         telemetry: telemetry.clone(),
         span,
     };
@@ -357,6 +369,7 @@ fn negotiate_with_cache(
         disclosures,
         refusals,
         max_depth_seen,
+        resilience,
         ..
     } = session;
     let outcome = NegotiationOutcome {
@@ -387,7 +400,7 @@ fn negotiate_with_cache(
             ],
         );
     }
-    outcome
+    (outcome, resilience.map(ResilienceState::into_report))
 }
 
 /// Flush outcome-level counters and histograms shared by both strategy
@@ -444,6 +457,11 @@ pub(crate) struct Session<'a> {
     session_answers: HashMap<CacheKey, Vec<Literal>>,
     /// Optional shared cross-negotiation cache (public answers only).
     answer_cache: CacheRef<'a>,
+    /// When attached, deliveries are supervised: deadlines, retries with
+    /// backoff, duplicate suppression, crash-resume (see
+    /// [`crate::resilience`]). `None` leaves the driver byte-identical to
+    /// the historical synchronous behavior.
+    resilience: Option<ResilienceState>,
     telemetry: Telemetry,
     /// The enclosing `negotiation` span (NONE when telemetry is off).
     span: SpanId,
@@ -515,6 +533,217 @@ impl<'a> Session<'a> {
         self.refusals.push(r);
     }
 
+    /// Drain `peer`'s inbox. In the baseline this is the single
+    /// accounting poll the synchronous driver performs after a step; the
+    /// resilient driver additionally filters already-seen message ids
+    /// (fault-lane duplicates or retry races) and counts suppressions.
+    fn drain_dedup(&mut self, peer: PeerId) {
+        let msgs = self.net.poll(peer);
+        if let Some(state) = self.resilience.as_mut() {
+            for m in msgs {
+                if !state.seen.insert(m.id) {
+                    state.stats.duplicates_suppressed += 1;
+                    self.telemetry
+                        .incr("negotiation.resilience.duplicates_suppressed", 1);
+                }
+            }
+        }
+    }
+
+    /// Resume peers whose crash window has closed: restore the pristine
+    /// pre-negotiation snapshot and replay the disclosure log — every
+    /// signed rule disclosed *to* the peer is received again, in original
+    /// order — so the peer regains exactly the credentials it had
+    /// acquired before the outage. Session answer memos are kept (the
+    /// model's durable answer store).
+    fn maybe_crash_resume(&mut self) {
+        let Some(state) = self.resilience.as_ref() else {
+            return;
+        };
+        let Some(plan) = self.net.fault_plan() else {
+            return;
+        };
+        let now = self.net.now();
+        let due: Vec<(usize, PeerId)> = plan
+            .crashes
+            .iter()
+            .enumerate()
+            .filter(|(i, w)| w.until <= now && !state.resumed.contains(i))
+            .map(|(i, w)| (i, w.peer))
+            .collect();
+        let sticky = self.cfg.sticky_policies;
+        for (idx, peer) in due {
+            let pristine = self
+                .resilience
+                .as_ref()
+                .and_then(|s| s.pristine.get(peer))
+                .cloned();
+            if let Some(snapshot) = pristine {
+                if let Some(slot) = self.peers.get_mut(peer) {
+                    *slot = snapshot;
+                    let replay: Vec<(SignedRule, PeerId)> = self
+                        .disclosures
+                        .iter()
+                        .filter(|d| d.to == peer)
+                        .filter_map(|d| match &d.item {
+                            DisclosedItem::SignedRule(sr) => Some((sr.clone(), d.from)),
+                            _ => None,
+                        })
+                        .collect();
+                    for (sr, sender) in replay {
+                        let _ = self
+                            .peers
+                            .get_mut(peer)
+                            .expect("peer exists")
+                            .receive_signed_mode(sr, sender, sticky);
+                    }
+                }
+            }
+            let state = self.resilience.as_mut().expect("resilient");
+            state.resumed.insert(idx);
+            state.stats.crash_resumes += 1;
+            self.telemetry
+                .incr("negotiation.resilience.crash_resumes", 1);
+            if self.telemetry.enabled() {
+                self.telemetry.event(
+                    now,
+                    self.span,
+                    self.nid.0,
+                    "negotiation.crash_resume",
+                    vec![Field::str("peer", peer.to_string())],
+                );
+            }
+        }
+    }
+
+    /// Complete delivery of a just-sent message: pump the simulated
+    /// network and hand the message to `recipient`'s inbox. In the
+    /// baseline this is exactly one `step` + one accounting `poll` (the
+    /// synchronous driver's contract, kept bit-identical). With
+    /// resilience attached the delivery is supervised: wait for the
+    /// message's fate up to the deadline, re-send with exponential
+    /// backoff on loss or timeout, suppress duplicates, and resume
+    /// crashed peers. Returns `false` only after recording a
+    /// [`ResilienceFailure`] — there is no non-terminating path.
+    fn finish_delivery(
+        &mut self,
+        first_id: MessageId,
+        sender: PeerId,
+        recipient: PeerId,
+        payload: &Payload,
+        depth: u32,
+        kind: &'static str,
+    ) -> bool {
+        // Supervision needs per-message fates, which only a fault lane
+        // tracks; without one (or without a resilience config) fall back
+        // to the unsupervised one-step contract.
+        if self.resilience.is_none() || self.net.fault_plan().is_none() {
+            self.net.step();
+            let _ = self.net.poll(recipient);
+            return true;
+        }
+        let cfg = self.resilience.as_ref().expect("resilient").cfg.clone();
+        let deadline = self.net.now() + cfg.query_deadline_ticks;
+        let mut current = first_id;
+        let mut attempts: u32 = 0;
+        loop {
+            // Pump until the attempt's fate is known or the deadline bars
+            // further progress.
+            let arrived = loop {
+                match self.net.fate(current) {
+                    Some(MessageFate::Delivered) | None => break true,
+                    Some(MessageFate::Dropped(_)) => break false,
+                    Some(MessageFate::InFlight) => match self.net.next_tick() {
+                        Some(t) if t <= deadline => {
+                            self.net.step();
+                        }
+                        _ => break false,
+                    },
+                }
+            };
+            if arrived {
+                self.drain_dedup(recipient);
+                self.maybe_crash_resume();
+                return true;
+            }
+            // Lost, corrupted, crashed into, or too slow for the deadline.
+            self.resilience.as_mut().expect("resilient").stats.timeouts += 1;
+            self.telemetry.incr("negotiation.resilience.timeouts", 1);
+            let now = self.net.now();
+            if now >= deadline {
+                return self.give_up(ResilienceFailure::DeadlineExceeded {
+                    peer: recipient,
+                    kind: kind.to_string(),
+                    at: now,
+                });
+            }
+            if attempts >= cfg.max_retries {
+                return self.give_up(ResilienceFailure::RetryBudgetExhausted {
+                    peer: recipient,
+                    kind: kind.to_string(),
+                    attempts,
+                });
+            }
+            attempts += 1;
+            self.resilience.as_mut().expect("resilient").stats.retries += 1;
+            self.telemetry.incr("negotiation.resilience.retries", 1);
+            if self.telemetry.enabled() {
+                self.telemetry.event(
+                    now,
+                    self.span,
+                    self.nid.0,
+                    "negotiation.retry",
+                    vec![
+                        Field::str("kind", kind),
+                        Field::str("to", recipient.to_string()),
+                        Field::u64("attempt", u64::from(attempts)),
+                    ],
+                );
+            }
+            // Deterministic exponential backoff, never past the deadline
+            // (the shift is clamped: the cap takes over long before it
+            // could overflow).
+            let backoff = (cfg.backoff_base << (attempts - 1).min(16)).min(cfg.backoff_cap);
+            self.net.advance_to((now + backoff).min(deadline));
+            self.drain_dedup(sender);
+            self.drain_dedup(recipient);
+            self.maybe_crash_resume();
+            match self
+                .net
+                .send(self.nid, sender, recipient, payload.clone(), depth)
+            {
+                Ok(id) => current = id,
+                Err(_) => {
+                    return self.give_up(ResilienceFailure::SendRejected {
+                        peer: recipient,
+                        kind: kind.to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Record one abandoned delivery and its telemetry; always `false`.
+    fn give_up(&mut self, failure: ResilienceFailure) -> bool {
+        let state = self.resilience.as_mut().expect("resilient");
+        state.stats.gave_up += 1;
+        state.failures.push(failure.clone());
+        self.telemetry.incr("negotiation.resilience.gave_up", 1);
+        if self.telemetry.enabled() {
+            self.telemetry.event(
+                self.net.now(),
+                self.span,
+                self.nid.0,
+                "negotiation.gave_up",
+                vec![
+                    Field::str("peer", failure.peer().to_string()),
+                    Field::str("reason", format!("{failure:?}")),
+                ],
+            );
+        }
+        false
+    }
+
     /// `from` asks `to` to establish `goal`. Returns the answer instances
     /// `from` accepts (after verification).
     pub(crate) fn request(
@@ -582,22 +811,16 @@ impl<'a> Session<'a> {
         // Ship the query.
         let qid = QueryId(self.next_query);
         self.next_query += 1;
-        if self
+        let query_payload = Payload::Query {
+            id: qid,
+            goal: goal.clone(),
+        };
+        let Ok(query_msg) = self
             .net
-            .send(
-                self.nid,
-                from,
-                to,
-                Payload::Query {
-                    id: qid,
-                    goal: goal.clone(),
-                },
-                depth,
-            )
-            .is_err()
-        {
+            .send(self.nid, from, to, query_payload.clone(), depth)
+        else {
             return Vec::new(); // topology/hop failure
-        }
+        };
         if self.telemetry.enabled() {
             self.telemetry
                 .incr(&format!("negotiation.queries_issued.{from}"), 1);
@@ -617,8 +840,15 @@ impl<'a> Session<'a> {
                 ],
             );
         }
-        self.net.step();
-        let _ = self.net.poll(to);
+        if !self.finish_delivery(query_msg, from, to, &query_payload, depth, "query") {
+            self.record_refusal(Refusal {
+                peer: to,
+                requester: from,
+                goal,
+                reason: RefusalReason::Unreachable,
+            });
+            return Vec::new();
+        }
 
         self.in_flight.push(key);
         let (answers, pushes) = self.respond(to, from, &goal, depth);
@@ -647,14 +877,16 @@ impl<'a> Session<'a> {
                     signatures: sr.signatures.clone(),
                 })
                 .collect();
-            let delivered = self
+            let push_payload = Payload::CredentialPush { rules };
+            let delivered = match self
                 .net
-                .send(self.nid, to, from, Payload::CredentialPush { rules }, depth)
-                .is_ok();
-            if delivered {
-                self.net.step();
-                let _ = self.net.poll(from);
-            }
+                .send(self.nid, to, from, push_payload.clone(), depth)
+            {
+                Ok(push_msg) => {
+                    self.finish_delivery(push_msg, to, from, &push_payload, depth, "push")
+                }
+                Err(_) => false,
+            };
             // The transport is authoritative: a rejected push (partition,
             // hop budget) means the recipient learns nothing.
             for (sr, ctx, ev, raw) in pushes.into_iter().filter(|_| delivered) {
@@ -704,29 +936,30 @@ impl<'a> Session<'a> {
         }
 
         // Ship the answers.
-        if self
+        let answers_payload = Payload::Answers {
+            id: qid,
+            goal: goal.clone(),
+            answers: answers.iter().map(|(a, _, _)| a.clone()).collect(),
+        };
+        let Ok(answers_msg) = self
             .net
-            .send(
-                self.nid,
-                to,
-                from,
-                Payload::Answers {
-                    id: qid,
-                    goal: goal.clone(),
-                    answers: answers.iter().map(|(a, _, _)| a.clone()).collect(),
-                },
-                depth,
-            )
-            .is_err()
-        {
+            .send(self.nid, to, from, answers_payload.clone(), depth)
+        else {
             return Vec::new();
-        }
+        };
         if self.telemetry.enabled() {
             self.telemetry
                 .incr(&format!("negotiation.queries_answered.{to}"), 1);
         }
-        self.net.step();
-        let _ = self.net.poll(from);
+        if !self.finish_delivery(answers_msg, to, from, &answers_payload, depth, "answers") {
+            self.record_refusal(Refusal {
+                peer: from,
+                requester: to,
+                goal: goal.clone(),
+                reason: RefusalReason::Unreachable,
+            });
+            return Vec::new();
+        }
 
         let mut accepted_answers = Vec::new();
         let all_public = answers.iter().all(|(_, ctx, _)| ctx.is_public());

@@ -6,6 +6,9 @@
 //!
 //! * [`message`] — the negotiation message vocabulary: queries, answers,
 //!   credential pushes, failure notices;
+//! * [`faults`] — deterministic fault injection: seeded per-link
+//!   drop/delay/duplicate/reorder/corruption plans plus peer crash
+//!   windows, applied as a wrapper lane over both transports;
 //! * [`sim`] — a deterministic discrete-event network with configurable
 //!   topology and latency, producing the message/byte/round metrics every
 //!   experiment reports;
@@ -15,18 +18,22 @@
 //! * [`topology`] — full-mesh, star (broker) and explicit-link topologies.
 
 pub mod codec;
+pub mod faults;
 pub mod message;
 pub mod routing;
 pub mod sim;
 pub mod threaded;
 pub mod topology;
 
-pub use codec::{decode_frame, encode_frame, CodecError, MAX_FRAME};
+pub use codec::{decode_frame, encode_frame, CodecError, DecodeError, MAX_FRAME};
+pub use faults::{
+    CrashWindow, FaultKind, FaultLane, FaultPlan, FaultStats, LinkFaults, MessageFate,
+};
 pub use message::{Message, MessageId, NegotiationId, Payload, QueryId};
 pub use routing::{RoutedLookup, RoutingIndex, SuperPeerNetwork};
 pub use sim::{LatencyModel, NetError, NetStats, SimNetwork, Tick, TraceEvent};
 pub use threaded::{
-    channel_network, channel_network_with_telemetry, framed_channel_network, Endpoint,
-    FramedEndpoint, Router,
+    channel_network, channel_network_faulty, channel_network_with_telemetry,
+    framed_channel_network, Endpoint, FramedEndpoint, Router,
 };
 pub use topology::Topology;

@@ -8,6 +8,7 @@
 //! any latency jitter) makes negotiation traces byte-for-byte reproducible,
 //! which the interop and safety property tests rely on.
 
+use crate::faults::{FaultKind, FaultLane, FaultPlan, FaultStats, MessageFate};
 use crate::message::{Message, MessageId, Payload};
 use crate::topology::Topology;
 use peertrust_core::PeerId;
@@ -77,6 +78,24 @@ pub struct NetStats {
     pub pushes: u64,
     pub failures: u64,
     pub per_peer_sent: HashMap<PeerId, u64>,
+    /// Messages moved into an inbox (each duplicate delivery counts).
+    pub delivered: u64,
+    /// Messages lost for any reason (injected drop + corruption + crash).
+    pub dropped: u64,
+    /// Extra copies enqueued by the fault lane.
+    pub duplicated: u64,
+    /// Deliveries shifted later by an injected delay.
+    pub delayed: u64,
+    /// Deliveries jittered by an injected reorder.
+    pub reordered: u64,
+    /// Messages lost to in-flight payload corruption.
+    pub corrupted: u64,
+    /// Messages lost because the recipient was crashed at delivery time.
+    pub crash_dropped: u64,
+    /// Messages addressed to a peer the transport does not know
+    /// (populated by the threaded router; the sim's topology check
+    /// rejects these at send time instead).
+    pub undeliverable: u64,
 }
 
 /// One entry in the network trace.
@@ -103,6 +122,13 @@ pub struct SimNetwork {
     trace: Vec<TraceEvent>,
     record_trace: bool,
     telemetry: Telemetry,
+    /// Optional fault-injection lane. With [`FaultPlan::none`] the lane
+    /// draws no randomness and injects nothing — the wrapped path is
+    /// byte-identical to the unwrapped one (tested).
+    lane: Option<FaultLane>,
+    /// Per-message fates, tracked only while a lane is attached (the
+    /// resilience layer polls these to decide whether to retry).
+    fates: HashMap<MessageId, MessageFate>,
 }
 
 impl SimNetwork {
@@ -139,6 +165,8 @@ impl SimNetwork {
             trace: Vec::new(),
             record_trace: false,
             telemetry: Telemetry::disabled(),
+            lane: None,
+            fates: HashMap::new(),
         }
     }
 
@@ -162,6 +190,14 @@ impl SimNetwork {
         self
     }
 
+    /// Attach a fault-injection lane driven by `plan`. A
+    /// [`FaultPlan::none`] plan leaves behavior byte-identical to the
+    /// unwrapped network while still tracking per-message fates.
+    pub fn with_faults(mut self, plan: FaultPlan) -> SimNetwork {
+        self.lane = Some(FaultLane::new(plan));
+        self
+    }
+
     pub fn now(&self) -> Tick {
         self.now
     }
@@ -172,6 +208,44 @@ impl SimNetwork {
 
     pub fn trace(&self) -> &[TraceEvent] {
         &self.trace
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.lane.as_ref().map(FaultLane::plan)
+    }
+
+    /// Injection counters from the attached lane, if any.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.lane.as_ref().map(FaultLane::stats)
+    }
+
+    /// The fate of a sent message. `None` when no lane is attached (no
+    /// tracking) or the id is unknown.
+    pub fn fate(&self, id: MessageId) -> Option<MessageFate> {
+        self.fates.get(&id).copied()
+    }
+
+    /// The earliest pending delivery instant, if anything is in flight.
+    pub fn next_tick(&self) -> Option<Tick> {
+        self.in_flight.keys().next().copied()
+    }
+
+    /// Total messages currently in flight (including duplicate copies).
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.values().map(VecDeque::len).sum()
+    }
+
+    /// Deliver everything due at or before `t`, then advance the clock to
+    /// at least `t` (the resilience layer uses this to sit out a backoff
+    /// window deterministically).
+    pub fn advance_to(&mut self, t: Tick) {
+        while self.next_tick().is_some_and(|next| next <= t) {
+            self.step();
+        }
+        if self.now < t {
+            self.now = t;
+        }
     }
 
     /// Enqueue a message. Assigns the message id; returns it.
@@ -215,7 +289,64 @@ impl SimNetwork {
         }
 
         let latency = self.latency.sample(from, to, &mut self.rng).max(1);
-        let deliver_at = self.now + latency;
+        let mut deliver_at = self.now + latency;
+
+        // Fault lane: decide this message's fate deterministically. With a
+        // none-plan the branch is never taken — no RNG draws, no counters,
+        // no telemetry — keeping the wrapped path byte-identical.
+        let mut dropped: Option<FaultKind> = None;
+        let mut duplicate_at: Option<Tick> = None;
+        if let Some(lane) = &mut self.lane {
+            if !lane.plan().is_none() {
+                let verdict = lane.apply(&msg, deliver_at);
+                deliver_at = verdict.deliver_at;
+                dropped = verdict.dropped;
+                duplicate_at = verdict.duplicate_at;
+                if verdict.delayed {
+                    self.stats.delayed += 1;
+                    self.telemetry.incr("net.fault.delayed", 1);
+                }
+                if verdict.reordered {
+                    self.stats.reordered += 1;
+                    self.telemetry.incr("net.fault.reordered", 1);
+                }
+                if duplicate_at.is_some() {
+                    self.stats.duplicated += 1;
+                    self.telemetry.incr("net.fault.duplicated", 1);
+                }
+                if let Some(kind) = dropped {
+                    self.stats.dropped += 1;
+                    match kind {
+                        FaultKind::Drop => {}
+                        FaultKind::Corrupt => self.stats.corrupted += 1,
+                        FaultKind::Crash => self.stats.crash_dropped += 1,
+                    }
+                    self.telemetry
+                        .incr(&format!("net.fault.{}", kind.name()), 1);
+                    if self.telemetry.enabled() {
+                        self.telemetry.event(
+                            self.now,
+                            peertrust_telemetry::SpanId::NONE,
+                            negotiation.0,
+                            "net.fault",
+                            vec![
+                                Field::str("kind", kind.name()),
+                                Field::str("from", from.to_string()),
+                                Field::str("to", to.to_string()),
+                                Field::u64("at", deliver_at),
+                            ],
+                        );
+                    }
+                }
+            }
+            self.fates.insert(
+                id,
+                match dropped {
+                    Some(kind) => MessageFate::Dropped(kind),
+                    None => MessageFate::InFlight,
+                },
+            );
+        }
 
         if self.telemetry.enabled() {
             let bytes = msg.encoded_size() as u64;
@@ -241,12 +372,24 @@ impl SimNetwork {
             );
         }
 
+        if dropped.is_some() {
+            // The sender cannot tell: send still succeeds, the message is
+            // just never delivered. Detection is the resilience layer's
+            // job (deadline + retry).
+            return Ok(id);
+        }
         if self.record_trace {
             self.trace.push(TraceEvent {
                 at: self.now,
                 delivered_at: deliver_at,
                 message: msg.clone(),
             });
+        }
+        if let Some(dup_at) = duplicate_at {
+            self.in_flight
+                .entry(dup_at)
+                .or_default()
+                .push_back(msg.clone());
         }
         self.in_flight.entry(deliver_at).or_default().push_back(msg);
         Ok(id)
@@ -266,6 +409,10 @@ impl SimNetwork {
         self.now = t;
         let batch = self.in_flight.remove(&t).expect("bucket exists");
         for msg in batch {
+            self.stats.delivered += 1;
+            if self.lane.is_some() {
+                self.fates.insert(msg.id, MessageFate::Delivered);
+            }
             if self.telemetry.enabled() {
                 self.telemetry.event(
                     self.now,
@@ -461,6 +608,152 @@ mod tests {
             .unwrap();
         assert_eq!(net.trace().len(), 1);
         assert_eq!(net.trace()[0].delivered_at, 1);
+    }
+
+    #[test]
+    fn none_plan_lane_is_byte_identical_to_unwrapped() {
+        // Identical seeds, jittered latency; one network wrapped with the
+        // identity plan. Traces, stats, clocks and delivered payloads must
+        // match byte for byte.
+        let run = |wrap: bool| {
+            let mut net = SimNetwork::with(
+                Topology::FullMesh,
+                LatencyModel::Uniform { min: 1, max: 6 },
+                99,
+            )
+            .with_trace();
+            if wrap {
+                net = net.with_faults(crate::faults::FaultPlan::none());
+            }
+            let mut log = Vec::new();
+            for i in 0..24 {
+                let (a, b) = if i % 2 == 0 { ("a", "b") } else { ("b", "a") };
+                net.send(NegotiationId(i), p(a), p(b), query_payload(), 0)
+                    .unwrap();
+                net.step();
+                for m in net.poll(p(b)).into_iter().chain(net.poll(p(a))) {
+                    log.push(format!("{}:{}:{}", net.now(), m.id.0, m.to));
+                }
+            }
+            let s = net.stats().clone();
+            let mut per_peer: Vec<(String, u64)> = s
+                .per_peer_sent
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect();
+            per_peer.sort();
+            (
+                log,
+                format!(
+                    "{} {} {} {} {} {} {} {} {:?}",
+                    s.messages_sent,
+                    s.bytes_sent,
+                    s.queries,
+                    s.delivered,
+                    s.dropped,
+                    s.duplicated,
+                    s.delayed,
+                    s.reordered,
+                    per_peer
+                ),
+                net.trace().len(),
+                net.now(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn lane_drops_count_and_track_fates() {
+        let plan = crate::faults::FaultPlan::uniform(5, crate::faults::LinkFaults::drops(1.0));
+        let mut net = SimNetwork::new(0).with_faults(plan);
+        let id = net
+            .send(NegotiationId(1), p("a"), p("b"), query_payload(), 0)
+            .unwrap();
+        assert_eq!(
+            net.fate(id),
+            Some(crate::faults::MessageFate::Dropped(
+                crate::faults::FaultKind::Drop
+            ))
+        );
+        assert_eq!(net.stats().dropped, 1);
+        assert!(!net.step(), "nothing in flight after a drop");
+        assert!(net.poll(p("b")).is_empty());
+    }
+
+    #[test]
+    fn lane_duplicates_deliver_twice_with_same_id() {
+        let plan = crate::faults::FaultPlan::uniform(
+            3,
+            crate::faults::LinkFaults {
+                dup_ppm: 1_000_000,
+                ..crate::faults::LinkFaults::NONE
+            },
+        );
+        let mut net = SimNetwork::new(0).with_faults(plan);
+        let id = net
+            .send(NegotiationId(1), p("a"), p("b"), query_payload(), 0)
+            .unwrap();
+        net.advance_to(64);
+        let msgs = net.poll(p("b"));
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs.iter().all(|m| m.id == id));
+        assert_eq!(net.stats().duplicated, 1);
+        assert_eq!(net.stats().delivered, 2);
+        assert_eq!(net.fate(id), Some(crate::faults::MessageFate::Delivered));
+    }
+
+    #[test]
+    fn crash_window_loses_deliveries_and_advance_to_skips_it() {
+        let plan = crate::faults::FaultPlan::none().with_crash(p("b"), 0, 10);
+        let mut net = SimNetwork::new(0).with_faults(plan);
+        let lost = net
+            .send(NegotiationId(1), p("a"), p("b"), query_payload(), 0)
+            .unwrap();
+        assert_eq!(
+            net.fate(lost),
+            Some(crate::faults::MessageFate::Dropped(
+                crate::faults::FaultKind::Crash
+            ))
+        );
+        assert_eq!(net.stats().crash_dropped, 1);
+        // After the window the link works again.
+        net.advance_to(10);
+        let ok = net
+            .send(NegotiationId(1), p("a"), p("b"), query_payload(), 0)
+            .unwrap();
+        net.step();
+        assert_eq!(net.poll(p("b")).len(), 1);
+        assert_eq!(net.fate(ok), Some(crate::faults::MessageFate::Delivered));
+    }
+
+    #[test]
+    fn conservation_holds_under_heavy_faults() {
+        // sent + duplicated == delivered + dropped + in_flight, checked
+        // after every send and every step.
+        let plan = crate::faults::FaultPlan::uniform(17, crate::faults::LinkFaults::lossy(0.35));
+        let mut net = SimNetwork::new(4).with_faults(plan);
+        let check = |net: &SimNetwork| {
+            let s = net.stats();
+            assert_eq!(
+                s.messages_sent + s.duplicated,
+                s.delivered + s.dropped + net.in_flight_len() as u64,
+                "conservation violated"
+            );
+        };
+        for i in 0..200 {
+            net.send(NegotiationId(i), p("a"), p("b"), query_payload(), 0)
+                .unwrap();
+            check(&net);
+            if i % 3 == 0 {
+                net.step();
+                check(&net);
+            }
+        }
+        while net.step() {
+            check(&net);
+        }
+        assert!(net.stats().dropped > 0, "plan was supposed to be lossy");
     }
 
     #[test]

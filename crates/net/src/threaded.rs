@@ -8,11 +8,14 @@
 //! complete negotiations over it to show the protocol is not an artifact of
 //! deterministic scheduling.
 
+use crate::faults::{FaultLane, FaultPlan, FaultStats};
 use crate::message::Message;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use peertrust_core::PeerId;
 use peertrust_telemetry::{Field, SpanId, Telemetry};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -89,6 +92,8 @@ impl Endpoint {
 /// shuts the router down.
 pub struct Router {
     handle: Option<JoinHandle<u64>>,
+    undeliverable: Arc<AtomicU64>,
+    faults: Arc<Mutex<FaultStats>>,
 }
 
 impl Router {
@@ -100,6 +105,20 @@ impl Router {
             .expect("join called once")
             .join()
             .expect("router thread panicked")
+    }
+
+    /// Messages addressed to peers the router does not know. Compatible
+    /// with `NetStats::undeliverable` — a dropped-message count, never a
+    /// silent discard.
+    pub fn undeliverable(&self) -> u64 {
+        self.undeliverable.load(Ordering::SeqCst)
+    }
+
+    /// Injection counters from the router's fault lane (all zero when the
+    /// network was built without one). Final once the router has exited;
+    /// a live router publishes after each routed message.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.lock().expect("fault stats poisoned").clone()
     }
 }
 
@@ -125,6 +144,25 @@ pub fn channel_network_with_telemetry(
     peers: &[PeerId],
     telemetry: Telemetry,
 ) -> (HashMap<PeerId, Endpoint>, Router) {
+    channel_network_faulty(peers, FaultPlan::none(), telemetry)
+}
+
+/// [`channel_network_with_telemetry`] with a fault lane in the router —
+/// the same [`FaultPlan`] vocabulary the simulated network uses, applied
+/// under real concurrency. Drop, duplicate and corruption probabilities
+/// behave as in the sim; injected delays/reorders only count (channel
+/// scheduling is already nondeterministic, there is no global clock to
+/// shift against), and crash windows are interpreted on the router's
+/// routed-message index rather than ticks. [`FaultPlan::none`] makes this
+/// behave exactly like the plain router.
+///
+/// Messages to unknown peers are never silently discarded: they count in
+/// [`Router::undeliverable`] and emit a `net.undeliverable` event.
+pub fn channel_network_faulty(
+    peers: &[PeerId],
+    plan: FaultPlan,
+    telemetry: Telemetry,
+) -> (HashMap<PeerId, Endpoint>, Router) {
     let (to_router, router_rx) = unbounded::<Message>();
     let mut endpoints = HashMap::new();
     let mut peer_txs: HashMap<PeerId, Sender<Message>> = HashMap::new();
@@ -143,16 +181,54 @@ pub fn channel_network_with_telemetry(
     }
     drop(to_router); // router exits when every endpoint sender is dropped
 
+    let undeliverable = Arc::new(AtomicU64::new(0));
+    let faults = Arc::new(Mutex::new(FaultStats::default()));
+    let undeliverable_in = Arc::clone(&undeliverable);
+    let faults_in = Arc::clone(&faults);
+    let router_telemetry = telemetry.clone();
     let handle = std::thread::Builder::new()
         .name("peertrust-router".into())
         .spawn(move || {
             let mut routed = 0u64;
+            let mut lane = (!plan.is_none()).then(|| FaultLane::new(plan));
+            let mut clock = 0u64;
             while let Ok(msg) = router_rx.recv() {
-                if let Some(tx) = peer_txs.get(&msg.to) {
-                    // A send error just means the recipient hung up.
-                    if tx.send(msg).is_ok() {
-                        routed += 1;
+                clock += 1;
+                let Some(tx) = peer_txs.get(&msg.to) else {
+                    undeliverable_in.fetch_add(1, Ordering::SeqCst);
+                    router_telemetry.incr("net.undeliverable", 1);
+                    if router_telemetry.enabled() {
+                        router_telemetry.event(
+                            clock,
+                            SpanId::NONE,
+                            msg.negotiation.0,
+                            "net.undeliverable",
+                            vec![
+                                Field::str("from", msg.from.to_string()),
+                                Field::str("to", msg.to.to_string()),
+                                Field::str("kind", msg.payload.kind()),
+                            ],
+                        );
                     }
+                    continue;
+                };
+                let mut duplicate = false;
+                if let Some(lane) = &mut lane {
+                    let verdict = lane.apply(&msg, clock);
+                    duplicate = verdict.duplicate_at.is_some();
+                    *faults_in.lock().expect("fault stats poisoned") = lane.stats().clone();
+                    if let Some(kind) = verdict.dropped {
+                        router_telemetry.incr(&format!("net.fault.{}", kind.name()), 1);
+                        continue;
+                    }
+                }
+                if duplicate {
+                    // Same message id delivered twice, as on the sim lane.
+                    let _ = tx.send(msg.clone());
+                }
+                // A send error just means the recipient hung up.
+                if tx.send(msg).is_ok() {
+                    routed += 1;
                 }
             }
             routed
@@ -163,6 +239,8 @@ pub fn channel_network_with_telemetry(
         endpoints,
         Router {
             handle: Some(handle),
+            undeliverable,
+            faults,
         },
     )
 }
@@ -208,18 +286,73 @@ mod tests {
     }
 
     #[test]
-    fn unknown_recipient_dropped() {
+    fn unknown_recipient_counted_not_silently_dropped() {
         let peers = [p("u-a")];
         let (mut eps, router) = channel_network(&peers);
         let a = eps.remove(&p("u-a")).unwrap();
         a.send(mk(p("u-a"), p("u-ghost"), 1)).unwrap();
         a.send(mk(p("u-a"), p("u-a"), 2)).unwrap();
+        // The router handles messages in order, so once the self-message
+        // arrives the ghost one has already been counted.
         let got = a
             .recv_timeout(Duration::from_secs(2))
             .expect("self message");
         assert_eq!(got.id, MessageId(2));
+        assert_eq!(router.undeliverable(), 1);
         drop(a);
         assert_eq!(router.join(), 1);
+    }
+
+    #[test]
+    fn unknown_recipient_emits_telemetry_event() {
+        let (telemetry, ring) = Telemetry::ring(64);
+        let peers = [p("ut-a")];
+        let (mut eps, router) = channel_network_with_telemetry(&peers, telemetry.clone());
+        let a = eps.remove(&p("ut-a")).unwrap();
+        a.send(mk(p("ut-a"), p("ut-ghost"), 1)).unwrap();
+        a.send(mk(p("ut-a"), p("ut-a"), 2)).unwrap();
+        a.recv_timeout(Duration::from_secs(2))
+            .expect("self message");
+        assert_eq!(router.undeliverable(), 1);
+        assert!(ring.events().iter().any(|e| e.kind == "net.undeliverable"));
+        assert_eq!(telemetry.metrics().unwrap().counter("net.undeliverable"), 1);
+        drop(a);
+        router.join();
+    }
+
+    #[test]
+    fn faulty_router_drops_and_duplicates_deterministically_by_plan() {
+        use crate::faults::{FaultPlan, LinkFaults};
+        // Drop everything on one link, duplicate everything on another.
+        let plan = FaultPlan::uniform(1, LinkFaults::NONE)
+            .with_link(p("f-a"), p("f-b"), LinkFaults::drops(1.0))
+            .with_link(
+                p("f-b"),
+                p("f-a"),
+                LinkFaults {
+                    dup_ppm: 1_000_000,
+                    ..LinkFaults::NONE
+                },
+            );
+        let peers = [p("f-a"), p("f-b")];
+        let (mut eps, router) = channel_network_faulty(&peers, plan, Telemetry::disabled());
+        let a = eps.remove(&p("f-a")).unwrap();
+        let b = eps.remove(&p("f-b")).unwrap();
+
+        a.send(mk(p("f-a"), p("f-b"), 1)).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(200)).is_none());
+
+        b.send(mk(p("f-b"), p("f-a"), 2)).unwrap();
+        let first = a.recv_timeout(Duration::from_secs(2)).expect("original");
+        let second = a.recv_timeout(Duration::from_secs(2)).expect("duplicate");
+        assert_eq!(first.id, second.id);
+
+        let stats = router.fault_stats();
+        assert_eq!(stats.injected_drops, 1);
+        assert_eq!(stats.duplicates, 1);
+        drop(a);
+        drop(b);
+        router.join();
     }
 
     #[test]

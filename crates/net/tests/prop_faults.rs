@@ -1,0 +1,198 @@
+//! Property-based tests for the fault-injection lane.
+//!
+//! The load-bearing invariant is *conservation*: the lane may lose,
+//! duplicate, delay or corrupt messages, but it must account for every
+//! one of them. At every instant,
+//!
+//! ```text
+//! messages_sent + duplicated == delivered + dropped + in_flight
+//! ```
+//!
+//! where `dropped` aggregates injected drops, corruption losses and
+//! crash-window losses, and `duplicated` counts the extra copies the lane
+//! enqueued. The second property is the byte-identity guarantee:
+//! attaching a lane with [`FaultPlan::none`] must leave the simulated
+//! network's observable behavior — delivered messages, clock, stats,
+//! trace — exactly as if no lane existed.
+
+use peertrust_core::{Literal, PeerId};
+use peertrust_net::{
+    FaultPlan, LatencyModel, LinkFaults, NegotiationId, Payload, QueryId, SimNetwork, Topology,
+};
+use proptest::prelude::*;
+
+fn peer(i: usize) -> PeerId {
+    PeerId::new(&format!("p{i}"))
+}
+
+fn payload(n: u64) -> Payload {
+    Payload::Query {
+        id: QueryId(n),
+        goal: Literal::truth(),
+    }
+}
+
+fn arb_link() -> impl Strategy<Value = LinkFaults> {
+    (
+        0u32..400_000,
+        0u32..400_000,
+        0u32..400_000,
+        1u64..8,
+        0u32..400_000,
+        0u32..400_000,
+    )
+        .prop_map(
+            |(drop_ppm, dup_ppm, delay_ppm, max_extra_delay, reorder_ppm, corrupt_ppm)| {
+                LinkFaults {
+                    drop_ppm,
+                    dup_ppm,
+                    delay_ppm,
+                    max_extra_delay,
+                    reorder_ppm,
+                    corrupt_ppm,
+                }
+            },
+        )
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        arb_link(),
+        prop::collection::vec((0usize..4, 0u64..30, 1u64..20), 0..3),
+    )
+        .prop_map(|(seed, link, crashes)| {
+            let mut plan = FaultPlan::uniform(seed, link);
+            for (p, from, len) in crashes {
+                plan = plan.with_crash(peer(p), from, from + len);
+            }
+            plan
+        })
+}
+
+/// One random workload step: send `from -> to`, or pump the clock.
+fn arb_ops() -> impl Strategy<Value = Vec<(usize, usize, bool)>> {
+    prop::collection::vec((0usize..4, 0usize..4, any::<bool>()), 1..80)
+}
+
+fn assert_conserved(net: &SimNetwork) {
+    let s = net.stats();
+    assert_eq!(
+        s.messages_sent + s.duplicated,
+        s.delivered + s.dropped + net.in_flight_len() as u64,
+        "conservation violated: {s:?}, in_flight={}",
+        net.in_flight_len()
+    );
+    // The drop aggregate decomposes exactly into the lane's per-kind
+    // counters.
+    let lane = net.fault_stats().expect("lane attached");
+    assert_eq!(
+        s.dropped,
+        lane.injected_drops + lane.corruptions + lane.crash_drops
+    );
+    assert_eq!(s.duplicated, lane.duplicates);
+    assert_eq!(s.corrupted, lane.corruptions);
+    assert_eq!(s.crash_dropped, lane.crash_drops);
+}
+
+proptest! {
+    /// Conservation holds after every send and every step, for random
+    /// plans, seeds and workloads.
+    #[test]
+    fn conservation_at_every_tick(
+        plan in arb_plan(),
+        net_seed in any::<u64>(),
+        ops in arb_ops(),
+    ) {
+        let mut net = SimNetwork::with(
+            Topology::FullMesh,
+            LatencyModel::Uniform { min: 1, max: 4 },
+            net_seed,
+        )
+        .with_faults(plan);
+        let mut n = 0u64;
+        for (from, to, pump) in ops {
+            if from != to {
+                n += 1;
+                net.send(NegotiationId(1), peer(from), peer(to), payload(n), 0)
+                    .unwrap();
+                assert_conserved(&net);
+            }
+            if pump {
+                net.step();
+                assert_conserved(&net);
+            }
+        }
+        // Drain everything; at quiescence nothing is in flight.
+        while net.step() {
+            assert_conserved(&net);
+        }
+        for p in 0..4 {
+            let _ = net.poll(peer(p));
+        }
+        assert_conserved(&net);
+        prop_assert_eq!(net.in_flight_len(), 0);
+    }
+
+    /// A none-plan lane is byte-identical to the unwrapped network under
+    /// arbitrary seeds and workloads.
+    #[test]
+    fn none_plan_is_byte_identical(net_seed in any::<u64>(), ops in arb_ops()) {
+        let run = |wrap: bool| {
+            let mut net = SimNetwork::with(
+                Topology::FullMesh,
+                LatencyModel::Uniform { min: 1, max: 9 },
+                net_seed,
+            )
+            .with_trace();
+            if wrap {
+                net = net.with_faults(FaultPlan::none());
+            }
+            let mut n = 0u64;
+            let mut observed = Vec::new();
+            for &(from, to, pump) in &ops {
+                if from != to {
+                    n += 1;
+                    net.send(NegotiationId(1), peer(from), peer(to), payload(n), 0)
+                        .unwrap();
+                }
+                if pump {
+                    net.step();
+                    for p in 0..4 {
+                        for m in net.poll(peer(p)) {
+                            observed.push(format!("{}@{}:{}->{}", m.id.0, net.now(), m.from, m.to));
+                        }
+                    }
+                }
+            }
+            while net.step() {}
+            let trace: Vec<String> = net
+                .trace()
+                .iter()
+                .map(|t| format!("{}→{}#{}", t.at, t.delivered_at, t.message.id.0))
+                .collect();
+            let s = net.stats().clone();
+            let mut per_peer: Vec<(String, u64)> = s
+                .per_peer_sent
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect();
+            per_peer.sort();
+            let stats = format!(
+                "{} {} {} {} {} {} {} {} {} {:?}",
+                s.messages_sent,
+                s.bytes_sent,
+                s.queries,
+                s.delivered,
+                s.dropped,
+                s.duplicated,
+                s.delayed,
+                s.reordered,
+                s.corrupted,
+                per_peer
+            );
+            (observed, trace, stats, net.now())
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}

@@ -16,13 +16,16 @@
 //!   peer-count scaling;
 //! * [`throughput_grid`] — E14: one server and *n* clients each behind a
 //!   namespaced release chain, plus a round-robin job list for the batch
-//!   scheduler's negotiations/sec benchmark.
+//!   scheduler's negotiations/sec benchmark;
+//! * [`resilience_grid`] — E15: the E14 workload crossed with a grid of
+//!   fault plans (drop rate × retry budget) for the resilience sweep.
 //!
 //! Every generator is deterministic in its seed.
 
 use peertrust_core::{Literal, PeerId, Term};
 use peertrust_crypto::KeyRegistry;
-use peertrust_negotiation::{BatchJob, NegotiationPeer, PeerMap};
+use peertrust_negotiation::{BatchFaults, BatchJob, NegotiationPeer, PeerMap, ResilienceConfig};
+use peertrust_net::{FaultPlan, LinkFaults};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -432,6 +435,60 @@ pub fn throughput_grid(clients: usize, repeats: usize, depth: usize) -> BatchWor
     }
 }
 
+/// One cell of the E15 resilience sweep: a fault plan at `drop_rate` and
+/// a retry budget, ready to drop into `BatchConfig::faults`.
+pub struct ResilienceGridPoint {
+    /// `"drop{pct}_retry{budget}"`, for metric names and reports.
+    pub label: String,
+    pub drop_rate: f64,
+    pub max_retries: u32,
+    pub faults: BatchFaults,
+}
+
+/// E15: the [`throughput_grid`] workload crossed with a fault grid —
+/// every combination of `drop_rates` × `retry_budgets` becomes a
+/// [`ResilienceGridPoint`] whose plan drops (and proportionately
+/// duplicates/delays/reorders/corrupts, via [`LinkFaults::lossy`]) at
+/// the given rate. Deadlines are sized so the budget, not the clock, is
+/// the binding constraint. Deterministic in `seed`.
+pub fn resilience_grid(
+    clients: usize,
+    repeats: usize,
+    depth: usize,
+    seed: u64,
+    drop_rates: &[f64],
+    retry_budgets: &[u32],
+) -> (BatchWorkload, Vec<ResilienceGridPoint>) {
+    let workload = throughput_grid(clients, repeats, depth);
+    let mut points = Vec::with_capacity(drop_rates.len() * retry_budgets.len());
+    for &drop_rate in drop_rates {
+        for &max_retries in retry_budgets {
+            let link = if drop_rate == 0.0 {
+                LinkFaults::NONE
+            } else {
+                LinkFaults::lossy(drop_rate)
+            };
+            points.push(ResilienceGridPoint {
+                label: format!(
+                    "drop{}_retry{max_retries}",
+                    (drop_rate * 100.0).round() as u32
+                ),
+                drop_rate,
+                max_retries,
+                faults: BatchFaults {
+                    plan: FaultPlan::uniform(seed, link),
+                    resilience: ResilienceConfig {
+                        max_retries,
+                        query_deadline_ticks: 256,
+                        ..ResilienceConfig::default()
+                    },
+                },
+            });
+        }
+    }
+    (workload, points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,6 +659,40 @@ mod tests {
             assert_eq!(c.granted, wo.granted);
             assert_eq!(c.requester, wo.requester);
             assert_eq!(c.goal, wo.goal);
+        }
+    }
+
+    #[test]
+    fn resilience_grid_points_converge_with_retries() {
+        use peertrust_negotiation::{negotiate_batch, BatchConfig};
+        let (w, points) = resilience_grid(2, 2, 2, 17, &[0.0, 0.2], &[4]);
+        assert_eq!(points.len(), 2);
+        let clean = negotiate_batch(
+            &w.peers,
+            &w.jobs,
+            &BatchConfig::default(),
+            &peertrust_telemetry::Telemetry::disabled(),
+        );
+        for point in points {
+            let report = negotiate_batch(
+                &w.peers,
+                &w.jobs,
+                &BatchConfig {
+                    faults: Some(point.faults.clone()),
+                    ..BatchConfig::default()
+                },
+                &peertrust_telemetry::Telemetry::disabled(),
+            );
+            assert_eq!(
+                report.stats.converged, report.stats.jobs,
+                "{} must converge",
+                point.label
+            );
+            assert_eq!(
+                report.stats.successes, clean.stats.successes,
+                "{}",
+                point.label
+            );
         }
     }
 

@@ -10,8 +10,8 @@ pub mod scenario1;
 pub mod scenario2;
 
 pub use generator::{
-    chain, delegation_chain, fleet, random_policies, throughput_grid, BatchWorkload,
-    RandomPolicyConfig, Workload,
+    chain, delegation_chain, fleet, random_policies, resilience_grid, throughput_grid,
+    BatchWorkload, RandomPolicyConfig, ResilienceGridPoint, Workload,
 };
 pub use grid::GridScenario;
 pub use intensional::IntensionalScenario;

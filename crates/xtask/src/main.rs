@@ -8,7 +8,10 @@
 //! editing one means editing [`STEPS`], which is what both consume.
 //! `cargo xtask verify --threads` appends [`THREAD_STEPS`], the
 //! concurrent-path smoke pass (shared-table stress, batch-scheduler
-//! determinism, shared-cache concurrency).
+//! determinism, shared-cache concurrency). `cargo xtask verify --faults`
+//! appends [`FAULT_STEPS`], the fault-injection/resilience pass
+//! (conservation and byte-identity proptests, resilience differential
+//! and convergence proptests, faulty-batch determinism).
 
 use std::process::Command;
 
@@ -93,6 +96,20 @@ const STEPS: &[Step] = &[
         ],
         &[],
     ),
+    step(
+        "bench smoke (e15_resilience)",
+        &[
+            "bench",
+            "-p",
+            "peertrust-bench",
+            "--bench",
+            "e15_resilience",
+            "--",
+            "--measurement-time",
+            "1",
+        ],
+        &[],
+    ),
 ];
 
 /// Extra steps behind `cargo xtask verify --threads`: the concurrent-path
@@ -137,24 +154,82 @@ const THREAD_STEPS: &[Step] = &[
     ),
 ];
 
+/// Extra steps behind `cargo xtask verify --faults`: the
+/// fault-injection/resilience pass — the net-layer conservation and
+/// byte-identity proptests, the resilience differential/convergence
+/// proptests, and the faulty-batch determinism tests.
+const FAULT_STEPS: &[Step] = &[
+    step(
+        "net fault-lane proptests (conservation, byte-identity)",
+        &["test", "-q", "-p", "peertrust-net", "--test", "prop_faults"],
+        &[],
+    ),
+    step(
+        "net fault-lane unit tests",
+        &["test", "-q", "-p", "peertrust-net", "--lib", "faults::"],
+        &[],
+    ),
+    step(
+        "resilience proptests (differential, convergence, crash-resume)",
+        &[
+            "test",
+            "-q",
+            "-p",
+            "peertrust-negotiation",
+            "--test",
+            "prop_resilience",
+        ],
+        &[],
+    ),
+    step(
+        "resilient session + faulty-batch tests",
+        &[
+            "test",
+            "-q",
+            "-p",
+            "peertrust-negotiation",
+            "--lib",
+            "resilience::",
+        ],
+        &[],
+    ),
+    step(
+        "faulty-batch determinism",
+        &[
+            "test",
+            "-q",
+            "-p",
+            "peertrust-negotiation",
+            "--lib",
+            "scheduler::tests::faulty",
+        ],
+        &[],
+    ),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("verify") => verify(args.iter().any(|a| a == "--threads")),
+        Some("verify") => verify(
+            args.iter().any(|a| a == "--threads"),
+            args.iter().any(|a| a == "--faults"),
+        ),
         _ => {
-            eprintln!("usage: cargo xtask verify [--threads]");
+            eprintln!("usage: cargo xtask verify [--threads] [--faults]");
             std::process::exit(2);
         }
     }
 }
 
-fn verify(threads: bool) {
+fn verify(threads: bool, faults: bool) {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
-    let steps: Vec<&Step> = if threads {
-        STEPS.iter().chain(THREAD_STEPS).collect()
-    } else {
-        STEPS.iter().collect()
-    };
+    let mut steps: Vec<&Step> = STEPS.iter().collect();
+    if threads {
+        steps.extend(THREAD_STEPS.iter());
+    }
+    if faults {
+        steps.extend(FAULT_STEPS.iter());
+    }
     for s in steps {
         println!("== xtask verify: {} ==", s.name);
         let mut cmd = Command::new(&cargo);
