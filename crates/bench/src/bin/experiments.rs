@@ -10,8 +10,9 @@
 //!
 //! Pass `--json` to also dump machine-readable rows. Every run also
 //! re-executes the two paper scenarios under an instrumented telemetry
-//! pipeline and writes the metrics registry to `metrics.json` alongside a
-//! per-negotiation `timeline.jsonl`.
+//! pipeline and writes the metrics registry to `target/metrics.json`
+//! alongside a per-negotiation `target/timeline.jsonl` (override the
+//! directory with `--out-dir <dir>`).
 
 use peertrust_bench::{run_negotiation, run_workload, with_big_stack, Row};
 use peertrust_core::{KnowledgeBase, Literal, PeerId, Rule, Sym, Term};
@@ -26,6 +27,15 @@ use peertrust_scenarios::{
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        // Generated artifacts live under target/ so a default run never
+        // dirties the repository root.
+        .unwrap_or_else(|| std::path::PathBuf::from("target"));
     let mut rows: Vec<Row> = Vec::new();
 
     e1(&mut rows);
@@ -47,12 +57,13 @@ fn main() {
         println!("\n{}", serde_json::to_string_pretty(&rows).unwrap());
     }
 
-    telemetry_export();
+    telemetry_export(&out_dir);
 }
 
 /// Re-run the instrumented paper scenarios and export the metrics registry
-/// (`metrics.json`) plus the chronological event stream (`timeline.jsonl`).
-fn telemetry_export() {
+/// (`metrics.json`) plus the chronological event stream (`timeline.jsonl`)
+/// into `out_dir`.
+fn telemetry_export(out_dir: &std::path::Path) {
     use peertrust_telemetry::{Telemetry, Timeline};
 
     println!("\n== Telemetry export (instrumented E1/E2) ==");
@@ -201,13 +212,16 @@ fn telemetry_export() {
         );
     }
 
+    std::fs::create_dir_all(out_dir).expect("create output dir");
     let metrics = telemetry.metrics().expect("telemetry enabled").to_json();
-    std::fs::write("metrics.json", &metrics).expect("write metrics.json");
+    let metrics_path = out_dir.join("metrics.json");
+    std::fs::write(&metrics_path, &metrics).expect("write metrics.json");
 
     let events = ring.events();
     let timelines = Timeline::from_events(&events);
     let dump: String = timelines.iter().map(Timeline::to_jsonl).collect();
-    std::fs::write("timeline.jsonl", &dump).expect("write timeline.jsonl");
+    let timeline_path = out_dir.join("timeline.jsonl");
+    std::fs::write(&timeline_path, &dump).expect("write timeline.jsonl");
 
     for tl in &timelines {
         println!(
@@ -218,8 +232,10 @@ fn telemetry_export() {
         );
     }
     println!(
-        "  wrote metrics.json ({} bytes) and timeline.jsonl ({} bytes)",
+        "  wrote {} ({} bytes) and {} ({} bytes)",
+        metrics_path.display(),
         metrics.len(),
+        timeline_path.display(),
         dump.len()
     );
 }

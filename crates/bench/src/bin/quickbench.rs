@@ -1,0 +1,227 @@
+//! Criterion-free smoke benchmark for the solver hot path.
+//!
+//! Runs a handful of e8/e13/e14 scenarios a fixed number of times with
+//! `std::time::Instant`, reports the median wall time per scenario, and
+//! writes the result as JSON (default `target/BENCH_PR5.json`). This is
+//! what `cargo xtask bench --quick` invokes in CI: fast enough to run on
+//! every push, deterministic in workload shape, and comparable against
+//! the committed pre-PR baseline `BENCH_BASELINE_PR5.json`.
+//!
+//! Usage:
+//!   quickbench [--quick] [--out PATH] [--baseline PATH]
+//!
+//! `--quick` lowers iteration counts for CI smoke runs. `--baseline`
+//! compares the freshly measured `e8_deep_chain_cold` median against the
+//! named baseline file and exits non-zero if it regressed by more than
+//! 25%.
+
+use peertrust_core::{KnowledgeBase, Literal, PeerId, Rule, Term};
+use peertrust_engine::{AnswerTable, EngineConfig, RefSolver, SharedTable, Solver};
+use peertrust_negotiation::{negotiate_batch, BatchConfig};
+use peertrust_scenarios::throughput_grid;
+use peertrust_telemetry::Telemetry;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Linear `reach`/`edge` closure KB: the e8/e13 deep-chain workload.
+fn closure_kb(n: usize) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    kb.add_local(Rule::horn(
+        Literal::new("reach", vec![Term::var("X"), Term::var("Y")]),
+        vec![Literal::new("edge", vec![Term::var("X"), Term::var("Y")])],
+    ));
+    kb.add_local(Rule::horn(
+        Literal::new("reach", vec![Term::var("X"), Term::var("Z")]),
+        vec![
+            Literal::new("edge", vec![Term::var("X"), Term::var("Y")]),
+            Literal::new("reach", vec![Term::var("Y"), Term::var("Z")]),
+        ],
+    ));
+    for i in 0..n {
+        kb.add_local(Rule::fact(Literal::new(
+            "edge",
+            vec![Term::int(i as i64), Term::int(i as i64 + 1)],
+        )));
+    }
+    kb
+}
+
+fn engine_config(tabling: bool) -> EngineConfig {
+    EngineConfig {
+        max_solutions: usize::MAX,
+        max_depth: 4096,
+        tabling,
+        ..EngineConfig::default()
+    }
+}
+
+/// Median wall time in nanoseconds over `iters` runs of `f`. The closure
+/// returns a checksum that is asserted against `expect` so the work
+/// cannot be optimized away and the scenario stays self-validating.
+fn median_ns<F: FnMut() -> usize>(iters: usize, expect: usize, mut f: F) -> u128 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        let got = f();
+        samples.push(t.elapsed().as_nanos());
+        assert_eq!(got, expect, "scenario checksum mismatch");
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Report {
+    entries: Vec<(&'static str, u128, usize)>,
+}
+
+impl Report {
+    fn record(
+        &mut self,
+        name: &'static str,
+        iters: usize,
+        expect: usize,
+        f: impl FnMut() -> usize,
+    ) {
+        let ns = median_ns(iters, expect, f);
+        println!("{name:<28} median {:>12} ns  ({iters} iters)", ns);
+        self.entries.push((name, ns, iters));
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"peertrust-quickbench-v1\",\n");
+        out.push_str("  \"scenarios\": {\n");
+        for (i, (name, ns, iters)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    \"{name}\": {{ \"median_ns\": {ns}, \"iters\": {iters} }}{comma}\n"
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Pull `"<scenario>": { "median_ns": N` out of a quickbench JSON file
+/// without a full parser (the format is our own, written above).
+fn read_median(json: &str, scenario: &str) -> Option<u128> {
+    let key = format!("\"{scenario}\"");
+    let at = json.find(&key)?;
+    let rest = &json[at..];
+    let m = rest.find("\"median_ns\":")?;
+    let tail = rest[m + "\"median_ns\":".len()..].trim_start();
+    let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "target/BENCH_PR5.json".to_string());
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (deep_iters, table_iters, batch_iters) = if quick { (7, 7, 3) } else { (21, 21, 5) };
+
+    let mut report = Report {
+        entries: Vec::new(),
+    };
+
+    // e8: deep-chain cold solve, no tabling — the clone-per-choice-point
+    // hot path this PR targets. Depth 128 ≥ the 64 the issue demands.
+    let deep = closure_kb(128);
+    let deep_goal = [Literal::new("reach", vec![Term::int(0), Term::var("W")])];
+    report.record("e8_deep_chain_cold", deep_iters, 128, || {
+        let mut solver = Solver::new(&deep, PeerId::new("self")).with_config(engine_config(false));
+        solver.solve(&deep_goal).len()
+    });
+
+    // The same workload through the clone-per-branch reference
+    // interpreter (the pre-trail algorithm, kept in-tree). The ratio
+    // legacy/trail is a machine-independent speedup figure: both numbers
+    // come from the same process on the same hardware.
+    report.record("e8_deep_chain_legacy", deep_iters, 128, || {
+        let mut solver =
+            RefSolver::new(&deep, PeerId::new("self")).with_config(engine_config(false));
+        solver.solve(&deep_goal).len()
+    });
+
+    // e13: tabled cold solve — table built from scratch each iteration.
+    let tbl_kb = closure_kb(64);
+    let tbl_goal = [Literal::new("reach", vec![Term::int(0), Term::var("W")])];
+    report.record("e13_tabled_cold", table_iters, 64, || {
+        let mut solver = Solver::new(&tbl_kb, PeerId::new("self")).with_config(engine_config(true));
+        solver.solve(&tbl_goal).len()
+    });
+
+    // e13: warm table — answers served from a pre-populated shared table.
+    let table: SharedTable = Rc::new(RefCell::new(AnswerTable::new()));
+    {
+        let mut warmer = Solver::new(&tbl_kb, PeerId::new("self"))
+            .with_config(engine_config(true))
+            .with_table(table.clone());
+        assert_eq!(warmer.solve(&tbl_goal).len(), 64);
+    }
+    report.record("e13_tabled_warm", table_iters, 64, || {
+        let mut solver = Solver::new(&tbl_kb, PeerId::new("self"))
+            .with_config(engine_config(true))
+            .with_table(table.clone());
+        solver.solve(&tbl_goal).len()
+    });
+
+    // e14: small negotiation batch — ensures the end-to-end stack
+    // (sessions, transport, scheduler) stays within noise.
+    let grid = throughput_grid(4, 2, 4);
+    report.record("e14_batch", batch_iters, 8, || {
+        let cfg = BatchConfig {
+            workers: 2,
+            ..BatchConfig::default()
+        };
+        let rep = negotiate_batch(&grid.peers, &grid.jobs, &cfg, &Telemetry::disabled());
+        rep.stats.successes
+    });
+
+    let json = report.to_json();
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+
+    if let (Some(trail), Some(legacy)) = (
+        read_median(&json, "e8_deep_chain_cold"),
+        read_median(&json, "e8_deep_chain_legacy"),
+    ) {
+        println!(
+            "e8 deep-chain speedup: legacy {legacy} ns / trail {trail} ns = {:.2}x",
+            legacy as f64 / trail as f64
+        );
+    }
+
+    if let Some(bp) = baseline_path {
+        let base =
+            std::fs::read_to_string(&bp).unwrap_or_else(|e| panic!("read baseline {bp}: {e}"));
+        let base_ns =
+            read_median(&base, "e8_deep_chain_cold").expect("baseline missing e8_deep_chain_cold");
+        let new_ns = read_median(&json, "e8_deep_chain_cold").expect("own e8 median");
+        let ratio = new_ns as f64 / base_ns as f64;
+        println!(
+            "e8_deep_chain_cold vs baseline: {new_ns} ns / {base_ns} ns = {ratio:.3}x baseline"
+        );
+        if ratio > 1.25 {
+            eprintln!("FAIL: e8_deep_chain_cold regressed >25% vs {bp}");
+            std::process::exit(1);
+        }
+        println!("OK: within the 25% regression budget");
+    }
+}

@@ -65,6 +65,10 @@ pub struct KnowledgeBase {
     first_arg: HashMap<(Sym, usize, ArgKey), Vec<usize>>,
     /// functor -> clause ids whose first head arg is a variable (or arity 0).
     var_headed: HashMap<(Sym, usize), Vec<usize>>,
+    /// Distinct predicates, kept sorted incrementally on insert so
+    /// [`KnowledgeBase::predicates`] never re-collects and re-sorts the
+    /// whole index (callers poll it per negotiation round).
+    sorted_predicates: Vec<(Sym, usize)>,
 }
 
 impl KnowledgeBase {
@@ -109,7 +113,15 @@ impl KnowledgeBase {
             rule: Arc::new(rule),
             origin,
         });
-        self.index.entry(key).or_default().push(idx);
+        let bucket = self.index.entry(key).or_default();
+        if bucket.is_empty() {
+            // New predicate: keep the cached enumeration list sorted with
+            // one binary-search insert instead of a full sort per query.
+            if let Err(pos) = self.sorted_predicates.binary_search(&key) {
+                self.sorted_predicates.insert(pos, key);
+            }
+        }
+        bucket.push(idx);
         id
     }
 
@@ -189,11 +201,11 @@ impl KnowledgeBase {
         self.rules.iter().filter(|r| r.origin == RuleOrigin::Local)
     }
 
-    /// Distinct predicates (with arity) defined in this KB.
+    /// Distinct predicates (with arity) defined in this KB, in sorted
+    /// order. O(1): served from a list maintained on insert, not
+    /// recollected from the index per call.
     pub fn predicates(&self) -> Vec<(Sym, usize)> {
-        let mut keys: Vec<_> = self.index.keys().copied().collect();
-        keys.sort();
-        keys
+        self.sorted_predicates.clone()
     }
 }
 
@@ -369,6 +381,26 @@ mod tests {
         kb.add_local(fact("a", "z"));
         let preds = kb.predicates();
         assert_eq!(preds.len(), 2);
+    }
+
+    #[test]
+    fn predicate_enumeration_is_insertion_order_independent() {
+        // The cached sorted list must enumerate identically no matter
+        // what order predicates were first inserted in.
+        let names = ["delta", "alpha", "echo", "bravo", "charlie"];
+        let mut forward = KnowledgeBase::new();
+        for n in names {
+            forward.add_local(fact(n, "x"));
+        }
+        let mut backward = KnowledgeBase::new();
+        for n in names.iter().rev() {
+            backward.add_local(fact(n, "x"));
+            backward.add_local(fact(n, "y")); // duplicates must not re-insert
+        }
+        assert_eq!(forward.predicates(), backward.predicates());
+        let mut expected = forward.predicates();
+        expected.sort();
+        assert_eq!(forward.predicates(), expected, "list is sorted");
     }
 }
 

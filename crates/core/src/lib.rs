@@ -37,7 +37,9 @@
 //! assert_eq!(lit.to_string(), "student(\"Alice\") @ \"UIUC\"");
 //! ```
 
+pub mod bindings;
 pub mod context;
+pub mod hash;
 pub mod kb;
 pub mod literal;
 pub mod rule;
@@ -49,7 +51,11 @@ pub mod unify;
 
 /// Convenient re-exports of the types used by nearly every client.
 pub mod prelude {
+    pub use crate::bindings::{
+        unify_in, unify_literals_in, unify_opts_in, Bindings, Checkpoint, TrailStats,
+    };
     pub use crate::context::Context;
+    pub use crate::hash::{FxBuildHasher, FxHashMap, FxHashSet};
     pub use crate::kb::{KnowledgeBase, RuleOrigin};
     pub use crate::literal::Literal;
     pub use crate::rule::{Rule, RuleId};

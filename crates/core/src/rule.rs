@@ -153,6 +153,42 @@ impl Rule {
         }
     }
 
+    /// Standardize apart with *per-variable* fresh versions: every
+    /// distinct variable in the rule gets its own version drawn from
+    /// `next_version` (pre-incremented, so the first variable receives
+    /// `next_version + 1`).
+    ///
+    /// Unlike [`Rule::rename_apart`], which stamps one shared version on
+    /// every variable, this gives each variable a globally unique `u32`
+    /// — exactly what the trail-based binding store needs to address
+    /// variables as dense slot indices (`version - base - 1`) instead of
+    /// hashing them. Display names are preserved, so the
+    /// `Requester`/`Self` pseudo-variable checks still work on renamed
+    /// instances.
+    pub fn rename_apart_indexed(&self, next_version: &mut u32) -> Rule {
+        // Rules have a handful of variables; a linear assoc list beats a
+        // hash map at this size and allocates once.
+        let mut assigned: Vec<(Var, u32)> = Vec::new();
+        let mut rename = |v: Var| {
+            let version = match assigned.iter().find(|(w, _)| *w == v) {
+                Some((_, ver)) => *ver,
+                None => {
+                    *next_version += 1;
+                    assigned.push((v, *next_version));
+                    *next_version
+                }
+            };
+            Term::Var(Var::versioned(v.name, version))
+        };
+        Rule {
+            head: self.head.map_vars(&mut rename),
+            head_context: self.head_context.as_ref().map(|c| c.map_vars(&mut rename)),
+            rule_context: self.rule_context.as_ref().map(|c| c.map_vars(&mut rename)),
+            body: self.body.iter().map(|b| b.map_vars(&mut rename)).collect(),
+            signed_by: self.signed_by.clone(),
+        }
+    }
+
     /// Strip contexts, as done when a rule is sent to another peer
     /// (paper §3.1: "we will strip the contexts from literals and rules when
     /// they are sent to another peer").

@@ -85,7 +85,7 @@ impl Serialize for Term {
             Term::Atom(s) => TermMirror::Atom(*s),
             Term::Str(s) => TermMirror::Str(*s),
             Term::Int(i) => TermMirror::Int(*i),
-            Term::Compound(f, args) => TermMirror::Compound(*f, args.clone()),
+            Term::Compound(f, args) => TermMirror::Compound(*f, args.to_vec()),
         };
         m.serialize(serializer)
     }
@@ -98,7 +98,7 @@ impl<'de> Deserialize<'de> for Term {
             TermMirror::Atom(s) => Term::Atom(s),
             TermMirror::Str(s) => Term::Str(s),
             TermMirror::Int(i) => Term::Int(i),
-            TermMirror::Compound(f, args) => Term::Compound(f, args),
+            TermMirror::Compound(f, args) => Term::Compound(f, args.into()),
         })
     }
 }

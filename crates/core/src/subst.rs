@@ -5,15 +5,19 @@
 //! dereferences chains lazily. [`Subst::apply`] resolves a term fully.
 
 use crate::context::Context;
+use crate::hash::FxHashMap;
 use crate::literal::Literal;
 use crate::term::{Term, Var};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A substitution (set of variable bindings).
+///
+/// Keyed with [`FxHashMap`]: variables hash a `(Sym, u32)` pair, for
+/// which the multiply-rotate hash is several times cheaper than SipHash
+/// and needs no DoS resistance (keys come from local policies).
 #[derive(Clone, Default, PartialEq, Eq, Debug)]
 pub struct Subst {
-    map: HashMap<Var, Term>,
+    map: FxHashMap<Var, Term>,
 }
 
 impl Subst {
@@ -58,18 +62,48 @@ impl Subst {
     /// Fully apply the substitution, producing a term with every bound
     /// variable replaced (recursively) by its binding.
     ///
-    /// Fast path: the empty substitution cannot change anything, so the
+    /// Fast paths: the empty substitution cannot change anything, so the
     /// term is cloned without walking it (this runs under every
-    /// resolution step, where fresh-goal substitutions are often empty).
+    /// resolution step, where fresh-goal substitutions are often empty);
+    /// and subterms the substitution leaves untouched — every ground
+    /// subterm in particular — are shared with the input (`Arc` bump)
+    /// instead of being rebuilt.
     pub fn apply(&self, t: &Term) -> Term {
         if self.map.is_empty() {
             return t.clone();
         }
-        let t = self.walk(t);
+        self.resolve_opt(t).unwrap_or_else(|| t.clone())
+    }
+
+    /// Copy-on-write core of [`Subst::apply`]: `None` means the term is
+    /// unchanged under this substitution (the caller keeps the original,
+    /// no allocation), `Some(t')` is the rewritten term. A compound
+    /// reallocates only when at least one argument actually changed.
+    fn resolve_opt(&self, t: &Term) -> Option<Term> {
         match t {
-            Term::Var(_) | Term::Atom(_) | Term::Str(_) | Term::Int(_) => t.clone(),
+            Term::Atom(_) | Term::Str(_) | Term::Int(_) => None,
+            Term::Var(_) => {
+                let w = self.walk(t);
+                if std::ptr::eq(w, t) {
+                    return None; // unbound: walk returned the input itself
+                }
+                Some(self.resolve_opt(w).unwrap_or_else(|| w.clone()))
+            }
             Term::Compound(f, args) => {
-                Term::Compound(*f, args.iter().map(|a| self.apply(a)).collect())
+                let mut rebuilt: Option<Vec<Term>> = None;
+                for (i, a) in args.iter().enumerate() {
+                    match self.resolve_opt(a) {
+                        Some(changed) => rebuilt
+                            .get_or_insert_with(|| args[..i].to_vec())
+                            .push(changed),
+                        None => {
+                            if let Some(v) = rebuilt.as_mut() {
+                                v.push(a.clone());
+                            }
+                        }
+                    }
+                }
+                rebuilt.map(|v| Term::Compound(*f, v.into()))
             }
         }
     }

@@ -17,10 +17,11 @@
 //! own shard. A symbol's shard is recoverable from its id (the low 4
 //! bits), so [`Sym::as_str`] locks exactly one shard too.
 
+use crate::hash::{FxBuildHasher, FxHasher};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::Hasher;
 use std::sync::OnceLock;
 
 /// An interned string. Cheap to copy, compare and hash.
@@ -38,27 +39,6 @@ use std::sync::OnceLock;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Sym(u32);
 
-/// FxHash (the rustc-internal multiply-rotate hash): far cheaper than
-/// SipHash for the short identifier strings the interner sees, and we
-/// need no DoS resistance — symbol names come from policies, not
-/// attacker-controlled network input.
-#[derive(Default)]
-struct FxHasher(u64);
-
-impl Hasher for FxHasher {
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x517c_c1b7_2722_0a95);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-type FxBuild = BuildHasherDefault<FxHasher>;
-
 /// Shard count; must be a power of two (ids store the shard in the low
 /// `SHARD_BITS` bits).
 const SHARD_BITS: u32 = 4;
@@ -66,7 +46,7 @@ const SHARDS: usize = 1 << SHARD_BITS;
 
 #[derive(Default)]
 struct Shard {
-    map: HashMap<&'static str, u32, FxBuild>,
+    map: HashMap<&'static str, u32, FxBuildHasher>,
     strings: Vec<&'static str>,
 }
 

@@ -12,6 +12,7 @@
 
 use crate::symbol::{well_known, PeerId, Sym};
 use std::fmt;
+use std::sync::Arc;
 
 /// A logic variable: a display name plus a renaming version.
 ///
@@ -71,7 +72,13 @@ pub enum Term {
     /// An integer constant, e.g. `2000`.
     Int(i64),
     /// A compound term `f(t1, ..., tn)` with n >= 1.
-    Compound(Sym, Vec<Term>),
+    ///
+    /// The argument list is reference-counted (`Arc`, so terms stay
+    /// `Send`): cloning a compound — which the solver does on every
+    /// binding, answer and proof node — bumps a counter instead of
+    /// deep-copying the subtree, and ground subterms are structurally
+    /// shared between a rule and every instance derived from it.
+    Compound(Sym, Arc<[Term]>),
 }
 
 impl Term {
@@ -97,7 +104,7 @@ impl Term {
 
     /// Convenience constructor for a compound term.
     pub fn compound(functor: impl Into<Sym>, args: Vec<Term>) -> Term {
-        Term::Compound(functor.into(), args)
+        Term::Compound(functor.into(), args.into())
     }
 
     /// A string term holding a peer's distinguished name.
@@ -139,7 +146,7 @@ impl Term {
             Term::Var(v) => out.push(*v),
             Term::Atom(_) | Term::Str(_) | Term::Int(_) => {}
             Term::Compound(_, args) => {
-                for a in args {
+                for a in args.iter() {
                     a.collect_vars(out);
                 }
             }

@@ -35,16 +35,21 @@ pub fn unify(a: &Term, b: &Term, s: &mut Subst) -> bool {
 }
 
 /// [`unify`] with explicit options.
+///
+/// Allocation discipline: constants and mismatches allocate nothing; a
+/// variable binding clones the bound-to term (an `Arc` bump for
+/// compounds); descending into compounds bumps the two argument-list
+/// `Arc`s instead of deep-copying them.
 pub fn unify_opts(a: &Term, b: &Term, s: &mut Subst, opts: UnifyOptions) -> bool {
-    let a = s.walk(a).clone();
-    let b = s.walk(b).clone();
-    match (&a, &b) {
+    match (s.walk(a), s.walk(b)) {
         (Term::Var(x), Term::Var(y)) if x == y => true,
         (Term::Var(x), t) | (t, Term::Var(x)) => {
-            if opts.occurs_check && occurs_resolved(x, t, s) {
+            let x = *x;
+            let t = t.clone();
+            if opts.occurs_check && occurs_resolved(&x, &t, s) {
                 return false;
             }
-            s.bind(*x, t.clone());
+            s.bind(x, t);
             true
         }
         (Term::Atom(x), Term::Atom(y)) => x == y,
@@ -54,7 +59,10 @@ pub fn unify_opts(a: &Term, b: &Term, s: &mut Subst, opts: UnifyOptions) -> bool
             if f != g || xs.len() != ys.len() {
                 return false;
             }
-            xs.iter().zip(ys).all(|(x, y)| unify_opts(x, y, s, opts))
+            let (xs, ys) = (xs.clone(), ys.clone());
+            xs.iter()
+                .zip(ys.iter())
+                .all(|(x, y)| unify_opts(x, y, s, opts))
         }
         _ => false,
     }

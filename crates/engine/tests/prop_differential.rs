@@ -1,0 +1,157 @@
+//! Differential property tests: the trail-based production solver and the
+//! clone-per-branch reference interpreter ([`peertrust_engine::RefSolver`])
+//! are observationally identical on the local fragment — same answers, in
+//! the same order, with the same proof trees — and the answer table's
+//! recorded contents match what the reference interpreter derives.
+
+use peertrust_core::prelude::*;
+use peertrust_engine::{
+    canonicalize, AnswerTable, EngineConfig, Proof, RefSolver, Solution, Solver,
+};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// A random safe program over a small universe, mirroring the generator in
+/// `prop_agreement.rs` but with an optional builtin guard in rule bodies so
+/// the destructive builtin path is exercised too.
+#[derive(Clone, Debug)]
+struct Program {
+    rules: Vec<Rule>,
+}
+
+fn arb_const() -> impl Strategy<Value = Term> {
+    (0i64..4).prop_map(Term::int)
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    let facts = prop::collection::vec(
+        (0u32..3, arb_const(), arb_const())
+            .prop_map(|(p, a, b)| Rule::fact(Literal::new(format!("e{p}").as_str(), vec![a, b]))),
+        1..8,
+    );
+    let rules = prop::collection::vec(
+        (
+            0u32..2,
+            0u32..3,
+            0u32..3,
+            any::<bool>(),
+            any::<bool>(),
+            prop::option::of(0i64..4),
+        )
+            .prop_map(|(hk, b1, b2, use_idb, chain, guard)| {
+                let (x, y, z) = (Term::var("X"), Term::var("Y"), Term::var("Z"));
+                let head = Literal::new(format!("p{hk}").as_str(), vec![x.clone(), y.clone()]);
+                let first = Literal::new(
+                    format!("e{b1}").as_str(),
+                    vec![x.clone(), if chain { z.clone() } else { y.clone() }],
+                );
+                let second_name = if use_idb {
+                    format!("p{}", b2 % 2)
+                } else {
+                    format!("e{b2}")
+                };
+                let second = Literal::new(
+                    second_name.as_str(),
+                    vec![if chain { z } else { x.clone() }, y],
+                );
+                let mut body = vec![first, second];
+                if let Some(bound) = guard {
+                    body.push(Literal::cmp("<=", x, Term::int(bound)));
+                }
+                Rule::horn(head, body)
+            }),
+        0..5,
+    );
+    (facts, rules).prop_map(|(f, r)| Program {
+        rules: f.into_iter().chain(r).collect(),
+    })
+}
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        max_solutions: 512,
+        max_steps: 500_000,
+        ..EngineConfig::default()
+    }
+}
+
+/// Render one solution as (answer instance, proof sketch) with variables
+/// canonicalized per literal — identical evaluations must render equal.
+fn render(goal: &Literal, sol: &Solution) -> (String, Vec<String>) {
+    fn sketch(p: &Proof, out: &mut Vec<String>) {
+        out.push(format!("{:?} {}", p.step, canonicalize(&p.goal)));
+        for c in &p.children {
+            sketch(c, out);
+        }
+    }
+    let mut proofs = Vec::new();
+    for p in &sol.proofs {
+        sketch(p, &mut proofs);
+    }
+    (
+        canonicalize(&sol.subst.apply_literal(goal)).to_string(),
+        proofs,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The trail-based solver and the clone-per-branch reference produce
+    /// the same solutions — same instances, same order, same proof trees.
+    #[test]
+    fn trail_solver_matches_reference_interpreter(prog in arb_program()) {
+        let kb: KnowledgeBase = prog.rules.iter().cloned().collect();
+        for pred in ["p0", "p1", "e0"] {
+            let goal = Literal::new(pred, vec![Term::var("A"), Term::var("B")]);
+            let mut production = Solver::new(&kb, PeerId::new("self")).with_config(config());
+            let got = production.solve(std::slice::from_ref(&goal));
+            let mut reference = RefSolver::new(&kb, PeerId::new("self")).with_config(config());
+            let want = reference.solve(std::slice::from_ref(&goal));
+            prop_assume!(!production.stats().step_budget_exhausted);
+
+            let got_r: Vec<_> = got.iter().map(|s| render(&goal, s)).collect();
+            let want_r: Vec<_> = want.iter().map(|s| render(&goal, s)).collect();
+            prop_assert_eq!(
+                &got_r, &want_r,
+                "solvers diverge on {}: trail {:?} vs reference {:?}",
+                pred, got_r, want_r
+            );
+        }
+    }
+
+    /// With tabling on, every completed table entry holds exactly the
+    /// instances the reference interpreter derives for that variant.
+    #[test]
+    fn table_contents_match_reference_answers(prog in arb_program()) {
+        let kb: KnowledgeBase = prog.rules.iter().cloned().collect();
+        let goal = Literal::new("p0", vec![Term::var("A"), Term::var("B")]);
+        let table = Rc::new(RefCell::new(AnswerTable::new()));
+        let mut production = Solver::new(&kb, PeerId::new("self"))
+            .with_config(EngineConfig { tabling: true, ..config() })
+            .with_table(table.clone());
+        let _ = production.solve(std::slice::from_ref(&goal));
+        prop_assume!(!production.stats().step_budget_exhausted);
+
+        let key = canonicalize(&goal);
+        let stored: Option<BTreeSet<String>> = table
+            .borrow_mut()
+            .lookup(&key)
+            .map(|answers| answers.iter().map(|a| canonicalize(&a.answer).to_string()).collect());
+        // Entry may be absent (inline fallback after an incomplete run).
+        let Some(stored) = stored else { return Ok(()); };
+
+        let mut reference = RefSolver::new(&kb, PeerId::new("self")).with_config(config());
+        let derived: BTreeSet<String> = reference
+            .solve(std::slice::from_ref(&goal))
+            .iter()
+            .map(|s| canonicalize(&s.subst.apply_literal(&goal)).to_string())
+            .collect();
+        prop_assert_eq!(
+            &stored, &derived,
+            "table entry for {} diverges from reference", key
+        );
+    }
+}

@@ -12,6 +12,11 @@
 //! appends [`FAULT_STEPS`], the fault-injection/resilience pass
 //! (conservation and byte-identity proptests, resilience differential
 //! and convergence proptests, faulty-batch determinism).
+//!
+//! `cargo xtask bench --quick` runs the quickbench harness's e8/e13 smoke
+//! scenarios, writes `target/BENCH_PR5.json`, and fails if the e8
+//! deep-chain cold-solve median regresses more than 25% against the
+//! committed `BENCH_BASELINE_PR5.json`.
 
 use std::process::Command;
 
@@ -57,7 +62,7 @@ const STEPS: &[Step] = &[
         &[("RUSTDOCFLAGS", "-D warnings")],
     ),
     step(
-        "experiments (writes metrics.json + timeline.jsonl)",
+        "experiments (writes target/metrics.json + target/timeline.jsonl)",
         &[
             "run",
             "--release",
@@ -65,6 +70,24 @@ const STEPS: &[Step] = &[
             "peertrust-bench",
             "--bin",
             "experiments",
+        ],
+        &[],
+    ),
+    step(
+        "quick bench (e8/e13 smoke + baseline gate)",
+        &[
+            "run",
+            "--release",
+            "-p",
+            "peertrust-bench",
+            "--bin",
+            "quickbench",
+            "--",
+            "--quick",
+            "--out",
+            "target/BENCH_PR5.json",
+            "--baseline",
+            "BENCH_BASELINE_PR5.json",
         ],
         &[],
     ),
@@ -214,11 +237,48 @@ fn main() {
             args.iter().any(|a| a == "--threads"),
             args.iter().any(|a| a == "--faults"),
         ),
+        Some("bench") => bench(args.iter().any(|a| a == "--quick")),
         _ => {
-            eprintln!("usage: cargo xtask verify [--threads] [--faults]");
+            eprintln!("usage: cargo xtask <verify [--threads] [--faults] | bench [--quick]>");
             std::process::exit(2);
         }
     }
+}
+
+/// Run the quickbench harness: e8 deep-chain + e13 tabling scenarios,
+/// `target/BENCH_PR5.json` artifact, and a hard failure when the e8
+/// deep-chain median regresses >25% against `BENCH_BASELINE_PR5.json`.
+fn bench(quick: bool) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut cargo_args: Vec<&str> = vec![
+        "run",
+        "--release",
+        "-p",
+        "peertrust-bench",
+        "--bin",
+        "quickbench",
+        "--",
+        "--out",
+        "target/BENCH_PR5.json",
+        "--baseline",
+        "BENCH_BASELINE_PR5.json",
+    ];
+    if quick {
+        cargo_args.push("--quick");
+    }
+    println!("== xtask bench{} ==", if quick { " --quick" } else { "" });
+    let status = Command::new(&cargo)
+        .args(&cargo_args)
+        .status()
+        .unwrap_or_else(|e| {
+            eprintln!("xtask bench: failed to spawn cargo: {e}");
+            std::process::exit(1);
+        });
+    if !status.success() {
+        eprintln!("xtask bench: quickbench failed (regression or error)");
+        std::process::exit(status.code().unwrap_or(1));
+    }
+    println!("xtask bench: wrote target/BENCH_PR5.json");
 }
 
 fn verify(threads: bool, faults: bool) {
