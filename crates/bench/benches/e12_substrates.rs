@@ -85,6 +85,7 @@ fn bench_codec(c: &mut Criterion) {
             rules: vec![signed],
         },
         hops: 0,
+        trace: peertrust_net::TraceContext::NONE,
     };
     group.bench_function("encode_frame", |b| {
         b.iter(|| encode_frame(&msg).unwrap().len())

@@ -2,12 +2,14 @@
 //! disabled, attached to a no-op recorder, attached to a ring buffer, and
 //! streaming JSONL to an in-memory sink. The disabled and no-op rows bound
 //! the cost of the `enabled()` gates; ring vs JSONL bound the cost of
-//! actually keeping the events.
+//! actually keeping the events. The tracing row adds full causal-trace
+//! reconstruction plus the Chrome export on top of the ring, bounding
+//! what `--out-dir` artifact generation costs per negotiation.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use peertrust_negotiation::Strategy;
 use peertrust_scenarios::Scenario1;
-use peertrust_telemetry::{JsonlWriter, NoopRecorder, Telemetry};
+use peertrust_telemetry::{to_chrome_json, JsonlWriter, NoopRecorder, Telemetry, Trace};
 
 fn bench_telemetry_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("telemetry_overhead");
@@ -47,6 +49,27 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
                 assert!(out.success);
                 assert!(!ring.events().is_empty());
                 out.messages
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("tracing", |b| {
+        b.iter_batched(
+            Scenario1::build,
+            |mut s| {
+                let (t, ring) = Telemetry::ring(65536);
+                let out = s.run_traced(Strategy::Parsimonious, &t);
+                assert!(out.success);
+                let traces = Trace::from_events(&ring.events());
+                assert_eq!(traces.len(), 1);
+                traces[0].validate().expect("well-formed trace");
+                let cp = traces[0].critical_path();
+                assert_eq!(
+                    cp.solve_ticks + cp.net_wait_ticks + cp.backoff_ticks,
+                    cp.total_ticks
+                );
+                to_chrome_json(&traces).len()
             },
             BatchSize::SmallInput,
         )

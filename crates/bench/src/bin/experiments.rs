@@ -64,10 +64,13 @@ fn main() {
 /// (`metrics.json`) plus the chronological event stream (`timeline.jsonl`)
 /// into `out_dir`.
 fn telemetry_export(out_dir: &std::path::Path) {
-    use peertrust_telemetry::{Telemetry, Timeline};
+    use peertrust_telemetry::{Telemetry, Timeline, Trace};
 
     println!("\n== Telemetry export (instrumented E1/E2) ==");
-    let (telemetry, ring) = Telemetry::ring(65536);
+    // Large enough that nothing is evicted: trace reconstruction needs
+    // the complete event stream, and a ring that drops the oldest events
+    // would silently truncate the earliest spans.
+    let (telemetry, ring) = Telemetry::ring(1 << 20);
 
     let mut s1 = Scenario1::build();
     let out1 = s1.run_traced(Strategy::Parsimonious, &telemetry);
@@ -136,31 +139,12 @@ fn telemetry_export(out_dir: &std::path::Path) {
         cache_stats.hits, cache_stats.misses, cache_stats.inserts
     );
 
-    // E14: one batch over the throughput grid through the scheduler so the
-    // negotiation.throughput.* series (sessions, sessions_per_sec, worker
-    // busy/utilization, shared-cache deltas) land in the export.
-    let grid = peertrust_scenarios::throughput_grid(4, 2, 2);
-    let batch_cfg = peertrust_negotiation::BatchConfig {
-        workers: 2,
-        shared_cache: Some(peertrust_negotiation::SharedRemoteAnswerCache::new()),
-        ..peertrust_negotiation::BatchConfig::default()
-    };
-    let report =
-        peertrust_negotiation::negotiate_batch(&grid.peers, &grid.jobs, &batch_cfg, &telemetry);
-    assert_eq!(report.stats.successes, grid.jobs.len(), "batch export");
-    println!(
-        "  batch throughput: {} sessions, {} workers, {:.0} negotiations/sec, {:.0}% utilization",
-        report.stats.jobs,
-        report.stats.workers,
-        report.stats.negotiations_per_sec,
-        report.stats.utilization_pct
-    );
-
-    // E15: resilience under deterministic fault injection. One
-    // instrumented resilient negotiation over a lossy, telemetry-attached
-    // network puts the `net.fault.*` series in the export; a faulty batch
-    // through the scheduler adds the `negotiation.resilience.*` series.
-    {
+    // E15 (part 1): one resilient negotiation over a lossy,
+    // telemetry-attached network, so the export carries a trace with
+    // retries, backoff spans and `net.fault` annotations. Run *before*
+    // the batches: batch jobs reuse negotiation ids starting at 1, and
+    // the causal-trace snapshot below keys traces by negotiation id.
+    let rep = {
         use peertrust_net::{FaultPlan, LinkFaults};
         let budget = peertrust_negotiation::ResilienceConfig {
             max_retries: 8,
@@ -183,7 +167,36 @@ fn telemetry_export(out_dir: &std::path::Path) {
             &telemetry,
         );
         assert!(out.success && rep.converged, "resilient chain export");
+        rep
+    };
 
+    // Snapshot the stream for causal-trace reconstruction while every
+    // negotiation id recorded so far (1, 2, 3, 4, 15) is still unique.
+    let trace_events = ring.events();
+
+    // E14: one batch over the throughput grid through the scheduler so the
+    // negotiation.throughput.* series (sessions, sessions_per_sec, worker
+    // busy/utilization, shared-cache deltas) land in the export.
+    let grid = peertrust_scenarios::throughput_grid(4, 2, 2);
+    let batch_cfg = peertrust_negotiation::BatchConfig {
+        workers: 2,
+        shared_cache: Some(peertrust_negotiation::SharedRemoteAnswerCache::new()),
+        ..peertrust_negotiation::BatchConfig::default()
+    };
+    let report =
+        peertrust_negotiation::negotiate_batch(&grid.peers, &grid.jobs, &batch_cfg, &telemetry);
+    assert_eq!(report.stats.successes, grid.jobs.len(), "batch export");
+    println!(
+        "  batch throughput: {} sessions, {} workers, {:.0} negotiations/sec, {:.0}% utilization",
+        report.stats.jobs,
+        report.stats.workers,
+        report.stats.negotiations_per_sec,
+        report.stats.utilization_pct
+    );
+
+    // E15 (part 2): a faulty batch through the scheduler adds the
+    // `negotiation.resilience.*` series to the export.
+    {
         let (grid15, points) = peertrust_scenarios::resilience_grid(2, 2, 2, 15, &[0.2], &[4]);
         let point = &points[0];
         let faulty_cfg = peertrust_negotiation::BatchConfig {
@@ -231,12 +244,34 @@ fn telemetry_export(out_dir: &std::path::Path) {
             tl.events.len()
         );
     }
+
+    // Cross-peer causal traces: reconstruct the span DAG from the
+    // pre-batch snapshot, print each trace's critical path, and export
+    // the whole set as Chrome trace-event JSON (load `trace.json` in
+    // Perfetto / chrome://tracing to see per-peer lanes).
+    let traces = Trace::from_events(&trace_events);
+    for trace in &traces {
+        if let Err(e) = trace.validate() {
+            panic!("trace {} is malformed: {e}", trace.id);
+        }
+        let cp = trace.critical_path();
+        for line in peertrust_telemetry::critical_path_summary(&cp).lines() {
+            println!("  {line}");
+        }
+    }
+    let chrome = peertrust_telemetry::to_chrome_json(&traces);
+    let trace_path = out_dir.join("trace.json");
+    std::fs::write(&trace_path, &chrome).expect("write trace.json");
+
     println!(
-        "  wrote {} ({} bytes) and {} ({} bytes)",
+        "  artifacts: {} ({} bytes), {} ({} bytes), {} ({} bytes, {} traces)",
         metrics_path.display(),
         metrics.len(),
         timeline_path.display(),
-        dump.len()
+        dump.len(),
+        trace_path.display(),
+        chrome.len(),
+        traces.len(),
     );
 }
 

@@ -38,10 +38,27 @@ use peertrust_core::{Literal, PeerId};
 use peertrust_net::faults::FaultPlan;
 use peertrust_net::message::NegotiationId;
 use peertrust_net::sim::SimNetwork;
-use peertrust_telemetry::{MetricsSnapshot, NoopRecorder, Telemetry};
+use peertrust_telemetry::{MetricsSnapshot, Recorder, SpanId, Telemetry, TraceEvent};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Buffers every event a worker's private pipeline emits, so the batch
+/// can re-emit the union into the caller's pipeline at join in an order
+/// that does not depend on scheduling (see [`negotiate_batch`]).
+struct EventCollector {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+/// The `Recorder` handle workers hold onto an [`EventCollector`] (a
+/// newtype because `Recorder` cannot be implemented on `Arc` directly).
+struct SharedCollector(Arc<EventCollector>);
+
+impl Recorder for SharedCollector {
+    fn record(&self, event: TraceEvent) {
+        self.0.events.lock().expect("collector lock").push(event);
+    }
+}
 
 /// One unit of work: `requester` asks `responder` to establish `goal`.
 #[derive(Clone, Debug)]
@@ -161,7 +178,8 @@ pub fn negotiate_batch(
         Mutex::new((0..jobs.len()).map(|_| None).collect());
     let started = Instant::now();
 
-    let per_worker: Vec<(Duration, MetricsSnapshot)> = std::thread::scope(|scope| {
+    type WorkerYield = (Duration, MetricsSnapshot, Vec<TraceEvent>);
+    let per_worker: Vec<WorkerYield> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next_job = &next_job;
@@ -169,11 +187,16 @@ pub fn negotiate_batch(
                 scope.spawn(move || {
                     // A private registry per worker: counters accumulate
                     // lock-free with respect to other workers and merge
-                    // into the caller's registry at join.
-                    let worker_tele = if telemetry.enabled() {
-                        Telemetry::with_recorder(Box::new(NoopRecorder))
-                    } else {
-                        Telemetry::disabled()
+                    // into the caller's registry at join. Events buffer
+                    // in a collector for deterministic re-emission.
+                    let collector = telemetry.enabled().then(|| {
+                        Arc::new(EventCollector {
+                            events: Mutex::new(Vec::new()),
+                        })
+                    });
+                    let worker_tele = match &collector {
+                        Some(c) => Telemetry::with_recorder(Box::new(SharedCollector(c.clone()))),
+                        None => Telemetry::disabled(),
                     };
                     let mut busy = Duration::ZERO;
                     loop {
@@ -190,7 +213,10 @@ pub fn negotiate_batch(
                         .metrics()
                         .map(|m| m.snapshot())
                         .unwrap_or_default();
-                    (busy, snapshot)
+                    let events = collector
+                        .map(|c| std::mem::take(&mut *c.events.lock().expect("collector lock")))
+                        .unwrap_or_default();
+                    (busy, snapshot, events)
                 })
             })
             .collect();
@@ -210,13 +236,29 @@ pub fn negotiate_batch(
 
     // Merge per-worker metric registries into the caller's.
     if let Some(metrics) = telemetry.metrics() {
-        for (_, snapshot) in &per_worker {
+        for (_, snapshot, _) in &per_worker {
             metrics.merge(snapshot);
         }
     }
 
+    // Re-emit buffered worker events into the caller's pipeline. A
+    // negotiation never spans workers, so sorting stably by negotiation
+    // id (ties broken by each worker's emission order) yields a stream —
+    // and therefore a reconstructed trace — that is bit-identical across
+    // runs and worker counts.
+    if telemetry.enabled() {
+        let mut events: Vec<TraceEvent> = per_worker
+            .iter()
+            .flat_map(|(_, _, ev)| ev.iter().cloned())
+            .collect();
+        events.sort_by_key(|e| (e.negotiation, e.seq));
+        for e in events {
+            telemetry.event(e.at, SpanId(e.span), e.negotiation, &e.kind, e.fields);
+        }
+    }
+
     let successes = outcomes.iter().filter(|o| o.success).count();
-    let worker_busy: Vec<Duration> = per_worker.iter().map(|(busy, _)| *busy).collect();
+    let worker_busy: Vec<Duration> = per_worker.iter().map(|(busy, _, _)| *busy).collect();
     let busy_total: Duration = worker_busy.iter().sum();
     let wall_secs = wall.as_secs_f64();
     let negotiations_per_sec = if wall_secs > 0.0 {

@@ -32,7 +32,9 @@ use crate::resilience::{ResilienceConfig, ResilienceFailure, ResilienceReport, R
 use peertrust_core::{Context, KnowledgeBase, Literal, PeerId, Subst};
 use peertrust_crypto::SignedRule;
 use peertrust_engine::{canonicalize, Proof, ProofStep, RemoteHook, Solver};
-use peertrust_net::{MessageFate, MessageId, NegotiationId, Payload, QueryId, SimNetwork};
+use peertrust_net::{
+    MessageFate, MessageId, NegotiationId, Payload, QueryId, SimNetwork, TraceContext,
+};
 use peertrust_telemetry::{Field, SpanId, Telemetry};
 use std::collections::HashMap;
 
@@ -349,8 +351,13 @@ pub(crate) fn negotiate_with_cache(
         resilience,
         telemetry: telemetry.clone(),
         span,
+        trace_next: 1,
+        trace_stack: Vec::new(),
+        net_wait_ticks: 0,
+        backoff_ticks: 0,
     };
 
+    let root_span = session.trace_push("negotiation", requester, "root");
     let granted = session.request(requester, responder, goal.clone(), 0);
     let success = !granted.is_empty();
     if success {
@@ -364,12 +371,15 @@ pub(crate) fn negotiate_with_cache(
             evidence: Vec::new(),
         });
     }
+    session.trace_pop(root_span);
 
     let Session {
         disclosures,
         refusals,
         max_depth_seen,
         resilience,
+        net_wait_ticks,
+        backoff_ticks,
         ..
     } = session;
     let outcome = NegotiationOutcome {
@@ -389,6 +399,17 @@ pub(crate) fn negotiate_with_cache(
 
     if telemetry.enabled() {
         record_outcome(telemetry, &outcome);
+        // Per-phase latency breakdown: where the wall-clock ticks went.
+        // Solve time is whatever is left once network waiting and retry
+        // backoff are subtracted — the three observations sum to the
+        // end-to-end duration.
+        let solve = outcome
+            .elapsed_ticks
+            .saturating_sub(net_wait_ticks)
+            .saturating_sub(backoff_ticks);
+        telemetry.observe("negotiation.phase.net_wait_ticks", net_wait_ticks);
+        telemetry.observe("negotiation.phase.backoff_ticks", backoff_ticks);
+        telemetry.observe("negotiation.phase.solve_ticks", solve);
         telemetry.span_end(
             net.now(),
             span,
@@ -465,6 +486,17 @@ pub(crate) struct Session<'a> {
     telemetry: Telemetry,
     /// The enclosing `negotiation` span (NONE when telemetry is off).
     span: SpanId,
+    /// Next causal span id, local to this negotiation (the trace id is
+    /// the negotiation id, so ids are deterministic across runs and
+    /// worker counts). The root span is always 1.
+    trace_next: u64,
+    /// Open causal spans, innermost last; message sends parent on the top.
+    trace_stack: Vec<u64>,
+    /// Ticks spent waiting on the network (delivery pumping minus any
+    /// backoff sleeps inside it), for the per-phase latency histograms.
+    net_wait_ticks: u64,
+    /// Ticks spent in deliberate retry backoff sleeps.
+    backoff_ticks: u64,
 }
 
 struct SessionHook<'s, 'a> {
@@ -531,6 +563,92 @@ impl<'a> Session<'a> {
             );
         }
         self.refusals.push(r);
+    }
+
+    /// Allocate the next causal span id (0 with telemetry off — no trace
+    /// coordinates are emitted then, keeping the disabled path free).
+    fn trace_alloc(&mut self) -> u64 {
+        if !self.telemetry.enabled() {
+            return 0;
+        }
+        let id = self.trace_next;
+        self.trace_next += 1;
+        id
+    }
+
+    /// The span new work should parent on: the innermost open span.
+    fn trace_parent(&self) -> u64 {
+        self.trace_stack.last().copied().unwrap_or(0)
+    }
+
+    /// Open a causal span: emit `trace.start` and make it the parent for
+    /// nested spans and message sends until the matching [`Session::trace_pop`].
+    fn trace_push(&mut self, name: &str, peer: PeerId, kind: &str) -> u64 {
+        if !self.telemetry.enabled() {
+            return 0;
+        }
+        let id = self.trace_alloc();
+        let parent = self.trace_parent();
+        self.telemetry.event(
+            self.net.now(),
+            SpanId::NONE,
+            self.nid.0,
+            "trace.start",
+            vec![
+                Field::u64("trace", self.nid.0),
+                Field::u64("span", id),
+                Field::u64("parent", parent),
+                Field::str("name", name),
+                Field::str("peer", peer.to_string()),
+                Field::str("kind", kind),
+            ],
+        );
+        self.trace_stack.push(id);
+        id
+    }
+
+    /// Close a causal span opened by [`Session::trace_push`].
+    fn trace_pop(&mut self, id: u64) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        self.telemetry.event(
+            self.net.now(),
+            SpanId::NONE,
+            self.nid.0,
+            "trace.end",
+            vec![Field::u64("trace", self.nid.0), Field::u64("span", id)],
+        );
+        self.trace_stack.pop();
+    }
+
+    /// Trace coordinates for a message about to ship: a fresh span id
+    /// parented on the innermost open span. Each physical send gets its
+    /// own id (retries re-stamp via [`Session::trace_retry`]), so
+    /// fault-lane duplicates and re-sends stay causally attributable.
+    fn trace_msg(&mut self) -> TraceContext {
+        if !self.telemetry.enabled() {
+            return TraceContext::NONE;
+        }
+        TraceContext {
+            trace_id: self.nid.0,
+            span_id: self.trace_alloc(),
+            parent_span_id: self.trace_parent(),
+        }
+    }
+
+    /// Fresh coordinates for a retry of `original`: new span id, same
+    /// parent — the retransmission is a sibling attempt, not a child of
+    /// the lost one.
+    fn trace_retry(&mut self, original: TraceContext) -> TraceContext {
+        if original.is_none() {
+            return TraceContext::NONE;
+        }
+        TraceContext {
+            trace_id: original.trace_id,
+            span_id: self.trace_alloc(),
+            parent_span_id: original.parent_span_id,
+        }
     }
 
     /// Drain `peer`'s inbox. In the baseline this is the single
@@ -625,6 +743,7 @@ impl<'a> Session<'a> {
     /// backoff on loss or timeout, suppress duplicates, and resume
     /// crashed peers. Returns `false` only after recording a
     /// [`ResilienceFailure`] — there is no non-terminating path.
+    #[allow(clippy::too_many_arguments)]
     fn finish_delivery(
         &mut self,
         first_id: MessageId,
@@ -633,6 +752,29 @@ impl<'a> Session<'a> {
         payload: &Payload,
         depth: u32,
         kind: &'static str,
+        trace: TraceContext,
+    ) -> bool {
+        // Everything spent in here is network time — except deliberate
+        // backoff sleeps, which the inner loop books separately.
+        let t0 = self.net.now();
+        let b0 = self.backoff_ticks;
+        let ok =
+            self.finish_delivery_inner(first_id, sender, recipient, payload, depth, kind, trace);
+        let waited = (self.net.now() - t0).saturating_sub(self.backoff_ticks - b0);
+        self.net_wait_ticks += waited;
+        ok
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_delivery_inner(
+        &mut self,
+        first_id: MessageId,
+        sender: PeerId,
+        recipient: PeerId,
+        payload: &Payload,
+        depth: u32,
+        kind: &'static str,
+        trace: TraceContext,
     ) -> bool {
         // Supervision needs per-message fates, which only a fault lane
         // tracks; without one (or without a resilience config) fall back
@@ -704,14 +846,23 @@ impl<'a> Session<'a> {
             // (the shift is clamped: the cap takes over long before it
             // could overflow).
             let backoff = (cfg.backoff_base << (attempts - 1).min(16)).min(cfg.backoff_cap);
+            let bspan = self.trace_push(&format!("backoff {kind}"), sender, "backoff");
+            let b0 = self.net.now();
             self.net.advance_to((now + backoff).min(deadline));
+            self.backoff_ticks += self.net.now().saturating_sub(b0);
+            self.trace_pop(bspan);
             self.drain_dedup(sender);
             self.drain_dedup(recipient);
             self.maybe_crash_resume();
-            match self
-                .net
-                .send(self.nid, sender, recipient, payload.clone(), depth)
-            {
+            let retry_trace = self.trace_retry(trace);
+            match self.net.send_traced(
+                self.nid,
+                sender,
+                recipient,
+                payload.clone(),
+                depth,
+                retry_trace,
+            ) {
                 Ok(id) => current = id,
                 Err(_) => {
                     return self.give_up(ResilienceFailure::SendRejected {
@@ -808,6 +959,27 @@ impl<'a> Session<'a> {
             self.telemetry.incr("negotiation.cache.misses", 1);
         }
 
+        // A cache miss means real work: open a causal span covering the
+        // query round-trip (and everything nested under it — the
+        // responder's solve, counter-queries, pushes, answers).
+        let tspan = self.trace_push(&format!("request {goal}"), to, "request");
+        let out = self.request_inner(from, to, goal, depth, key, cache_key);
+        self.trace_pop(tspan);
+        out
+    }
+
+    /// The post-guard body of [`Session::request`]: ship the query, let
+    /// the responder solve (recursing through [`SessionHook`]), ship
+    /// credential pushes and answers back, verify, and fill the caches.
+    fn request_inner(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        goal: Literal,
+        depth: u32,
+        key: (PeerId, Literal),
+        cache_key: CacheKey,
+    ) -> Vec<Literal> {
         // Ship the query.
         let qid = QueryId(self.next_query);
         self.next_query += 1;
@@ -815,10 +987,15 @@ impl<'a> Session<'a> {
             id: qid,
             goal: goal.clone(),
         };
-        let Ok(query_msg) = self
-            .net
-            .send(self.nid, from, to, query_payload.clone(), depth)
-        else {
+        let query_trace = self.trace_msg();
+        let Ok(query_msg) = self.net.send_traced(
+            self.nid,
+            from,
+            to,
+            query_payload.clone(),
+            depth,
+            query_trace,
+        ) else {
             return Vec::new(); // topology/hop failure
         };
         if self.telemetry.enabled() {
@@ -840,7 +1017,15 @@ impl<'a> Session<'a> {
                 ],
             );
         }
-        if !self.finish_delivery(query_msg, from, to, &query_payload, depth, "query") {
+        if !self.finish_delivery(
+            query_msg,
+            from,
+            to,
+            &query_payload,
+            depth,
+            "query",
+            query_trace,
+        ) {
             self.record_refusal(Refusal {
                 peer: to,
                 requester: from,
@@ -878,13 +1063,24 @@ impl<'a> Session<'a> {
                 })
                 .collect();
             let push_payload = Payload::CredentialPush { rules };
-            let delivered = match self
-                .net
-                .send(self.nid, to, from, push_payload.clone(), depth)
-            {
-                Ok(push_msg) => {
-                    self.finish_delivery(push_msg, to, from, &push_payload, depth, "push")
-                }
+            let push_trace = self.trace_msg();
+            let delivered = match self.net.send_traced(
+                self.nid,
+                to,
+                from,
+                push_payload.clone(),
+                depth,
+                push_trace,
+            ) {
+                Ok(push_msg) => self.finish_delivery(
+                    push_msg,
+                    to,
+                    from,
+                    &push_payload,
+                    depth,
+                    "push",
+                    push_trace,
+                ),
                 Err(_) => false,
             };
             // The transport is authoritative: a rejected push (partition,
@@ -941,17 +1137,30 @@ impl<'a> Session<'a> {
             goal: goal.clone(),
             answers: answers.iter().map(|(a, _, _)| a.clone()).collect(),
         };
-        let Ok(answers_msg) = self
-            .net
-            .send(self.nid, to, from, answers_payload.clone(), depth)
-        else {
+        let answers_trace = self.trace_msg();
+        let Ok(answers_msg) = self.net.send_traced(
+            self.nid,
+            to,
+            from,
+            answers_payload.clone(),
+            depth,
+            answers_trace,
+        ) else {
             return Vec::new();
         };
         if self.telemetry.enabled() {
             self.telemetry
                 .incr(&format!("negotiation.queries_answered.{to}"), 1);
         }
-        if !self.finish_delivery(answers_msg, to, from, &answers_payload, depth, "answers") {
+        if !self.finish_delivery(
+            answers_msg,
+            to,
+            from,
+            &answers_payload,
+            depth,
+            "answers",
+            answers_trace,
+        ) {
             self.record_refusal(Refusal {
                 peer: from,
                 requester: to,

@@ -22,9 +22,22 @@ use crate::peer::NegotiationPeer;
 use peertrust_core::{Context, Literal, PeerId};
 use peertrust_crypto::SignedRule;
 use peertrust_net::{
-    channel_network, Endpoint, Message, MessageId, NegotiationId, Payload, QueryId,
+    channel_network, Endpoint, Message, MessageId, NegotiationId, Payload, QueryId, TraceContext,
 };
 use std::time::Duration;
+
+/// Causal coordinates for threaded-host message `n`: every frame belongs
+/// to trace 1 (the single negotiation), gets a span id derived from its
+/// message number (requester numbers from 0, responder from 1000, so ids
+/// never collide across the two threads), and parents on the notional
+/// root span 1. Deterministic by construction — no shared counter.
+fn wire_trace(n: u64) -> TraceContext {
+    TraceContext {
+        trace_id: 1,
+        span_id: n + 2,
+        parent_span_id: 1,
+    }
+}
 
 /// Why a threaded negotiation did not grant the resource.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -139,6 +152,7 @@ fn push_message(from: PeerId, to: PeerId, n: u64, rules: Vec<SignedRule>) -> Mes
         to,
         payload: Payload::CredentialPush { rules },
         hops: 0,
+        trace: wire_trace(n),
     }
 }
 
@@ -186,6 +200,7 @@ fn requester_loop(
             goal: goal.clone(),
         },
         hops: 0,
+        trace: wire_trace(msg_n),
     });
     msg_n += 1;
     let pushes = new_disclosures(&peer, responder, &mut sent);
@@ -258,6 +273,7 @@ fn responder_loop(
                                 answers: granted,
                             },
                             hops: 0,
+                            trace: wire_trace(msg_n),
                         });
                         return disclosures;
                     }
@@ -283,6 +299,7 @@ fn responder_loop(
                                 answers: Vec::new(),
                             },
                             hops: 0,
+                            trace: wire_trace(msg_n),
                         });
                     }
                     return disclosures;

@@ -128,7 +128,7 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Message, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::{MessageId, NegotiationId, Payload, QueryId};
+    use crate::message::{MessageId, NegotiationId, Payload, QueryId, TraceContext};
     use peertrust_core::{Literal, PeerId, Rule, Term};
     use peertrust_crypto::SignedRule;
 
@@ -143,6 +143,7 @@ mod tests {
                 goal: Literal::new("student", vec![Term::var("X")]).at(Term::str("UIUC")),
             },
             hops: 2,
+            trace: TraceContext::NONE,
         }
     }
 
@@ -154,6 +155,32 @@ mod tests {
         let back = decode_frame(&mut buf).unwrap();
         assert_eq!(back, msg);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn trace_context_is_backward_compatible_on_the_wire() {
+        // An untraced frame carries no `trace` key at all, so its bytes
+        // match the pre-tracing encoding; a frame from a pre-tracing
+        // build (no `trace` key) decodes to `TraceContext::NONE`.
+        let untraced = sample(7);
+        let frame = encode_frame(&untraced).unwrap();
+        assert!(!frame.windows(7).any(|w| w == b"\"trace\""));
+        let mut buf = BytesMut::from(&frame[..]);
+        assert_eq!(decode_frame(&mut buf).unwrap().trace, TraceContext::NONE);
+
+        let traced = Message {
+            trace: TraceContext {
+                trace_id: 1,
+                span_id: 5,
+                parent_span_id: 2,
+            },
+            ..sample(7)
+        };
+        let frame = encode_frame(&traced).unwrap();
+        let mut buf = BytesMut::from(&frame[..]);
+        let back = decode_frame(&mut buf).unwrap();
+        assert_eq!(back, traced);
+        assert_eq!(back.trace.span_id, 5);
     }
 
     #[test]

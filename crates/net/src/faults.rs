@@ -414,7 +414,7 @@ impl FaultLane {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::{MessageId, NegotiationId, Payload, QueryId};
+    use crate::message::{MessageId, NegotiationId, Payload, QueryId, TraceContext};
     use peertrust_core::Literal;
 
     fn p(n: &str) -> PeerId {
@@ -432,6 +432,7 @@ mod tests {
                 goal: Literal::truth(),
             },
             hops: 0,
+            trace: TraceContext::NONE,
         }
     }
 

@@ -29,7 +29,7 @@ pub use codec::{decode_frame, encode_frame, CodecError, DecodeError, MAX_FRAME};
 pub use faults::{
     CrashWindow, FaultKind, FaultLane, FaultPlan, FaultStats, LinkFaults, MessageFate,
 };
-pub use message::{Message, MessageId, NegotiationId, Payload, QueryId};
+pub use message::{Message, MessageId, NegotiationId, Payload, QueryId, TraceContext};
 pub use routing::{RoutedLookup, RoutingIndex, SuperPeerNetwork};
 pub use sim::{LatencyModel, NetError, NetStats, SimNetwork, Tick, TraceEvent};
 pub use threaded::{

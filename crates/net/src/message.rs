@@ -31,6 +31,36 @@ pub struct MessageId(pub u64);
 )]
 pub struct QueryId(pub u64);
 
+/// Causal trace coordinates carried by a message (see
+/// `peertrust_telemetry::trace`): the trace (= negotiation) it belongs
+/// to, the span covering its transit, and the sender-side span that
+/// caused it. Span ids are allocated per-negotiation by the session, so
+/// reconstructed traces are deterministic across scheduler worker
+/// counts. The all-zero value means "untraced" and is skipped on the
+/// wire, keeping untraced frames byte-identical to the pre-tracing
+/// encoding.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize,
+)]
+pub struct TraceContext {
+    pub trace_id: u64,
+    pub span_id: u64,
+    pub parent_span_id: u64,
+}
+
+impl TraceContext {
+    /// The untraced context (all zeros).
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        span_id: 0,
+        parent_span_id: 0,
+    };
+
+    pub fn is_none(&self) -> bool {
+        *self == TraceContext::NONE
+    }
+}
+
 /// What a message carries.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Payload {
@@ -75,7 +105,7 @@ impl Payload {
 }
 
 /// A transport-level message.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Message {
     pub id: MessageId,
     pub negotiation: NegotiationId,
@@ -85,6 +115,55 @@ pub struct Message {
     /// Delegation hop count, bounded by the transport to stop runaway
     /// forwarding loops.
     pub hops: u32,
+    /// Causal trace coordinates ([`TraceContext::NONE`] when tracing is
+    /// off). Not part of [`Message::encode`]'s byte accounting.
+    pub trace: TraceContext,
+}
+
+// Hand-written serde impls (the vendored derive has no field
+// attributes): `trace` is omitted when [`TraceContext::is_none`] and
+// defaults to NONE when absent, so frames from pre-tracing builds decode
+// unchanged and untraced frames encode to the exact same bytes as before.
+impl serde::Serialize for Message {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let err = <S::Error as serde::ser::Error>::custom;
+        let mut map: Vec<(serde::Content, serde::Content)> = Vec::with_capacity(7);
+        let mut field = |k: &str, c: serde::Content| {
+            map.push((serde::Content::Str(k.to_string()), c));
+        };
+        field("id", serde::to_content(&self.id).map_err(err)?);
+        field(
+            "negotiation",
+            serde::to_content(&self.negotiation).map_err(err)?,
+        );
+        field("from", serde::to_content(&self.from).map_err(err)?);
+        field("to", serde::to_content(&self.to).map_err(err)?);
+        field("payload", serde::to_content(&self.payload).map_err(err)?);
+        field("hops", serde::Content::U64(self.hops.into()));
+        if !self.trace.is_none() {
+            field("trace", serde::to_content(&self.trace).map_err(err)?);
+        }
+        serializer.serialize_content(serde::Content::Map(map))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Message {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let err = <D::Error as serde::de::Error>::custom;
+        let content = deserializer.deserialize_content()?;
+        let mut fields = serde::de::expect_map(content).map_err(err)?;
+        Ok(Message {
+            id: serde::de::take_field(&mut fields, "id").map_err(err)?,
+            negotiation: serde::de::take_field(&mut fields, "negotiation").map_err(err)?,
+            from: serde::de::take_field(&mut fields, "from").map_err(err)?,
+            to: serde::de::take_field(&mut fields, "to").map_err(err)?,
+            payload: serde::de::take_field(&mut fields, "payload").map_err(err)?,
+            hops: serde::de::take_field(&mut fields, "hops").map_err(err)?,
+            trace: serde::de::take_field::<Option<TraceContext>>(&mut fields, "trace")
+                .map_err(err)?
+                .unwrap_or(TraceContext::NONE),
+        })
+    }
 }
 
 impl Message {
@@ -184,7 +263,30 @@ mod tests {
             to: PeerId::new("E-Learn"),
             payload,
             hops: 0,
+            trace: TraceContext::NONE,
         }
+    }
+
+    #[test]
+    fn trace_context_none_is_default_and_skipped() {
+        assert!(TraceContext::default().is_none());
+        let untraced = msg(Payload::Query {
+            id: QueryId(1),
+            goal: Literal::truth(),
+        });
+        let json = serde_json::to_string(&untraced).unwrap();
+        assert!(!json.contains("trace"), "NONE context must be omitted");
+
+        let mut traced = untraced.clone();
+        traced.trace = TraceContext {
+            trace_id: 7,
+            span_id: 3,
+            parent_span_id: 1,
+        };
+        let json = serde_json::to_string(&traced).unwrap();
+        assert!(json.contains("\"trace\""));
+        let back: Message = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, traced);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! which the interop and safety property tests rely on.
 
 use crate::faults::{FaultKind, FaultLane, FaultPlan, FaultStats, MessageFate};
-use crate::message::{Message, MessageId, Payload};
+use crate::message::{Message, MessageId, Payload, TraceContext};
 use crate::topology::Topology;
 use peertrust_core::PeerId;
 use peertrust_telemetry::{Field, Telemetry};
@@ -17,6 +17,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+
+/// Append `trace`/`span`/`parent` fields to a telemetry event when the
+/// context is live; untraced events keep their exact pre-tracing shape.
+pub(crate) fn push_trace_fields(fields: &mut Vec<Field>, trace: TraceContext) {
+    if !trace.is_none() {
+        fields.push(Field::u64("trace", trace.trace_id));
+        fields.push(Field::u64("span", trace.span_id));
+        fields.push(Field::u64("parent", trace.parent_span_id));
+    }
+}
 
 /// Abstract network time (one tick ≈ one latency unit).
 pub type Tick = u64;
@@ -257,6 +267,22 @@ impl SimNetwork {
         payload: Payload,
         hops: u32,
     ) -> Result<MessageId, NetError> {
+        self.send_traced(negotiation, from, to, payload, hops, TraceContext::NONE)
+    }
+
+    /// [`SimNetwork::send`] with causal trace coordinates stamped on the
+    /// message: telemetry events for its send, delivery, and any
+    /// fault-lane verdict carry `trace`/`span`/`parent` fields, so the
+    /// trace reconstruction can attribute them to the owning span.
+    pub fn send_traced(
+        &mut self,
+        negotiation: crate::message::NegotiationId,
+        from: PeerId,
+        to: PeerId,
+        payload: Payload,
+        hops: u32,
+        trace: TraceContext,
+    ) -> Result<MessageId, NetError> {
         if !self.topology.can_send(from, to) {
             return Err(NetError::NotConnected { from, to });
         }
@@ -274,6 +300,7 @@ impl SimNetwork {
             to,
             payload,
             hops,
+            trace,
         };
 
         self.stats.messages_sent += 1;
@@ -302,17 +329,39 @@ impl SimNetwork {
                 deliver_at = verdict.deliver_at;
                 dropped = verdict.dropped;
                 duplicate_at = verdict.duplicate_at;
+                // Non-drop fates are annotated onto the owning trace span
+                // (traced sends only, so untraced streams are unchanged).
+                let annotate = |telemetry: &Telemetry, fault: &str, now: Tick| {
+                    if telemetry.enabled() && !trace.is_none() {
+                        let mut fields = vec![
+                            Field::str("kind", fault.to_string()),
+                            Field::str("from", from.to_string()),
+                            Field::str("to", to.to_string()),
+                        ];
+                        push_trace_fields(&mut fields, trace);
+                        telemetry.event(
+                            now,
+                            peertrust_telemetry::SpanId::NONE,
+                            negotiation.0,
+                            "net.fault",
+                            fields,
+                        );
+                    }
+                };
                 if verdict.delayed {
                     self.stats.delayed += 1;
                     self.telemetry.incr("net.fault.delayed", 1);
+                    annotate(&self.telemetry, "delay", self.now);
                 }
                 if verdict.reordered {
                     self.stats.reordered += 1;
                     self.telemetry.incr("net.fault.reordered", 1);
+                    annotate(&self.telemetry, "reorder", self.now);
                 }
                 if duplicate_at.is_some() {
                     self.stats.duplicated += 1;
                     self.telemetry.incr("net.fault.duplicated", 1);
+                    annotate(&self.telemetry, "duplicate", self.now);
                 }
                 if let Some(kind) = dropped {
                     self.stats.dropped += 1;
@@ -324,17 +373,19 @@ impl SimNetwork {
                     self.telemetry
                         .incr(&format!("net.fault.{}", kind.name()), 1);
                     if self.telemetry.enabled() {
+                        let mut fields = vec![
+                            Field::str("kind", kind.name()),
+                            Field::str("from", from.to_string()),
+                            Field::str("to", to.to_string()),
+                            Field::u64("at", deliver_at),
+                        ];
+                        push_trace_fields(&mut fields, trace);
                         self.telemetry.event(
                             self.now,
                             peertrust_telemetry::SpanId::NONE,
                             negotiation.0,
                             "net.fault",
-                            vec![
-                                Field::str("kind", kind.name()),
-                                Field::str("from", from.to_string()),
-                                Field::str("to", to.to_string()),
-                                Field::u64("at", deliver_at),
-                            ],
+                            fields,
                         );
                     }
                 }
@@ -356,19 +407,21 @@ impl SimNetwork {
             self.telemetry.incr(&format!("net.recv.{to}"), 1);
             self.telemetry
                 .incr(&format!("net.payload.{}", msg.payload.kind()), 1);
+            let mut fields = vec![
+                Field::str("from", from.to_string()),
+                Field::str("to", to.to_string()),
+                Field::str("kind", msg.payload.kind()),
+                Field::u64("bytes", bytes),
+                Field::u64("deliver_at", deliver_at),
+                Field::u64("hops", u64::from(hops)),
+            ];
+            push_trace_fields(&mut fields, trace);
             self.telemetry.event(
                 self.now,
                 peertrust_telemetry::SpanId::NONE,
                 negotiation.0,
                 "net.send",
-                vec![
-                    Field::str("from", from.to_string()),
-                    Field::str("to", to.to_string()),
-                    Field::str("kind", msg.payload.kind()),
-                    Field::u64("bytes", bytes),
-                    Field::u64("deliver_at", deliver_at),
-                    Field::u64("hops", u64::from(hops)),
-                ],
+                fields,
             );
         }
 
@@ -414,15 +467,17 @@ impl SimNetwork {
                 self.fates.insert(msg.id, MessageFate::Delivered);
             }
             if self.telemetry.enabled() {
+                let mut fields = vec![
+                    Field::str("to", msg.to.to_string()),
+                    Field::str("kind", msg.payload.kind()),
+                ];
+                push_trace_fields(&mut fields, msg.trace);
                 self.telemetry.event(
                     self.now,
                     peertrust_telemetry::SpanId::NONE,
                     msg.negotiation.0,
                     "net.deliver",
-                    vec![
-                        Field::str("to", msg.to.to_string()),
-                        Field::str("kind", msg.payload.kind()),
-                    ],
+                    fields,
                 );
             }
             self.inboxes.entry(msg.to).or_default().push_back(msg);

@@ -33,16 +33,18 @@ impl Endpoint {
         if self.telemetry.enabled() {
             self.telemetry
                 .incr(&format!("net.thread.sent.{}", self.peer), 1);
+            let mut fields = vec![
+                Field::str("from", self.peer.to_string()),
+                Field::str("to", msg.to.to_string()),
+                Field::str("kind", msg.payload.kind()),
+            ];
+            crate::sim::push_trace_fields(&mut fields, msg.trace);
             self.telemetry.event(
                 0,
                 SpanId::NONE,
                 msg.negotiation.0,
                 "net.thread.send",
-                vec![
-                    Field::str("from", self.peer.to_string()),
-                    Field::str("to", msg.to.to_string()),
-                    Field::str("kind", msg.payload.kind()),
-                ],
+                fields,
             );
         }
         self.to_router
@@ -57,15 +59,17 @@ impl Endpoint {
                 if self.telemetry.enabled() {
                     self.telemetry
                         .incr(&format!("net.thread.recv.{}", self.peer), 1);
+                    let mut fields = vec![
+                        Field::str("to", self.peer.to_string()),
+                        Field::str("kind", m.payload.kind()),
+                    ];
+                    crate::sim::push_trace_fields(&mut fields, m.trace);
                     self.telemetry.event(
                         0,
                         SpanId::NONE,
                         m.negotiation.0,
                         "net.thread.recv",
-                        vec![
-                            Field::str("to", self.peer.to_string()),
-                            Field::str("kind", m.payload.kind()),
-                        ],
+                        fields,
                     );
                 }
                 Some(m)
@@ -219,6 +223,21 @@ pub fn channel_network_faulty(
                     *faults_in.lock().expect("fault stats poisoned") = lane.stats().clone();
                     if let Some(kind) = verdict.dropped {
                         router_telemetry.incr(&format!("net.fault.{}", kind.name()), 1);
+                        if router_telemetry.enabled() && !msg.trace.is_none() {
+                            let mut fields = vec![
+                                Field::str("kind", kind.name()),
+                                Field::str("from", msg.from.to_string()),
+                                Field::str("to", msg.to.to_string()),
+                            ];
+                            crate::sim::push_trace_fields(&mut fields, msg.trace);
+                            router_telemetry.event(
+                                clock,
+                                SpanId::NONE,
+                                msg.negotiation.0,
+                                "net.fault",
+                                fields,
+                            );
+                        }
                         continue;
                     }
                 }
@@ -248,7 +267,7 @@ pub fn channel_network_faulty(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::{MessageId, NegotiationId, Payload, QueryId};
+    use crate::message::{MessageId, NegotiationId, Payload, QueryId, TraceContext};
     use peertrust_core::Literal;
 
     fn p(n: &str) -> PeerId {
@@ -266,6 +285,7 @@ mod tests {
                 goal: Literal::truth(),
             },
             hops: 0,
+            trace: TraceContext::NONE,
         }
     }
 
@@ -459,7 +479,7 @@ pub fn framed_channel_network(
 #[cfg(test)]
 mod framed_tests {
     use super::*;
-    use crate::message::{MessageId, NegotiationId, Payload, QueryId};
+    use crate::message::{MessageId, NegotiationId, Payload, QueryId, TraceContext};
     use peertrust_core::{Literal, PeerId, Term};
     use std::time::Duration;
 
@@ -479,6 +499,7 @@ mod framed_tests {
                 goal: Literal::new("student", vec![Term::var("X")]).at(Term::str("UIUC")),
             },
             hops: 0,
+            trace: TraceContext::NONE,
         };
         a.send(&msg).unwrap();
         let got = b.recv_timeout(Duration::from_secs(2)).unwrap();

@@ -34,11 +34,13 @@ pub mod event;
 pub mod metrics;
 pub mod recorder;
 pub mod timeline;
+pub mod trace;
 
 pub use event::{Field, SpanId, TraceEvent, Value};
 pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use recorder::{JsonlWriter, NoopRecorder, Recorder, RingBuffer};
 pub use timeline::{Span, Timeline};
+pub use trace::{critical_path_summary, to_chrome_json, CriticalPath, SpanKind, Trace, TraceSpan};
 
 pub use peertrust_crypto::Tick;
 

@@ -4,25 +4,145 @@
 //! last segment (`negotiation.queries_issued.Alice`). The registry is a
 //! pair of locked `BTreeMap`s — sorted iteration makes every snapshot and
 //! JSON export deterministic, which the experiment tables rely on.
+//!
+//! Each histogram carries a fixed-memory log-bucketed quantile sketch
+//! alongside its count/sum/min/max aggregate, so `metrics.json` reports
+//! p50/p90/p99/p999 without retaining individual observations. The sketch
+//! merges bucket-wise and exactly, which keeps the worker-merge invariant:
+//! merging per-worker snapshots yields the same quantiles as one shared
+//! registry, regardless of observation order or worker count.
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
-/// Running aggregate of one histogram series.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+/// Values below `2^LINEAR_BITS` get one bucket each (exact); above, each
+/// power-of-two octave is split into `2^SUB_BITS` sub-buckets, bounding
+/// the relative quantile error at `2^-SUB_BITS` (≈6%) with at most
+/// `32 + 59 * 16 = 976` addressable buckets, stored sparsely.
+const LINEAR_BITS: u32 = 5;
+const SUB_BITS: u32 = 4;
+
+/// Sketch bucket index for a value (monotone in the value).
+fn bucket_index(value: u64) -> u16 {
+    if value < (1 << LINEAR_BITS) {
+        return value as u16;
+    }
+    let exp = 63 - value.leading_zeros(); // >= LINEAR_BITS
+    let sub = ((value >> (exp - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as u16;
+    (1 << LINEAR_BITS) + ((exp - LINEAR_BITS) as u16) * (1 << SUB_BITS) + sub
+}
+
+/// Smallest value mapping to bucket `index` (the sketch's representative;
+/// quantiles are reported as this lower bound, clamped to [min, max]).
+fn bucket_lower_bound(index: u16) -> u64 {
+    if index < (1 << LINEAR_BITS) {
+        return index as u64;
+    }
+    let rest = (index - (1 << LINEAR_BITS)) as u32;
+    let exp = rest / (1 << SUB_BITS) + LINEAR_BITS;
+    let sub = (rest % (1 << SUB_BITS)) as u64;
+    (1u64 << exp) + (sub << (exp - SUB_BITS))
+}
+
+/// Running aggregate of one histogram series, including the quantile
+/// sketch. `buckets` holds `(bucket index, count)` pairs sorted by index;
+/// the `p*` fields are derived from the sketch whenever it changes, so a
+/// JSON snapshot round-trips to an equal value.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,
     pub min: u64,
     pub max: u64,
+    /// Sparse log-bucketed sketch: `(bucket_index, count)`, sorted.
+    /// Absent in pre-sketch snapshots (deserializes empty).
+    pub buckets: Vec<(u16, u64)>,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+}
+
+// Hand-written serde impls (the vendored derive has no field attributes):
+// `buckets` is omitted when empty and every sketch field is optional on
+// input, so snapshots written before the sketch existed still parse.
+impl serde::Serialize for HistogramSnapshot {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let key = |k: &str| serde::Content::Str(k.to_string());
+        let mut map = vec![
+            (key("count"), serde::Content::U64(self.count)),
+            (key("sum"), serde::Content::U64(self.sum)),
+            (key("min"), serde::Content::U64(self.min)),
+            (key("max"), serde::Content::U64(self.max)),
+        ];
+        if !self.buckets.is_empty() {
+            let b = serde::to_content(&self.buckets)
+                .map_err(<S::Error as serde::ser::Error>::custom)?;
+            map.push((key("buckets"), b));
+        }
+        map.push((key("p50"), serde::Content::U64(self.p50)));
+        map.push((key("p90"), serde::Content::U64(self.p90)));
+        map.push((key("p99"), serde::Content::U64(self.p99)));
+        map.push((key("p999"), serde::Content::U64(self.p999)));
+        serializer.serialize_content(serde::Content::Map(map))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for HistogramSnapshot {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let err = <D::Error as serde::de::Error>::custom;
+        let content = deserializer.deserialize_content()?;
+        let mut fields = serde::de::expect_map(content).map_err(err)?;
+        let mut take = |k: &str| serde::de::take_field::<u64>(&mut fields, k);
+        let (count, sum) = (take("count").map_err(err)?, take("sum").map_err(err)?);
+        let (min, max) = (take("min").map_err(err)?, take("max").map_err(err)?);
+        let buckets = serde::de::take_field::<Option<Vec<(u16, u64)>>>(&mut fields, "buckets")
+            .map_err(err)?
+            .unwrap_or_default();
+        let mut take_opt = |k: &str| {
+            serde::de::take_field::<Option<u64>>(&mut fields, k).map(Option::unwrap_or_default)
+        };
+        Ok(HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+            p50: take_opt("p50").map_err(err)?,
+            p90: take_opt("p90").map_err(err)?,
+            p99: take_opt("p99").map_err(err)?,
+            p999: take_opt("p999").map_err(err)?,
+        })
+    }
 }
 
 impl HistogramSnapshot {
+    /// An empty aggregate, ready to absorb observations.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Vec::new(),
+            p50: 0,
+            p90: 0,
+            p99: 0,
+            p999: 0,
+        }
+    }
+
     fn observe(&mut self, value: u64) {
         self.count += 1;
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        let idx = bucket_index(value);
+        match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (idx, 1)),
+        }
+        self.refresh_quantiles();
     }
 
     /// Mean of observed values (0 when empty).
@@ -34,8 +154,44 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the sketch: the
+    /// lower bound of the bucket holding the rank-`ceil(q·n)` value,
+    /// clamped to the observed [min, max]. Falls back to `max` when the
+    /// sketch is empty but the aggregate is not (pre-sketch data absorbed
+    /// from an old snapshot).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let sketched: u64 = self.buckets.iter().map(|&(_, c)| c).sum();
+        if sketched == 0 {
+            return self.max;
+        }
+        let rank = ((q * sketched as f64).ceil() as u64).clamp(1, sketched);
+        if rank == sketched {
+            // The largest observation is tracked exactly.
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for &(idx, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower_bound(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    fn refresh_quantiles(&mut self) {
+        self.p50 = self.quantile(0.50);
+        self.p90 = self.quantile(0.90);
+        self.p99 = self.quantile(0.99);
+        self.p999 = self.quantile(0.999);
+    }
+
     /// Fold another aggregate into this one, as if every observation
-    /// behind `other` had been observed here.
+    /// behind `other` had been observed here. Sketch buckets add
+    /// bucket-wise, so the merge is exact and order-independent.
     pub fn absorb(&mut self, other: &HistogramSnapshot) {
         if other.count == 0 {
             return;
@@ -44,6 +200,13 @@ impl HistogramSnapshot {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        for &(idx, c) in &other.buckets {
+            match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += c,
+                Err(pos) => self.buckets.insert(pos, (idx, c)),
+            }
+        }
+        self.refresh_quantiles();
     }
 }
 
@@ -83,15 +246,9 @@ impl Metrics {
         match histograms.get_mut(name) {
             Some(h) => h.observe(value),
             None => {
-                histograms.insert(
-                    name.to_string(),
-                    HistogramSnapshot {
-                        count: 1,
-                        sum: value,
-                        min: value,
-                        max: value,
-                    },
-                );
+                let mut h = HistogramSnapshot::empty();
+                h.observe(value);
+                histograms.insert(name.to_string(), h);
             }
         }
     }
@@ -103,7 +260,7 @@ impl Metrics {
 
     /// Current aggregate of histogram `name`, if any value was observed.
     pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
-        self.histograms.lock().get(name).copied()
+        self.histograms.lock().get(name).cloned()
     }
 
     /// Record a pre-aggregated histogram series under `name`, merging
@@ -116,7 +273,7 @@ impl Metrics {
         match histograms.get_mut(name) {
             Some(h) => h.absorb(agg),
             None => {
-                histograms.insert(name.to_string(), *agg);
+                histograms.insert(name.to_string(), agg.clone());
             }
         }
     }
@@ -228,26 +385,83 @@ mod tests {
 
     #[test]
     fn absorb_handles_empty_and_disjoint_ranges() {
-        let mut a = HistogramSnapshot {
-            count: 2,
-            sum: 10,
-            min: 3,
-            max: 7,
-        };
-        a.absorb(&HistogramSnapshot {
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        });
+        let mut a = HistogramSnapshot::empty();
+        a.observe(3);
+        a.observe(7);
+        a.absorb(&HistogramSnapshot::empty());
         assert_eq!(a.count, 2);
-        a.absorb(&HistogramSnapshot {
-            count: 1,
-            sum: 100,
-            min: 100,
-            max: 100,
-        });
+        let mut b = HistogramSnapshot::empty();
+        b.observe(100);
+        a.absorb(&b);
         assert_eq!((a.count, a.sum, a.min, a.max), (3, 110, 3, 100));
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_invertible_enough() {
+        let mut last = None;
+        for v in (0..4096u64).chain([1 << 20, (1 << 20) + 12345, u64::MAX]) {
+            let idx = bucket_index(v);
+            if let Some((pv, pi)) = last {
+                assert!(idx >= pi, "index must be monotone: {pv} -> {v}");
+            }
+            let lb = bucket_lower_bound(idx);
+            assert!(lb <= v, "lower bound {lb} must not exceed value {v}");
+            // Relative sketch error is bounded by one sub-bucket width.
+            if v >= 32 {
+                assert!(
+                    (v - lb) as f64 / v as f64 <= 1.0 / 16.0 + 1e-9,
+                    "error too large at {v}: bucket lower bound {lb}"
+                );
+            } else {
+                assert_eq!(lb, v, "small values are exact");
+            }
+            last = Some((v, idx));
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let m = Metrics::new();
+        for v in 1..=1000u64 {
+            m.observe("lat", v);
+        }
+        let h = m.histogram("lat").unwrap();
+        // Small values are exact; larger ones within one sub-bucket (6.25%).
+        assert_eq!(h.quantile(0.0), 1);
+        assert!((470..=500).contains(&h.p50), "p50 = {}", h.p50);
+        assert!((845..=900).contains(&h.p90), "p90 = {}", h.p90);
+        assert!((930..=990).contains(&h.p99), "p99 = {}", h.p99);
+        assert!((937..=1000).contains(&h.p999), "p999 = {}", h.p999);
+        assert_eq!(h.quantile(1.0), h.max.clamp(h.min, h.max));
+    }
+
+    #[test]
+    fn quantile_merge_is_order_independent() {
+        // Sketches merged from shards equal the sketch that saw every
+        // observation directly — the scheduler's worker-merge invariant,
+        // extended to quantiles.
+        let direct = Metrics::new();
+        let shards: Vec<Metrics> = (0..4).map(|_| Metrics::new()).collect();
+        for v in 0..500u64 {
+            let x = (v * 2654435761) % 10_000; // deterministic scatter
+            direct.observe("lat", x);
+            shards[(v % 4) as usize].observe("lat", x);
+        }
+        let merged = Metrics::new();
+        // Merge in reverse order to stress order-independence.
+        for s in shards.iter().rev() {
+            merged.merge(&s.snapshot());
+        }
+        assert_eq!(merged.snapshot(), direct.snapshot());
+    }
+
+    #[test]
+    fn pre_sketch_snapshot_deserializes_and_falls_back() {
+        // A snapshot written before the sketch existed has no buckets.
+        let json = r#"{"count":3,"sum":30,"min":5,"max":20}"#;
+        let h: HistogramSnapshot = serde_json::from_str(json).unwrap();
+        assert!(h.buckets.is_empty());
+        assert_eq!(h.quantile(0.5), 20, "falls back to max without a sketch");
     }
 
     #[test]

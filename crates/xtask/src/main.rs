@@ -62,7 +62,7 @@ const STEPS: &[Step] = &[
         &[("RUSTDOCFLAGS", "-D warnings")],
     ),
     step(
-        "experiments (writes target/metrics.json + target/timeline.jsonl)",
+        "experiments (writes target/metrics.json + target/timeline.jsonl + target/trace.json)",
         &[
             "run",
             "--release",
@@ -70,6 +70,18 @@ const STEPS: &[Step] = &[
             "peertrust-bench",
             "--bin",
             "experiments",
+        ],
+        &[],
+    ),
+    step(
+        "trace smoke (well-formed, deterministic causal traces)",
+        &[
+            "test",
+            "-q",
+            "-p",
+            "peertrust-negotiation",
+            "--test",
+            "prop_trace",
         ],
         &[],
     ),
