@@ -46,6 +46,14 @@ use std::fmt;
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Checkpoint(usize);
 
+/// Memo for [`Bindings::apply_memo`]: variable → fully resolved form
+/// (`None` = unbound / unchanged). Sound only while the underlying
+/// store is frozen — build a fresh cache after any bind or rollback.
+#[derive(Default)]
+pub struct ResolveCache {
+    map: FxHashMap<Var, Option<Term>>,
+}
+
 /// One undo record: which variable the next rollback must unbind.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum TrailEntry {
@@ -235,6 +243,75 @@ impl Bindings {
         }
     }
 
+    /// [`Bindings::apply`] with a memo over a *frozen* store: every
+    /// variable resolved while the cache is live — chain intermediates
+    /// included — is resolved at most once. Deep binding chains (the
+    /// transitive-closure pattern: `Z0 -> Z1 -> ... -> Zk -> value`)
+    /// make the uncached resolver quadratic across a proof tree; the
+    /// cache makes each chain link amortized O(1). The caller must not
+    /// bind or roll back between uses of the same cache.
+    pub fn apply_memo(&self, t: &Term, cache: &mut ResolveCache) -> Term {
+        if self.trail.is_empty() {
+            return t.clone();
+        }
+        self.resolve_memo_opt(t, cache).unwrap_or_else(|| t.clone())
+    }
+
+    /// Copy-on-write memoized resolution: `None` means unchanged under
+    /// the current bindings. The cache stores the same `Option` per
+    /// variable, so "unbound" is remembered as cheaply as a hit.
+    fn resolve_memo_opt(&self, t: &Term, cache: &mut ResolveCache) -> Option<Term> {
+        match t {
+            Term::Atom(_) | Term::Str(_) | Term::Int(_) => None,
+            Term::Var(v) => {
+                if let Some(hit) = cache.map.get(v) {
+                    return hit.clone();
+                }
+                let res = self.lookup(v).map(|next| {
+                    // Clone breaks the borrow on `self` so the recursion
+                    // can take `cache` mutably; bindings are Arc-backed,
+                    // so this is a pointer bump for compounds.
+                    let next = next.clone();
+                    self.resolve_memo_opt(&next, cache).unwrap_or(next)
+                });
+                cache.map.insert(*v, res.clone());
+                res
+            }
+            Term::Compound(f, args) => {
+                let mut rebuilt: Option<Vec<Term>> = None;
+                for (i, a) in args.iter().enumerate() {
+                    match self.resolve_memo_opt(a, cache) {
+                        Some(changed) => rebuilt
+                            .get_or_insert_with(|| args[..i].to_vec())
+                            .push(changed),
+                        None => {
+                            if let Some(v) = rebuilt.as_mut() {
+                                v.push(a.clone());
+                            }
+                        }
+                    }
+                }
+                rebuilt.map(|v| Term::Compound(*f, v.into()))
+            }
+        }
+    }
+
+    /// [`Bindings::apply_literal`] through the memo cache.
+    pub fn apply_literal_memo(&self, l: &Literal, cache: &mut ResolveCache) -> Literal {
+        if self.trail.is_empty() || l.is_ground() {
+            return l.clone();
+        }
+        Literal {
+            pred: l.pred,
+            args: l.args.iter().map(|t| self.apply_memo(t, cache)).collect(),
+            authority: l
+                .authority
+                .iter()
+                .map(|t| self.apply_memo(t, cache))
+                .collect(),
+        }
+    }
+
     /// Project onto `vars` as a triangular [`Subst`] — the conversion
     /// back to the boundary type at solve exit. Fully resolves each
     /// variable, drops identity bindings.
@@ -390,6 +467,127 @@ fn occurs_resolved_in(v: &Var, t: &Term, bs: &Bindings) -> bool {
     }
 }
 
+/// Rename every variable in `t` by adding `offset` to its version,
+/// sharing unchanged (ground) subterms with the input. This is the whole
+/// of standardize-apart for a *compiled* clause: the compiler numbers a
+/// clause's variables 1..=n once, and each use shifts them above the
+/// solver's monotone counter instead of walking the term per use.
+pub fn offset_term(t: &Term, offset: u32) -> Term {
+    offset_term_opt(t, offset).unwrap_or_else(|| t.clone())
+}
+
+/// Copy-on-write core of [`offset_term`]: `None` means `t` is ground
+/// (keep the original, no allocation).
+fn offset_term_opt(t: &Term, offset: u32) -> Option<Term> {
+    match t {
+        Term::Var(v) => Some(Term::Var(Var::versioned(v.name, v.version + offset))),
+        Term::Atom(_) | Term::Str(_) | Term::Int(_) => None,
+        Term::Compound(f, args) => {
+            let mut rebuilt: Option<Vec<Term>> = None;
+            for (i, a) in args.iter().enumerate() {
+                match offset_term_opt(a, offset) {
+                    Some(changed) => rebuilt
+                        .get_or_insert_with(|| args[..i].to_vec())
+                        .push(changed),
+                    None => {
+                        if let Some(v) = rebuilt.as_mut() {
+                            v.push(a.clone());
+                        }
+                    }
+                }
+            }
+            rebuilt.map(|v| Term::Compound(*f, v.into()))
+        }
+    }
+}
+
+/// Unify a *clause-side* term `c` — whose variables are frame-relative
+/// and stand for `Var { name, version: version + offset }` — against a
+/// runtime goal term `g`, without ever materializing the renamed clause
+/// term (the renaming happens lazily, variable by variable, and ground
+/// clause subterms unify structurally with zero allocation). Rolls the
+/// store back to its entry state on failure, like [`unify_opts_in`].
+///
+/// Equivalent to `unify_opts_in(&offset_term(c, offset), g, bs, opts)`.
+pub fn unify_offset_in(
+    c: &Term,
+    offset: u32,
+    g: &Term,
+    bs: &mut Bindings,
+    opts: UnifyOptions,
+) -> bool {
+    let cp = bs.checkpoint();
+    if unify_offset_raw(c, offset, g, bs, opts) {
+        true
+    } else {
+        bs.rollback(cp);
+        false
+    }
+}
+
+/// Destructive core of [`unify_offset_in`]; may leave partial bindings
+/// on failure.
+fn unify_offset_raw(
+    c: &Term,
+    offset: u32,
+    g: &Term,
+    bs: &mut Bindings,
+    opts: UnifyOptions,
+) -> bool {
+    match c {
+        Term::Var(v) => {
+            let rv = Var::versioned(v.name, v.version + offset);
+            if let Some(bound) = bs.lookup(&rv) {
+                // The frame slot was filled by an earlier instruction of
+                // this head match; from here it is ordinary unification.
+                let bound = bound.clone();
+                return unify_raw(&bound, g, bs, opts);
+            }
+            match bs.walk(g) {
+                Term::Var(y) if *y == rv => true,
+                gw => {
+                    let gw = gw.clone();
+                    if opts.occurs_check && occurs_resolved_in(&rv, &gw, bs) {
+                        return false;
+                    }
+                    bs.bind(rv, gw);
+                    true
+                }
+            }
+        }
+        Term::Atom(_) | Term::Str(_) | Term::Int(_) => match bs.walk(g) {
+            Term::Var(y) => {
+                let y = *y;
+                bs.bind(y, c.clone());
+                true
+            }
+            gw => gw == c,
+        },
+        Term::Compound(f, cargs) => match bs.walk(g) {
+            Term::Var(y) => {
+                let y = *y;
+                let inst = offset_term(c, offset);
+                if opts.occurs_check && occurs_resolved_in(&y, &inst, bs) {
+                    return false;
+                }
+                bs.bind(y, inst);
+                true
+            }
+            Term::Compound(gf, gargs) => {
+                if gf != f || gargs.len() != cargs.len() {
+                    return false;
+                }
+                let (cargs, gargs) = (cargs.clone(), gargs.clone());
+                cargs
+                    .iter()
+                    .zip(gargs.iter())
+                    .all(|(x, y)| unify_offset_raw(x, offset, y, bs, opts))
+            }
+            _ => false,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,6 +697,107 @@ mod tests {
         let s = bs.project(&[Var::new("X"), Var::new("Z")]);
         assert_eq!(s.apply(&v("X")), Term::int(7));
         assert_eq!(s.lookup(&Var::new("Z")), None);
+    }
+
+    #[test]
+    fn offset_term_shifts_vars_and_shares_ground() {
+        let ground = Term::compound("g", vec![Term::int(1)]);
+        let t = Term::compound("f", vec![Term::Var(slot("X", 1)), ground.clone()]);
+        let shifted = offset_term(&t, 10);
+        assert_eq!(
+            shifted,
+            Term::compound("f", vec![Term::Var(slot("X", 11)), ground.clone()])
+        );
+        match (&shifted, &t) {
+            (Term::Compound(_, xs), Term::Compound(_, ys)) => match (&xs[1], &ys[1]) {
+                (Term::Compound(_, a), Term::Compound(_, b)) => {
+                    assert!(std::sync::Arc::ptr_eq(a, b), "ground subterm shared");
+                }
+                _ => panic!("expected compounds"),
+            },
+            _ => panic!("expected compounds"),
+        }
+        // A fully ground term is shared outright.
+        assert_eq!(offset_term(&ground, 10), ground);
+    }
+
+    #[test]
+    fn offset_unify_matches_materialized_renaming() {
+        // For a spread of clause/goal shapes, unify_offset_in must agree
+        // with renaming the clause term eagerly and using unify_in —
+        // both in verdict and in resulting goal-variable bindings.
+        let clause_terms = [
+            Term::Var(slot("X", 1)),
+            Term::atom("a"),
+            Term::compound("f", vec![Term::Var(slot("X", 1)), Term::Var(slot("X", 1))]),
+            Term::compound("f", vec![Term::Var(slot("X", 1)), Term::int(2)]),
+            Term::compound("f", vec![Term::atom("a")]),
+        ];
+        let goal_terms = [
+            v("G"),
+            Term::atom("a"),
+            Term::atom("b"),
+            Term::compound("f", vec![Term::int(2), Term::int(2)]),
+            Term::compound("f", vec![v("G"), v("G")]),
+            Term::compound("f", vec![v("G"), v("H")]),
+        ];
+        for c in &clause_terms {
+            for g in &goal_terms {
+                let mut lazy = Bindings::new(0);
+                let ok_lazy = unify_offset_in(c, 100, g, &mut lazy, UnifyOptions::default());
+                let mut eager = Bindings::new(0);
+                let renamed = offset_term(c, 100);
+                let ok_eager = unify_in(&renamed, g, &mut eager);
+                assert_eq!(ok_lazy, ok_eager, "verdict for {c} vs {g}");
+                if ok_lazy {
+                    for name in ["G", "H"] {
+                        let t = Term::var(name);
+                        assert_eq!(
+                            lazy.apply(&t),
+                            eager.apply(&t),
+                            "binding of {name} for {c} vs {g}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offset_unify_occurs_check() {
+        // clause p(X, f(X)) vs goal p(Y, Y) must fail the occurs check.
+        let mut bs = Bindings::new(0);
+        let x = Term::Var(slot("X", 1));
+        assert!(unify_offset_in(
+            &x,
+            10,
+            &v("Y"),
+            &mut bs,
+            UnifyOptions::default()
+        ));
+        let fx = Term::compound("f", vec![x]);
+        assert!(!unify_offset_in(
+            &fx,
+            10,
+            &v("Y"),
+            &mut bs,
+            UnifyOptions::default()
+        ));
+    }
+
+    #[test]
+    fn offset_unify_rolls_back_on_failure() {
+        let mut bs = Bindings::new(0);
+        let c = Term::compound("f", vec![Term::Var(slot("X", 1)), Term::int(1)]);
+        let g = Term::compound("f", vec![Term::int(2), Term::int(9)]);
+        assert!(!unify_offset_in(
+            &c,
+            10,
+            &g,
+            &mut bs,
+            UnifyOptions::default()
+        ));
+        assert!(bs.is_empty());
     }
 
     #[test]

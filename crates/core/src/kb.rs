@@ -9,31 +9,26 @@
 use crate::literal::Literal;
 use crate::rule::{Rule, RuleId};
 use crate::symbol::{PeerId, Sym};
-use crate::term::Term;
+use crate::term::{IndexKey, Term};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-/// First-argument index key: the shape of a ground first argument. Rules
-/// whose first head argument is a variable live in a separate always-
-/// matching bucket; goals with a non-ground first argument scan the whole
-/// functor bucket.
+/// A cheap content identity for a KB prefix: rule count plus an
+/// order-sensitive digest of the rules. Two KBs with equal fingerprints
+/// hold syntactically identical rule sequences (up to hash collision);
+/// compiled artifacts store the fingerprint of the prefix they were built
+/// from and refuse to serve a KB that no longer starts with it.
+///
+/// KBs are append-only (rules are never removed or edited in place), so a
+/// *prefix* fingerprint match means every compiled clause is still live —
+/// later appended rules just aren't compiled yet.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-enum ArgKey {
-    Atom(Sym),
-    Str(Sym),
-    Int(i64),
-    Functor(Sym),
-}
-
-fn arg_key(t: &Term) -> Option<ArgKey> {
-    match t {
-        Term::Atom(s) => Some(ArgKey::Atom(*s)),
-        Term::Str(s) => Some(ArgKey::Str(*s)),
-        Term::Int(i) => Some(ArgKey::Int(*i)),
-        Term::Compound(f, _) => Some(ArgKey::Functor(*f)),
-        Term::Var(_) => None,
-    }
+pub struct KbFingerprint {
+    /// Number of rules covered by the digest.
+    pub rules: usize,
+    /// Order-sensitive digest of those rules.
+    pub digest: u64,
 }
 
 /// Where a rule in a knowledge base came from.
@@ -62,7 +57,7 @@ pub struct KnowledgeBase {
     rules: Vec<StoredRule>,
     index: HashMap<(Sym, usize), Vec<usize>>,
     /// (functor, first-arg key) -> clause ids with that ground first arg.
-    first_arg: HashMap<(Sym, usize, ArgKey), Vec<usize>>,
+    first_arg: HashMap<(Sym, usize, IndexKey), Vec<usize>>,
     /// functor -> clause ids whose first head arg is a variable (or arity 0).
     var_headed: HashMap<(Sym, usize), Vec<usize>>,
     /// Distinct predicates, kept sorted incrementally on insert so
@@ -100,7 +95,7 @@ impl KnowledgeBase {
         let id = RuleId(u32::try_from(self.rules.len()).expect("kb overflow"));
         let key = rule.head.functor();
         let idx = self.rules.len();
-        match rule.head.args.first().and_then(arg_key) {
+        match rule.head.args.first().and_then(Term::index_key) {
             Some(k) => self
                 .first_arg
                 .entry((key.0, key.1, k))
@@ -155,7 +150,7 @@ impl KnowledgeBase {
         // non-empty; every other shape iterates the index slice in place —
         // this sits on the hottest engine path (one call per goal
         // selection).
-        let ids = match goal.args.first().and_then(arg_key) {
+        let ids = match goal.args.first().and_then(Term::index_key) {
             Some(k) => {
                 let exact = self
                     .first_arg
@@ -206,6 +201,36 @@ impl KnowledgeBase {
     /// recollected from the index per call.
     pub fn predicates(&self) -> Vec<(Sym, usize)> {
         self.sorted_predicates.clone()
+    }
+
+    /// Fingerprint of the whole KB. O(n) in rule count — intended for
+    /// compile-time capture, not per-solve checks (compiled artifacts
+    /// cache the comparison; see `peertrust-engine`'s `compile` module).
+    pub fn fingerprint(&self) -> KbFingerprint {
+        self.prefix_fingerprint(self.rules.len())
+            .expect("full-length prefix always exists")
+    }
+
+    /// Fingerprint of the first `rules` rules, or `None` if the KB is
+    /// shorter than that. A compiled artifact built from an earlier
+    /// snapshot of this KB is still valid iff the snapshot's fingerprint
+    /// equals `prefix_fingerprint(snapshot.rules)` — appended rules never
+    /// invalidate compiled clauses, only rewriting history does (which
+    /// the append-only API makes impossible, but a *different* KB handed
+    /// to the same solver must be detected).
+    pub fn prefix_fingerprint(&self, rules: usize) -> Option<KbFingerprint> {
+        use std::hash::{Hash, Hasher};
+        if rules > self.rules.len() {
+            return None;
+        }
+        let mut h = crate::hash::FxHasher::default();
+        for sr in &self.rules[..rules] {
+            sr.rule.hash(&mut h);
+        }
+        Some(KbFingerprint {
+            rules,
+            digest: h.finish(),
+        })
     }
 }
 
@@ -482,6 +507,36 @@ mod first_arg_tests {
             .count(),
             1
         );
+    }
+
+    #[test]
+    fn fingerprint_detects_divergence_and_tolerates_appends() {
+        let mk = |n: &str| Rule::fact(Literal::new(n, vec![Term::atom("x")]));
+        let mut a = KnowledgeBase::new();
+        a.add_local(mk("p"));
+        a.add_local(mk("q"));
+        let snap = a.fingerprint();
+        assert_eq!(snap.rules, 2);
+
+        // Appending keeps the prefix fingerprint stable.
+        a.add_local(mk("r"));
+        assert_eq!(a.prefix_fingerprint(snap.rules), Some(snap));
+        assert_ne!(a.fingerprint(), snap);
+
+        // A different KB with the same length diverges.
+        let mut b = KnowledgeBase::new();
+        b.add_local(mk("p"));
+        b.add_local(mk("DIFFERENT"));
+        assert_ne!(b.prefix_fingerprint(2), Some(snap));
+
+        // Same rules in the same order agree.
+        let mut c = KnowledgeBase::new();
+        c.add_local(mk("p"));
+        c.add_local(mk("q"));
+        assert_eq!(c.fingerprint(), snap);
+
+        // A prefix longer than the KB does not exist.
+        assert_eq!(c.prefix_fingerprint(3), None);
     }
 
     #[test]

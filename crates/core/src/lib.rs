@@ -52,16 +52,17 @@ pub mod unify;
 /// Convenient re-exports of the types used by nearly every client.
 pub mod prelude {
     pub use crate::bindings::{
-        unify_in, unify_literals_in, unify_opts_in, Bindings, Checkpoint, TrailStats,
+        offset_term, unify_in, unify_literals_in, unify_offset_in, unify_opts_in, Bindings,
+        Checkpoint, ResolveCache, TrailStats,
     };
     pub use crate::context::Context;
     pub use crate::hash::{FxBuildHasher, FxHashMap, FxHashSet};
-    pub use crate::kb::{KnowledgeBase, RuleOrigin};
+    pub use crate::kb::{KbFingerprint, KnowledgeBase, RuleOrigin};
     pub use crate::literal::Literal;
     pub use crate::rule::{Rule, RuleId};
     pub use crate::subst::Subst;
     pub use crate::symbol::{PeerId, Sym};
-    pub use crate::term::{Term, Var};
+    pub use crate::term::{IndexKey, Term, Var};
     pub use crate::unify::{unify, unify_literals, unify_opts, UnifyOptions};
 }
 

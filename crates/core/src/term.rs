@@ -60,6 +60,19 @@ impl fmt::Display for Var {
     }
 }
 
+/// The shape of a ground(-enough) term for first-argument clause
+/// indexing: what a switch-on-constant dispatch can discriminate on
+/// without unifying. Compound terms key on their functor only — argument
+/// disagreement is left to unification (an over-approximation, never a
+/// miss). Variables have no key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IndexKey {
+    Atom(Sym),
+    Str(Sym),
+    Int(i64),
+    Functor(Sym),
+}
+
 /// A first-order term.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Term {
@@ -167,6 +180,19 @@ impl Term {
         match self {
             Term::Var(_) | Term::Atom(_) | Term::Str(_) | Term::Int(_) => 1,
             Term::Compound(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+        }
+    }
+
+    /// The first-argument index key of this term, or `None` for a
+    /// variable. Shared by the interpreted KB index and the compiled
+    /// dispatch tables so both narrow candidate sets identically.
+    pub fn index_key(&self) -> Option<IndexKey> {
+        match self {
+            Term::Atom(s) => Some(IndexKey::Atom(*s)),
+            Term::Str(s) => Some(IndexKey::Str(*s)),
+            Term::Int(i) => Some(IndexKey::Int(*i)),
+            Term::Compound(f, _) => Some(IndexKey::Functor(*f)),
+            Term::Var(_) => None,
         }
     }
 

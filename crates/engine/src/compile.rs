@@ -1,0 +1,671 @@
+//! WAM-lite policy compilation: a one-shot compiler from a peer's
+//! [`KnowledgeBase`] to a flat bytecode KB the solver resolves against
+//! without per-use clause renaming.
+//!
+//! ## What is compiled away
+//!
+//! The interpreted hot path pays, per candidate clause per goal:
+//!
+//! 1. **Standardize-apart renaming** — `Rule::rename_apart_indexed`
+//!    rebuilds the whole rule (head, contexts, body) with fresh variable
+//!    versions *before* knowing whether the head even matches.
+//! 2. **Head materialization** — the renamed head literal is allocated
+//!    just to be torn apart again by `unify_literals_in`.
+//! 3. **Candidate collection** — `KnowledgeBase::candidates` may merge
+//!    two index buckets into a fresh `Vec` per goal selection.
+//!
+//! Compilation does each of these once, at compile time:
+//!
+//! * Every clause gets a **register frame**: its variables are renumbered
+//!   `1..=nvars` by the same monotone-counter scheme the interpreter
+//!   uses, but frozen into the clause. At run time, "renaming" is adding
+//!   the solver's counter to a version — no term is rebuilt
+//!   ([`peertrust_core::offset_term`] instantiates the body lazily, and
+//!   head unification never materializes the renamed head at all).
+//! * Head unification is lowered to **get instructions**
+//!   ([`HeadInstr`]), matched argument-by-argument against the goal over
+//!   the existing [`Bindings`] trail: ground arguments compare
+//!   structurally with zero allocation, first-occurrence variables bind
+//!   infallibly without an occurs check, and only genuinely compound
+//!   patterns fall back to full (offset) unification.
+//! * Clause selection is a **switch-on-constant dispatch**
+//!   ([`CompiledKb::dispatch`]): per predicate, a table from first-argument
+//!   [`IndexKey`] to a *pre-merged* candidate list (exact-key clauses ∪
+//!   variable-headed clauses, in clause order), so goal selection is one
+//!   hash lookup returning a borrowed slice.
+//!
+//! ## Invalidation (the PR 2 fingerprint mechanism)
+//!
+//! A compiled KB captures [`KnowledgeBase::fingerprint`] at compile time.
+//! Before consulting it, the solver checks [`CompiledKb::fit`]:
+//!
+//! * **`Full`** — the KB is exactly the compiled snapshot.
+//! * **`Prefix`** — the KB *starts with* the snapshot (credentials pushed
+//!   during a negotiation append rules; KBs are append-only). Compiled
+//!   clauses cover rule ids `0..prefix_len`; the solver resolves the
+//!   uncompiled suffix interpretively, preserving global clause order.
+//! * **`Stale`** — the KB diverged from the snapshot (a different KB was
+//!   handed to the solver). The compiled KB is *never consulted*; the
+//!   solver falls back to full interpretation and counts
+//!   `engine.compiled.stale`.
+//!
+//! Differential oracles: the interpreter itself (compiled off) and
+//! [`crate::reference::RefSolver`]; see `tests/prop_compiled.rs`.
+
+use crate::sld::{EngineConfig, Solution, Stats};
+use crate::Solver;
+use peertrust_core::{
+    offset_term, unify_offset_in, Bindings, IndexKey, KbFingerprint, KnowledgeBase, Literal,
+    PeerId, Rule, RuleId, Sym, Term, UnifyOptions, Var,
+};
+use std::sync::Arc;
+
+/// One head-argument matching instruction. The clause's variables are
+/// frame-relative: version `v` stands for the runtime variable
+/// `Var { name, version: v + base }` where `base` is the solver's rename
+/// counter at match entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HeadInstr {
+    /// A ground argument: structural comparison against the goal term
+    /// (binds the goal side if it is an unbound variable). No renaming,
+    /// no occurs check, no allocation on the match path.
+    GetConst(Term),
+    /// First occurrence of a whole-argument clause variable: bind the
+    /// fresh frame slot to the (walked) goal term. Infallible — the slot
+    /// is fresh, so neither a rebind nor an occurs violation is possible.
+    GetVar(Var),
+    /// A later occurrence of a clause variable: full unification of the
+    /// slot's current value against the goal term.
+    GetVal(Var),
+    /// A non-ground compound argument: offset unification
+    /// ([`unify_offset_in`]), which renames clause variables lazily one
+    /// at a time instead of instantiating the pattern.
+    GetTerm(Term),
+}
+
+/// One compiled clause: a register-frame layout plus head instructions
+/// and a frame-relative body.
+#[derive(Clone, Debug)]
+pub struct CompiledClause {
+    /// Id of the source rule in the KB this was compiled from.
+    pub id: RuleId,
+    /// Frame size: distinct variables in the source rule. A successful
+    /// head match reserves this many versions off the solver's counter.
+    pub nvars: u32,
+    args_len: usize,
+    auth_len: usize,
+    /// Head instructions, one per argument then one per authority term.
+    head: Vec<HeadInstr>,
+    /// Body literals with frame-relative variable versions.
+    body: Vec<Literal>,
+}
+
+impl CompiledClause {
+    /// Match this clause's head against `goal`, writing bindings for
+    /// frame `base` into `bs`. On failure the store is rolled back to
+    /// entry state. Equivalent to renaming the source rule apart at
+    /// `base` and calling `unify_literals_in(&renamed.head, goal, bs)`.
+    pub fn match_head(&self, base: u32, goal: &Literal, bs: &mut Bindings) -> bool {
+        if goal.args.len() != self.args_len || goal.authority.len() != self.auth_len {
+            return false;
+        }
+        let opts = UnifyOptions::default();
+        let cp = bs.checkpoint();
+        for (i, ins) in self.head.iter().enumerate() {
+            let gt = if i < self.args_len {
+                &goal.args[i]
+            } else {
+                &goal.authority[i - self.args_len]
+            };
+            let ok = match ins {
+                HeadInstr::GetVar(v) => {
+                    let rv = Var::versioned(v.name, v.version + base);
+                    let t = bs.walk(gt).clone();
+                    // `rv` is fresh: nothing in `bs` or the goal can
+                    // mention it yet, so this bind cannot cycle.
+                    bs.bind(rv, t);
+                    true
+                }
+                HeadInstr::GetVal(v) => unify_offset_in(&Term::Var(*v), base, gt, bs, opts),
+                HeadInstr::GetConst(t) | HeadInstr::GetTerm(t) => {
+                    unify_offset_in(t, base, gt, bs, opts)
+                }
+            };
+            if !ok {
+                bs.rollback(cp);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Instantiate the body at frame `base`: shift every variable version
+    /// up by `base`, sharing ground subterms with the compiled clause.
+    pub fn body_instance(&self, base: u32) -> Vec<Literal> {
+        self.body
+            .iter()
+            .map(|l| Literal {
+                pred: l.pred,
+                args: l.args.iter().map(|t| offset_term(t, base)).collect(),
+                authority: l.authority.iter().map(|t| offset_term(t, base)).collect(),
+            })
+            .collect()
+    }
+}
+
+/// Per-predicate dispatch tables.
+#[derive(Clone, Debug, Default)]
+struct PredIndex {
+    /// Every clause for this predicate, in clause order.
+    all: Vec<u32>,
+    /// Clauses whose first head argument is a variable (or arity 0).
+    var_headed: Vec<u32>,
+    /// Switch-on-constant: first-argument key -> pre-merged candidate
+    /// list (exact-key ∪ var-headed, in clause order). Merging at compile
+    /// time is what makes run-time dispatch a borrowed slice.
+    by_const: peertrust_core::FxHashMap<IndexKey, Vec<u32>>,
+}
+
+/// How a compiled KB relates to the KB a solver is about to consult.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompiledFit {
+    /// The KB is exactly the compiled snapshot.
+    Full,
+    /// The KB starts with the compiled snapshot; rules past
+    /// [`CompiledKb::prefix_len`] are uncompiled.
+    Prefix,
+    /// The KB diverged from the snapshot — never consult this artifact.
+    Stale,
+}
+
+/// A knowledge base compiled to dispatch tables and get-instruction
+/// clauses. Immutable once built; share across solvers/threads via `Arc`.
+#[derive(Clone, Debug)]
+pub struct CompiledKb {
+    clauses: Vec<CompiledClause>,
+    index: peertrust_core::FxHashMap<(Sym, usize), PredIndex>,
+    prefix: KbFingerprint,
+}
+
+impl CompiledKb {
+    /// Compile every clause of `kb`. Release-pattern self-rules
+    /// (`p $ ctx <- p`) are derivationally inert disclosure licenses and
+    /// are not compiled (the interpreter skips them identically).
+    pub fn compile(kb: &KnowledgeBase) -> CompiledKb {
+        let mut clauses = Vec::with_capacity(kb.len());
+        let mut index: peertrust_core::FxHashMap<(Sym, usize), PredIndex> =
+            peertrust_core::FxHashMap::default();
+        for sr in kb.iter() {
+            if sr.rule.body.len() == 1 && sr.rule.body[0] == sr.rule.head {
+                continue;
+            }
+            let ci = clauses.len() as u32;
+            let clause = compile_clause(sr.id, &sr.rule);
+            let key = sr.rule.head.functor();
+            let entry = index.entry(key).or_default();
+            entry.all.push(ci);
+            match sr.rule.head.args.first().and_then(Term::index_key) {
+                Some(k) => entry.by_const.entry(k).or_default().push(ci),
+                None => entry.var_headed.push(ci),
+            }
+            clauses.push(clause);
+        }
+        // Pre-merge the var-headed chain into every constant bucket,
+        // preserving clause order (both lists are ascending).
+        for p in index.values_mut() {
+            if p.var_headed.is_empty() {
+                continue;
+            }
+            for bucket in p.by_const.values_mut() {
+                let exact = std::mem::take(bucket);
+                let mut merged = Vec::with_capacity(exact.len() + p.var_headed.len());
+                let (mut i, mut j) = (0, 0);
+                while i < exact.len() || j < p.var_headed.len() {
+                    match (exact.get(i), p.var_headed.get(j)) {
+                        (Some(&a), Some(&b)) => {
+                            if a < b {
+                                merged.push(a);
+                                i += 1;
+                            } else {
+                                merged.push(b);
+                                j += 1;
+                            }
+                        }
+                        (Some(&a), None) => {
+                            merged.push(a);
+                            i += 1;
+                        }
+                        (None, Some(&b)) => {
+                            merged.push(b);
+                            j += 1;
+                        }
+                        (None, None) => unreachable!(),
+                    }
+                }
+                *bucket = merged;
+            }
+        }
+        CompiledKb {
+            clauses,
+            index,
+            prefix: kb.fingerprint(),
+        }
+    }
+
+    /// Number of KB rules this artifact covers (rule ids `0..prefix_len`).
+    pub fn prefix_len(&self) -> usize {
+        self.prefix.rules
+    }
+
+    /// Number of compiled clauses (release-pattern self-rules excluded).
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// The fingerprint of the KB snapshot this was compiled from.
+    pub fn fingerprint(&self) -> KbFingerprint {
+        self.prefix
+    }
+
+    /// Does this artifact still describe (a prefix of) `kb`?
+    pub fn fit(&self, kb: &KnowledgeBase) -> CompiledFit {
+        match kb.prefix_fingerprint(self.prefix.rules) {
+            Some(fp) if fp == self.prefix => {
+                if kb.len() == self.prefix.rules {
+                    CompiledFit::Full
+                } else {
+                    CompiledFit::Prefix
+                }
+            }
+            _ => CompiledFit::Stale,
+        }
+    }
+
+    /// Switch-on-constant clause selection: candidate compiled-clause
+    /// indices for `goal`, in clause order. One hash lookup, borrowed
+    /// slice, no allocation. Same over-approximation as the interpreted
+    /// `KnowledgeBase::candidates` (compound keys match on functor;
+    /// authority chains are left to head matching).
+    pub fn dispatch(&self, goal: &Literal) -> &[u32] {
+        let Some(p) = self.index.get(&goal.functor()) else {
+            return &[];
+        };
+        match goal.args.first().and_then(Term::index_key) {
+            Some(k) => p
+                .by_const
+                .get(&k)
+                .map(Vec::as_slice)
+                .unwrap_or(&p.var_headed),
+            None => &p.all,
+        }
+    }
+
+    /// Fetch a compiled clause by dispatch index.
+    pub fn clause(&self, idx: u32) -> &CompiledClause {
+        &self.clauses[idx as usize]
+    }
+}
+
+/// Lower one rule: renumber its variables into a fresh 1-based frame,
+/// then lower each head argument to the cheapest instruction that
+/// preserves unification semantics.
+fn compile_clause(id: RuleId, rule: &Rule) -> CompiledClause {
+    let mut ctr = 0u32;
+    let renamed = rule.rename_apart_indexed(&mut ctr);
+    let args_len = renamed.head.args.len();
+    let auth_len = renamed.head.authority.len();
+    let mut head = Vec::with_capacity(args_len + auth_len);
+    let mut seen: Vec<Var> = Vec::new();
+    for t in renamed
+        .head
+        .args
+        .iter()
+        .chain(renamed.head.authority.iter())
+    {
+        head.push(lower(t, &mut seen));
+    }
+    CompiledClause {
+        id,
+        nvars: ctr,
+        args_len,
+        auth_len,
+        head,
+        body: renamed.body,
+    }
+}
+
+fn lower(t: &Term, seen: &mut Vec<Var>) -> HeadInstr {
+    match t {
+        Term::Var(v) => {
+            if seen.contains(v) {
+                HeadInstr::GetVal(*v)
+            } else {
+                seen.push(*v);
+                HeadInstr::GetVar(*v)
+            }
+        }
+        _ if t.is_ground() => HeadInstr::GetConst(t.clone()),
+        _ => {
+            // Every variable inside the pattern counts as seen: a later
+            // whole-argument occurrence must re-unify, not re-bind.
+            let mut vs = Vec::new();
+            t.collect_vars(&mut vs);
+            for v in vs {
+                if !seen.contains(&v) {
+                    seen.push(v);
+                }
+            }
+            HeadInstr::GetTerm(t.clone())
+        }
+    }
+}
+
+/// A solver running over a compiled KB: the existing [`Solver`] surface
+/// (same `Subst` boundary, proofs, tabling, telemetry) with the compiled
+/// artifact attached and `EngineConfig::compiled` forced on. The thin
+/// wrapper exists so call sites that always want the compiled path don't
+/// have to thread the `Arc` and the flag separately.
+pub struct CompiledSolver<'a> {
+    inner: Solver<'a>,
+}
+
+impl<'a> CompiledSolver<'a> {
+    /// Solve over `kb` using `compiled` (typically
+    /// `CompiledKb::compile(kb)` shared via `Arc` across solvers).
+    pub fn new(kb: &'a KnowledgeBase, self_id: PeerId, compiled: Arc<CompiledKb>) -> Self {
+        CompiledSolver {
+            inner: Solver::new(kb, self_id).with_compiled(compiled),
+        }
+    }
+
+    pub fn with_config(mut self, mut config: EngineConfig) -> Self {
+        config.compiled = true;
+        self.inner = self.inner.with_config(config);
+        self
+    }
+
+    pub fn solve(&mut self, goals: &[Literal]) -> Vec<Solution> {
+        self.inner.solve(goals)
+    }
+
+    pub fn provable(&mut self, goals: &[Literal]) -> bool {
+        self.inner.provable(goals)
+    }
+
+    pub fn stats(&self) -> Stats {
+        self.inner.stats()
+    }
+
+    /// The underlying solver, for attaching hooks/tables/telemetry.
+    pub fn solver(&mut self) -> &mut Solver<'a> {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peertrust_core::unify_literals_in;
+
+    fn kb_from(rules: Vec<Rule>) -> KnowledgeBase {
+        rules.into_iter().collect()
+    }
+
+    fn lit(pred: &str, args: Vec<Term>) -> Literal {
+        Literal::new(pred, args)
+    }
+
+    #[test]
+    fn lowering_picks_cheapest_instruction() {
+        let rule = Rule::horn(
+            lit(
+                "p",
+                vec![
+                    Term::atom("a"),
+                    Term::var("X"),
+                    Term::var("X"),
+                    Term::compound("f", vec![Term::var("Y"), Term::int(1)]),
+                    Term::compound("g", vec![Term::int(2)]),
+                ],
+            ),
+            vec![],
+        );
+        let c = compile_clause(RuleId(0), &rule);
+        assert_eq!(c.nvars, 2);
+        assert!(matches!(c.head[0], HeadInstr::GetConst(_)));
+        assert!(matches!(c.head[1], HeadInstr::GetVar(_)));
+        assert!(matches!(c.head[2], HeadInstr::GetVal(_)));
+        assert!(matches!(c.head[3], HeadInstr::GetTerm(_)));
+        assert!(matches!(c.head[4], HeadInstr::GetConst(_)));
+    }
+
+    #[test]
+    fn pattern_vars_block_later_getvar() {
+        // p(f(X), X): the second X must be GetVal — X was introduced
+        // inside the pattern, binding it blindly would skip the unify.
+        let rule = Rule::horn(
+            lit(
+                "p",
+                vec![Term::compound("f", vec![Term::var("X")]), Term::var("X")],
+            ),
+            vec![],
+        );
+        let c = compile_clause(RuleId(0), &rule);
+        assert!(matches!(c.head[0], HeadInstr::GetTerm(_)));
+        assert!(matches!(c.head[1], HeadInstr::GetVal(_)));
+    }
+
+    #[test]
+    fn match_head_agrees_with_interpreted_unification() {
+        let heads = [
+            lit("p", vec![Term::atom("a"), Term::var("X")]),
+            lit("p", vec![Term::var("X"), Term::var("X")]),
+            lit(
+                "p",
+                vec![Term::compound("f", vec![Term::var("X")]), Term::var("X")],
+            ),
+            lit("p", vec![Term::int(1), Term::int(2)]),
+            lit(
+                "p",
+                vec![Term::var("X"), Term::compound("f", vec![Term::var("X")])],
+            ),
+        ];
+        let goals = [
+            lit("p", vec![Term::atom("a"), Term::int(3)]),
+            lit("p", vec![Term::var("G"), Term::var("G")]),
+            lit("p", vec![Term::var("G"), Term::var("H")]),
+            lit(
+                "p",
+                vec![Term::compound("f", vec![Term::int(1)]), Term::int(1)],
+            ),
+            lit("p", vec![Term::int(1), Term::int(2)]),
+        ];
+        for h in &heads {
+            let rule = Rule::horn(h.clone(), vec![]);
+            let c = compile_clause(RuleId(0), &rule);
+            for g in &goals {
+                let base = 100u32;
+                let mut bs_c = Bindings::new(0);
+                let ok_c = c.match_head(base, g, &mut bs_c);
+
+                let mut ctr = base;
+                let renamed = rule.rename_apart_indexed(&mut ctr);
+                let mut bs_i = Bindings::new(0);
+                let ok_i = unify_literals_in(&renamed.head, g, &mut bs_i);
+
+                assert_eq!(ok_c, ok_i, "verdict for head {h} vs goal {g}");
+                if ok_c {
+                    for name in ["G", "H"] {
+                        let t = Term::var(name);
+                        assert_eq!(
+                            bs_c.apply(&t),
+                            bs_i.apply(&t),
+                            "goal binding {name} for {h} vs {g}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_narrows_and_preserves_clause_order() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(Rule::fact(lit("p", vec![Term::var("X")]))); // 0
+        kb.add_local(Rule::fact(lit("p", vec![Term::atom("a")]))); // 1
+        kb.add_local(Rule::fact(lit("p", vec![Term::var("Y")]))); // 2
+        kb.add_local(Rule::fact(lit("p", vec![Term::atom("a")]))); // 3
+        kb.add_local(Rule::fact(lit("p", vec![Term::atom("b")]))); // 4
+        let c = CompiledKb::compile(&kb);
+        let ids = |goal: &Literal| -> Vec<u32> {
+            c.dispatch(goal).iter().map(|&i| c.clause(i).id.0).collect()
+        };
+        assert_eq!(ids(&lit("p", vec![Term::atom("a")])), vec![0, 1, 2, 3]);
+        assert_eq!(ids(&lit("p", vec![Term::atom("b")])), vec![0, 2, 4]);
+        // Unknown constant: only the var-headed chain.
+        assert_eq!(ids(&lit("p", vec![Term::atom("z")])), vec![0, 2]);
+        // Open goal: everything.
+        assert_eq!(ids(&lit("p", vec![Term::var("Q")])), vec![0, 1, 2, 3, 4]);
+        // Unknown predicate: nothing.
+        assert_eq!(ids(&lit("q", vec![Term::var("Q")])), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn release_pattern_self_rules_are_not_compiled() {
+        let head = lit("cred", vec![Term::var("X")]);
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(Rule::horn(head.clone(), vec![head.clone()]));
+        kb.add_local(Rule::fact(lit("cred", vec![Term::atom("a")])));
+        let c = CompiledKb::compile(&kb);
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.clause(c.dispatch(&lit("cred", vec![Term::atom("a")]))[0])
+                .id,
+            RuleId(1)
+        );
+    }
+
+    #[test]
+    fn fit_full_prefix_stale() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(Rule::fact(lit("p", vec![Term::atom("a")])));
+        let c = CompiledKb::compile(&kb);
+        assert_eq!(c.fit(&kb), CompiledFit::Full);
+
+        kb.add_local(Rule::fact(lit("p", vec![Term::atom("b")])));
+        assert_eq!(c.fit(&kb), CompiledFit::Prefix);
+        assert_eq!(c.prefix_len(), 1);
+
+        let mut other = KnowledgeBase::new();
+        other.add_local(Rule::fact(lit("q", vec![Term::atom("a")])));
+        assert_eq!(c.fit(&other), CompiledFit::Stale);
+    }
+
+    #[test]
+    fn compiled_solver_answers_match_interpreter() {
+        let mut kb = KnowledgeBase::new();
+        for i in 0..5 {
+            kb.add_local(Rule::fact(lit(
+                "edge",
+                vec![Term::int(i), Term::int(i + 1)],
+            )));
+        }
+        kb.add_local(Rule::horn(
+            lit("reach", vec![Term::var("X"), Term::var("Y")]),
+            vec![lit("edge", vec![Term::var("X"), Term::var("Y")])],
+        ));
+        kb.add_local(Rule::horn(
+            lit("reach", vec![Term::var("X"), Term::var("Z")]),
+            vec![
+                lit("edge", vec![Term::var("X"), Term::var("Y")]),
+                lit("reach", vec![Term::var("Y"), Term::var("Z")]),
+            ],
+        ));
+        let me = PeerId::new("me");
+        let goal = lit("reach", vec![Term::int(0), Term::var("T")]);
+
+        let mut interp = Solver::new(&kb, me);
+        let expected: Vec<String> = interp
+            .solve(std::slice::from_ref(&goal))
+            .iter()
+            .map(|s| s.subst.apply_literal(&goal).to_string())
+            .collect();
+
+        let compiled = Arc::new(CompiledKb::compile(&kb));
+        let mut cs = CompiledSolver::new(&kb, me, compiled);
+        let got: Vec<String> = cs
+            .solve(std::slice::from_ref(&goal))
+            .iter()
+            .map(|s| s.subst.apply_literal(&goal).to_string())
+            .collect();
+        assert_eq!(got, expected);
+        assert!(cs.stats().compiled_dispatches > 0, "compiled path ran");
+        assert_eq!(cs.stats().compiled_stale, 0);
+    }
+
+    #[test]
+    fn stale_compiled_kb_is_never_consulted() {
+        // Compile one KB, then hand the solver a *different* KB with the
+        // same predicates: answers must come from the real KB via the
+        // interpreter, and the compiled artifact must never be touched.
+        let mut kb1 = KnowledgeBase::new();
+        kb1.add_local(Rule::fact(lit("p", vec![Term::atom("old")])));
+        let compiled = Arc::new(CompiledKb::compile(&kb1));
+
+        let mut kb2 = KnowledgeBase::new();
+        kb2.add_local(Rule::fact(lit("p", vec![Term::atom("new")])));
+        kb2.add_local(Rule::fact(lit("p", vec![Term::atom("newer")])));
+
+        let me = PeerId::new("me");
+        let goal = lit("p", vec![Term::var("X")]);
+        let mut s = Solver::new(&kb2, me).with_compiled(compiled);
+        let answers: Vec<String> = s
+            .solve(std::slice::from_ref(&goal))
+            .iter()
+            .map(|sol| sol.subst.apply_literal(&goal).to_string())
+            .collect();
+        assert_eq!(answers, vec!["p(new)", "p(newer)"]);
+        assert_eq!(s.stats().compiled_dispatches, 0, "stale KB consulted");
+        assert!(s.stats().compiled_stale > 0, "staleness not recorded");
+    }
+
+    #[test]
+    fn prefix_fit_resolves_appended_rules_interpretively() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(Rule::fact(lit("p", vec![Term::atom("compiled")])));
+        let compiled = Arc::new(CompiledKb::compile(&kb));
+        // Appends after compilation — e.g. credentials pushed mid-negotiation.
+        kb.add_local(Rule::fact(lit("p", vec![Term::atom("appended")])));
+
+        let me = PeerId::new("me");
+        let goal = lit("p", vec![Term::var("X")]);
+        let mut s = Solver::new(&kb, me).with_compiled(compiled);
+        let answers: Vec<String> = s
+            .solve(std::slice::from_ref(&goal))
+            .iter()
+            .map(|sol| sol.subst.apply_literal(&goal).to_string())
+            .collect();
+        // Clause order preserved: compiled prefix first, then the suffix.
+        assert_eq!(answers, vec!["p(compiled)", "p(appended)"]);
+        assert!(s.stats().compiled_dispatches > 0);
+        assert_eq!(s.stats().compiled_stale, 0);
+    }
+
+    #[test]
+    fn engine_config_compiled_autocompiles() {
+        let kb = kb_from(vec![Rule::fact(lit("p", vec![Term::atom("a")]))]);
+        let me = PeerId::new("me");
+        let goal = lit("p", vec![Term::var("X")]);
+        let mut s = Solver::new(&kb, me).with_config(EngineConfig {
+            compiled: true,
+            ..EngineConfig::default()
+        });
+        let answers = s.solve(std::slice::from_ref(&goal));
+        assert_eq!(answers.len(), 1);
+        assert!(s.stats().compiled_dispatches > 0, "auto-compiled path ran");
+    }
+}

@@ -29,10 +29,11 @@
 //! disclose.
 
 use crate::builtins::{eval_builtin_in, BuiltinOutcomeIn};
+use crate::compile::{CompiledFit, CompiledKb};
 use crate::table::{AnswerTable, ConcurrentTable, Disposition, Probe, TableStats, TabledAnswer};
 use peertrust_core::{
-    unify_literals_in, Bindings, FxHashMap, KnowledgeBase, Literal, PeerId, RuleId, Subst, Term,
-    TrailStats, Var,
+    unify_literals_in, Bindings, FxHashMap, KnowledgeBase, Literal, PeerId, ResolveCache, RuleId,
+    Subst, Term, TrailStats, Var,
 };
 use peertrust_telemetry::{Field, Telemetry};
 use std::cell::RefCell;
@@ -166,6 +167,13 @@ pub struct EngineConfig {
     /// Cap on answers collected per tabled variant; a variant that hits
     /// the cap is recorded incomplete and resolved inline thereafter.
     pub table_max_answers: usize,
+    /// Resolve against a compiled (WAM-lite bytecode) view of the KB
+    /// (see `crate::compile`). If no compiled artifact was attached via
+    /// [`Solver::with_compiled`], the solver compiles the KB itself on
+    /// first solve. Off by default; answers are identical either way —
+    /// the compiled path only changes how clause heads are selected and
+    /// matched.
+    pub compiled: bool,
 }
 
 impl Default for EngineConfig {
@@ -178,6 +186,7 @@ impl Default for EngineConfig {
             remote_fallback: RemoteFallback::OnlyIfNoLocalClause,
             tabling: false,
             table_max_answers: 512,
+            compiled: false,
         }
     }
 }
@@ -269,11 +278,14 @@ impl Proof {
         }
     }
 
-    fn resolve(&self, bs: &Bindings) -> Proof {
+    /// Resolve every goal in the tree against `bs` through a shared
+    /// memo: the tree for a depth-k answer revisits the same binding
+    /// chains at every level, so uncached resolution is quadratic in k.
+    fn resolve(&self, bs: &Bindings, cache: &mut ResolveCache) -> Proof {
         Proof {
-            goal: bs.apply_literal(&self.goal),
+            goal: bs.apply_literal_memo(&self.goal, cache),
             step: self.step.clone(),
-            children: self.children.iter().map(|c| c.resolve(bs)).collect(),
+            children: self.children.iter().map(|c| c.resolve(bs, cache)).collect(),
         }
     }
 }
@@ -315,6 +327,15 @@ pub struct Stats {
     pub trail_peak: u64,
     /// High-water mark of the dense variable-slot vector.
     pub slot_peak: u64,
+    /// Switch-on-constant dispatches into a compiled KB.
+    pub compiled_dispatches: u64,
+    /// Compiled head matches that succeeded.
+    pub compiled_head_matches: u64,
+    /// Compiled head matches that failed.
+    pub compiled_head_fails: u64,
+    /// Solves that found their compiled KB stale and fell back to full
+    /// interpretation (should be 0 in a correctly wired deployment).
+    pub compiled_stale: u64,
     /// Whether the step budget was exhausted (result may be incomplete).
     pub step_budget_exhausted: bool,
 }
@@ -340,6 +361,13 @@ pub struct Solver<'a> {
     stats: Stats,
     telemetry: Telemetry,
     table: Option<TableHandle>,
+    /// Compiled view of `kb` (attached or auto-compiled when
+    /// `config.compiled`). Consulted only after a fingerprint fit check.
+    compiled: Option<Arc<CompiledKb>>,
+    /// Cached fit verdict: how many leading KB rules the compiled
+    /// artifact covers (0 = not consulted). Sound to cache because the
+    /// solver borrows the KB immutably for its whole lifetime.
+    compiled_cover: Option<usize>,
 }
 
 /// Work items on the evaluation agenda.
@@ -352,6 +380,23 @@ enum GoalItem {
         step: ProofStep,
         arity: usize,
     },
+}
+
+/// The evaluation agenda as a persistent cons list. Resolving a goal
+/// against a clause pushes the clause body in front of the `Rc`-shared
+/// continuation; the continuation itself — O(depth) items on recursive
+/// programs — is never copied. (With a `Vec` agenda, every successful
+/// head match cloned the whole remainder, which made deep chains
+/// quadratic in allocations.)
+type Agenda = Option<Rc<AgendaNode>>;
+
+struct AgendaNode {
+    item: GoalItem,
+    next: Agenda,
+}
+
+fn cons(item: GoalItem, next: Agenda) -> Agenda {
+    Some(Rc::new(AgendaNode { item, next }))
 }
 
 enum Flow {
@@ -370,6 +415,8 @@ impl<'a> Solver<'a> {
             stats: Stats::default(),
             telemetry: Telemetry::disabled(),
             table: None,
+            compiled: None,
+            compiled_cover: None,
         }
     }
 
@@ -381,6 +428,27 @@ impl<'a> Solver<'a> {
     pub fn with_hook(mut self, hook: &'a mut dyn RemoteHook) -> Solver<'a> {
         self.hook = Some(hook);
         self
+    }
+
+    /// Attach a compiled view of the KB (see `crate::compile`) and turn
+    /// the compiled path on. The artifact is consulted only while its
+    /// fingerprint still matches a prefix of the KB; a stale artifact is
+    /// ignored (counted in `Stats::compiled_stale`), never wrong.
+    pub fn with_compiled(mut self, compiled: Arc<CompiledKb>) -> Solver<'a> {
+        self.compiled = Some(compiled);
+        self.compiled_cover = None;
+        self.config.compiled = true;
+        self
+    }
+
+    /// [`Solver::with_compiled`] for an optional handle: `None` leaves
+    /// the solver fully interpreted. Convenient for call sites threading
+    /// a peer's maybe-compiled KB through.
+    pub fn with_compiled_opt(self, compiled: Option<Arc<CompiledKb>>) -> Solver<'a> {
+        match compiled {
+            Some(c) => self.with_compiled(c),
+            None => self,
+        }
     }
 
     /// Attach a telemetry pipeline: each [`Solver::solve`] call becomes an
@@ -443,6 +511,23 @@ impl<'a> Solver<'a> {
                 RefCell::new(AnswerTable::new()),
             )));
         }
+        if self.config.compiled && self.compiled.is_none() {
+            // No artifact attached: compile the KB once for this solver.
+            self.compiled = Some(Arc::new(CompiledKb::compile(self.kb)));
+            self.compiled_cover = None;
+        }
+        if self.compiled_cover.is_none() {
+            self.compiled_cover = Some(match &self.compiled {
+                Some(c) => match c.fit(self.kb) {
+                    CompiledFit::Full | CompiledFit::Prefix => c.prefix_len(),
+                    CompiledFit::Stale => {
+                        self.stats.compiled_stale += 1;
+                        0
+                    }
+                },
+                None => 0,
+            });
+        }
         let mut query_vars: Vec<Var> = Vec::new();
         for g in goals {
             g.collect_vars(&mut query_vars);
@@ -467,7 +552,10 @@ impl<'a> Solver<'a> {
             (peertrust_telemetry::SpanId::NONE, Stats::default())
         };
 
-        let agenda: Vec<GoalItem> = goals.iter().map(|g| GoalItem::Lit(g.clone(), 0)).collect();
+        let mut agenda: Agenda = None;
+        for g in goals.iter().rev() {
+            agenda = cons(GoalItem::Lit(g.clone(), 0), agenda);
+        }
         let mut out = Vec::new();
         let mut anc: Vec<Literal> = Vec::new();
         let mut acc: Vec<Proof> = Vec::new();
@@ -542,6 +630,22 @@ impl<'a> Solver<'a> {
         );
         self.telemetry
             .incr("engine.trail.undone", d.trail_undone - before.trail_undone);
+        self.telemetry.incr(
+            "engine.compiled.dispatches",
+            d.compiled_dispatches - before.compiled_dispatches,
+        );
+        self.telemetry.incr(
+            "engine.compiled.head_matches",
+            d.compiled_head_matches - before.compiled_head_matches,
+        );
+        self.telemetry.incr(
+            "engine.compiled.head_fails",
+            d.compiled_head_fails - before.compiled_head_fails,
+        );
+        self.telemetry.incr(
+            "engine.compiled.stale",
+            d.compiled_stale - before.compiled_stale,
+        );
         self.telemetry.observe("engine.trail.peak", d.trail_peak);
         self.telemetry
             .observe("engine.alloc.slot_peak", d.slot_peak);
@@ -569,7 +673,7 @@ impl<'a> Solver<'a> {
     /// which is what replaced the clone-per-choice-point `Subst`.
     fn prove(
         &mut self,
-        agenda: &[GoalItem],
+        agenda: &Agenda,
         bs: &mut Bindings,
         anc: &mut Vec<Literal>,
         acc: &mut Vec<Proof>,
@@ -579,11 +683,12 @@ impl<'a> Solver<'a> {
         if self.stats.step_budget_exhausted {
             return Flow::Stop;
         }
-        let Some((item, rest)) = agenda.split_first() else {
+        let Some(node) = agenda else {
             // Whole conjunction proven.
+            let mut cache = ResolveCache::default();
             out.push(Solution {
                 subst: bs.project(query_vars),
-                proofs: acc.iter().map(|p| p.resolve(bs)).collect(),
+                proofs: acc.iter().map(|p| p.resolve(bs, &mut cache)).collect(),
             });
             return if out.len() >= self.config.max_solutions {
                 Flow::Stop
@@ -591,6 +696,7 @@ impl<'a> Solver<'a> {
                 Flow::Continue
             };
         };
+        let (item, rest) = (&node.item, &node.next);
 
         match item {
             GoalItem::Fold { goal, step, arity } => {
@@ -641,12 +747,16 @@ impl<'a> Solver<'a> {
                         return Flow::Continue; // flounder: non-ground negation
                     }
                     let refuted = {
-                        let mut sub =
-                            Solver::new(self.kb, self.self_id).with_config(EngineConfig {
+                        let mut sub = Solver::new(self.kb, self.self_id)
+                            .with_config(EngineConfig {
                                 max_solutions: 1,
                                 remote_fallback: RemoteFallback::Never,
                                 ..self.config
-                            });
+                            })
+                            .with_compiled_opt(self.compiled.clone());
+                        // Same KB, same artifact: the fit verdict carries
+                        // over, sparing the sub-solve a re-fingerprint.
+                        sub.compiled_cover = self.compiled_cover;
                         let proved = sub.provable(std::slice::from_ref(&inner));
                         self.stats.steps += sub.stats.steps;
                         self.stats.rule_tries += sub.stats.rule_tries;
@@ -741,46 +851,24 @@ impl<'a> Solver<'a> {
                     );
                 }
 
-                // Local clauses.
-                let candidates: Vec<_> = self
-                    .kb
-                    .candidates(&goal)
-                    .map(|sr| (sr.id, sr.rule.clone()))
-                    .collect();
+                // Local clauses: the compiled prefix first (when a
+                // compiled KB fits), then the uncompiled suffix
+                // interpretively — together that is exactly clause
+                // (insertion) order over the whole KB.
                 let mut any_local_clause = false;
-                for (id, rule) in &candidates {
-                    // Release-pattern self-rules (`p $ ctx <- p`) are
-                    // derivationally inert — they exist purely as
-                    // disclosure licenses (paper §3.1) and are applied by
-                    // the negotiation layer. Skipping them here also keeps
-                    // them from masking remote resolution.
-                    if rule.body.len() == 1 && rule.body[0] == rule.head {
-                        continue;
-                    }
-                    self.stats.rule_tries += 1;
-                    let renamed = rule.rename_apart_indexed(&mut self.rename_counter);
-                    self.stats.unify_attempts += 1;
-                    let cp = bs.checkpoint();
-                    if !unify_literals_in(&renamed.head, &goal, bs) {
-                        continue;
-                    }
-                    any_local_clause = true;
-                    let flow = self.alternative(
-                        &goal,
-                        ProofStep::Rule(*id),
-                        &renamed.body,
-                        depth,
-                        rest,
-                        bs,
-                        anc,
-                        acc,
-                        out,
-                        query_vars,
-                    );
-                    bs.rollback(cp);
-                    if let Flow::Stop = flow {
-                        return Flow::Stop;
-                    }
+                if let Flow::Stop = self.local_clauses(
+                    &goal,
+                    &goal,
+                    depth,
+                    rest,
+                    bs,
+                    anc,
+                    acc,
+                    out,
+                    query_vars,
+                    &mut any_local_clause,
+                ) {
+                    return Flow::Stop;
                 }
 
                 // §3.2 Self-closure: "For each Authority argument that has
@@ -791,34 +879,19 @@ impl<'a> Solver<'a> {
                 // from its delegation rule with head `attr(X) @ "A0"`.
                 if goal.eval_peer() != Some(self.self_id) {
                     let extended = goal.clone().at(Term::peer(self.self_id));
-                    for (id, rule) in &candidates {
-                        if rule.body.len() == 1 && rule.body[0] == rule.head {
-                            continue;
-                        }
-                        self.stats.rule_tries += 1;
-                        let renamed = rule.rename_apart_indexed(&mut self.rename_counter);
-                        self.stats.unify_attempts += 1;
-                        let cp = bs.checkpoint();
-                        if !unify_literals_in(&renamed.head, &extended, bs) {
-                            continue;
-                        }
-                        any_local_clause = true;
-                        let flow = self.alternative(
-                            &goal,
-                            ProofStep::Rule(*id),
-                            &renamed.body,
-                            depth,
-                            rest,
-                            bs,
-                            anc,
-                            acc,
-                            out,
-                            query_vars,
-                        );
-                        bs.rollback(cp);
-                        if let Flow::Stop = flow {
-                            return Flow::Stop;
-                        }
+                    if let Flow::Stop = self.local_clauses(
+                        &goal,
+                        &extended,
+                        depth,
+                        rest,
+                        bs,
+                        anc,
+                        acc,
+                        out,
+                        query_vars,
+                        &mut any_local_clause,
+                    ) {
+                        return Flow::Stop;
                     }
                 }
 
@@ -870,6 +943,111 @@ impl<'a> Solver<'a> {
         }
     }
 
+    /// Try every local clause whose head could match `target`, in clause
+    /// order: compiled-prefix clauses via switch-on-constant dispatch and
+    /// get-instruction head matching, then the uncompiled suffix through
+    /// the interpreted rename-and-unify path. `goal` is what proof nodes
+    /// record (it differs from `target` on the §3.2 self-closure pass).
+    /// Sets `*any` when at least one head unified.
+    #[allow(clippy::too_many_arguments)]
+    fn local_clauses(
+        &mut self,
+        goal: &Literal,
+        target: &Literal,
+        depth: usize,
+        rest: &Agenda,
+        bs: &mut Bindings,
+        anc: &mut Vec<Literal>,
+        acc: &mut Vec<Proof>,
+        out: &mut Vec<Solution>,
+        query_vars: &[Var],
+        any: &mut bool,
+    ) -> Flow {
+        let prefix = self.compiled_cover.unwrap_or(0);
+        if prefix > 0 {
+            let compiled = self.compiled.clone().expect("cover implies artifact");
+            self.stats.compiled_dispatches += 1;
+            for &ci in compiled.dispatch(target) {
+                let clause = compiled.clause(ci);
+                self.stats.rule_tries += 1;
+                self.stats.unify_attempts += 1;
+                let base = self.rename_counter;
+                let cp = bs.checkpoint();
+                if !clause.match_head(base, target, bs) {
+                    self.stats.compiled_head_fails += 1;
+                    continue; // match_head rolled back already
+                }
+                self.stats.compiled_head_matches += 1;
+                // Reserve the clause's frame only on a successful match
+                // — the whole point of baking standardize-apart into the
+                // frame layout.
+                self.rename_counter += clause.nvars;
+                *any = true;
+                let body = clause.body_instance(base);
+                let flow = self.alternative(
+                    goal,
+                    ProofStep::Rule(clause.id),
+                    &body,
+                    depth,
+                    rest,
+                    bs,
+                    anc,
+                    acc,
+                    out,
+                    query_vars,
+                );
+                bs.rollback(cp);
+                if let Flow::Stop = flow {
+                    return Flow::Stop;
+                }
+            }
+            if self.kb.len() <= prefix {
+                return Flow::Continue; // fully compiled, no suffix
+            }
+        }
+        let candidates: Vec<_> = self
+            .kb
+            .candidates(target)
+            .filter(|sr| sr.id.0 as usize >= prefix)
+            .map(|sr| (sr.id, sr.rule.clone()))
+            .collect();
+        for (id, rule) in &candidates {
+            // Release-pattern self-rules (`p $ ctx <- p`) are
+            // derivationally inert — they exist purely as disclosure
+            // licenses (paper §3.1) and are applied by the negotiation
+            // layer. Skipping them here also keeps them from masking
+            // remote resolution.
+            if rule.body.len() == 1 && rule.body[0] == rule.head {
+                continue;
+            }
+            self.stats.rule_tries += 1;
+            let renamed = rule.rename_apart_indexed(&mut self.rename_counter);
+            self.stats.unify_attempts += 1;
+            let cp = bs.checkpoint();
+            if !unify_literals_in(&renamed.head, target, bs) {
+                continue;
+            }
+            *any = true;
+            let flow = self.alternative(
+                goal,
+                ProofStep::Rule(*id),
+                &renamed.body,
+                depth,
+                rest,
+                bs,
+                anc,
+                acc,
+                out,
+                query_vars,
+            );
+            bs.rollback(cp);
+            if let Flow::Stop = flow {
+                return Flow::Stop;
+            }
+        }
+        Flow::Continue
+    }
+
     /// Explore one alternative for `goal`: prove `body` (at `depth + 1`),
     /// fold the results into a proof node, then continue with `rest`.
     #[allow(clippy::too_many_arguments)]
@@ -879,30 +1057,24 @@ impl<'a> Solver<'a> {
         step: ProofStep,
         body: &[Literal],
         depth: usize,
-        rest: &[GoalItem],
+        rest: &Agenda,
         bs: &mut Bindings,
         anc: &mut Vec<Literal>,
         acc: &mut Vec<Proof>,
         out: &mut Vec<Solution>,
         query_vars: &[Var],
     ) -> Flow {
-        let mut agenda: Vec<GoalItem> = Vec::with_capacity(body.len() + 1 + rest.len());
-        for b in body {
-            agenda.push(GoalItem::Lit(b.clone(), depth + 1));
-        }
-        agenda.push(GoalItem::Fold {
-            goal: goal.clone(),
-            step,
-            arity: body.len(),
-        });
-        agenda.extend(rest.iter().map(|g| match g {
-            GoalItem::Lit(l, d) => GoalItem::Lit(l.clone(), *d),
-            GoalItem::Fold { goal, step, arity } => GoalItem::Fold {
+        let mut agenda = cons(
+            GoalItem::Fold {
                 goal: goal.clone(),
-                step: step.clone(),
-                arity: *arity,
+                step,
+                arity: body.len(),
             },
-        }));
+            rest.clone(),
+        );
+        for b in body.iter().rev() {
+            agenda = cons(GoalItem::Lit(b.clone(), depth + 1), agenda);
+        }
         anc.push(goal.clone());
         let flow = self.prove(&agenda, bs, anc, acc, out, query_vars);
         anc.pop();
@@ -916,7 +1088,7 @@ impl<'a> Solver<'a> {
     fn tabled(
         &mut self,
         goal: &Literal,
-        rest: &[GoalItem],
+        rest: &Agenda,
         bs: &mut Bindings,
         anc: &mut Vec<Literal>,
         acc: &mut Vec<Proof>,
@@ -946,7 +1118,7 @@ impl<'a> Solver<'a> {
         let cutoffs_before = self.stats.depth_cutoffs;
         let saved_max = self.config.max_solutions;
         self.config.max_solutions = self.config.table_max_answers;
-        let agenda = vec![GoalItem::Lit(key.clone(), 0)];
+        let agenda = cons(GoalItem::Lit(key.clone(), 0), None);
         let mut sub_out: Vec<Solution> = Vec::new();
         let mut sub_anc: Vec<Literal> = Vec::new();
         let mut sub_acc: Vec<Proof> = Vec::new();
@@ -1009,7 +1181,7 @@ impl<'a> Solver<'a> {
         &mut self,
         goal: &Literal,
         answers: &[TabledAnswer],
-        rest: &[GoalItem],
+        rest: &Agenda,
         bs: &mut Bindings,
         anc: &mut Vec<Literal>,
         acc: &mut Vec<Proof>,

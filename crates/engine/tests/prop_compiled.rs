@@ -1,0 +1,218 @@
+//! Compiled-vs-reference differential property tests: the solver running
+//! over a WAM-lite compiled KB ([`peertrust_engine::CompiledKb`]) is
+//! observationally identical to both the interpreted solver and the
+//! clone-per-branch reference interpreter on random policy graphs — same
+//! solution sets, in the same order, with the same proof sketches — clean
+//! and with tabling, and whole table contents agree entry by entry.
+
+use peertrust_core::prelude::*;
+use peertrust_engine::{
+    canonicalize, AnswerTable, CompiledKb, CompiledSolver, EngineConfig, Proof, RefSolver,
+    Solution, Solver,
+};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Same random safe-program generator as `prop_differential.rs`: EDB
+/// facts over a small constant universe, IDB rules with optional chain
+/// variables and builtin guards.
+#[derive(Clone, Debug)]
+struct Program {
+    rules: Vec<Rule>,
+}
+
+fn arb_const() -> impl Strategy<Value = Term> {
+    (0i64..4).prop_map(Term::int)
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    let facts = prop::collection::vec(
+        (0u32..3, arb_const(), arb_const())
+            .prop_map(|(p, a, b)| Rule::fact(Literal::new(format!("e{p}").as_str(), vec![a, b]))),
+        1..8,
+    );
+    let rules = prop::collection::vec(
+        (
+            0u32..2,
+            0u32..3,
+            0u32..3,
+            any::<bool>(),
+            any::<bool>(),
+            prop::option::of(0i64..4),
+        )
+            .prop_map(|(hk, b1, b2, use_idb, chain, guard)| {
+                let (x, y, z) = (Term::var("X"), Term::var("Y"), Term::var("Z"));
+                let head = Literal::new(format!("p{hk}").as_str(), vec![x.clone(), y.clone()]);
+                let first = Literal::new(
+                    format!("e{b1}").as_str(),
+                    vec![x.clone(), if chain { z.clone() } else { y.clone() }],
+                );
+                let second_name = if use_idb {
+                    format!("p{}", b2 % 2)
+                } else {
+                    format!("e{b2}")
+                };
+                let second = Literal::new(
+                    second_name.as_str(),
+                    vec![if chain { z } else { x.clone() }, y],
+                );
+                let mut body = vec![first, second];
+                if let Some(bound) = guard {
+                    body.push(Literal::cmp("<=", x, Term::int(bound)));
+                }
+                Rule::horn(head, body)
+            }),
+        0..5,
+    );
+    (facts, rules).prop_map(|(f, r)| Program {
+        rules: f.into_iter().chain(r).collect(),
+    })
+}
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        max_solutions: 512,
+        max_steps: 500_000,
+        ..EngineConfig::default()
+    }
+}
+
+/// Render one solution as (answer instance, proof sketch) with variables
+/// canonicalized per literal — identical evaluations must render equal.
+fn render(goal: &Literal, sol: &Solution) -> (String, Vec<String>) {
+    fn sketch(p: &Proof, out: &mut Vec<String>) {
+        out.push(format!("{:?} {}", p.step, canonicalize(&p.goal)));
+        for c in &p.children {
+            sketch(c, out);
+        }
+    }
+    let mut proofs = Vec::new();
+    for p in &sol.proofs {
+        sketch(p, &mut proofs);
+    }
+    (
+        canonicalize(&sol.subst.apply_literal(goal)).to_string(),
+        proofs,
+    )
+}
+
+/// Canonical snapshot of a whole answer table: variant key -> sorted
+/// canonicalized answers (completed entries only).
+fn table_snapshot(table: &AnswerTable) -> BTreeMap<String, BTreeSet<String>> {
+    table
+        .entries()
+        .filter(|(_, d, _)| *d == peertrust_engine::Disposition::Complete)
+        .map(|(k, _, answers)| {
+            (
+                canonicalize(k).to_string(),
+                answers
+                    .iter()
+                    .map(|a| canonicalize(&a.answer).to_string())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Compiled, interpreted, and reference evaluation agree — same
+    /// instances, same order, same proof sketches.
+    #[test]
+    fn compiled_matches_interpreter_and_reference(prog in arb_program()) {
+        let kb: KnowledgeBase = prog.rules.iter().cloned().collect();
+        let compiled = Arc::new(CompiledKb::compile(&kb));
+        for pred in ["p0", "p1", "e0"] {
+            let goal = Literal::new(pred, vec![Term::var("A"), Term::var("B")]);
+
+            let mut cs = CompiledSolver::new(&kb, PeerId::new("self"), compiled.clone())
+                .with_config(config());
+            let got = cs.solve(std::slice::from_ref(&goal));
+            prop_assume!(!cs.stats().step_budget_exhausted);
+            prop_assert_eq!(cs.stats().compiled_stale, 0, "artifact wrongly stale");
+
+            let mut interp = Solver::new(&kb, PeerId::new("self")).with_config(config());
+            let want_i = interp.solve(std::slice::from_ref(&goal));
+            let mut reference = RefSolver::new(&kb, PeerId::new("self")).with_config(config());
+            let want_r = reference.solve(std::slice::from_ref(&goal));
+
+            let got_c: Vec<_> = got.iter().map(|s| render(&goal, s)).collect();
+            let want_ir: Vec<_> = want_i.iter().map(|s| render(&goal, s)).collect();
+            let want_rr: Vec<_> = want_r.iter().map(|s| render(&goal, s)).collect();
+            prop_assert_eq!(
+                &got_c, &want_ir,
+                "compiled diverges from interpreter on {}", pred
+            );
+            prop_assert_eq!(
+                &got_c, &want_rr,
+                "compiled diverges from reference on {}", pred
+            );
+        }
+    }
+
+    /// With tabling on, the compiled path fills the answer table with
+    /// exactly what the interpreted path does — same variants, same
+    /// answer sets — and both solvers return identical solutions.
+    #[test]
+    fn compiled_tabling_matches_interpreted_tabling(prog in arb_program()) {
+        let kb: KnowledgeBase = prog.rules.iter().cloned().collect();
+        let compiled = Arc::new(CompiledKb::compile(&kb));
+        let goal = Literal::new("p0", vec![Term::var("A"), Term::var("B")]);
+        let tabled = EngineConfig { tabling: true, ..config() };
+
+        let ct = Rc::new(RefCell::new(AnswerTable::new()));
+        let mut cs = Solver::new(&kb, PeerId::new("self"))
+            .with_config(tabled)
+            .with_table(ct.clone())
+            .with_compiled(compiled);
+        let got = cs.solve(std::slice::from_ref(&goal));
+        prop_assume!(!cs.stats().step_budget_exhausted);
+
+        let it = Rc::new(RefCell::new(AnswerTable::new()));
+        let mut is = Solver::new(&kb, PeerId::new("self"))
+            .with_config(tabled)
+            .with_table(it.clone());
+        let want = is.solve(std::slice::from_ref(&goal));
+
+        let got_r: Vec<_> = got.iter().map(|s| render(&goal, s)).collect();
+        let want_r: Vec<_> = want.iter().map(|s| render(&goal, s)).collect();
+        prop_assert_eq!(&got_r, &want_r, "tabled solutions diverge");
+
+        let got_t = table_snapshot(&ct.borrow());
+        let want_t = table_snapshot(&it.borrow());
+        prop_assert_eq!(&got_t, &want_t, "table contents diverge");
+    }
+
+    /// Appending rules after compilation (the negotiation pattern:
+    /// credentials pushed mid-session) must not lose or corrupt answers:
+    /// the prefix-fit compiled solver agrees with a fully interpreted
+    /// solver over the grown KB.
+    #[test]
+    fn prefix_fit_matches_interpreter_after_appends(prog in arb_program(), extra in prop::collection::vec((0u32..3, arb_const(), arb_const()), 1..4)) {
+        let mut kb: KnowledgeBase = prog.rules.iter().cloned().collect();
+        let compiled = Arc::new(CompiledKb::compile(&kb));
+        for (p, a, b) in extra {
+            kb.add_local(Rule::fact(Literal::new(format!("e{p}").as_str(), vec![a, b])));
+        }
+        for pred in ["p0", "e0"] {
+            let goal = Literal::new(pred, vec![Term::var("A"), Term::var("B")]);
+            let mut cs = Solver::new(&kb, PeerId::new("self"))
+                .with_config(config())
+                .with_compiled(compiled.clone());
+            let got = cs.solve(std::slice::from_ref(&goal));
+            prop_assume!(!cs.stats().step_budget_exhausted);
+            prop_assert_eq!(cs.stats().compiled_stale, 0, "append must not go stale");
+
+            let mut interp = Solver::new(&kb, PeerId::new("self")).with_config(config());
+            let want = interp.solve(std::slice::from_ref(&goal));
+
+            let got_r: Vec<_> = got.iter().map(|s| render(&goal, s)).collect();
+            let want_r: Vec<_> = want.iter().map(|s| render(&goal, s)).collect();
+            prop_assert_eq!(&got_r, &want_r, "prefix-fit diverges on {}", pred);
+        }
+    }
+}

@@ -10,9 +10,10 @@
 
 use peertrust_core::{KnowledgeBase, Literal, PeerId, Rule, RuleId, Sym};
 use peertrust_crypto::{sign_rule, verify_signed_rule, KeyRegistry, SigError, SignedRule};
-use peertrust_engine::EngineConfig;
+use peertrust_engine::{CompiledKb, EngineConfig};
 use peertrust_parser::{parse_program, ParseError};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Per-peer configuration.
 #[derive(Clone, Debug)]
@@ -120,6 +121,13 @@ pub struct NegotiationPeer {
     /// Signatures for the signed rules in `kb`, keyed by rule id. Only
     /// rules present here can be *pushed* to other peers.
     signed: HashMap<RuleId, SignedRule>,
+    /// Compiled (WAM-lite bytecode) view of `kb`, built once by
+    /// [`NegotiationPeer::compile_policies`] and `Arc`-shared into every
+    /// solver this peer runs. Credentials received mid-negotiation only
+    /// *append* to the KB, so the artifact stays prefix-valid; the
+    /// engine's fingerprint check makes a stale artifact harmless
+    /// regardless.
+    compiled: Option<Arc<CompiledKb>>,
 }
 
 impl NegotiationPeer {
@@ -130,12 +138,29 @@ impl NegotiationPeer {
             config: PeerConfig::default(),
             registry,
             signed: HashMap::new(),
+            compiled: None,
         }
     }
 
     pub fn with_config(mut self, config: PeerConfig) -> NegotiationPeer {
         self.config = config;
         self
+    }
+
+    /// Compile this peer's current KB to the engine's WAM-lite bytecode
+    /// form (see `peertrust_engine::compile`). Call after policy loading;
+    /// every subsequent local solve dispatches over the compiled clauses,
+    /// with rules appended later (pushed credentials) resolved
+    /// interpretively behind them. Recompile after bulk KB growth to
+    /// fold the new rules into the dispatch tables.
+    pub fn compile_policies(&mut self) {
+        self.compiled = Some(Arc::new(CompiledKb::compile(&self.kb)));
+    }
+
+    /// The compiled KB handle, if [`NegotiationPeer::compile_policies`]
+    /// ran. Cheap to clone (`Arc`).
+    pub fn compiled(&self) -> Option<Arc<CompiledKb>> {
+        self.compiled.clone()
     }
 
     /// Add one local (unsigned) rule.

@@ -107,6 +107,13 @@ pub struct BatchConfig {
     /// lane and driven resiliently. `None` is the historical fault-free
     /// path, bit-identical to before this field existed.
     pub faults: Option<BatchFaults>,
+    /// Compile every peer's KB to the engine's WAM-lite bytecode form
+    /// once, before fanning jobs out. The compiled artifacts are
+    /// `Arc`-shared into every job's peer-map snapshot (cloning a peer
+    /// clones the handle, not the bytecode), so the per-solve
+    /// standardize-apart and clause-scan work is paid once per batch
+    /// instead of once per derivation. Answers are unchanged.
+    pub compile_policies: bool,
 }
 
 impl Default for BatchConfig {
@@ -117,6 +124,7 @@ impl Default for BatchConfig {
             net_seed: 7,
             shared_cache: None,
             faults: None,
+            compile_policies: false,
         }
     }
 }
@@ -166,6 +174,19 @@ pub fn negotiate_batch(
     telemetry: &Telemetry,
 ) -> BatchReport {
     let workers = cfg.workers.max(1).min(jobs.len().max(1));
+    // Precompile once per batch: every job's `peers.clone()` then shares
+    // the same `Arc<CompiledKb>` per peer instead of re-deriving clause
+    // indexes per solve.
+    let precompiled = cfg.compile_policies.then(|| {
+        let mut compiled = peers.clone();
+        for id in compiled.ids() {
+            if let Some(peer) = compiled.get_mut(id) {
+                peer.compile_policies();
+            }
+        }
+        compiled
+    });
+    let peers = precompiled.as_ref().unwrap_or(peers);
     let cache_before = cfg
         .shared_cache
         .as_ref()
@@ -525,6 +546,34 @@ mod tests {
                 .map(full_key)
                 .collect();
             assert_eq!(run, baseline, "divergence at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn precompiled_batches_are_bit_identical_to_interpreted_batches() {
+        let (peers, jobs) = bilateral_batch(6);
+        let baseline: Vec<String> = negotiate_batch(
+            &peers,
+            &jobs,
+            &BatchConfig::default(),
+            &Telemetry::disabled(),
+        )
+        .outcomes
+        .iter()
+        .map(full_key)
+        .collect();
+        for workers in [1, 4] {
+            let cfg = BatchConfig {
+                workers,
+                compile_policies: true,
+                ..BatchConfig::default()
+            };
+            let run: Vec<String> = negotiate_batch(&peers, &jobs, &cfg, &Telemetry::disabled())
+                .outcomes
+                .iter()
+                .map(full_key)
+                .collect();
+            assert_eq!(run, baseline, "compiled divergence at {workers} workers");
         }
     }
 

@@ -12,11 +12,16 @@
 //! appends [`FAULT_STEPS`], the fault-injection/resilience pass
 //! (conservation and byte-identity proptests, resilience differential
 //! and convergence proptests, faulty-batch determinism).
+//! `cargo xtask verify --compiled` appends [`COMPILED_STEPS`], the
+//! compiled-KB differential lane (compiled-vs-reference proptests, the
+//! compile-module unit suite, and the gated two-lane quickbench).
 //!
-//! `cargo xtask bench --quick` runs the quickbench harness's e8/e13 smoke
-//! scenarios, writes `target/BENCH_PR5.json`, and fails if the e8
-//! deep-chain cold-solve median regresses more than 25% against the
-//! committed `BENCH_BASELINE_PR5.json`.
+//! `cargo xtask bench --quick` runs the quickbench harness's e8/e13
+//! smoke scenarios in both the interpreted and compiled lanes, writes
+//! `target/BENCH_PR7.json`, and fails on any of: interpreted e8
+//! deep-chain >25% over `BENCH_BASELINE_PR5.json`, compiled e8 less
+//! than 2x faster than the same-run legacy-interpreter median, or any
+//! cold scenario >25% over `BENCH_BASELINE_PR7.json`.
 
 use std::process::Command;
 
@@ -86,7 +91,7 @@ const STEPS: &[Step] = &[
         &[],
     ),
     step(
-        "quick bench (e8/e13 smoke + baseline gate)",
+        "quick bench (e8/e13 smoke, both lanes + baseline gates)",
         &[
             "run",
             "--release",
@@ -97,9 +102,11 @@ const STEPS: &[Step] = &[
             "--",
             "--quick",
             "--out",
-            "target/BENCH_PR5.json",
+            "target/BENCH_PR7.json",
             "--baseline",
             "BENCH_BASELINE_PR5.json",
+            "--baseline-pr7",
+            "BENCH_BASELINE_PR7.json",
         ],
         &[],
     ),
@@ -242,24 +249,76 @@ const FAULT_STEPS: &[Step] = &[
     ),
 ];
 
+/// Extra steps behind `cargo xtask verify --compiled`: the compiled-KB
+/// differential lane — compiled-vs-reference/interpreter proptests
+/// (solutions, proofs, tables, prefix fits), the compile module's unit
+/// suite (indexing, staleness, head-match parity), and the two-lane
+/// quickbench with the compiled 2x gate. Mirrors the CI
+/// `compiled-differential` job.
+const COMPILED_STEPS: &[Step] = &[
+    step(
+        "compiled differential proptests (vs interpreter + reference)",
+        &[
+            "test",
+            "-q",
+            "-p",
+            "peertrust-engine",
+            "--test",
+            "prop_compiled",
+        ],
+        &[],
+    ),
+    step(
+        "compile module unit tests",
+        &["test", "-q", "-p", "peertrust-engine", "--lib", "compile::"],
+        &[],
+    ),
+    step(
+        "two-lane quickbench (compiled 2x gate)",
+        &[
+            "run",
+            "--release",
+            "-p",
+            "peertrust-bench",
+            "--bin",
+            "quickbench",
+            "--",
+            "--quick",
+            "--lane",
+            "both",
+            "--out",
+            "target/BENCH_PR7.json",
+            "--baseline",
+            "BENCH_BASELINE_PR5.json",
+            "--baseline-pr7",
+            "BENCH_BASELINE_PR7.json",
+        ],
+        &[],
+    ),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("verify") => verify(
             args.iter().any(|a| a == "--threads"),
             args.iter().any(|a| a == "--faults"),
+            args.iter().any(|a| a == "--compiled"),
         ),
         Some("bench") => bench(args.iter().any(|a| a == "--quick")),
         _ => {
-            eprintln!("usage: cargo xtask <verify [--threads] [--faults] | bench [--quick]>");
+            eprintln!(
+                "usage: cargo xtask <verify [--threads] [--faults] [--compiled] | bench [--quick]>"
+            );
             std::process::exit(2);
         }
     }
 }
 
-/// Run the quickbench harness: e8 deep-chain + e13 tabling scenarios,
-/// `target/BENCH_PR5.json` artifact, and a hard failure when the e8
-/// deep-chain median regresses >25% against `BENCH_BASELINE_PR5.json`.
+/// Run the quickbench harness: e8 deep-chain + e13 tabling scenarios in
+/// both lanes, `target/BENCH_PR7.json` artifact, and hard failures on
+/// the PR5 interpreted regression gate, the compiled 2x gate, and the
+/// PR7 per-scenario regression gate.
 fn bench(quick: bool) {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let mut cargo_args: Vec<&str> = vec![
@@ -271,9 +330,11 @@ fn bench(quick: bool) {
         "quickbench",
         "--",
         "--out",
-        "target/BENCH_PR5.json",
+        "target/BENCH_PR7.json",
         "--baseline",
         "BENCH_BASELINE_PR5.json",
+        "--baseline-pr7",
+        "BENCH_BASELINE_PR7.json",
     ];
     if quick {
         cargo_args.push("--quick");
@@ -290,10 +351,10 @@ fn bench(quick: bool) {
         eprintln!("xtask bench: quickbench failed (regression or error)");
         std::process::exit(status.code().unwrap_or(1));
     }
-    println!("xtask bench: wrote target/BENCH_PR5.json");
+    println!("xtask bench: wrote target/BENCH_PR7.json");
 }
 
-fn verify(threads: bool, faults: bool) {
+fn verify(threads: bool, faults: bool, compiled: bool) {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let mut steps: Vec<&Step> = STEPS.iter().collect();
     if threads {
@@ -301,6 +362,9 @@ fn verify(threads: bool, faults: bool) {
     }
     if faults {
         steps.extend(FAULT_STEPS.iter());
+    }
+    if compiled {
+        steps.extend(COMPILED_STEPS.iter());
     }
     for s in steps {
         println!("== xtask verify: {} ==", s.name);
