@@ -14,7 +14,10 @@ use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Multiply-rotate hasher (identical to rustc's `FxHasher` byte loop).
-#[derive(Default)]
+///
+/// `Clone` lets long-lived running digests (e.g. the knowledge base's
+/// incremental prefix fingerprints) snapshot their state cheaply.
+#[derive(Default, Clone, Debug)]
 pub struct FxHasher(u64);
 
 const SEED: u64 = 0x517c_c1b7_2722_0a95;

@@ -1,0 +1,183 @@
+//! A bump-allocated term heap: the assembly scratch behind hot-path
+//! goal construction.
+//!
+//! The WAM builds structures on a *heap* — a bump region that grows as
+//! instructions emit cells and is trimmed wholesale when the machine
+//! backtracks. This module is that idea scaled to the engine's
+//! representation: [`TermHeap`] is a capacity-retaining region of
+//! [`Term`] cells owned by [`crate::Bindings`]. Compiled body
+//! instructions (`Put*` in `peertrust-engine`) push one cell per emitted
+//! argument; when the goal literal is complete the cells are frozen into
+//! the boundary representation (a `Vec<Term>` argument block, with any
+//! compound arguments carrying `Arc<[Term]>` as everywhere else) and the
+//! region is reset to its mark.
+//!
+//! Two properties matter:
+//!
+//! * **No growth churn.** The region keeps its capacity across goals, so
+//!   steady-state assembly never reallocates — the only allocation per
+//!   built goal is the exact-size boundary block itself, instead of a
+//!   grow-as-you-go `Vec` per literal per selection.
+//! * **Trivial unwinding.** Cells never outlive the goal build that
+//!   pushed them: `take`/`truncate` runs before the solver explores the
+//!   goal, so trail checkpoints and rollbacks (the PR 5 mechanism) never
+//!   have to know the heap exists. A rollback that abandons a branch
+//!   abandons only *frozen* literals, which are ordinary owned values.
+//!
+//! The `cells`/`bytes`/`resets` counters surface as
+//! `engine.heap.{cells,bytes,resets}` telemetry.
+
+use crate::term::Term;
+
+/// Counters for the `engine.heap.*` telemetry metrics. Monotone over the
+/// life of the heap; [`TermHeap::take_stats`] drains them.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct HeapStats {
+    /// Term cells pushed into the bump region.
+    pub cells: u64,
+    /// Bytes those cells occupy (`cells * size_of::<Term>()`).
+    pub bytes: u64,
+    /// Region resets (one per frozen goal / abandoned build).
+    pub resets: u64,
+}
+
+/// A mark into the bump region; see [`TermHeap::mark`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HeapMark(usize);
+
+/// The bump-allocated term-cell region. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct TermHeap {
+    cells: Vec<Term>,
+    stats: HeapStats,
+}
+
+impl TermHeap {
+    pub fn new() -> TermHeap {
+        TermHeap::default()
+    }
+
+    /// Current top of the region. O(1), allocation-free.
+    pub fn mark(&self) -> HeapMark {
+        HeapMark(self.cells.len())
+    }
+
+    /// Number of live cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Push one term cell onto the region.
+    pub fn push(&mut self, t: Term) {
+        self.stats.cells += 1;
+        self.stats.bytes += std::mem::size_of::<Term>() as u64;
+        self.cells.push(t);
+    }
+
+    /// The cells above `mark`, in push order.
+    pub fn above(&self, mark: HeapMark) -> &[Term] {
+        &self.cells[mark.0..]
+    }
+
+    /// Freeze the cells above `mark` into an owned boundary block and
+    /// reset the region to the mark. The region keeps its capacity.
+    pub fn take(&mut self, mark: HeapMark) -> Vec<Term> {
+        self.stats.resets += 1;
+        self.cells.split_off(mark.0)
+    }
+
+    /// Split the cells above `mark` into two boundary blocks at relative
+    /// position `at` (argument block, authority block) and reset the
+    /// region to the mark. One reset, two exact-size allocations.
+    pub fn take_split(&mut self, mark: HeapMark, at: usize) -> (Vec<Term>, Vec<Term>) {
+        self.stats.resets += 1;
+        let auth = self.cells.split_off(mark.0 + at);
+        let args = self.cells.split_off(mark.0);
+        (args, auth)
+    }
+
+    /// Abandon the cells above `mark` without freezing them.
+    pub fn truncate(&mut self, mark: HeapMark) {
+        if self.cells.len() > mark.0 {
+            self.stats.resets += 1;
+            self.cells.truncate(mark.0);
+        }
+    }
+
+    /// Drain the telemetry counters accumulated since the last call.
+    pub fn take_stats(&mut self) -> HeapStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Read the telemetry counters without resetting them.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_take_roundtrip_resets_to_mark() {
+        let mut h = TermHeap::new();
+        h.push(Term::int(0)); // below the mark: must survive
+        let mark = h.mark();
+        h.push(Term::int(1));
+        h.push(Term::atom("a"));
+        assert_eq!(h.above(mark), &[Term::int(1), Term::atom("a")]);
+        let taken = h.take(mark);
+        assert_eq!(taken, vec![Term::int(1), Term::atom("a")]);
+        assert_eq!(h.len(), 1);
+        let st = h.stats();
+        assert_eq!(st.cells, 3);
+        assert_eq!(st.bytes, 3 * std::mem::size_of::<Term>() as u64);
+        assert_eq!(st.resets, 1);
+    }
+
+    #[test]
+    fn take_split_partitions_args_and_authority() {
+        let mut h = TermHeap::new();
+        let mark = h.mark();
+        h.push(Term::int(1));
+        h.push(Term::int(2));
+        h.push(Term::str("Auth"));
+        let (args, auth) = h.take_split(mark, 2);
+        assert_eq!(args, vec![Term::int(1), Term::int(2)]);
+        assert_eq!(auth, vec![Term::str("Auth")]);
+        assert!(h.is_empty());
+        assert_eq!(h.stats().resets, 1);
+    }
+
+    #[test]
+    fn truncate_abandons_without_freezing() {
+        let mut h = TermHeap::new();
+        let mark = h.mark();
+        h.push(Term::int(1));
+        h.truncate(mark);
+        assert!(h.is_empty());
+        assert_eq!(h.stats().resets, 1);
+        // Truncating at the top is not a reset (nothing was abandoned).
+        h.truncate(h.mark());
+        assert_eq!(h.stats().resets, 1);
+    }
+
+    #[test]
+    fn capacity_is_retained_across_resets() {
+        let mut h = TermHeap::new();
+        for _ in 0..3 {
+            let mark = h.mark();
+            for i in 0..64 {
+                h.push(Term::int(i));
+            }
+            let _ = h.take(mark);
+        }
+        assert_eq!(h.stats().cells, 192);
+        assert_eq!(h.stats().resets, 3);
+    }
+}

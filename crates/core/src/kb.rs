@@ -64,6 +64,12 @@ pub struct KnowledgeBase {
     /// [`KnowledgeBase::predicates`] never re-collects and re-sorts the
     /// whole index (callers poll it per negotiation round).
     sorted_predicates: Vec<(Sym, usize)>,
+    /// Running order-sensitive digest over all rules, advanced on insert.
+    running_digest: crate::hash::FxHasher,
+    /// `prefix_digests[n-1]` is the digest of the first `n` rules, so
+    /// [`KnowledgeBase::prefix_fingerprint`] is O(1) instead of re-hashing
+    /// the prefix per call (compiled-lane fit checks run it per solve).
+    prefix_digests: Vec<u64>,
 }
 
 impl KnowledgeBase {
@@ -92,9 +98,15 @@ impl KnowledgeBase {
     }
 
     fn add(&mut self, rule: Rule, origin: RuleOrigin) -> RuleId {
+        use std::hash::{Hash, Hasher};
         let id = RuleId(u32::try_from(self.rules.len()).expect("kb overflow"));
         let key = rule.head.functor();
         let idx = self.rules.len();
+        // Advance the running digest exactly as a fresh hasher fed the
+        // whole prefix would (Arc<Rule> hashes as its pointee), so every
+        // historical prefix fingerprint stays byte-identical.
+        rule.hash(&mut self.running_digest);
+        self.prefix_digests.push(self.running_digest.finish());
         match rule.head.args.first().and_then(Term::index_key) {
             Some(k) => self
                 .first_arg
@@ -203,9 +215,9 @@ impl KnowledgeBase {
         self.sorted_predicates.clone()
     }
 
-    /// Fingerprint of the whole KB. O(n) in rule count — intended for
-    /// compile-time capture, not per-solve checks (compiled artifacts
-    /// cache the comparison; see `peertrust-engine`'s `compile` module).
+    /// Fingerprint of the whole KB. O(1): the digest is maintained
+    /// incrementally on insert, so per-solve fit checks in
+    /// `peertrust-engine`'s `compile` module cost a single array read.
     pub fn fingerprint(&self) -> KbFingerprint {
         self.prefix_fingerprint(self.rules.len())
             .expect("full-length prefix always exists")
@@ -219,18 +231,14 @@ impl KnowledgeBase {
     /// the append-only API makes impossible, but a *different* KB handed
     /// to the same solver must be detected).
     pub fn prefix_fingerprint(&self, rules: usize) -> Option<KbFingerprint> {
-        use std::hash::{Hash, Hasher};
-        if rules > self.rules.len() {
-            return None;
-        }
-        let mut h = crate::hash::FxHasher::default();
-        for sr in &self.rules[..rules] {
-            sr.rule.hash(&mut h);
-        }
-        Some(KbFingerprint {
-            rules,
-            digest: h.finish(),
-        })
+        use std::hash::Hasher;
+        // O(1): served from the digests maintained in `add`, so the
+        // compiled lane can re-validate its fit on every solve for free.
+        let digest = match rules.checked_sub(1) {
+            None => crate::hash::FxHasher::default().finish(),
+            Some(i) => *self.prefix_digests.get(i)?,
+        };
+        Some(KbFingerprint { rules, digest })
     }
 }
 
@@ -537,6 +545,33 @@ mod first_arg_tests {
 
         // A prefix longer than the KB does not exist.
         assert_eq!(c.prefix_fingerprint(3), None);
+    }
+
+    #[test]
+    fn incremental_prefix_digests_match_fresh_rehash() {
+        // The O(1) fingerprints served from `prefix_digests` must be
+        // byte-identical to hashing the prefix from scratch — compiled
+        // artifacts persist these digests across KB growth.
+        use std::hash::{Hash, Hasher};
+        let mk = |n: &str| Rule::fact(Literal::new(n, vec![Term::atom("x")]));
+        let mut kb = KnowledgeBase::new();
+        for n in ["p", "q", "r", "s"] {
+            kb.add_local(mk(n));
+        }
+        for rules in 0..=4 {
+            let mut h = crate::hash::FxHasher::default();
+            for sr in kb.iter().take(rules) {
+                sr.rule.hash(&mut h);
+            }
+            assert_eq!(
+                kb.prefix_fingerprint(rules),
+                Some(KbFingerprint {
+                    rules,
+                    digest: h.finish()
+                })
+            );
+        }
+        assert_eq!(kb.prefix_fingerprint(5), None);
     }
 
     #[test]

@@ -28,11 +28,32 @@
 //!   structurally with zero allocation, first-occurrence variables bind
 //!   infallibly without an occurs check, and only genuinely compound
 //!   patterns fall back to full (offset) unification.
+//! * Body goals are lowered to **put instructions** ([`BodyInstr`]):
+//!   when a clause is selected, each body literal is built directly
+//!   against the binding store by [`CompiledGoal::materialize`] — ground
+//!   subterms are shared (`Arc` bump), first-occurrence variables emit a
+//!   renamed var with *no* store lookup (they are provably unbound at
+//!   selection time), and bound variables resolve through
+//!   [`Bindings::apply_offset`], a fused rename+resolve. The agenda holds
+//!   `(clause goals, index, base)` triples instead of instantiated
+//!   literals, so unexplored alternatives cost nothing. Arguments and
+//!   authority cells are staged on the bindings' bump
+//!   [`TermHeap`](peertrust_core::heap::TermHeap) and split into the literal's
+//!   `args`/`authority` vectors in one drain.
 //! * Clause selection is a **switch-on-constant dispatch**
-//!   ([`CompiledKb::dispatch`]): per predicate, a table from first-argument
-//!   [`IndexKey`] to a *pre-merged* candidate list (exact-key clauses ∪
-//!   variable-headed clauses, in clause order), so goal selection is one
-//!   hash lookup returning a borrowed slice.
+//!   ([`CompiledKb::dispatch`]): per `(predicate, arity,
+//!   authority-length)` key, a table from first-argument [`IndexKey`] to
+//!   a *pre-merged* candidate list (exact-key clauses ∪ variable-headed
+//!   clauses, in clause order), so goal selection is one hash lookup
+//!   returning a borrowed slice. Keying on authority-chain *length* is
+//!   sound because unification requires equal-length authority chains;
+//!   it makes the §3.2 self-closure probe (`goal @ Self`, one extra
+//!   authority) a guaranteed miss instead of a scan. When the first
+//!   argument is open, a **switch-on-authority** second level
+//!   discriminates on the outermost authority's [`IndexKey`] (delegation
+//!   literals `p(X) @ "Authority"`), with clauses whose authority is a
+//!   variable merged into every bucket; per-clause `auth_key` fast-
+//!   rejects mismatched ground authorities before head instructions run.
 //!
 //! ## Invalidation (the PR 2 fingerprint mechanism)
 //!
@@ -49,14 +70,16 @@
 //!   solver falls back to full interpretation and counts
 //!   `engine.compiled.stale`.
 //!
-//! Differential oracles: the interpreter itself (compiled off) and
+//! Differential oracles: the interpreter itself (compiled off), the
+//! heads-only artifact ([`CompiledKb::compile_heads_only`], which keeps
+//! PR 7's interpreted body instantiation), and
 //! [`crate::reference::RefSolver`]; see `tests/prop_compiled.rs`.
 
 use crate::sld::{EngineConfig, Solution, Stats};
 use crate::Solver;
 use peertrust_core::{
-    offset_term, unify_offset_in, Bindings, IndexKey, KbFingerprint, KnowledgeBase, Literal,
-    PeerId, Rule, RuleId, Sym, Term, UnifyOptions, Var,
+    offset_term, unify_ground_in, unify_offset_in, Bindings, IndexKey, KbFingerprint,
+    KnowledgeBase, Literal, PeerId, Rule, RuleId, Sym, Term, UnifyOptions, Var,
 };
 use std::sync::Arc;
 
@@ -83,6 +106,76 @@ pub enum HeadInstr {
     GetTerm(Term),
 }
 
+/// One body-argument construction instruction — the put side of the
+/// WAM split. Where get instructions *match* a goal that already exists,
+/// put instructions *build* the body goal the solver is about to select,
+/// directly against the binding store, with the same frame-offset
+/// renaming convention as [`HeadInstr`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BodyInstr {
+    /// A ground argument: emitted by reference (compound payloads are
+    /// `Arc`-shared with the compiled clause, never rebuilt).
+    PutConst(Term),
+    /// First clause-wide occurrence of a variable, and that occurrence is
+    /// in this literal: nothing selected earlier (head, prior body goals)
+    /// can mention it, so it is provably unbound here — emit the offset
+    /// variable without consulting the store.
+    PutVar(Var),
+    /// A variable already introduced by the head or an earlier body
+    /// literal: it may be bound by now, so resolve it through the store
+    /// ([`Bindings::apply_offset`] on the lone variable).
+    PutVal(Var),
+    /// A non-ground compound argument: fused rename-and-resolve
+    /// ([`Bindings::apply_offset`]) in one structure-sharing pass —
+    /// equivalent to `bs.apply(&offset_term(t, base))` without the
+    /// intermediate renamed tree.
+    PutTerm(Term),
+}
+
+/// One compiled body goal: the literal's shape plus its put program.
+/// Executing the program against a binding store *materializes* the goal
+/// exactly as the interpreter's `bs.apply_literal(offset body literal)`
+/// selection step would — the argument cells are assembled on the
+/// [`Bindings`] term heap and frozen into the boundary `Literal` in one
+/// exact-size allocation per block.
+#[derive(Clone, Debug)]
+pub struct CompiledGoal {
+    pred: Sym,
+    args_len: usize,
+    instrs: Box<[BodyInstr]>,
+}
+
+impl CompiledGoal {
+    /// Build this goal at frame `base`, resolved under `bs`. Equivalent
+    /// to `bs.apply_literal(&offset body literal)` but allocation-minimal:
+    /// cells go through the store's bump heap, ground arguments are
+    /// shared, and unbound variables are emitted without a lookup.
+    pub fn materialize(&self, base: u32, bs: &mut Bindings) -> Literal {
+        let mark = bs.heap_mark();
+        for ins in self.instrs.iter() {
+            let t = match ins {
+                BodyInstr::PutConst(t) => t.clone(),
+                BodyInstr::PutVar(v) => Term::Var(Var::versioned(v.name, v.version + base)),
+                BodyInstr::PutVal(v) => bs.apply_offset(&Term::Var(*v), base),
+                BodyInstr::PutTerm(t) => bs.apply_offset(t, base),
+            };
+            bs.heap_push(t);
+        }
+        let (args, authority) = bs.heap_take_split(mark, self.args_len);
+        Literal {
+            pred: self.pred,
+            args,
+            authority,
+        }
+    }
+
+    /// Number of put instructions (the `engine.compiled.body_instrs`
+    /// telemetry increment per execution).
+    pub fn instr_count(&self) -> usize {
+        self.instrs.len()
+    }
+}
+
 /// One compiled clause: a register-frame layout plus head instructions
 /// and a frame-relative body.
 #[derive(Clone, Debug)]
@@ -94,10 +187,20 @@ pub struct CompiledClause {
     pub nvars: u32,
     args_len: usize,
     auth_len: usize,
+    /// Index key of the last head-authority term, when it has one: a
+    /// goal whose own last authority term carries a *different* key can
+    /// never unify (the keys discriminate exactly like first-argument
+    /// indexing), so the head match rejects before touching the store.
+    auth_key: Option<IndexKey>,
     /// Head instructions, one per argument then one per authority term.
     head: Vec<HeadInstr>,
-    /// Body literals with frame-relative variable versions.
+    /// Body literals with frame-relative variable versions — the
+    /// heads-only execution mode ([`CompiledKb::compile_heads_only`])
+    /// still instantiates these via [`CompiledClause::body_instance`].
     body: Vec<Literal>,
+    /// The body lowered to put programs, `Arc`-shared so agenda items can
+    /// reference a goal without instantiating (or even copying) it.
+    goals: Arc<[CompiledGoal]>,
 }
 
 impl CompiledClause {
@@ -108,6 +211,16 @@ impl CompiledClause {
     pub fn match_head(&self, base: u32, goal: &Literal, bs: &mut Bindings) -> bool {
         if goal.args.len() != self.args_len || goal.authority.len() != self.auth_len {
             return false;
+        }
+        // Switch-on-term authority discriminator: reject on mismatched
+        // last-authority keys without a checkpoint or a store access.
+        if let (Some(ck), Some(gk)) = (
+            self.auth_key,
+            goal.authority.last().and_then(Term::index_key),
+        ) {
+            if ck != gk {
+                return false;
+            }
         }
         let opts = UnifyOptions::default();
         let cp = bs.checkpoint();
@@ -127,9 +240,10 @@ impl CompiledClause {
                     true
                 }
                 HeadInstr::GetVal(v) => unify_offset_in(&Term::Var(*v), base, gt, bs, opts),
-                HeadInstr::GetConst(t) | HeadInstr::GetTerm(t) => {
-                    unify_offset_in(t, base, gt, bs, opts)
-                }
+                // Ground argument: in-place structural comparison — no
+                // renaming is possible and no term is ever cloned.
+                HeadInstr::GetConst(t) => unify_ground_in(t, gt, bs),
+                HeadInstr::GetTerm(t) => unify_offset_in(t, base, gt, bs, opts),
             };
             if !ok {
                 bs.rollback(cp);
@@ -137,6 +251,11 @@ impl CompiledClause {
             }
         }
         true
+    }
+
+    /// The body as put programs, `Arc`-shared with this clause.
+    pub fn goals(&self) -> Arc<[CompiledGoal]> {
+        Arc::clone(&self.goals)
     }
 
     /// Instantiate the body at frame `base`: shift every variable version
@@ -153,7 +272,10 @@ impl CompiledClause {
     }
 }
 
-/// Per-predicate dispatch tables.
+/// Per-predicate dispatch tables. The index key already discriminates on
+/// authority-chain *length* (heads with a different chain length can
+/// never match), so every clause in one `PredIndex` shares an arity and
+/// an authority arity.
 #[derive(Clone, Debug, Default)]
 struct PredIndex {
     /// Every clause for this predicate, in clause order.
@@ -164,6 +286,15 @@ struct PredIndex {
     /// list (exact-key ∪ var-headed, in clause order). Merging at compile
     /// time is what makes run-time dispatch a borrowed slice.
     by_const: peertrust_core::FxHashMap<IndexKey, Vec<u32>>,
+    /// Second-level switch-on-term for goals whose first argument gives
+    /// no narrowing: last-authority key -> pre-merged candidate list
+    /// (exact-key ∪ open-authority, in clause order). `@ Authority`
+    /// delegation literals are ubiquitous in PeerTrust policies and
+    /// almost always carry a ground peer at the chain's end.
+    by_auth: peertrust_core::FxHashMap<IndexKey, Vec<u32>>,
+    /// Clauses whose last head-authority term has no index key (a
+    /// variable authority, or no chain at all).
+    auth_open: Vec<u32>,
 }
 
 /// How a compiled KB relates to the KB a solver is about to consult.
@@ -178,22 +309,43 @@ pub enum CompiledFit {
     Stale,
 }
 
-/// A knowledge base compiled to dispatch tables and get-instruction
+/// A knowledge base compiled to dispatch tables and get/put-instruction
 /// clauses. Immutable once built; share across solvers/threads via `Arc`.
 #[derive(Clone, Debug)]
 pub struct CompiledKb {
     clauses: Vec<CompiledClause>,
-    index: peertrust_core::FxHashMap<(Sym, usize), PredIndex>,
+    /// Dispatch key: predicate, arity, authority-chain length. Folding
+    /// the chain length into the key makes the §3.2 self-closure pass
+    /// (which re-dispatches every goal with one extra authority term)
+    /// free whenever no clause head carries a matching chain.
+    index: peertrust_core::FxHashMap<(Sym, usize, usize), PredIndex>,
     prefix: KbFingerprint,
+    /// Whether the solver should execute compiled bodies (put programs).
+    /// `false` (heads-only, the PR 7 behaviour) instantiates bodies via
+    /// [`CompiledClause::body_instance`] — kept as a differential oracle.
+    bodies: bool,
 }
 
 impl CompiledKb {
-    /// Compile every clause of `kb`. Release-pattern self-rules
-    /// (`p $ ctx <- p`) are derivationally inert disclosure licenses and
-    /// are not compiled (the interpreter skips them identically).
+    /// Compile every clause of `kb`, heads and bodies. Release-pattern
+    /// self-rules (`p $ ctx <- p`) are derivationally inert disclosure
+    /// licenses and are not compiled (the interpreter skips them
+    /// identically).
     pub fn compile(kb: &KnowledgeBase) -> CompiledKb {
+        CompiledKb::build(kb, true)
+    }
+
+    /// Compile with body execution disabled: heads are matched by get
+    /// instructions, but bodies are instantiated copy-on-write as in
+    /// PR 7. Exists as a mid-point oracle for the differential suite
+    /// (interpreter vs heads-only vs body-compiled).
+    pub fn compile_heads_only(kb: &KnowledgeBase) -> CompiledKb {
+        CompiledKb::build(kb, false)
+    }
+
+    fn build(kb: &KnowledgeBase, bodies: bool) -> CompiledKb {
         let mut clauses = Vec::with_capacity(kb.len());
-        let mut index: peertrust_core::FxHashMap<(Sym, usize), PredIndex> =
+        let mut index: peertrust_core::FxHashMap<(Sym, usize, usize), PredIndex> =
             peertrust_core::FxHashMap::default();
         for sr in kb.iter() {
             if sr.rule.body.len() == 1 && sr.rule.body[0] == sr.rule.head {
@@ -201,55 +353,42 @@ impl CompiledKb {
             }
             let ci = clauses.len() as u32;
             let clause = compile_clause(sr.id, &sr.rule);
-            let key = sr.rule.head.functor();
-            let entry = index.entry(key).or_default();
+            let head = &sr.rule.head;
+            let entry = index
+                .entry((head.pred, head.args.len(), head.authority.len()))
+                .or_default();
             entry.all.push(ci);
-            match sr.rule.head.args.first().and_then(Term::index_key) {
+            match head.args.first().and_then(Term::index_key) {
                 Some(k) => entry.by_const.entry(k).or_default().push(ci),
                 None => entry.var_headed.push(ci),
             }
+            match head.authority.last().and_then(Term::index_key) {
+                Some(k) => entry.by_auth.entry(k).or_default().push(ci),
+                None => entry.auth_open.push(ci),
+            }
             clauses.push(clause);
         }
-        // Pre-merge the var-headed chain into every constant bucket,
-        // preserving clause order (both lists are ascending).
+        // Pre-merge the open chains into every keyed bucket, preserving
+        // clause order (all lists are ascending).
         for p in index.values_mut() {
-            if p.var_headed.is_empty() {
-                continue;
-            }
             for bucket in p.by_const.values_mut() {
-                let exact = std::mem::take(bucket);
-                let mut merged = Vec::with_capacity(exact.len() + p.var_headed.len());
-                let (mut i, mut j) = (0, 0);
-                while i < exact.len() || j < p.var_headed.len() {
-                    match (exact.get(i), p.var_headed.get(j)) {
-                        (Some(&a), Some(&b)) => {
-                            if a < b {
-                                merged.push(a);
-                                i += 1;
-                            } else {
-                                merged.push(b);
-                                j += 1;
-                            }
-                        }
-                        (Some(&a), None) => {
-                            merged.push(a);
-                            i += 1;
-                        }
-                        (None, Some(&b)) => {
-                            merged.push(b);
-                            j += 1;
-                        }
-                        (None, None) => unreachable!(),
-                    }
-                }
-                *bucket = merged;
+                merge_into(bucket, &p.var_headed);
+            }
+            for bucket in p.by_auth.values_mut() {
+                merge_into(bucket, &p.auth_open);
             }
         }
         CompiledKb {
             clauses,
             index,
             prefix: kb.fingerprint(),
+            bodies,
         }
+    }
+
+    /// Does the solver execute compiled bodies against this artifact?
+    pub fn has_bodies(&self) -> bool {
+        self.bodies
     }
 
     /// Number of KB rules this artifact covers (rule ids `0..prefix_len`).
@@ -291,7 +430,10 @@ impl CompiledKb {
     /// `KnowledgeBase::candidates` (compound keys match on functor;
     /// authority chains are left to head matching).
     pub fn dispatch(&self, goal: &Literal) -> &[u32] {
-        let Some(p) = self.index.get(&goal.functor()) else {
+        let Some(p) = self
+            .index
+            .get(&(goal.pred, goal.args.len(), goal.authority.len()))
+        else {
             return &[];
         };
         match goal.args.first().and_then(Term::index_key) {
@@ -300,7 +442,13 @@ impl CompiledKb {
                 .get(&k)
                 .map(Vec::as_slice)
                 .unwrap_or(&p.var_headed),
-            None => &p.all,
+            // Open first argument: fall back to the second-level switch
+            // on the goal's last authority term before giving up and
+            // scanning the whole predicate.
+            None => match goal.authority.last().and_then(Term::index_key) {
+                Some(k) => p.by_auth.get(&k).map(Vec::as_slice).unwrap_or(&p.auth_open),
+                None => &p.all,
+            },
         }
     }
 
@@ -310,14 +458,52 @@ impl CompiledKb {
     }
 }
 
+/// Merge the ascending id list `open` into the ascending `bucket`,
+/// preserving clause (insertion) order.
+fn merge_into(bucket: &mut Vec<u32>, open: &[u32]) {
+    if open.is_empty() {
+        return;
+    }
+    let exact = std::mem::take(bucket);
+    let mut merged = Vec::with_capacity(exact.len() + open.len());
+    let (mut i, mut j) = (0, 0);
+    while i < exact.len() || j < open.len() {
+        match (exact.get(i), open.get(j)) {
+            (Some(&a), Some(&b)) => {
+                if a < b {
+                    merged.push(a);
+                    i += 1;
+                } else {
+                    merged.push(b);
+                    j += 1;
+                }
+            }
+            (Some(&a), None) => {
+                merged.push(a);
+                i += 1;
+            }
+            (None, Some(&b)) => {
+                merged.push(b);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    *bucket = merged;
+}
+
 /// Lower one rule: renumber its variables into a fresh 1-based frame,
-/// then lower each head argument to the cheapest instruction that
-/// preserves unification semantics.
+/// lower each head argument to the cheapest get instruction that
+/// preserves unification semantics, then lower each body literal to a
+/// put program. The `seen` set threads through head and body in
+/// execution order, so "first occurrence" below means first in the whole
+/// clause — the invariant [`BodyInstr::PutVar`]'s soundness rests on.
 fn compile_clause(id: RuleId, rule: &Rule) -> CompiledClause {
     let mut ctr = 0u32;
     let renamed = rule.rename_apart_indexed(&mut ctr);
     let args_len = renamed.head.args.len();
     let auth_len = renamed.head.authority.len();
+    let auth_key = renamed.head.authority.last().and_then(Term::index_key);
     let mut head = Vec::with_capacity(args_len + auth_len);
     let mut seen: Vec<Var> = Vec::new();
     for t in renamed
@@ -328,13 +514,40 @@ fn compile_clause(id: RuleId, rule: &Rule) -> CompiledClause {
     {
         head.push(lower(t, &mut seen));
     }
+    let goals: Arc<[CompiledGoal]> = renamed
+        .body
+        .iter()
+        .map(|l| lower_goal(l, &mut seen))
+        .collect();
     CompiledClause {
         id,
         nvars: ctr,
         args_len,
         auth_len,
+        auth_key,
         head,
         body: renamed.body,
+        goals,
+    }
+}
+
+/// Lower one body literal to its put program.
+fn lower_goal(l: &Literal, seen: &mut Vec<Var>) -> CompiledGoal {
+    let instrs = l
+        .args
+        .iter()
+        .chain(l.authority.iter())
+        .map(|t| match lower(t, seen) {
+            HeadInstr::GetConst(t) => BodyInstr::PutConst(t),
+            HeadInstr::GetVar(v) => BodyInstr::PutVar(v),
+            HeadInstr::GetVal(v) => BodyInstr::PutVal(v),
+            HeadInstr::GetTerm(t) => BodyInstr::PutTerm(t),
+        })
+        .collect();
+    CompiledGoal {
+        pred: l.pred,
+        args_len: l.args.len(),
+        instrs,
     }
 }
 
@@ -667,5 +880,158 @@ mod tests {
         let answers = s.solve(std::slice::from_ref(&goal));
         assert_eq!(answers.len(), 1);
         assert!(s.stats().compiled_dispatches > 0, "auto-compiled path ran");
+    }
+
+    #[test]
+    fn body_lowering_picks_cheapest_put_instruction() {
+        // p(X) <- q(a, X, Y, f(Y)), r(Y, Z, Z).
+        // X is seen in the head -> PutVal. Y first occurs in body[0]
+        // (PutVar), is repeated inside a pattern there (PutTerm), and is
+        // old by body[1] (PutVal). Z first occurs in body[1] (PutVar)
+        // and repeats *within the same literal* — still lowered as
+        // PutVal, which degenerates to the same emitted var while
+        // unbound.
+        let (x, y, z) = (Term::var("X"), Term::var("Y"), Term::var("Z"));
+        let rule = Rule::horn(
+            lit("p", vec![x.clone()]),
+            vec![
+                lit(
+                    "q",
+                    vec![
+                        Term::atom("a"),
+                        x,
+                        y.clone(),
+                        Term::compound("f", vec![y.clone()]),
+                    ],
+                ),
+                lit("r", vec![y, z.clone(), z]),
+            ],
+        );
+        let c = compile_clause(RuleId(0), &rule);
+        let q = &c.goals[0];
+        assert!(matches!(q.instrs[0], BodyInstr::PutConst(_)));
+        assert!(matches!(q.instrs[1], BodyInstr::PutVal(_)));
+        assert!(matches!(q.instrs[2], BodyInstr::PutVar(_)));
+        assert!(matches!(q.instrs[3], BodyInstr::PutTerm(_)));
+        let r = &c.goals[1];
+        assert!(matches!(r.instrs[0], BodyInstr::PutVal(_)));
+        assert!(matches!(r.instrs[1], BodyInstr::PutVar(_)));
+        assert!(matches!(r.instrs[2], BodyInstr::PutVal(_)));
+    }
+
+    #[test]
+    fn materialize_matches_interpreted_body_instantiation() {
+        // After a successful head match, every compiled body goal must
+        // materialize to exactly what the interpreter produces by
+        // renaming the body literal and applying the store at selection
+        // time — including authority chains and nested patterns.
+        let (x, y, z) = (Term::var("X"), Term::var("Y"), Term::var("Z"));
+        let rule = Rule::horn(
+            lit("p", vec![x.clone(), Term::compound("f", vec![y.clone()])]),
+            vec![
+                lit(
+                    "q",
+                    vec![y.clone(), Term::compound("g", vec![x.clone(), z.clone()])],
+                )
+                .at(x.clone()),
+                lit("r", vec![z, Term::atom("k")]).at(Term::str("UIUC")),
+            ],
+        );
+        let c = compile_clause(RuleId(0), &rule);
+        let goal = lit(
+            "p",
+            vec![Term::str("alice"), Term::compound("f", vec![Term::int(7)])],
+        );
+        let base = 40u32;
+        let mut bs = Bindings::new(0);
+        assert!(c.match_head(base, &goal, &mut bs));
+
+        let want: Vec<Literal> = c
+            .body_instance(base)
+            .iter()
+            .map(|l| bs.apply_literal(l))
+            .collect();
+        let got: Vec<Literal> = c
+            .goals
+            .iter()
+            .map(|g| g.materialize(base, &mut bs))
+            .collect();
+        assert_eq!(got, want);
+        // Ground compound payloads are shared with the goal, not rebuilt.
+        let Term::Compound(_, got_args) = &got[0].args[1] else {
+            panic!("expected compound");
+        };
+        assert!(matches!(&**got_args, [Term::Str(_), Term::Var(_)]));
+    }
+
+    #[test]
+    fn authority_dispatch_narrows_on_outer_authority() {
+        let du = |c: &str, a: &str| Rule::fact(lit("d", vec![Term::atom(c)]).at(Term::str(a)));
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(du("a", "u1")); // 0
+        kb.add_local(Rule::fact(
+            lit("d", vec![Term::var("X")]).at(Term::str("u1")),
+        )); // 1
+        kb.add_local(du("b", "u2")); // 2
+        kb.add_local(Rule::fact(
+            lit("d", vec![Term::var("X")]).at(Term::var("V")),
+        )); // 3
+        let c = CompiledKb::compile(&kb);
+        let ids = |goal: &Literal| -> Vec<u32> {
+            c.dispatch(goal).iter().map(|&i| c.clause(i).id.0).collect()
+        };
+        let open = |a: Term| lit("d", vec![Term::var("A")]).at(a);
+        // Open first argument: the authority key discriminates.
+        assert_eq!(ids(&open(Term::str("u1"))), vec![0, 1, 3]);
+        assert_eq!(ids(&open(Term::str("u2"))), vec![2, 3]);
+        assert_eq!(ids(&open(Term::str("u9"))), vec![3]);
+        // Variable authority: everything with this (pred, arity, auth-len).
+        assert_eq!(ids(&open(Term::var("W"))), vec![0, 1, 2, 3]);
+        // Ground first argument takes precedence over the authority level.
+        assert_eq!(
+            ids(&lit("d", vec![Term::atom("a")]).at(Term::str("u1"))),
+            vec![0, 1, 3]
+        );
+        // Different authority-chain length: guaranteed miss (the §3.2
+        // self-closure probe adds one authority and must cost nothing).
+        assert_eq!(ids(&lit("d", vec![Term::var("A")])), Vec::<u32>::new());
+        assert_eq!(
+            ids(&open(Term::str("u1")).at(Term::str("me"))),
+            Vec::<u32>::new()
+        );
+    }
+
+    #[test]
+    fn auth_key_fast_rejects_before_head_instructions() {
+        // Clause d(a) @ "u1"; goal d(a) @ "u2" arrives via the ground
+        // first-argument bucket (which does not discriminate on
+        // authority) — the per-clause authority key must reject it
+        // without touching the store.
+        let rule = Rule::fact(lit("d", vec![Term::atom("a")]).at(Term::str("u1")));
+        let c = compile_clause(RuleId(0), &rule);
+        assert!(c.auth_key.is_some());
+        let mut bs = Bindings::new(0);
+        let miss = lit("d", vec![Term::atom("a")]).at(Term::str("u2"));
+        assert!(!c.match_head(7, &miss, &mut bs));
+        let hit = lit("d", vec![Term::atom("a")]).at(Term::str("u1"));
+        assert!(c.match_head(7, &hit, &mut bs));
+    }
+
+    #[test]
+    fn heads_only_artifact_keeps_interpreted_bodies() {
+        let kb = kb_from(vec![Rule::horn(
+            lit("p", vec![Term::var("X")]),
+            vec![lit("q", vec![Term::var("X")])],
+        )]);
+        let full = CompiledKb::compile(&kb);
+        let heads = CompiledKb::compile_heads_only(&kb);
+        assert!(full.has_bodies());
+        assert!(!heads.has_bodies());
+        // The flag gates execution, not lowering: both artifacts carry
+        // the interpreted body (the prefix-fit suffix path needs it) and
+        // the put program; `has_bodies` selects which one the solver runs.
+        assert_eq!(full.clause(0).goals.len(), 1);
+        assert_eq!(heads.clause(0).goals.len(), 1);
+        assert_eq!(heads.clause(0).body_instance(3).len(), 1);
     }
 }

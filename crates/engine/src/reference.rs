@@ -23,6 +23,7 @@
 use crate::builtins::{eval_builtin, BuiltinOutcome};
 use crate::sld::{is_variant, EngineConfig, Proof, ProofStep, Solution};
 use peertrust_core::{unify_literals, KnowledgeBase, Literal, PeerId, Subst, Term, Var};
+use std::sync::Arc;
 
 /// Work items on the evaluation agenda (mirrors the production solver).
 enum GoalItem {
@@ -134,7 +135,11 @@ impl<'a> RefSolver<'a> {
 
         match item {
             GoalItem::Fold { goal, step, arity } => {
-                let children = acc.split_off(acc.len() - arity);
+                let children = acc
+                    .split_off(acc.len() - arity)
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect();
                 acc.push(Proof {
                     goal: goal.clone(),
                     step: step.clone(),
@@ -146,7 +151,11 @@ impl<'a> RefSolver<'a> {
                     anc.push(g);
                 }
                 let node = acc.pop().expect("fold node present");
-                acc.extend(node.children);
+                acc.extend(
+                    node.children
+                        .into_iter()
+                        .map(|c| Arc::try_unwrap(c).unwrap_or_else(|a| (*a).clone())),
+                );
                 flow
             }
             GoalItem::Lit(goal, depth) => {
@@ -352,7 +361,11 @@ fn resolve_proof(p: &Proof, s: &Subst) -> Proof {
     Proof {
         goal: s.apply_literal(&p.goal),
         step: p.step.clone(),
-        children: p.children.iter().map(|c| resolve_proof(c, s)).collect(),
+        children: p
+            .children
+            .iter()
+            .map(|c| Arc::new(resolve_proof(c, s)))
+            .collect(),
     }
 }
 

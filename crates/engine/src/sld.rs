@@ -227,13 +227,20 @@ pub enum ProofStep {
 }
 
 /// A node in a certified proof tree.
+///
+/// Children are `Arc`-shared: a tabled answer's proof is reused at every
+/// call site, and solution extraction resolves trees copy-on-write — so
+/// an unchanged (already-ground) subtree is one pointer bump instead of a
+/// deep rebuild. `Proof` itself stays a by-value type at the API
+/// boundary ([`Solution::proofs`], [`TabledAnswer`]); only the interior
+/// edges are shared.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Proof {
     /// The goal this node establishes, resolved under the final answer
     /// substitution.
     pub goal: Literal,
     pub step: ProofStep,
-    pub children: Vec<Proof>,
+    pub children: Vec<Arc<Proof>>,
 }
 
 impl Proof {
@@ -263,12 +270,12 @@ impl Proof {
 
     /// Total node count.
     pub fn size(&self) -> usize {
-        1 + self.children.iter().map(Proof::size).sum::<usize>()
+        1 + self.children.iter().map(|c| c.size()).sum::<usize>()
     }
 
     /// Tree height: 1 for a leaf.
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(Proof::depth).max().unwrap_or(0)
+        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
     }
 
     fn walk(&self, f: &mut impl FnMut(&Proof)) {
@@ -282,11 +289,37 @@ impl Proof {
     /// memo: the tree for a depth-k answer revisits the same binding
     /// chains at every level, so uncached resolution is quadratic in k.
     fn resolve(&self, bs: &Bindings, cache: &mut ResolveCache) -> Proof {
-        Proof {
-            goal: bs.apply_literal_memo(&self.goal, cache),
-            step: self.step.clone(),
-            children: self.children.iter().map(|c| c.resolve(bs, cache)).collect(),
+        // Shallow clone when nothing resolves differently — ground
+        // subtrees (the common case once answers are concrete) are
+        // shared, not rebuilt.
+        self.resolve_cow(bs, cache).unwrap_or_else(|| self.clone())
+    }
+
+    /// Copy-on-write resolution: `None` means every goal in the tree is
+    /// already fully resolved under `bs`, so the caller can share `self`.
+    fn resolve_cow(&self, bs: &Bindings, cache: &mut ResolveCache) -> Option<Proof> {
+        let goal = bs.apply_literal_memo_opt(&self.goal, cache);
+        let mut children: Option<Vec<Arc<Proof>>> = None;
+        for (i, c) in self.children.iter().enumerate() {
+            match c.resolve_cow(bs, cache) {
+                Some(changed) => children
+                    .get_or_insert_with(|| self.children[..i].to_vec())
+                    .push(Arc::new(changed)),
+                None => {
+                    if let Some(v) = children.as_mut() {
+                        v.push(Arc::clone(c));
+                    }
+                }
+            }
         }
+        if goal.is_none() && children.is_none() {
+            return None;
+        }
+        Some(Proof {
+            goal: goal.unwrap_or_else(|| self.goal.clone()),
+            step: self.step.clone(),
+            children: children.unwrap_or_else(|| self.children.clone()),
+        })
     }
 }
 
@@ -336,6 +369,14 @@ pub struct Stats {
     /// Solves that found their compiled KB stale and fell back to full
     /// interpretation (should be 0 in a correctly wired deployment).
     pub compiled_stale: u64,
+    /// Put instructions executed to materialize compiled body goals.
+    pub compiled_body_instrs: u64,
+    /// Term cells pushed through the binding store's bump heap.
+    pub heap_cells: u64,
+    /// Bytes those cells occupy.
+    pub heap_bytes: u64,
+    /// Heap region resets (one per materialized goal).
+    pub heap_resets: u64,
     /// Whether the step budget was exhausted (result may be incomplete).
     pub step_budget_exhausted: bool,
 }
@@ -348,6 +389,13 @@ impl Stats {
         self.trail_undone += t.undone;
         self.trail_peak = self.trail_peak.max(t.peak_trail);
         self.slot_peak = self.slot_peak.max(t.peak_slots);
+    }
+
+    /// Fold one binding store's term-heap counters into the stats.
+    fn absorb_heap(&mut self, h: peertrust_core::HeapStats) {
+        self.heap_cells += h.cells;
+        self.heap_bytes += h.bytes;
+        self.heap_resets += h.resets;
     }
 }
 
@@ -374,6 +422,18 @@ pub struct Solver<'a> {
 enum GoalItem {
     /// Prove this literal at the given depth.
     Lit(Literal, usize),
+    /// Prove the `idx`-th body goal of a compiled clause instantiated at
+    /// frame `base`, at the given depth. The literal is *not* built when
+    /// the item is enqueued — the put program runs at selection time,
+    /// against the then-current bindings, which both skips the
+    /// copy-on-write `body_instance` instantiation and replaces the
+    /// interpreter's `apply_literal` resolution of the selected goal.
+    Compiled {
+        goals: Arc<[crate::compile::CompiledGoal]>,
+        idx: usize,
+        base: u32,
+        depth: usize,
+    },
     /// Marker: the previous `arity` proofs complete `goal` via `step`.
     Fold {
         goal: Literal,
@@ -567,6 +627,7 @@ impl<'a> Solver<'a> {
         let mut bs = Bindings::new(self.rename_counter);
         let _ = self.prove(&agenda, &mut bs, &mut anc, &mut acc, &mut out, &query_vars);
         self.stats.absorb_trail(bs.take_stats());
+        self.stats.absorb_heap(bs.take_heap_stats());
 
         if self.telemetry.enabled() {
             self.flush_stats_delta(&before, &out);
@@ -646,6 +707,16 @@ impl<'a> Solver<'a> {
             "engine.compiled.stale",
             d.compiled_stale - before.compiled_stale,
         );
+        self.telemetry.incr(
+            "engine.compiled.body_instrs",
+            d.compiled_body_instrs - before.compiled_body_instrs,
+        );
+        self.telemetry
+            .incr("engine.heap.cells", d.heap_cells - before.heap_cells);
+        self.telemetry
+            .incr("engine.heap.bytes", d.heap_bytes - before.heap_bytes);
+        self.telemetry
+            .incr("engine.heap.resets", d.heap_resets - before.heap_resets);
         self.telemetry.observe("engine.trail.peak", d.trail_peak);
         self.telemetry
             .observe("engine.alloc.slot_peak", d.slot_peak);
@@ -701,7 +772,11 @@ impl<'a> Solver<'a> {
         match item {
             GoalItem::Fold { goal, step, arity } => {
                 // Assemble the proof node for `goal` from its children.
-                let children = acc.split_off(acc.len() - arity);
+                let children = acc
+                    .split_off(acc.len() - arity)
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect();
                 acc.push(Proof {
                     goal: goal.clone(),
                     step: step.clone(),
@@ -714,7 +789,15 @@ impl<'a> Solver<'a> {
                     anc.push(g);
                 }
                 let node = acc.pop().expect("fold node present");
-                acc.extend(node.children);
+                // Unwind: children go back on the accumulator by value.
+                // A child whose `Arc` was captured by a solution above
+                // falls back to a shallow clone (its own children stay
+                // shared) — the unique case moves with no copy at all.
+                acc.extend(
+                    node.children
+                        .into_iter()
+                        .map(|c| Arc::try_unwrap(c).unwrap_or_else(|a| (*a).clone())),
+                );
                 flow
             }
             GoalItem::Lit(goal, depth) => {
@@ -724,52 +807,115 @@ impl<'a> Solver<'a> {
                     return Flow::Stop;
                 }
                 let goal = bs.apply_literal(goal);
-                let depth = *depth;
+                self.prove_goal(goal, *depth, rest, bs, anc, acc, out, query_vars)
+            }
+            GoalItem::Compiled {
+                goals,
+                idx,
+                base,
+                depth,
+            } => {
+                self.stats.steps += 1;
+                if self.stats.steps > self.config.max_steps {
+                    self.stats.step_budget_exhausted = true;
+                    return Flow::Stop;
+                }
+                // Run the put program: this *is* the `apply_literal`
+                // resolution of the selected goal, fused with body
+                // instantiation.
+                let g = &goals[*idx];
+                self.stats.compiled_body_instrs += g.instr_count() as u64;
+                let goal = g.materialize(*base, bs);
+                self.prove_goal(goal, *depth, rest, bs, anc, acc, out, query_vars)
+            }
+        }
+    }
 
-                // Negation as failure (paper §3.1: "Definite Horn clauses
-                // can be easily extended to include negation as failure").
-                // `not(p(args...))` succeeds iff the *ground, local* goal
-                // `p(args...)` is unprovable. Non-ground negations flounder
-                // (fail); remote goals are never negated — NAF over another
-                // peer's silence would conflate "no" with "won't say".
-                if goal.pred.as_str() == "not" && goal.args.len() == 1 {
-                    // `goal` is fully resolved already (`apply_literal`
-                    // above), so no walk is needed here.
-                    let inner = match &goal.args[0] {
-                        Term::Compound(f, args) => Some(Literal::new(*f, args.to_vec())),
-                        Term::Atom(a) => Some(Literal::new(*a, vec![])),
-                        _ => None,
-                    };
-                    let Some(inner) = inner else {
-                        return Flow::Continue; // flounder: not bound to a goal
-                    };
-                    if !inner.is_ground() {
-                        return Flow::Continue; // flounder: non-ground negation
-                    }
-                    let refuted = {
-                        let mut sub = Solver::new(self.kb, self.self_id)
-                            .with_config(EngineConfig {
-                                max_solutions: 1,
-                                remote_fallback: RemoteFallback::Never,
-                                ..self.config
-                            })
-                            .with_compiled_opt(self.compiled.clone());
-                        // Same KB, same artifact: the fit verdict carries
-                        // over, sparing the sub-solve a re-fingerprint.
-                        sub.compiled_cover = self.compiled_cover;
-                        let proved = sub.provable(std::slice::from_ref(&inner));
-                        self.stats.steps += sub.stats.steps;
-                        self.stats.rule_tries += sub.stats.rule_tries;
-                        self.stats.unify_attempts += sub.stats.unify_attempts;
-                        self.stats.builtin_evals += sub.stats.builtin_evals;
-                        !proved
-                    };
-                    if !refuted {
-                        return Flow::Continue;
-                    }
-                    return self.alternative(
+    /// Handle one selected goal, already resolved under `bs` (via
+    /// `apply_literal` on the interpreted path or put-program
+    /// materialization on the compiled path — the two produce identical
+    /// literals, which is what keeps the lanes byte-identical).
+    #[allow(clippy::too_many_arguments)]
+    fn prove_goal(
+        &mut self,
+        goal: Literal,
+        depth: usize,
+        rest: &Agenda,
+        bs: &mut Bindings,
+        anc: &mut Vec<Literal>,
+        acc: &mut Vec<Proof>,
+        out: &mut Vec<Solution>,
+        query_vars: &[Var],
+    ) -> Flow {
+        // Negation as failure (paper §3.1: "Definite Horn clauses
+        // can be easily extended to include negation as failure").
+        // `not(p(args...))` succeeds iff the *ground, local* goal
+        // `p(args...)` is unprovable. Non-ground negations flounder
+        // (fail); remote goals are never negated — NAF over another
+        // peer's silence would conflate "no" with "won't say".
+        if goal.pred.as_str() == "not" && goal.args.len() == 1 {
+            // `goal` is fully resolved already (`apply_literal`
+            // above), so no walk is needed here.
+            let inner = match &goal.args[0] {
+                Term::Compound(f, args) => Some(Literal::new(*f, args.to_vec())),
+                Term::Atom(a) => Some(Literal::new(*a, vec![])),
+                _ => None,
+            };
+            let Some(inner) = inner else {
+                return Flow::Continue; // flounder: not bound to a goal
+            };
+            if !inner.is_ground() {
+                return Flow::Continue; // flounder: non-ground negation
+            }
+            let refuted = {
+                let mut sub = Solver::new(self.kb, self.self_id)
+                    .with_config(EngineConfig {
+                        max_solutions: 1,
+                        remote_fallback: RemoteFallback::Never,
+                        ..self.config
+                    })
+                    .with_compiled_opt(self.compiled.clone());
+                // Same KB, same artifact: the fit verdict carries
+                // over, sparing the sub-solve a re-fingerprint.
+                sub.compiled_cover = self.compiled_cover;
+                let proved = sub.provable(std::slice::from_ref(&inner));
+                self.stats.steps += sub.stats.steps;
+                self.stats.rule_tries += sub.stats.rule_tries;
+                self.stats.unify_attempts += sub.stats.unify_attempts;
+                self.stats.builtin_evals += sub.stats.builtin_evals;
+                self.stats.compiled_body_instrs += sub.stats.compiled_body_instrs;
+                self.stats.heap_cells += sub.stats.heap_cells;
+                self.stats.heap_bytes += sub.stats.heap_bytes;
+                self.stats.heap_resets += sub.stats.heap_resets;
+                !proved
+            };
+            if !refuted {
+                return Flow::Continue;
+            }
+            return self.alternative(
+                &goal,
+                ProofStep::Negation,
+                &[],
+                depth,
+                rest,
+                bs,
+                anc,
+                acc,
+                out,
+                query_vars,
+            );
+        }
+
+        // Builtins: evaluated destructively; the checkpoint undoes
+        // whatever `=` bound once the continuation is explored.
+        if goal.is_builtin() {
+            self.stats.builtin_evals += 1;
+            let cp = bs.checkpoint();
+            return match eval_builtin_in(&goal, bs) {
+                BuiltinOutcomeIn::True => {
+                    let flow = self.alternative(
                         &goal,
-                        ProofStep::Negation,
+                        ProofStep::Builtin,
                         &[],
                         depth,
                         rest,
@@ -779,86 +925,129 @@ impl<'a> Solver<'a> {
                         out,
                         query_vars,
                     );
+                    bs.rollback(cp);
+                    flow
                 }
+                BuiltinOutcomeIn::False | BuiltinOutcomeIn::IllTyped(_) => Flow::Continue,
+            };
+        }
 
-                // Builtins: evaluated destructively; the checkpoint undoes
-                // whatever `=` bound once the continuation is explored.
-                if goal.is_builtin() {
-                    self.stats.builtin_evals += 1;
-                    let cp = bs.checkpoint();
-                    return match eval_builtin_in(&goal, bs) {
-                        BuiltinOutcomeIn::True => {
-                            let flow = self.alternative(
-                                &goal,
-                                ProofStep::Builtin,
-                                &[],
-                                depth,
-                                rest,
-                                bs,
-                                anc,
-                                acc,
-                                out,
-                                query_vars,
-                            );
-                            bs.rollback(cp);
-                            flow
-                        }
-                        BuiltinOutcomeIn::False | BuiltinOutcomeIn::IllTyped(_) => Flow::Continue,
-                    };
+        if depth >= self.config.max_depth {
+            self.stats.depth_cutoffs += 1;
+            return Flow::Continue;
+        }
+
+        // Ancestor loop check: prune variants of open goals. This
+        // runs *before* the table lookup so cyclic programs behave
+        // identically with tabling on or off.
+        if self.config.ancestor_loop_check {
+            let mut vmap: Vec<(Var, Var)> = Vec::new();
+            if anc.iter().any(|a| variant_under(a, &goal, bs, &mut vmap)) {
+                self.stats.loop_prunes += 1;
+                return Flow::Continue;
+            }
+        }
+
+        // Tabling: only authority-free goals — goals with a chain
+        // may route to another peer and belong to the negotiation
+        // layer's remote-answer cache, not this per-solver table.
+        if self.config.tabling && goal.authority.is_empty() && self.table.is_some() {
+            if let Some(flow) = self.tabled(&goal, rest, bs, anc, acc, out, query_vars) {
+                return flow;
+            }
+            // `None`: variant in progress or incomplete — resolve
+            // this occurrence inline below.
+        }
+
+        // Self-authority stripping: lit @ ... @ Self  ->  lit @ ...
+        if goal.eval_peer() == Some(self.self_id) {
+            let inner = goal.strip_outer_authority();
+            return self.alternative(
+                &goal,
+                ProofStep::SelfAuthority,
+                std::slice::from_ref(&inner),
+                depth,
+                rest,
+                bs,
+                anc,
+                acc,
+                out,
+                query_vars,
+            );
+        }
+
+        // Local clauses: the compiled prefix first (when a
+        // compiled KB fits), then the uncompiled suffix
+        // interpretively — together that is exactly clause
+        // (insertion) order over the whole KB.
+        let mut any_local_clause = false;
+        if let Flow::Stop = self.local_clauses(
+            &goal,
+            &goal,
+            depth,
+            rest,
+            bs,
+            anc,
+            acc,
+            out,
+            query_vars,
+            &mut any_local_clause,
+        ) {
+            return Flow::Stop;
+        }
+
+        // §3.2 Self-closure: "For each Authority argument that has
+        // not been specified explicitly ... we add '@ Self'". A
+        // goal whose chain does not end at this peer can also be
+        // established by clauses about the self-extended goal —
+        // e.g. authority A0, asked the chainless `attr(X)`, answers
+        // from its delegation rule with head `attr(X) @ "A0"`.
+        if goal.eval_peer() != Some(self.self_id) {
+            let extended = goal.clone().at(Term::peer(self.self_id));
+            if let Flow::Stop = self.local_clauses(
+                &goal,
+                &extended,
+                depth,
+                rest,
+                bs,
+                anc,
+                acc,
+                out,
+                query_vars,
+                &mut any_local_clause,
+            ) {
+                return Flow::Stop;
+            }
+        }
+
+        // Remote resolution.
+        let remote_peer = goal.eval_peer().filter(|p| *p != self.self_id);
+        let go_remote = match self.config.remote_fallback {
+            RemoteFallback::Never => false,
+            RemoteFallback::OnlyIfNoLocalClause => !any_local_clause,
+            RemoteFallback::Always => true,
+        };
+        if let (Some(peer), true, Some(_)) = (remote_peer, go_remote, self.hook.as_ref()) {
+            let inner = goal.strip_outer_authority();
+            self.stats.remote_calls += 1;
+            let answers = self
+                .hook
+                .as_mut()
+                .expect("hook present")
+                .resolve_remote(peer, &inner);
+            for answer in answers {
+                self.stats.unify_attempts += 1;
+                let cp = bs.checkpoint();
+                if !unify_literals_in(&inner, &answer, bs) {
+                    continue;
                 }
-
-                if depth >= self.config.max_depth {
-                    self.stats.depth_cutoffs += 1;
-                    return Flow::Continue;
-                }
-
-                // Ancestor loop check: prune variants of open goals. This
-                // runs *before* the table lookup so cyclic programs behave
-                // identically with tabling on or off.
-                if self.config.ancestor_loop_check {
-                    let mut vmap: Vec<(Var, Var)> = Vec::new();
-                    if anc.iter().any(|a| variant_under(a, &goal, bs, &mut vmap)) {
-                        self.stats.loop_prunes += 1;
-                        return Flow::Continue;
-                    }
-                }
-
-                // Tabling: only authority-free goals — goals with a chain
-                // may route to another peer and belong to the negotiation
-                // layer's remote-answer cache, not this per-solver table.
-                if self.config.tabling && goal.authority.is_empty() && self.table.is_some() {
-                    if let Some(flow) = self.tabled(&goal, rest, bs, anc, acc, out, query_vars) {
-                        return flow;
-                    }
-                    // `None`: variant in progress or incomplete — resolve
-                    // this occurrence inline below.
-                }
-
-                // Self-authority stripping: lit @ ... @ Self  ->  lit @ ...
-                if goal.eval_peer() == Some(self.self_id) {
-                    let inner = goal.strip_outer_authority();
-                    return self.alternative(
-                        &goal,
-                        ProofStep::SelfAuthority,
-                        std::slice::from_ref(&inner),
-                        depth,
-                        rest,
-                        bs,
-                        anc,
-                        acc,
-                        out,
-                        query_vars,
-                    );
-                }
-
-                // Local clauses: the compiled prefix first (when a
-                // compiled KB fits), then the uncompiled suffix
-                // interpretively — together that is exactly clause
-                // (insertion) order over the whole KB.
-                let mut any_local_clause = false;
-                if let Flow::Stop = self.local_clauses(
-                    &goal,
-                    &goal,
+                // The proof node records the *inner* goal — what the
+                // remote peer actually answered — so the negotiation
+                // layer can match it against disclosed answers.
+                let flow = self.alternative(
+                    &inner,
+                    ProofStep::Remote(peer),
+                    &[],
                     depth,
                     rest,
                     bs,
@@ -866,81 +1055,15 @@ impl<'a> Solver<'a> {
                     acc,
                     out,
                     query_vars,
-                    &mut any_local_clause,
-                ) {
+                );
+                bs.rollback(cp);
+                if let Flow::Stop = flow {
                     return Flow::Stop;
                 }
-
-                // §3.2 Self-closure: "For each Authority argument that has
-                // not been specified explicitly ... we add '@ Self'". A
-                // goal whose chain does not end at this peer can also be
-                // established by clauses about the self-extended goal —
-                // e.g. authority A0, asked the chainless `attr(X)`, answers
-                // from its delegation rule with head `attr(X) @ "A0"`.
-                if goal.eval_peer() != Some(self.self_id) {
-                    let extended = goal.clone().at(Term::peer(self.self_id));
-                    if let Flow::Stop = self.local_clauses(
-                        &goal,
-                        &extended,
-                        depth,
-                        rest,
-                        bs,
-                        anc,
-                        acc,
-                        out,
-                        query_vars,
-                        &mut any_local_clause,
-                    ) {
-                        return Flow::Stop;
-                    }
-                }
-
-                // Remote resolution.
-                let remote_peer = goal.eval_peer().filter(|p| *p != self.self_id);
-                let go_remote = match self.config.remote_fallback {
-                    RemoteFallback::Never => false,
-                    RemoteFallback::OnlyIfNoLocalClause => !any_local_clause,
-                    RemoteFallback::Always => true,
-                };
-                if let (Some(peer), true, Some(_)) = (remote_peer, go_remote, self.hook.as_ref()) {
-                    let inner = goal.strip_outer_authority();
-                    self.stats.remote_calls += 1;
-                    let answers = self
-                        .hook
-                        .as_mut()
-                        .expect("hook present")
-                        .resolve_remote(peer, &inner);
-                    for answer in answers {
-                        self.stats.unify_attempts += 1;
-                        let cp = bs.checkpoint();
-                        if !unify_literals_in(&inner, &answer, bs) {
-                            continue;
-                        }
-                        // The proof node records the *inner* goal — what the
-                        // remote peer actually answered — so the negotiation
-                        // layer can match it against disclosed answers.
-                        let flow = self.alternative(
-                            &inner,
-                            ProofStep::Remote(peer),
-                            &[],
-                            depth,
-                            rest,
-                            bs,
-                            anc,
-                            acc,
-                            out,
-                            query_vars,
-                        );
-                        bs.rollback(cp);
-                        if let Flow::Stop = flow {
-                            return Flow::Stop;
-                        }
-                    }
-                }
-
-                Flow::Continue
             }
         }
+
+        Flow::Continue
     }
 
     /// Try every local clause whose head could match `target`, in clause
@@ -983,19 +1106,38 @@ impl<'a> Solver<'a> {
                 // frame layout.
                 self.rename_counter += clause.nvars;
                 *any = true;
-                let body = clause.body_instance(base);
-                let flow = self.alternative(
-                    goal,
-                    ProofStep::Rule(clause.id),
-                    &body,
-                    depth,
-                    rest,
-                    bs,
-                    anc,
-                    acc,
-                    out,
-                    query_vars,
-                );
+                let flow = if compiled.has_bodies() {
+                    // Body bytecode: enqueue put programs by reference;
+                    // each goal is built at its own selection time.
+                    self.alternative_compiled(
+                        goal,
+                        ProofStep::Rule(clause.id),
+                        clause.goals(),
+                        base,
+                        depth,
+                        rest,
+                        bs,
+                        anc,
+                        acc,
+                        out,
+                        query_vars,
+                    )
+                } else {
+                    // Heads-only mode: copy-on-write body instantiation.
+                    let body = clause.body_instance(base);
+                    self.alternative(
+                        goal,
+                        ProofStep::Rule(clause.id),
+                        &body,
+                        depth,
+                        rest,
+                        bs,
+                        anc,
+                        acc,
+                        out,
+                        query_vars,
+                    )
+                };
                 bs.rollback(cp);
                 if let Flow::Stop = flow {
                     return Flow::Stop;
@@ -1081,6 +1223,50 @@ impl<'a> Solver<'a> {
         flow
     }
 
+    /// [`Solver::alternative`] for a compiled clause: the body goes on
+    /// the agenda as `(put program, index)` references into the shared
+    /// clause — no literal is instantiated, cloned, or even touched until
+    /// the goal is actually selected.
+    #[allow(clippy::too_many_arguments)]
+    fn alternative_compiled(
+        &mut self,
+        goal: &Literal,
+        step: ProofStep,
+        goals: Arc<[crate::compile::CompiledGoal]>,
+        base: u32,
+        depth: usize,
+        rest: &Agenda,
+        bs: &mut Bindings,
+        anc: &mut Vec<Literal>,
+        acc: &mut Vec<Proof>,
+        out: &mut Vec<Solution>,
+        query_vars: &[Var],
+    ) -> Flow {
+        let mut agenda = cons(
+            GoalItem::Fold {
+                goal: goal.clone(),
+                step,
+                arity: goals.len(),
+            },
+            rest.clone(),
+        );
+        for idx in (0..goals.len()).rev() {
+            agenda = cons(
+                GoalItem::Compiled {
+                    goals: Arc::clone(&goals),
+                    idx,
+                    base,
+                    depth: depth + 1,
+                },
+                agenda,
+            );
+        }
+        anc.push(goal.clone());
+        let flow = self.prove(&agenda, bs, anc, acc, out, query_vars);
+        anc.pop();
+        flow
+    }
+
     /// Answer `goal` from the table. Returns the flow to propagate, or
     /// `None` when the occurrence must be resolved inline (variant in
     /// progress — a cycle through the table — or recorded incomplete).
@@ -1138,6 +1324,7 @@ impl<'a> Solver<'a> {
             &sub_vars,
         );
         self.stats.absorb_trail(sub_bs.take_stats());
+        self.stats.absorb_heap(sub_bs.take_heap_stats());
         self.config.max_solutions = saved_max;
 
         let capped = sub_out.len() >= self.config.table_max_answers;
@@ -1149,10 +1336,7 @@ impl<'a> Solver<'a> {
             if answers.iter().any(|a| a.answer == proof.goal) {
                 continue;
             }
-            answers.push(TabledAnswer {
-                answer: proof.goal.clone(),
-                proof,
-            });
+            answers.push(TabledAnswer::new(proof.goal.clone(), proof));
         }
         let disposition = if capped || cut || exhausted {
             Disposition::Incomplete
@@ -1211,6 +1395,12 @@ impl<'a> Solver<'a> {
     /// — a single shared version would merge distinct variables that
     /// happen to share a name.
     fn rename_answer_apart(&mut self, ta: &TabledAnswer) -> (Literal, Proof) {
+        if !ta.needs_rename() {
+            // Ground answer and proof (the flag was computed at
+            // completion time): renaming is the identity, and the proof
+            // clone is shallow — its children are shared `Arc`s.
+            return (ta.answer.clone(), ta.proof.clone());
+        }
         let mut vars: Vec<Var> = Vec::new();
         ta.answer.collect_vars(&mut vars);
         proof_vars(&ta.proof, &mut vars);
@@ -1243,7 +1433,11 @@ fn map_proof_vars(p: &Proof, f: &mut impl FnMut(Var) -> Term) -> Proof {
     Proof {
         goal: p.goal.map_vars(f),
         step: p.step.clone(),
-        children: p.children.iter().map(|c| map_proof_vars(c, f)).collect(),
+        children: p
+            .children
+            .iter()
+            .map(|c| Arc::new(map_proof_vars(c, f)))
+            .collect(),
     }
 }
 

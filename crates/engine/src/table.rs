@@ -46,6 +46,46 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct TabledAnswer {
     pub answer: Literal,
     pub proof: Proof,
+    /// Whether the answer or its proof mention any variable — computed
+    /// once at completion time so the solver's per-reuse
+    /// standardize-apart can skip the full tree walk for the (common)
+    /// ground case: ground answers rename to themselves.
+    needs_rename: bool,
+}
+
+impl TabledAnswer {
+    /// Record an answer, precomputing whether reuse must rename it apart.
+    pub fn new(answer: Literal, proof: Proof) -> TabledAnswer {
+        let mut vars = Vec::new();
+        answer.collect_vars(&mut vars);
+        if vars.is_empty() {
+            proof_has_vars(&proof, &mut vars);
+        }
+        TabledAnswer {
+            answer,
+            proof,
+            needs_rename: !vars.is_empty(),
+        }
+    }
+
+    /// Does reuse need to standardize this answer apart? `false` means
+    /// the answer and proof are ground — clone (shallow) and go.
+    pub fn needs_rename(&self) -> bool {
+        self.needs_rename
+    }
+}
+
+fn proof_has_vars(p: &Proof, vars: &mut Vec<peertrust_core::Var>) {
+    p.goal.collect_vars(vars);
+    if !vars.is_empty() {
+        return;
+    }
+    for c in &p.children {
+        proof_has_vars(c, vars);
+        if !vars.is_empty() {
+            return;
+        }
+    }
 }
 
 /// How a variant's evaluation ended.
@@ -381,14 +421,14 @@ mod tests {
     }
 
     fn ans(name: &str, n: i64) -> TabledAnswer {
-        TabledAnswer {
-            answer: lit(name, n),
-            proof: Proof {
+        TabledAnswer::new(
+            lit(name, n),
+            Proof {
                 goal: lit(name, n),
                 step: ProofStep::Builtin,
                 children: Vec::new(),
             },
-        }
+        )
     }
 
     #[test]

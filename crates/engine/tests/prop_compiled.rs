@@ -4,6 +4,14 @@
 //! clone-per-branch reference interpreter on random policy graphs — same
 //! solution sets, in the same order, with the same proof sketches — clean
 //! and with tabling, and whole table contents agree entry by entry.
+//!
+//! Two compiled artifacts run as independent lanes: the full lowering
+//! (head get-instructions *and* body put-instructions,
+//! [`CompiledKb::compile`]) and the heads-only artifact
+//! ([`CompiledKb::compile_heads_only`]), which falls back to interpreted
+//! body instantiation. Divergence between them isolates a bug to the
+//! body bytecode; divergence of both from the interpreter isolates it to
+//! head matching or dispatch.
 
 use peertrust_core::prelude::*;
 use peertrust_engine::{
@@ -72,6 +80,52 @@ fn arb_program() -> impl Strategy<Value = Program> {
     })
 }
 
+/// Random delegation programs: ground `d{p}(a,b) @ "auth{k}"` facts, an
+/// optional open-authority rule `d{p}(X,Y) @ V <- base(X,Y)` (lands in
+/// the index's open bucket), and `q` rules whose bodies delegate to a
+/// fixed authority. Exercises the `(pred, arity, authority-length)`
+/// dispatch key and the switch-on-authority second-level index.
+fn arb_auth_program() -> impl Strategy<Value = Program> {
+    let base = prop::collection::vec(
+        (arb_const(), arb_const()).prop_map(|(a, b)| Rule::fact(Literal::new("base", vec![a, b]))),
+        1..4,
+    );
+    let delegated = prop::collection::vec(
+        (0u32..2, arb_const(), arb_const(), 0u32..2).prop_map(|(p, a, b, k)| {
+            Rule::fact(
+                Literal::new(format!("d{p}").as_str(), vec![a, b])
+                    .at(Term::str(format!("auth{k}").as_str())),
+            )
+        }),
+        1..6,
+    );
+    let open = prop::collection::vec(
+        (0u32..2).prop_map(|p| {
+            let (x, y) = (Term::var("X"), Term::var("Y"));
+            Rule::horn(
+                Literal::new(format!("d{p}").as_str(), vec![x.clone(), y.clone()])
+                    .at(Term::var("V")),
+                vec![Literal::new("base", vec![x, y])],
+            )
+        }),
+        0..2,
+    );
+    let deleg_rules = prop::collection::vec(
+        (0u32..2, 0u32..2).prop_map(|(p, k)| {
+            let (x, y) = (Term::var("X"), Term::var("Y"));
+            Rule::horn(
+                Literal::new("q", vec![x.clone(), y.clone()]),
+                vec![Literal::new(format!("d{p}").as_str(), vec![x, y])
+                    .at(Term::str(format!("auth{k}").as_str()))],
+            )
+        }),
+        0..3,
+    );
+    (base, delegated, open, deleg_rules).prop_map(|(b, d, o, r)| Program {
+        rules: b.into_iter().chain(d).chain(o).chain(r).collect(),
+    })
+}
+
 fn config() -> EngineConfig {
     EngineConfig {
         max_solutions: 512,
@@ -120,12 +174,15 @@ fn table_snapshot(table: &AnswerTable) -> BTreeMap<String, BTreeSet<String>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// Compiled, interpreted, and reference evaluation agree — same
-    /// instances, same order, same proof sketches.
+    /// Body-compiled, heads-only-compiled, interpreted, and reference
+    /// evaluation agree — same instances, same order, same proof sketches.
     #[test]
     fn compiled_matches_interpreter_and_reference(prog in arb_program()) {
         let kb: KnowledgeBase = prog.rules.iter().cloned().collect();
         let compiled = Arc::new(CompiledKb::compile(&kb));
+        let heads_only = Arc::new(CompiledKb::compile_heads_only(&kb));
+        prop_assert!(compiled.has_bodies());
+        prop_assert!(!heads_only.has_bodies());
         for pred in ["p0", "p1", "e0"] {
             let goal = Literal::new(pred, vec![Term::var("A"), Term::var("B")]);
 
@@ -135,14 +192,24 @@ proptest! {
             prop_assume!(!cs.stats().step_budget_exhausted);
             prop_assert_eq!(cs.stats().compiled_stale, 0, "artifact wrongly stale");
 
+            let mut hs = CompiledSolver::new(&kb, PeerId::new("self"), heads_only.clone())
+                .with_config(config());
+            let want_h = hs.solve(std::slice::from_ref(&goal));
+            prop_assert_eq!(hs.stats().compiled_body_instrs, 0, "heads-only ran body bytecode");
+
             let mut interp = Solver::new(&kb, PeerId::new("self")).with_config(config());
             let want_i = interp.solve(std::slice::from_ref(&goal));
             let mut reference = RefSolver::new(&kb, PeerId::new("self")).with_config(config());
             let want_r = reference.solve(std::slice::from_ref(&goal));
 
             let got_c: Vec<_> = got.iter().map(|s| render(&goal, s)).collect();
+            let want_hr: Vec<_> = want_h.iter().map(|s| render(&goal, s)).collect();
             let want_ir: Vec<_> = want_i.iter().map(|s| render(&goal, s)).collect();
             let want_rr: Vec<_> = want_r.iter().map(|s| render(&goal, s)).collect();
+            prop_assert_eq!(
+                &got_c, &want_hr,
+                "body-compiled diverges from heads-only on {}", pred
+            );
             prop_assert_eq!(
                 &got_c, &want_ir,
                 "compiled diverges from interpreter on {}", pred
@@ -161,6 +228,7 @@ proptest! {
     fn compiled_tabling_matches_interpreted_tabling(prog in arb_program()) {
         let kb: KnowledgeBase = prog.rules.iter().cloned().collect();
         let compiled = Arc::new(CompiledKb::compile(&kb));
+        let heads_only = Arc::new(CompiledKb::compile_heads_only(&kb));
         let goal = Literal::new("p0", vec![Term::var("A"), Term::var("B")]);
         let tabled = EngineConfig { tabling: true, ..config() };
 
@@ -172,6 +240,13 @@ proptest! {
         let got = cs.solve(std::slice::from_ref(&goal));
         prop_assume!(!cs.stats().step_budget_exhausted);
 
+        let ht = Rc::new(RefCell::new(AnswerTable::new()));
+        let mut hs = Solver::new(&kb, PeerId::new("self"))
+            .with_config(tabled)
+            .with_table(ht.clone())
+            .with_compiled(heads_only);
+        let want_h = hs.solve(std::slice::from_ref(&goal));
+
         let it = Rc::new(RefCell::new(AnswerTable::new()));
         let mut is = Solver::new(&kb, PeerId::new("self"))
             .with_config(tabled)
@@ -179,11 +254,15 @@ proptest! {
         let want = is.solve(std::slice::from_ref(&goal));
 
         let got_r: Vec<_> = got.iter().map(|s| render(&goal, s)).collect();
+        let hdso_r: Vec<_> = want_h.iter().map(|s| render(&goal, s)).collect();
         let want_r: Vec<_> = want.iter().map(|s| render(&goal, s)).collect();
+        prop_assert_eq!(&got_r, &hdso_r, "tabled solutions diverge from heads-only");
         prop_assert_eq!(&got_r, &want_r, "tabled solutions diverge");
 
         let got_t = table_snapshot(&ct.borrow());
+        let hdso_t = table_snapshot(&ht.borrow());
         let want_t = table_snapshot(&it.borrow());
+        prop_assert_eq!(&got_t, &hdso_t, "table contents diverge from heads-only");
         prop_assert_eq!(&got_t, &want_t, "table contents diverge");
     }
 
@@ -195,6 +274,7 @@ proptest! {
     fn prefix_fit_matches_interpreter_after_appends(prog in arb_program(), extra in prop::collection::vec((0u32..3, arb_const(), arb_const()), 1..4)) {
         let mut kb: KnowledgeBase = prog.rules.iter().cloned().collect();
         let compiled = Arc::new(CompiledKb::compile(&kb));
+        let heads_only = Arc::new(CompiledKb::compile_heads_only(&kb));
         for (p, a, b) in extra {
             kb.add_local(Rule::fact(Literal::new(format!("e{p}").as_str(), vec![a, b])));
         }
@@ -207,12 +287,68 @@ proptest! {
             prop_assume!(!cs.stats().step_budget_exhausted);
             prop_assert_eq!(cs.stats().compiled_stale, 0, "append must not go stale");
 
+            let mut hs = Solver::new(&kb, PeerId::new("self"))
+                .with_config(config())
+                .with_compiled(heads_only.clone());
+            let want_h = hs.solve(std::slice::from_ref(&goal));
+
             let mut interp = Solver::new(&kb, PeerId::new("self")).with_config(config());
             let want = interp.solve(std::slice::from_ref(&goal));
 
             let got_r: Vec<_> = got.iter().map(|s| render(&goal, s)).collect();
+            let hdso_r: Vec<_> = want_h.iter().map(|s| render(&goal, s)).collect();
             let want_r: Vec<_> = want.iter().map(|s| render(&goal, s)).collect();
+            prop_assert_eq!(&got_r, &hdso_r, "prefix-fit diverges from heads-only on {}", pred);
             prop_assert_eq!(&got_r, &want_r, "prefix-fit diverges on {}", pred);
+        }
+    }
+
+    /// Delegation literals with `@ Authority` chains dispatch through the
+    /// `(pred, arity, authority-length)` key and the switch-on-authority
+    /// second-level index. All four lanes must agree on who can prove
+    /// what — including rules whose bodies delegate to an authority.
+    #[test]
+    fn authority_dispatch_matches_interpreter(prog in arb_auth_program()) {
+        let kb: KnowledgeBase = prog.rules.iter().cloned().collect();
+        let compiled = Arc::new(CompiledKb::compile(&kb));
+        let heads_only = Arc::new(CompiledKb::compile_heads_only(&kb));
+        for (pred, auth) in [("d0", Some("auth0")), ("d0", Some("auth1")), ("d1", Some("auth0")), ("q", None)] {
+            let mut goal = Literal::new(pred, vec![Term::var("A"), Term::var("B")]);
+            if let Some(a) = auth {
+                goal = goal.at(Term::str(a));
+            }
+
+            let mut cs = CompiledSolver::new(&kb, PeerId::new("self"), compiled.clone())
+                .with_config(config());
+            let got = cs.solve(std::slice::from_ref(&goal));
+            prop_assume!(!cs.stats().step_budget_exhausted);
+            prop_assert_eq!(cs.stats().compiled_stale, 0, "artifact wrongly stale");
+
+            let mut hs = CompiledSolver::new(&kb, PeerId::new("self"), heads_only.clone())
+                .with_config(config());
+            let want_h = hs.solve(std::slice::from_ref(&goal));
+
+            let mut interp = Solver::new(&kb, PeerId::new("self")).with_config(config());
+            let want_i = interp.solve(std::slice::from_ref(&goal));
+            let mut reference = RefSolver::new(&kb, PeerId::new("self")).with_config(config());
+            let want_r = reference.solve(std::slice::from_ref(&goal));
+
+            let got_c: Vec<_> = got.iter().map(|s| render(&goal, s)).collect();
+            let want_hr: Vec<_> = want_h.iter().map(|s| render(&goal, s)).collect();
+            let want_ir: Vec<_> = want_i.iter().map(|s| render(&goal, s)).collect();
+            let want_rr: Vec<_> = want_r.iter().map(|s| render(&goal, s)).collect();
+            prop_assert_eq!(
+                &got_c, &want_hr,
+                "auth dispatch diverges from heads-only on {}@{:?}", pred, auth
+            );
+            prop_assert_eq!(
+                &got_c, &want_ir,
+                "auth dispatch diverges from interpreter on {}@{:?}", pred, auth
+            );
+            prop_assert_eq!(
+                &got_c, &want_rr,
+                "auth dispatch diverges from reference on {}@{:?}", pred, auth
+            );
         }
     }
 }

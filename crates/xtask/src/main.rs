@@ -13,15 +13,19 @@
 //! (conservation and byte-identity proptests, resilience differential
 //! and convergence proptests, faulty-batch determinism).
 //! `cargo xtask verify --compiled` appends [`COMPILED_STEPS`], the
-//! compiled-KB differential lane (compiled-vs-reference proptests, the
+//! compiled-KB differential lane (four-lane differential proptests —
+//! body-compiled, heads-only, interpreter, reference — the
 //! compile-module unit suite, and the gated two-lane quickbench).
 //!
 //! `cargo xtask bench --quick` runs the quickbench harness's e8/e13
 //! smoke scenarios in both the interpreted and compiled lanes, writes
-//! `target/BENCH_PR7.json`, and fails on any of: interpreted e8
-//! deep-chain >25% over `BENCH_BASELINE_PR5.json`, compiled e8 less
-//! than 2x faster than the same-run legacy-interpreter median, or any
-//! cold scenario >25% over `BENCH_BASELINE_PR7.json`.
+//! `target/BENCH_PR8.json`, and fails on any of: a compiled cold
+//! scenario slower than its same-run interpreted counterpart (the PR 8
+//! parity gate), interpreted e8 deep-chain >25% over
+//! `BENCH_BASELINE_PR5.json`, any cold scenario >25% over
+//! `BENCH_BASELINE_PR8.json`, or any deterministic work counter
+//! (resolution steps, heap cells, body instructions) differing from the
+//! PR8 baseline at all.
 
 use std::process::Command;
 
@@ -102,11 +106,11 @@ const STEPS: &[Step] = &[
             "--",
             "--quick",
             "--out",
-            "target/BENCH_PR7.json",
+            "target/BENCH_PR8.json",
             "--baseline",
             "BENCH_BASELINE_PR5.json",
-            "--baseline-pr7",
-            "BENCH_BASELINE_PR7.json",
+            "--baseline-pr8",
+            "BENCH_BASELINE_PR8.json",
         ],
         &[],
     ),
@@ -252,8 +256,9 @@ const FAULT_STEPS: &[Step] = &[
 /// Extra steps behind `cargo xtask verify --compiled`: the compiled-KB
 /// differential lane — compiled-vs-reference/interpreter proptests
 /// (solutions, proofs, tables, prefix fits), the compile module's unit
-/// suite (indexing, staleness, head-match parity), and the two-lane
-/// quickbench with the compiled 2x gate. Mirrors the CI
+/// suite (indexing, staleness, head-match parity, body lowering,
+/// authority dispatch), and the two-lane quickbench with the compiled
+/// parity gate and exact work-counter checks. Mirrors the CI
 /// `compiled-differential` job.
 const COMPILED_STEPS: &[Step] = &[
     step(
@@ -274,7 +279,7 @@ const COMPILED_STEPS: &[Step] = &[
         &[],
     ),
     step(
-        "two-lane quickbench (compiled 2x gate)",
+        "two-lane quickbench (compiled parity gate)",
         &[
             "run",
             "--release",
@@ -287,11 +292,11 @@ const COMPILED_STEPS: &[Step] = &[
             "--lane",
             "both",
             "--out",
-            "target/BENCH_PR7.json",
+            "target/BENCH_PR8.json",
             "--baseline",
             "BENCH_BASELINE_PR5.json",
-            "--baseline-pr7",
-            "BENCH_BASELINE_PR7.json",
+            "--baseline-pr8",
+            "BENCH_BASELINE_PR8.json",
         ],
         &[],
     ),
@@ -316,9 +321,10 @@ fn main() {
 }
 
 /// Run the quickbench harness: e8 deep-chain + e13 tabling scenarios in
-/// both lanes, `target/BENCH_PR7.json` artifact, and hard failures on
-/// the PR5 interpreted regression gate, the compiled 2x gate, and the
-/// PR7 per-scenario regression gate.
+/// both lanes, `target/BENCH_PR8.json` artifact, and hard failures on
+/// the same-run compiled parity gate, the PR5 interpreted regression
+/// gate, the PR8 per-scenario regression gate, and the exact
+/// work-counter check.
 fn bench(quick: bool) {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let mut cargo_args: Vec<&str> = vec![
@@ -330,11 +336,11 @@ fn bench(quick: bool) {
         "quickbench",
         "--",
         "--out",
-        "target/BENCH_PR7.json",
+        "target/BENCH_PR8.json",
         "--baseline",
         "BENCH_BASELINE_PR5.json",
-        "--baseline-pr7",
-        "BENCH_BASELINE_PR7.json",
+        "--baseline-pr8",
+        "BENCH_BASELINE_PR8.json",
     ];
     if quick {
         cargo_args.push("--quick");
@@ -351,7 +357,7 @@ fn bench(quick: bool) {
         eprintln!("xtask bench: quickbench failed (regression or error)");
         std::process::exit(status.code().unwrap_or(1));
     }
-    println!("xtask bench: wrote target/BENCH_PR7.json");
+    println!("xtask bench: wrote target/BENCH_PR8.json");
 }
 
 fn verify(threads: bool, faults: bool, compiled: bool) {
