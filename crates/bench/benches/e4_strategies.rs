@@ -22,6 +22,7 @@ fn bench_strategies(c: &mut Criterion) {
                             public_prob: 0.3,
                             allow_cycles: false, // always satisfiable
                             seed: n as u64,
+                            ..RandomPolicyConfig::default()
                         })
                     },
                     |mut w| run_workload(&mut w, strategy).messages,

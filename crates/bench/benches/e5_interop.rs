@@ -29,6 +29,7 @@ fn bench_interop(c: &mut Criterion) {
                                         public_prob: 0.2,
                                         allow_cycles: true,
                                         seed,
+                                        ..RandomPolicyConfig::default()
                                     })
                                 })
                                 .collect::<Vec<_>>()

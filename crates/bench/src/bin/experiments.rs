@@ -21,8 +21,8 @@ use peertrust_negotiation::{
 };
 use peertrust_net::{NegotiationId, SimNetwork};
 use peertrust_scenarios::{
-    chain, delegation_chain, fleet, random_policies, Ablation1, Ablation2, RandomPolicyConfig,
-    Scenario1, Scenario2, Variant2,
+    chain, delegation_chain, delegation_mesh, fleet, random_policies, Ablation1, Ablation2,
+    RandomPolicyConfig, Scenario1, Scenario2, Variant2,
 };
 
 fn main() {
@@ -46,6 +46,7 @@ fn main() {
     e7(&mut rows);
     e10(&mut rows);
     e11(&mut rows);
+    e17(&mut rows);
 
     println!("\n{}", Row::header());
     println!("{}", "-".repeat(120));
@@ -154,6 +155,46 @@ fn telemetry_export(out_dir: &std::path::Path) {
         cache_stats.hits, cache_stats.misses, cache_stats.inserts
     );
 
+    // E17: one cyclic mesh through the GEM fixpoint plus the same mesh
+    // under the classical driver, so the negotiation.gem.* counters and
+    // the per-reason negotiation.refusal.* counters (cycle_detected
+    // among them) are live in the export.
+    {
+        let mut w = delegation_mesh(3, 2, false);
+        let requester = w.peer_ids[1];
+        let mut net = SimNetwork::new(17).with_telemetry(telemetry.clone());
+        let out = peertrust_negotiation::negotiate_traced(
+            &mut w.peers,
+            &mut net,
+            peertrust_negotiation::SessionConfig {
+                gem: true,
+                gem_max_rounds: 32,
+                ..Default::default()
+            },
+            NegotiationId(17),
+            requester,
+            w.responder,
+            w.goal.clone(),
+            &telemetry,
+        );
+        assert!(out.success, "gem mesh export");
+
+        let mut w = delegation_mesh(3, 2, false);
+        let requester = w.peer_ids[1];
+        let mut net = SimNetwork::new(18).with_telemetry(telemetry.clone());
+        let refused = peertrust_negotiation::negotiate_traced(
+            &mut w.peers,
+            &mut net,
+            peertrust_negotiation::SessionConfig::default(),
+            NegotiationId(18),
+            requester,
+            w.responder,
+            w.goal.clone(),
+            &telemetry,
+        );
+        assert!(!refused.success, "classical mesh export");
+    }
+
     // E15 (part 1): one resilient negotiation over a lossy,
     // telemetry-attached network, so the export carries a trace with
     // retries, backoff spans and `net.fault` annotations. Run *before*
@@ -186,7 +227,8 @@ fn telemetry_export(out_dir: &std::path::Path) {
     };
 
     // Snapshot the stream for causal-trace reconstruction while every
-    // negotiation id recorded so far (1, 2, 3, 4, 15) is still unique.
+    // negotiation id recorded so far (1, 2, 3, 4, 15, 17, 18) is still
+    // unique.
     let trace_events = ring.events();
 
     // E14: one batch over the throughput grid through the scheduler so the
@@ -418,6 +460,7 @@ fn e4_e5(rows: &mut Vec<Row>) {
                 public_prob: 0.25,
                 allow_cycles: true,
                 seed,
+                ..RandomPolicyConfig::default()
             };
             let truth = random_policies(cfg).satisfiable;
             for strategy in Strategy::ALL {
@@ -551,6 +594,63 @@ fn e10(rows: &mut Vec<Row>) {
         "parsimonious",
         &out,
     ));
+}
+
+fn e17(rows: &mut Vec<Row>) {
+    println!("== E17: cyclic delegation meshes via GEM tabling ==");
+    for (n, laps, chords) in [
+        (2usize, 2usize, false),
+        (3, 2, false),
+        (3, 3, false),
+        (4, 2, true),
+        (5, 2, true),
+    ] {
+        let label = format!(
+            "mesh n={n} laps={laps}{}",
+            if chords { " chord" } else { "" }
+        );
+        // GEM lane: the fixpoint converges with zero cycle refusals.
+        let mut w = delegation_mesh(n, laps, chords);
+        let mut net = SimNetwork::new(17);
+        let requester = w.peer_ids[1];
+        let out = peertrust_negotiation::negotiate(
+            &mut w.peers,
+            &mut net,
+            peertrust_negotiation::SessionConfig {
+                gem: true,
+                gem_max_rounds: 32,
+                ..Default::default()
+            },
+            NegotiationId(1),
+            requester,
+            w.responder,
+            w.goal.clone(),
+        );
+        assert!(out.success, "{label}: gem lane must converge");
+        assert!(
+            !out.refusals
+                .iter()
+                .any(|r| r.reason == peertrust_negotiation::RefusalReason::CycleDetected),
+            "{label}: gem lane must not refuse on cycles"
+        );
+        rows.push(Row::from_outcome("E17", label.clone(), "gem", &out));
+
+        // Classical lane: the same workload needs more than one lap of
+        // unrolling, so the variant check refuses it.
+        let mut w = delegation_mesh(n, laps, chords);
+        let mut net = SimNetwork::new(17);
+        let classical = peertrust_negotiation::negotiate(
+            &mut w.peers,
+            &mut net,
+            peertrust_negotiation::SessionConfig::default(),
+            NegotiationId(1),
+            requester,
+            w.responder,
+            w.goal.clone(),
+        );
+        assert!(!classical.success, "{label}: classical lane must refuse");
+        rows.push(Row::from_outcome("E17", label, "classical", &classical));
+    }
 }
 
 fn e11(rows: &mut Vec<Row>) {

@@ -41,7 +41,7 @@ pub use explain::{explain, explain_with_rules, proof_summary};
 pub use forward::{saturate, ForwardConfig, Saturation};
 pub use reference::RefSolver;
 pub use sld::{
-    canonicalize, is_variant, EngineConfig, NoRemote, Proof, ProofStep, RemoteFallback, RemoteHook,
-    SharedTable, Solution, Solver, Stats, TableHandle,
+    canonical_answer_set, canonicalize, is_variant, EngineConfig, NoRemote, Proof, ProofStep,
+    RemoteFallback, RemoteHook, SharedTable, Solution, Solver, Stats, TableHandle,
 };
 pub use table::{AnswerTable, ConcurrentTable, Disposition, Probe, TableStats, TabledAnswer};

@@ -1508,6 +1508,25 @@ pub fn canonicalize(l: &Literal) -> Literal {
     canonical(l)
 }
 
+/// Normal form of an answer *set*: every literal canonicalized (variables
+/// renamed in first-occurrence order), deduplicated, and sorted by display
+/// form. Two answer sets are equal up to variable renaming iff their
+/// normal forms are equal — this is the convergence test of the GEM
+/// distributed-tabling layer (`peertrust_negotiation::gem`), where each
+/// fixpoint round re-derives answers through the solver's standardize-apart
+/// and would otherwise never compare equal across rounds.
+pub fn canonical_answer_set(answers: &[Literal]) -> Vec<Literal> {
+    let mut out: Vec<Literal> = Vec::with_capacity(answers.len());
+    for a in answers {
+        let c = canonical(a);
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out.sort_by_key(|l| l.to_string());
+    out
+}
+
 /// Rename variables to `_C0, _C1, ...` in first-occurrence order.
 fn canonical(l: &Literal) -> Literal {
     let mut map: Vec<(Var, u32)> = Vec::new();

@@ -1,0 +1,451 @@
+//! GEM-style distributed tabling: cross-peer SCC state and answer tables.
+//!
+//! Delegation literals (`lit @ Authority`) naturally produce cyclic goal
+//! dependencies between peers — mutually recursive credential chains,
+//! redundant delegation meshes. The classical driver refuses any loop
+//! ([`crate::outcome::RefusalReason::CycleDetected`] with an empty answer
+//! set), so cyclic workloads cannot converge even when a fixpoint exists.
+//! This module holds the session-side state for the GEM alternative
+//! (enabled via `SessionConfig::gem`): when a request closes a loop, the
+//! closing edge is recorded into a strongly connected component, the
+//! consumer is served the current *tabled* partial answer set instead of a
+//! refusal, and once the component's outermost frame (the *generator*)
+//! finishes its first descent the session iterates answer-propagation
+//! rounds over the recorded edges until the tables reach a fixpoint.
+//!
+//! Key design points, mirrored from the GEM paper through this codebase's
+//! substrate:
+//!
+//! * **Tables are keyed per `(consumer, responder, canonical goal)`** —
+//!   not per goal alone — because what a responder may *release* depends
+//!   on who is asking (release policies, paper §3.1). Two peers closing
+//!   the same loop may legitimately see different partial answer sets.
+//! * **Entries are stored in variant normal form**
+//!   ([`peertrust_engine::canonical_answer_set`]): each fixpoint round
+//!   re-derives answers through the solver's standardize-apart, so open
+//!   answers only compare equal across rounds after canonicalization.
+//!   Without it the fixpoint would never be detected.
+//! * **SCCs merge by member overlap.** A depth-first evaluation can close
+//!   several loops; any closure whose span overlaps an existing
+//!   component folds into it, and the *outermost* frame on the current
+//!   in-flight stack becomes the merged anchor — deferring the fixpoint
+//!   to the frame that encloses every member.
+//! * **The leader is the lexicographically smallest peer name** on the
+//!   component (peer *names*, not [`peertrust_core::Sym`] order, which is
+//!   intern-index order and not stable across runs). The leader fronts
+//!   coordination traffic (completion notifications), keeping message
+//!   sequences deterministic across worker counts.
+//!
+//! The driving loop lives in `crate::session` (it needs the solver, the
+//! network, and the release machinery); this module is the bookkeeping,
+//! unit-testable in isolation.
+
+use peertrust_core::{Literal, PeerId};
+use peertrust_engine::canonical_answer_set;
+use std::collections::HashMap;
+
+/// One evaluation frame key, as kept on the session's in-flight stack:
+/// `(responder, canonical goal variant)`.
+pub type FrameKey = (PeerId, Literal);
+
+/// A recorded loop-closing edge: `consumer`'s evaluation re-requested
+/// `goal` from `responder` while the frame `(responder, canonical)` was
+/// already open.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GemEdge {
+    /// The peer whose evaluation closed the loop (the re-requester).
+    pub consumer: PeerId,
+    /// The peer that owns the re-requested goal.
+    pub responder: PeerId,
+    /// The goal as re-requested (variables intact, for re-evaluation).
+    pub goal: Literal,
+    /// Canonical variant of `goal` — the frame/table key component.
+    pub canonical: Literal,
+    /// Hop depth at which the closure occurred (re-evaluations run here).
+    pub depth: u32,
+    /// Session-deterministic discovery sequence number (tie-breaker for
+    /// round ordering).
+    pub seq: u64,
+}
+
+/// One active strongly connected component of the cross-peer goal graph.
+#[derive(Clone, Debug)]
+pub struct GemScc {
+    /// The generator frame's key: the outermost in-flight frame the
+    /// component reaches. Its `request_inner` runs the fixpoint.
+    pub anchor: FrameKey,
+    /// Every frame key known to belong to the component, in discovery
+    /// order.
+    pub members: Vec<FrameKey>,
+    /// Loop-closing edges, in discovery order.
+    pub edges: Vec<GemEdge>,
+    /// Fixpoint rounds completed so far.
+    pub rounds: u32,
+}
+
+impl GemScc {
+    /// Distinct peers participating in the component (frame responders
+    /// and edge consumers), sorted by peer name for deterministic
+    /// notification order.
+    pub fn member_peers(&self) -> Vec<PeerId> {
+        let mut peers: Vec<PeerId> = Vec::new();
+        for (p, _) in &self.members {
+            if !peers.contains(p) {
+                peers.push(*p);
+            }
+        }
+        for e in &self.edges {
+            if !peers.contains(&e.consumer) {
+                peers.push(e.consumer);
+            }
+        }
+        peers.sort_by_key(|p| p.name());
+        peers
+    }
+
+    /// The coordinator: lowest peer *name* on the component. Names, not
+    /// `Sym` order — symbol interning order varies run to run.
+    pub fn leader(&self) -> PeerId {
+        self.member_peers()
+            .into_iter()
+            .min_by_key(|p| p.name())
+            .expect("an SCC has at least one member")
+    }
+
+    /// Edges in fixpoint evaluation order: by responder name, consumer
+    /// name, then discovery sequence — derived from peer ids and session
+    /// sequence numbers, never from hash or intern order.
+    pub fn round_order(&self) -> Vec<GemEdge> {
+        let mut edges = self.edges.clone();
+        edges.sort_by(|a, b| {
+            (a.responder.name(), a.consumer.name(), a.seq).cmp(&(
+                b.responder.name(),
+                b.consumer.name(),
+                b.seq,
+            ))
+        });
+        edges
+    }
+}
+
+/// Per-session GEM state: partial-answer tables plus the active SCCs.
+#[derive(Default)]
+pub struct GemState {
+    /// Tabled (partial) answers per `(consumer, responder, canonical
+    /// goal)`, in variant normal form.
+    tables: HashMap<(PeerId, PeerId, Literal), Vec<Literal>>,
+    /// Components whose generator frame has not yet completed.
+    sccs: Vec<GemScc>,
+    /// Next edge discovery sequence number.
+    next_seq: u64,
+    /// Completed components (stat).
+    pub completed: u64,
+}
+
+impl GemState {
+    pub fn new() -> GemState {
+        GemState::default()
+    }
+
+    /// Is any component still being evaluated? While true, remote-answer
+    /// cache inserts are suppressed — in-progress partial answers must
+    /// never poison per-session or cross-negotiation caches.
+    pub fn active(&self) -> bool {
+        !self.sccs.is_empty()
+    }
+
+    /// Allocate the next edge sequence number.
+    pub fn next_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Record a loop closure observed at position `pos` of the in-flight
+    /// stack: the span `stack[pos..]` joins one component together with
+    /// any existing components it overlaps; the merged anchor is the
+    /// overlapping frame that sits outermost on the *current* stack.
+    /// Returns `true` when `edge` was not already recorded.
+    pub fn close_loop(&mut self, pos: usize, stack: &[FrameKey], edge: GemEdge) -> bool {
+        let span: Vec<FrameKey> = stack[pos..].to_vec();
+        let mut members = span;
+        let mut edges: Vec<GemEdge> = Vec::new();
+        let mut rounds = 0u32;
+        let mut anchors: Vec<FrameKey> = vec![stack[pos].clone()];
+
+        // Fold in every existing component that shares a frame with the
+        // closed span (checked against the growing member set, so chains
+        // of overlaps collapse into one component).
+        let mut remaining: Vec<GemScc> = Vec::new();
+        for scc in self.sccs.drain(..) {
+            if scc.members.iter().any(|m| members.contains(m)) {
+                for m in scc.members {
+                    if !members.contains(&m) {
+                        members.push(m);
+                    }
+                }
+                edges.extend(scc.edges);
+                rounds = rounds.max(scc.rounds);
+                anchors.push(scc.anchor);
+            } else {
+                remaining.push(scc);
+            }
+        }
+        self.sccs = remaining;
+
+        // Outermost anchor on the current stack wins; an anchor not on
+        // the stack (possible only transiently) ranks last.
+        let anchor = anchors
+            .into_iter()
+            .min_by_key(|a| stack.iter().position(|k| k == a).unwrap_or(usize::MAX))
+            .expect("at least the closing frame");
+
+        let is_new = !edges.iter().any(|e| {
+            e.consumer == edge.consumer
+                && e.responder == edge.responder
+                && e.canonical == edge.canonical
+        });
+        if is_new {
+            edges.push(edge);
+        }
+        self.sccs.push(GemScc {
+            anchor,
+            members,
+            edges,
+            rounds,
+        });
+        true & is_new
+    }
+
+    /// Current tabled entry for a closing edge (empty when nothing has
+    /// been derived yet).
+    pub fn table(&self, consumer: PeerId, responder: PeerId, canonical: &Literal) -> Vec<Literal> {
+        self.tables
+            .get(&(consumer, responder, canonical.clone()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Replace a table entry with the freshly derived answer set (stored
+    /// in variant normal form). Returns `true` when the entry changed —
+    /// the fixpoint continues while any entry changes.
+    pub fn update_table(
+        &mut self,
+        consumer: PeerId,
+        responder: PeerId,
+        canonical: Literal,
+        answers: &[Literal],
+    ) -> bool {
+        let normal = canonical_answer_set(answers);
+        let key = (consumer, responder, canonical);
+        match self.tables.get(&key) {
+            Some(old) if *old == normal => false,
+            _ => {
+                self.tables.insert(key, normal);
+                true
+            }
+        }
+    }
+
+    /// Index of the active component anchored at `key`, if any — the
+    /// frame popping `key` owns that component's fixpoint.
+    pub fn scc_index_by_anchor(&self, key: &FrameKey) -> Option<usize> {
+        self.sccs.iter().position(|s| s.anchor == *key)
+    }
+
+    /// Borrow the active component at `index` (as returned by
+    /// [`GemState::scc_index_by_anchor`]).
+    pub fn scc_at(&self, index: usize) -> &GemScc {
+        &self.sccs[index]
+    }
+
+    /// Increment and return the round counter of the component at `index`.
+    pub fn bump_rounds(&mut self, index: usize) -> u32 {
+        self.sccs[index].rounds += 1;
+        self.sccs[index].rounds
+    }
+
+    /// The active component containing `key` as a member, if any.
+    pub fn scc_containing(&self, key: &FrameKey) -> Option<&GemScc> {
+        self.sccs.iter().find(|s| s.members.contains(key))
+    }
+
+    /// Retire a completed component. Its table entries stay readable —
+    /// they are final now ("completion releases tabled entries for
+    /// reuse").
+    pub fn take_scc(&mut self, index: usize) -> GemScc {
+        self.completed += 1;
+        self.sccs.remove(index)
+    }
+
+    /// Total tabled answers across the component's edges (deduplicated
+    /// by table key; deterministic: iterates edges, not the hash map).
+    pub fn scc_answer_count(&self, scc: &GemScc) -> u64 {
+        let mut seen: Vec<(PeerId, PeerId, &Literal)> = Vec::new();
+        let mut total = 0u64;
+        for e in &scc.edges {
+            let k = (e.consumer, e.responder, &e.canonical);
+            if seen.contains(&k) {
+                continue;
+            }
+            seen.push(k);
+            total += self
+                .tables
+                .get(&(e.consumer, e.responder, e.canonical.clone()))
+                .map(|v| v.len() as u64)
+                .unwrap_or(0);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peertrust_core::Term;
+
+    fn lit(name: &str, v: &str) -> Literal {
+        Literal::new(name, vec![Term::var(v)])
+    }
+
+    fn ground(name: &str, n: i64) -> Literal {
+        Literal::new(name, vec![Term::int(n)])
+    }
+
+    fn key(peer: &str, l: Literal) -> FrameKey {
+        (PeerId::new(peer), peertrust_engine::canonicalize(&l))
+    }
+
+    fn edge(consumer: &str, responder: &str, l: Literal, seq: u64) -> GemEdge {
+        GemEdge {
+            consumer: PeerId::new(consumer),
+            responder: PeerId::new(responder),
+            canonical: peertrust_engine::canonicalize(&l),
+            goal: l,
+            depth: 3,
+            seq,
+        }
+    }
+
+    #[test]
+    fn close_loop_records_component_and_edge() {
+        let mut gem = GemState::new();
+        let stack = vec![key("A", lit("r", "X")), key("B", lit("s", "Y"))];
+        assert!(!gem.active());
+        let e = edge("B", "A", lit("r", "Z"), gem.next_seq());
+        assert!(gem.close_loop(0, &stack, e.clone()));
+        assert!(gem.active());
+        // Same edge again: folds in, not new.
+        assert!(!gem.close_loop(0, &stack, e));
+        let scc = gem.scc_containing(&stack[0]).unwrap();
+        assert_eq!(scc.anchor, stack[0]);
+        assert_eq!(scc.members.len(), 2);
+        assert_eq!(scc.edges.len(), 1);
+    }
+
+    #[test]
+    fn overlapping_components_merge_to_outermost_anchor() {
+        let mut gem = GemState::new();
+        let stack = vec![
+            key("A", lit("r", "X")),
+            key("B", lit("s", "Y")),
+            key("C", lit("t", "Z")),
+        ];
+        // Inner loop first: C closes back to B (anchor = stack[1]).
+        let s1 = gem.next_seq();
+        gem.close_loop(1, &stack, edge("C", "B", lit("s", "Q"), s1));
+        assert_eq!(gem.scc_containing(&stack[1]).unwrap().anchor, stack[1]);
+        // Outer loop: C closes back to A. Overlaps the existing component
+        // (shares frame B..C? shares C) -> merge, anchor moves out to A.
+        let s2 = gem.next_seq();
+        gem.close_loop(0, &stack, edge("C", "A", lit("r", "Q"), s2));
+        let scc = gem.scc_containing(&stack[0]).unwrap();
+        assert_eq!(scc.anchor, stack[0]);
+        assert_eq!(scc.members.len(), 3);
+        assert_eq!(scc.edges.len(), 2);
+        assert_eq!(gem.scc_index_by_anchor(&stack[0]), Some(0));
+        assert_eq!(gem.scc_index_by_anchor(&stack[1]), None);
+    }
+
+    #[test]
+    fn leader_is_lowest_peer_name_not_intern_order() {
+        // Intern "Zeta" strictly before "Alpha" so Sym order and name
+        // order disagree.
+        let z = PeerId::new("Zeta");
+        let a = PeerId::new("Alpha");
+        let _ = (z, a);
+        let mut gem = GemState::new();
+        let stack = vec![key("Zeta", lit("r", "X")), key("Mid", lit("s", "Y"))];
+        let s = gem.next_seq();
+        gem.close_loop(0, &stack, edge("Alpha", "Zeta", lit("r", "Q"), s));
+        let scc = gem.scc_containing(&stack[0]).unwrap();
+        assert_eq!(scc.leader().name(), "Alpha");
+        let peers: Vec<&str> = scc.member_peers().iter().map(|p| p.name()).collect();
+        assert_eq!(peers, ["Alpha", "Mid", "Zeta"]);
+    }
+
+    #[test]
+    fn round_order_is_by_peer_names_then_seq() {
+        let mut gem = GemState::new();
+        let stack = vec![key("A", lit("r", "X")), key("Zed", lit("s", "Y"))];
+        let s1 = gem.next_seq();
+        let s2 = gem.next_seq();
+        let s3 = gem.next_seq();
+        gem.close_loop(0, &stack, edge("Zed", "A", lit("r", "Q"), s1));
+        gem.close_loop(0, &stack, edge("Bob", "A", lit("r", "W"), s2));
+        gem.close_loop(0, &stack, edge("Bob", "A", ground("r", 9), s3));
+        let order: Vec<(String, u64)> = gem
+            .scc_containing(&stack[0])
+            .unwrap()
+            .round_order()
+            .iter()
+            .map(|e| (e.consumer.name().to_string(), e.seq))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("Bob".to_string(), s2),
+                ("Bob".to_string(), s3),
+                ("Zed".to_string(), s1)
+            ]
+        );
+    }
+
+    #[test]
+    fn table_updates_detect_change_up_to_renaming() {
+        let mut gem = GemState::new();
+        let c = PeerId::new("B");
+        let r = PeerId::new("A");
+        let goal = peertrust_engine::canonicalize(&lit("r", "X"));
+        assert!(gem.table(c, r, &goal).is_empty());
+        assert!(gem.update_table(c, r, goal.clone(), &[ground("r", 0)]));
+        // Same set, different variable names and order: no change.
+        assert!(!gem.update_table(c, r, goal.clone(), &[ground("r", 0)]));
+        assert!(gem.update_table(c, r, goal.clone(), &[ground("r", 2), ground("r", 0)]));
+        assert!(!gem.update_table(c, r, goal.clone(), &[ground("r", 0), ground("r", 2)]));
+        // Open answers compare equal across renamings.
+        assert!(gem.update_table(c, r, goal.clone(), &[lit("r", "Fresh1")]));
+        assert!(!gem.update_table(c, r, goal.clone(), &[lit("r", "Fresh2")]));
+        assert_eq!(gem.table(c, r, &goal).len(), 1);
+    }
+
+    #[test]
+    fn take_scc_retires_but_tables_stay_readable() {
+        let mut gem = GemState::new();
+        let stack = vec![key("A", lit("r", "X"))];
+        let s = gem.next_seq();
+        gem.close_loop(0, &stack, edge("B", "A", lit("r", "Q"), s));
+        let c = PeerId::new("B");
+        let r = PeerId::new("A");
+        let goal = peertrust_engine::canonicalize(&lit("r", "Q"));
+        gem.update_table(c, r, goal.clone(), &[ground("r", 1), ground("r", 2)]);
+        let idx = gem.scc_index_by_anchor(&stack[0]).unwrap();
+        let scc = gem.sccs[idx].clone();
+        assert_eq!(gem.scc_answer_count(&scc), 2);
+        let taken = gem.take_scc(idx);
+        assert_eq!(taken.anchor, stack[0]);
+        assert!(!gem.active());
+        assert_eq!(gem.completed, 1);
+        assert_eq!(gem.table(c, r, &goal).len(), 2);
+    }
+}

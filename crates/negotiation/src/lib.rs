@@ -21,6 +21,9 @@
 //!   policies, graduated disclosure;
 //! * [`failure`] — §6's autonomy question answered counterfactually:
 //!   critical refusals and rescue sets;
+//! * [`gem`] — GEM-style distributed tabling: per-peer goal tables and
+//!   cross-peer SCC state that turn delegation loops into iterated
+//!   answer-propagation fixpoints instead of `CycleDetected` refusals;
 //! * [`analysis`] — static policy lint: deadlock rings, unreleasable
 //!   credentials, unsafe rules, unknown authorities/issuers;
 //! * [`ticket`] — §3.1's nontransferable, expiring access tokens;
@@ -40,6 +43,7 @@ pub mod answer_cache;
 pub mod audit;
 pub mod eager;
 pub mod failure;
+pub mod gem;
 pub mod outcome;
 pub mod peer;
 pub mod resilience;
@@ -55,6 +59,7 @@ pub use answer_cache::{CacheKey, CacheStats, RemoteAnswerCache, SharedRemoteAnsw
 pub use audit::{AuditLog, AuditRecord, ChainViolation};
 pub use eager::{negotiate_eager, EagerConfig};
 pub use failure::{analyze_failure, find_rescue_set, AnalyzedRefusal, FailureAnalysis};
+pub use gem::{GemEdge, GemScc, GemState};
 pub use outcome::{
     verify_safe_sequence, DisclosedItem, Disclosure, Evidence, NegotiationOutcome, Refusal,
     RefusalReason, SafetyViolation,

@@ -91,6 +91,29 @@ pub enum RefusalReason {
     /// its retry budget or per-message deadline for this peer (see
     /// `crate::resilience`).
     Unreachable,
+    /// GEM fixpoint iteration hit its round bound before the SCC's answer
+    /// tables stabilized (see `crate::gem`). The answers computed so far
+    /// are sound but possibly incomplete.
+    GemRoundLimit,
+}
+
+impl RefusalReason {
+    /// Stable snake_case metric suffix: refusals are counted per reason
+    /// under `negotiation.refusal.<suffix>` in the metrics registry, so
+    /// experiments output (metrics.json) shows which guard fired without
+    /// parsing Debug strings.
+    pub fn metric_suffix(&self) -> &'static str {
+        match self {
+            RefusalReason::ReleaseDenied => "release_denied",
+            RefusalReason::EffortPolicy => "effort_policy",
+            RefusalReason::DepthExceeded => "depth_exceeded",
+            RefusalReason::CycleDetected => "cycle_detected",
+            RefusalReason::QueryBudget => "query_budget",
+            RefusalReason::VerificationFailed => "verification_failed",
+            RefusalReason::Unreachable => "unreachable",
+            RefusalReason::GemRoundLimit => "gem_round_limit",
+        }
+    }
 }
 
 /// The result of one negotiation.

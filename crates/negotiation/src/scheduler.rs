@@ -695,6 +695,73 @@ mod tests {
         }
     }
 
+    /// Mutually recursive two-peer delegation (the session tests'
+    /// `mutual_recursion_peers` scenario) as a batch workload: every job
+    /// exercises the GEM fixpoint.
+    fn gem_batch(repeats: usize) -> (PeerMap, Vec<BatchJob>) {
+        let reg = KeyRegistry::new();
+        let mut peers = PeerMap::new();
+        let mut a = NegotiationPeer::new("A", reg.clone());
+        a.load_program(
+            r#"
+            r(0) @ "A".
+            r(Y) @ "A" <- r(X) @ "B" @ "B", next(X, Y).
+            next(1, 2).
+            next(3, 4).
+            r(X) @ Y $ true <-_true r(X) @ Y.
+            "#,
+        )
+        .unwrap();
+        peers.insert(a);
+        let mut b = NegotiationPeer::new("B", reg);
+        b.load_program(
+            r#"
+            r(Y) @ "B" <- r(X) @ "A" @ "A", next(X, Y).
+            next(0, 1).
+            next(2, 3).
+            r(X) @ Y $ true <-_true r(X) @ Y.
+            "#,
+        )
+        .unwrap();
+        peers.insert(b);
+        let goal = parse_literal(r#"r(4) @ "A""#).unwrap();
+        let jobs = (0..repeats)
+            .map(|_| BatchJob::new(PeerId::new("B"), PeerId::new("A"), goal.clone()))
+            .collect();
+        (peers, jobs)
+    }
+
+    #[test]
+    fn gem_batches_are_bit_identical_across_worker_counts() {
+        // Fixpoint round order derives from peer names and session
+        // sequence numbers, so cyclic workloads stay deterministic under
+        // the scheduler exactly like acyclic ones.
+        let (peers, jobs) = gem_batch(8);
+        let gem_cfg = |workers| BatchConfig {
+            workers,
+            session: SessionConfig {
+                gem: true,
+                ..SessionConfig::default()
+            },
+            ..BatchConfig::default()
+        };
+        let baseline = negotiate_batch(&peers, &jobs, &gem_cfg(1), &Telemetry::disabled());
+        assert_eq!(
+            baseline.stats.successes, 8,
+            "every cyclic job must converge via GEM"
+        );
+        let baseline: Vec<String> = baseline.outcomes.iter().map(full_key).collect();
+        for workers in [2, 4, 8] {
+            let run: Vec<String> =
+                negotiate_batch(&peers, &jobs, &gem_cfg(workers), &Telemetry::disabled())
+                    .outcomes
+                    .iter()
+                    .map(full_key)
+                    .collect();
+            assert_eq!(run, baseline, "gem divergence at {workers} workers");
+        }
+    }
+
     #[test]
     fn empty_batch_is_fine() {
         let (peers, _) = bilateral_batch(1);

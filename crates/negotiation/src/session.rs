@@ -24,6 +24,7 @@
 //! in-flight query variants.
 
 use crate::answer_cache::{CacheKey, RemoteAnswerCache, SharedRemoteAnswerCache};
+use crate::gem::{GemEdge, GemState};
 use crate::outcome::{
     DisclosedItem, Disclosure, Evidence, NegotiationOutcome, Refusal, RefusalReason,
 };
@@ -95,6 +96,20 @@ pub struct SessionConfig {
     /// network. Only non-empty answer sets are memoized (disclosure sets
     /// grow monotonically, so a failed query may succeed later).
     pub cache_remote_answers: bool,
+    /// GEM-style distributed tabling (see [`crate::gem`]): cross-peer
+    /// delegation loops are resolved by iterated answer propagation over
+    /// per-peer goal tables instead of refused with
+    /// [`RefusalReason::CycleDetected`]. Off by default — the classical
+    /// refusal semantics (experiment E11) are preserved, and the enabled
+    /// path is bit-identical on acyclic workloads (the GEM branch only
+    /// fires when a query variant is already in flight).
+    pub gem: bool,
+    /// Bound on GEM fixpoint rounds per strongly connected component.
+    /// Hitting it records a [`RefusalReason::GemRoundLimit`] refusal and
+    /// proceeds with the (sound but possibly incomplete) tables. Each
+    /// round can only add finitely many released instances, so meshes of
+    /// chain length `k` converge within `k + 1` rounds.
+    pub gem_max_rounds: u32,
 }
 
 impl Default for SessionConfig {
@@ -109,6 +124,8 @@ impl Default for SessionConfig {
             release_overrides: Vec::new(),
             sticky_policies: false,
             cache_remote_answers: true,
+            gem: false,
+            gem_max_rounds: 16,
         }
     }
 }
@@ -355,6 +372,7 @@ pub(crate) fn negotiate_with_cache(
         trace_stack: Vec::new(),
         net_wait_ticks: 0,
         backoff_ticks: 0,
+        gem: GemState::default(),
     };
 
     let root_span = session.trace_push("negotiation", requester, "root");
@@ -497,6 +515,10 @@ pub(crate) struct Session<'a> {
     net_wait_ticks: u64,
     /// Ticks spent in deliberate retry backoff sleeps.
     backoff_ticks: u64,
+    /// GEM distributed-tabling state: partial-answer tables and active
+    /// cross-peer SCCs. Untouched unless [`SessionConfig::gem`] is on and
+    /// a delegation loop actually closes.
+    gem: GemState,
 }
 
 struct SessionHook<'s, 'a> {
@@ -549,6 +571,13 @@ impl<'a> Session<'a> {
             self.telemetry.incr("negotiation.refusals", 1);
             self.telemetry
                 .incr(&format!("negotiation.refusals.{:?}", r.reason), 1);
+            // Stable snake_case per-reason counter for dashboards and the
+            // experiment gates (the Debug-named counter above is kept for
+            // backward compatibility).
+            self.telemetry.incr(
+                &format!("negotiation.refusal.{}", r.reason.metric_suffix()),
+                1,
+            );
             self.telemetry.event(
                 self.net.now(),
                 self.span,
@@ -916,6 +945,13 @@ impl<'a> Session<'a> {
         }
         let key = (to, canonicalize(&goal));
         if self.in_flight.contains(&key) {
+            // Classical semantics: a repeated in-flight query variant is a
+            // cycle and the branch is refused. Under GEM the closure is
+            // recorded into a cross-peer SCC and answered from the goal
+            // tables instead (partial answers flow back along the loop).
+            if self.cfg.gem {
+                return self.gem_close_loop(from, to, goal, depth, key);
+            }
             self.record_refusal(Refusal {
                 peer: to,
                 requester: from,
@@ -1035,9 +1071,19 @@ impl<'a> Session<'a> {
             return Vec::new();
         }
 
-        self.in_flight.push(key);
-        let (answers, pushes) = self.respond(to, from, &goal, depth);
+        self.in_flight.push(key.clone());
+        let (mut answers, mut pushes) = self.respond(to, from, &goal, depth);
         self.in_flight.pop();
+
+        // If this frame is the generator of a GEM component (a loop closed
+        // back to it during the descent), iterate answer propagation to
+        // fixpoint and re-evaluate against the converged tables.
+        if self.cfg.gem {
+            if let Some((fx_answers, fx_pushes)) = self.gem_fixpoint(from, to, &goal, depth, &key) {
+                answers = fx_answers;
+                pushes = fx_pushes;
+            }
+        }
 
         // Ship credential pushes (before the answers that depend on them).
         if !pushes.is_empty() {
@@ -1222,7 +1268,17 @@ impl<'a> Session<'a> {
             }
         }
 
-        if !accepted_answers.is_empty() {
+        // While a GEM component is still iterating, any answers flowing
+        // through this frame may be partial (read from a not-yet-converged
+        // table) — they must never be written into the per-session memo or
+        // the cross-negotiation cache, or later rounds and later
+        // negotiations would be fed stale partial sets. (Empty answer sets
+        // are never cached on any path — see the `is_empty` gate below.)
+        let gem_pending = self.cfg.gem && self.gem.active();
+        if gem_pending && !accepted_answers.is_empty() && self.telemetry.enabled() {
+            self.telemetry.incr("negotiation.gem.cache_suppressed", 1);
+        }
+        if !accepted_answers.is_empty() && !gem_pending {
             if self.cfg.cache_remote_answers {
                 self.session_answers
                     .insert(cache_key.clone(), accepted_answers.clone());
@@ -1247,6 +1303,219 @@ impl<'a> Session<'a> {
             }
         }
         accepted_answers
+    }
+
+    /// GEM closure branch of [`Session::request`]: `from`'s evaluation
+    /// re-requested `goal` while the frame `key` was already open further
+    /// up the stack. Record the loop edge into a (possibly merged) SCC,
+    /// ship a `GemQuery` carrying the evaluation context — so the frame
+    /// owner recognizes the closure on the wire instead of re-descending —
+    /// and serve the current tabled partial answers back along the loop.
+    fn gem_close_loop(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        goal: Literal,
+        depth: u32,
+        key: (PeerId, Literal),
+    ) -> Vec<Literal> {
+        let pos = self
+            .in_flight
+            .iter()
+            .position(|k| *k == key)
+            .expect("closure key is in flight");
+        let seq = self.gem.next_seq();
+        let edge = GemEdge {
+            consumer: from,
+            responder: to,
+            goal: goal.clone(),
+            canonical: key.1.clone(),
+            depth,
+            seq,
+        };
+        let stack = self.in_flight.clone();
+        let is_new = self.gem.close_loop(pos, &stack, edge);
+        if is_new && self.telemetry.enabled() {
+            self.telemetry.incr("negotiation.gem.loops", 1);
+        }
+        let span = self.trace_push(&format!("gem loop {goal}"), to, "gem");
+
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+        let query = Payload::GemQuery {
+            id: qid,
+            goal: goal.clone(),
+            context: stack,
+        };
+        if !self.gem_ship(from, to, query, depth, "gem-query") {
+            self.record_refusal(Refusal {
+                peer: to,
+                requester: from,
+                goal,
+                reason: RefusalReason::Unreachable,
+            });
+            self.trace_pop(span);
+            return Vec::new();
+        }
+        let answers = self.gem.table(from, to, &key.1);
+        let round = self.gem.scc_containing(&key).map(|s| s.rounds).unwrap_or(0);
+        let reply = Payload::GemAnswers {
+            id: qid,
+            goal,
+            round,
+            answers: answers.clone(),
+        };
+        let delivered = self.gem_ship(to, from, reply, depth, "gem-answers");
+        self.trace_pop(span);
+        // The transport is authoritative: if the tabled answers never
+        // reached the consumer, its evaluation proceeds without them.
+        if delivered {
+            answers
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Ship one GEM coordination message through the standard traced and
+    /// supervised delivery path — fault lanes, deadlines, retries, and
+    /// causal tracing behave exactly as for queries and answers.
+    fn gem_ship(
+        &mut self,
+        sender: PeerId,
+        recipient: PeerId,
+        payload: Payload,
+        depth: u32,
+        kind: &'static str,
+    ) -> bool {
+        let trace = self.trace_msg();
+        match self
+            .net
+            .send_traced(self.nid, sender, recipient, payload.clone(), depth, trace)
+        {
+            Ok(id) => self.finish_delivery(id, sender, recipient, &payload, depth, kind, trace),
+            Err(_) => false,
+        }
+    }
+
+    /// Run the GEM answer-propagation fixpoint for the component anchored
+    /// at `key`, then re-evaluate the anchor goal against the converged
+    /// tables. Returns `None` when `key` anchors no active component —
+    /// either no loop closed under this frame, or a merge moved the
+    /// anchor to an enclosing frame (which runs the fixpoint when *it*
+    /// pops).
+    ///
+    /// Round order is derived from peer names and edge discovery sequence
+    /// numbers — never from hash or symbol-intern order — so batch runs
+    /// stay bit-identical across worker counts.
+    #[allow(clippy::type_complexity)]
+    fn gem_fixpoint(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        goal: &Literal,
+        depth: u32,
+        key: &(PeerId, Literal),
+    ) -> Option<(
+        Vec<(Literal, Context, Vec<Evidence>)>,
+        Vec<(SignedRule, Context, Vec<Evidence>, Context)>,
+    )> {
+        self.gem.scc_index_by_anchor(key)?;
+        let span = self.trace_push(&format!("gem fixpoint {goal}"), to, "gem");
+        loop {
+            // Re-locate each round: a re-evaluation can close an outer
+            // loop and merge the component outward, moving the anchor.
+            let Some(idx) = self.gem.scc_index_by_anchor(key) else {
+                self.trace_pop(span);
+                return None;
+            };
+            if self.gem.scc_at(idx).rounds >= self.cfg.gem_max_rounds {
+                self.record_refusal(Refusal {
+                    peer: to,
+                    requester: from,
+                    goal: goal.clone(),
+                    reason: RefusalReason::GemRoundLimit,
+                });
+                break;
+            }
+            let round = self.gem.bump_rounds(idx);
+            self.telemetry.incr("negotiation.gem.rounds", 1);
+            let edges = self.gem.scc_at(idx).round_order();
+            let edges_before = self.gem.scc_at(idx).edges.len();
+            let rspan = self.trace_push(&format!("gem round {round}"), to, "gem");
+            let mut changed = false;
+            for e in &edges {
+                // The anchor frame stays pinned on the stack so
+                // re-closures during the re-evaluation fold into this
+                // component instead of spawning a fresh one. Release
+                // checks run for the true consumer, so the tables never
+                // hold answers a peer was not licensed to see.
+                self.in_flight.push(key.clone());
+                let (released, _pushes) = self.respond(e.responder, e.consumer, &e.goal, e.depth);
+                self.in_flight.pop();
+                let lits: Vec<Literal> = released.iter().map(|(a, _, _)| a.clone()).collect();
+                if self
+                    .gem
+                    .update_table(e.consumer, e.responder, e.canonical.clone(), &lits)
+                {
+                    changed = true;
+                    let qid = QueryId(self.next_query);
+                    self.next_query += 1;
+                    let payload = Payload::GemAnswers {
+                        id: qid,
+                        goal: e.goal.clone(),
+                        round,
+                        answers: lits,
+                    };
+                    let _ = self.gem_ship(e.responder, e.consumer, payload, e.depth, "gem-answers");
+                }
+            }
+            self.trace_pop(rspan);
+            // Edges discovered during the round mean new table entries
+            // that still need a propagation pass.
+            if let Some(idx2) = self.gem.scc_index_by_anchor(key) {
+                if self.gem.scc_at(idx2).edges.len() > edges_before {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Converged (or round-limited): re-evaluate the anchor goal
+        // against the final tables. The component stays active during this
+        // descent so re-closures keep reading its tables rather than
+        // opening a phantom component that would never complete.
+        self.in_flight.push(key.clone());
+        let result = self.respond(to, from, goal, depth);
+        self.in_flight.pop();
+
+        let Some(idx) = self.gem.scc_index_by_anchor(key) else {
+            self.trace_pop(span);
+            return None; // merged outward during the final descent
+        };
+        let scc = self.gem.take_scc(idx);
+        if self.telemetry.enabled() {
+            self.telemetry.incr("negotiation.gem.sccs", 1);
+            self.telemetry
+                .incr("negotiation.gem.answers", self.gem.scc_answer_count(&scc));
+        }
+        // Completion notifications: the leader (lowest peer name on the
+        // component) tells every other member the tabled entries are
+        // final and may be released for reuse.
+        let leader = scc.leader();
+        for peer in scc.member_peers() {
+            if peer == leader {
+                continue;
+            }
+            let payload = Payload::GemComplete {
+                goal: key.1.clone(),
+                rounds: scc.rounds,
+            };
+            let _ = self.gem_ship(leader, peer, payload, depth, "gem-complete");
+        }
+        self.trace_pop(span);
+        Some(result)
     }
 
     /// Evaluate `goal` at `responder` on behalf of `requester`, applying
@@ -1953,5 +2222,216 @@ mod tests {
         assert!(out.bytes > 0);
         assert!(out.queries >= 1);
         assert!(out.elapsed_ticks > 0);
+    }
+
+    /// Two peers whose `r/1` definitions are mutually recursive through
+    /// delegation: `r(Y) @ "A"` needs `r(X) @ "B"` needs `r(X) @ "A"`.
+    /// The seed fact `r(0)` lives at A and the `next` steps alternate
+    /// between the peers, so `r(4) @ "A"` needs two full laps around the
+    /// loop: one unrolling (which the classical driver's variant check
+    /// still permits before refusing) only reaches `r(2)` — reaching
+    /// `r(4)` requires the GEM fixpoint to pump instances around the
+    /// cycle.
+    fn mutual_recursion_peers() -> PeerMap {
+        let reg = registry();
+        let mut peers = PeerMap::new();
+        let mut a = NegotiationPeer::new("A", reg.clone());
+        a.load_program(
+            r#"
+            r(0) @ "A".
+            r(Y) @ "A" <- r(X) @ "B" @ "B", next(X, Y).
+            next(1, 2).
+            next(3, 4).
+            r(X) @ Y $ true <-_true r(X) @ Y.
+            "#,
+        )
+        .unwrap();
+        peers.insert(a);
+        let mut b = NegotiationPeer::new("B", reg);
+        b.load_program(
+            r#"
+            r(Y) @ "B" <- r(X) @ "A" @ "A", next(X, Y).
+            next(0, 1).
+            next(2, 3).
+            r(X) @ Y $ true <-_true r(X) @ Y.
+            "#,
+        )
+        .unwrap();
+        peers.insert(b);
+        peers
+    }
+
+    #[test]
+    fn mutual_recursion_refused_without_gem() {
+        let mut peers = mutual_recursion_peers();
+        let out = run(&mut peers, "B", "A", r#"r(4) @ "A""#);
+        assert!(!out.success, "classical driver must refuse the loop");
+        assert!(
+            out.refusals
+                .iter()
+                .any(|r| r.reason == RefusalReason::CycleDetected),
+            "refusals: {:?}",
+            out.refusals
+        );
+    }
+
+    #[test]
+    fn mutual_recursion_converges_with_gem() {
+        let mut peers = mutual_recursion_peers();
+        let mut net = SimNetwork::new(7);
+        let cfg = SessionConfig {
+            gem: true,
+            ..SessionConfig::default()
+        };
+        let (telemetry, _ring) = Telemetry::ring(4096);
+        let out = negotiate_traced(
+            &mut peers,
+            &mut net,
+            cfg,
+            NegotiationId(1),
+            PeerId::new("B"),
+            PeerId::new("A"),
+            parse_literal(r#"r(4) @ "A""#).unwrap(),
+            &telemetry,
+        );
+        assert!(out.success, "refusals: {:?}", out.refusals);
+        assert_eq!(
+            out.granted[0],
+            parse_literal(r#"r(4) @ "A""#).unwrap(),
+            "the answer only derivable through the loop must be granted"
+        );
+        assert!(
+            !out.refusals
+                .iter()
+                .any(|r| r.reason == RefusalReason::CycleDetected),
+            "GEM must resolve the loop, not refuse it: {:?}",
+            out.refusals
+        );
+        let m = telemetry.metrics().expect("telemetry enabled");
+        assert!(m.counter("negotiation.gem.loops") >= 1);
+        assert!(m.counter("negotiation.gem.sccs") >= 1);
+        assert!(m.counter("negotiation.gem.rounds") >= 3);
+        assert_eq!(m.counter("negotiation.refusal.cycle_detected"), 0);
+    }
+
+    #[test]
+    fn refusal_reason_counters_use_snake_case() {
+        let mut peers = mutual_recursion_peers();
+        let mut net = SimNetwork::new(7);
+        let (telemetry, _ring) = Telemetry::ring(4096);
+        let out = negotiate_traced(
+            &mut peers,
+            &mut net,
+            SessionConfig::default(),
+            NegotiationId(1),
+            PeerId::new("B"),
+            PeerId::new("A"),
+            parse_literal(r#"r(4) @ "A""#).unwrap(),
+            &telemetry,
+        );
+        assert!(!out.success);
+        let m = telemetry.metrics().expect("telemetry enabled");
+        assert!(m.counter("negotiation.refusal.cycle_detected") >= 1);
+        // The Debug-cased counter remains for backward compatibility.
+        assert_eq!(
+            m.counter("negotiation.refusals.CycleDetected"),
+            m.counter("negotiation.refusal.cycle_detected")
+        );
+    }
+
+    #[test]
+    fn cycle_refusal_answers_never_reach_caches() {
+        // Satellite regression: an empty (CycleDetected) answer set must
+        // not be written into the per-session memo or the cross-
+        // negotiation cache — a later negotiation that could succeed
+        // (e.g. with GEM on) must not be fed the cached refusal.
+        let mut peers = mutual_recursion_peers();
+        let mut cache = RemoteAnswerCache::default();
+        let mut net = SimNetwork::new(7);
+        let out = negotiate_cached(
+            &mut peers,
+            &mut net,
+            SessionConfig::default(),
+            NegotiationId(1),
+            PeerId::new("B"),
+            PeerId::new("A"),
+            parse_literal(r#"r(4) @ "A""#).unwrap(),
+            &mut cache,
+            &Telemetry::disabled(),
+        );
+        assert!(!out.success);
+        let kb_len = peers.get(PeerId::new("A")).unwrap().kb.len();
+        let canonical = canonicalize(&parse_literal(r#"r(4) @ "A""#).unwrap());
+        assert_eq!(
+            cache.lookup(
+                PeerId::new("B"),
+                PeerId::new("A"),
+                &canonical,
+                net.now(),
+                kb_len
+            ),
+            None,
+            "empty refusal answers must never be cached"
+        );
+    }
+
+    #[test]
+    fn gem_partial_answers_never_poison_cross_cache() {
+        // Run the cyclic scenario twice against one shared cache with GEM
+        // on: the second negotiation must still converge to the full
+        // answer — i.e. no partial (mid-fixpoint) set was cached by the
+        // first.
+        let mut peers = mutual_recursion_peers();
+        let mut cache = RemoteAnswerCache::default();
+        let cfg = SessionConfig {
+            gem: true,
+            ..SessionConfig::default()
+        };
+        for nid in 1..=2u64 {
+            let mut net = SimNetwork::new(7);
+            let out = negotiate_cached(
+                &mut peers,
+                &mut net,
+                cfg.clone(),
+                NegotiationId(nid),
+                PeerId::new("B"),
+                PeerId::new("A"),
+                parse_literal(r#"r(4) @ "A""#).unwrap(),
+                &mut cache,
+                &Telemetry::disabled(),
+            );
+            assert!(out.success, "negotiation {nid} failed: {:?}", out.refusals);
+            assert_eq!(out.granted[0], parse_literal(r#"r(4) @ "A""#).unwrap());
+        }
+    }
+
+    #[test]
+    fn gem_leaves_acyclic_negotiations_bit_identical() {
+        // The GEM branch only fires on in-flight variant hits, so an
+        // acyclic workload must produce exactly the same outcome with the
+        // flag on.
+        let run_with = |gem: bool| {
+            let mut peers = bilateral_peers();
+            let mut net = SimNetwork::new(7);
+            let cfg = SessionConfig {
+                gem,
+                ..SessionConfig::default()
+            };
+            negotiate(
+                &mut peers,
+                &mut net,
+                cfg,
+                NegotiationId(1),
+                PeerId::new("Alice"),
+                PeerId::new("E-Learn"),
+                parse_literal(r#"resource("Alice")"#).unwrap(),
+            )
+        };
+        let off = run_with(false);
+        let on = run_with(true);
+        assert_eq!(
+            serde_json::to_string(&off).unwrap(),
+            serde_json::to_string(&on).unwrap()
+        );
     }
 }

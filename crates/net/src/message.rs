@@ -88,6 +88,30 @@ pub enum Payload {
     /// UniPro: the policy's defining rules (contexts stripped), or empty
     /// if the policy's own policy was not satisfied.
     PolicyDisclosure { id: QueryId, rules: Vec<Rule> },
+    /// GEM distributed tabling: a re-request of `goal` that carries the
+    /// sender's evaluation context — the `(responder, canonical goal)`
+    /// frames currently open on the sender's side — so the recipient can
+    /// recognize that the goal closes a cross-peer loop instead of
+    /// starting a fresh (infinite) descent.
+    GemQuery {
+        id: QueryId,
+        goal: Literal,
+        context: Vec<(PeerId, Literal)>,
+    },
+    /// GEM distributed tabling: the current tabled (partial) answer set
+    /// for a loop-closing goal, produced during fixpoint `round` of the
+    /// owning SCC. Unlike [`Payload::Answers`], an empty set here means
+    /// "nothing derived *yet*", not failure.
+    GemAnswers {
+        id: QueryId,
+        goal: Literal,
+        round: u32,
+        answers: Vec<Literal>,
+    },
+    /// GEM distributed tabling: the SCC leader announces that the
+    /// component containing `goal` reached its fixpoint after `rounds`
+    /// iterations; tabled entries for its goals are final and reusable.
+    GemComplete { goal: Literal, rounds: u32 },
 }
 
 impl Payload {
@@ -100,6 +124,9 @@ impl Payload {
             Payload::Failure { .. } => "failure",
             Payload::PolicyRequest { .. } => "policy-request",
             Payload::PolicyDisclosure { .. } => "policy-disclosure",
+            Payload::GemQuery { .. } => "gem-query",
+            Payload::GemAnswers { .. } => "gem-answers",
+            Payload::GemComplete { .. } => "gem-complete",
         }
     }
 }
@@ -216,6 +243,37 @@ impl Message {
                     buf.push(';');
                 }
             }
+            Payload::GemQuery { goal, context, .. } => {
+                buf.push_str("GQ|");
+                buf.push_str(&goal.to_string());
+                for (peer, frame) in context {
+                    buf.push(';');
+                    buf.push_str(peer.name());
+                    buf.push(':');
+                    buf.push_str(&frame.to_string());
+                }
+            }
+            Payload::GemAnswers {
+                goal,
+                round,
+                answers,
+                ..
+            } => {
+                buf.push_str("GA|");
+                buf.push_str(&round.to_string());
+                buf.push('|');
+                buf.push_str(&goal.to_string());
+                for a in answers {
+                    buf.push(';');
+                    buf.push_str(&a.to_string());
+                }
+            }
+            Payload::GemComplete { goal, rounds } => {
+                buf.push_str("GC|");
+                buf.push_str(&rounds.to_string());
+                buf.push('|');
+                buf.push_str(&goal.to_string());
+            }
         }
         Bytes::from(buf)
     }
@@ -246,6 +304,18 @@ impl fmt::Display for Message {
             Payload::Failure { goal, reason, .. } => write!(f, " {goal}: {reason}"),
             Payload::PolicyRequest { policy, .. } => write!(f, " {policy}"),
             Payload::PolicyDisclosure { rules, .. } => write!(f, " ({} rules)", rules.len()),
+            Payload::GemQuery { goal, context, .. } => {
+                write!(f, " {goal} ({} context frames)", context.len())
+            }
+            Payload::GemAnswers {
+                goal,
+                round,
+                answers,
+                ..
+            } => write!(f, " {goal} round {round} ({} answers)", answers.len()),
+            Payload::GemComplete { goal, rounds } => {
+                write!(f, " {goal} complete after {rounds} rounds")
+            }
         }
     }
 }
@@ -340,6 +410,49 @@ mod tests {
         })
         .encoded_size();
         assert!(a2 > a0);
+    }
+
+    #[test]
+    fn gem_payloads_roundtrip_and_encode() {
+        let goal = Literal::new("reach", vec![Term::var("X")]).at(Term::str("A"));
+        let q = msg(Payload::GemQuery {
+            id: QueryId(4),
+            goal: goal.clone(),
+            context: vec![
+                (PeerId::new("A"), goal.clone()),
+                (
+                    PeerId::new("B"),
+                    Literal::new("reach", vec![Term::var("X")]),
+                ),
+            ],
+        });
+        assert_eq!(q.payload.kind(), "gem-query");
+        let back: Message = serde_json::from_str(&serde_json::to_string(&q).unwrap()).unwrap();
+        assert_eq!(back, q);
+        // Byte accounting grows with the carried evaluation context.
+        let bare = msg(Payload::GemQuery {
+            id: QueryId(4),
+            goal: goal.clone(),
+            context: vec![],
+        });
+        assert!(q.encoded_size() > bare.encoded_size());
+
+        let a = msg(Payload::GemAnswers {
+            id: QueryId(4),
+            goal: goal.clone(),
+            round: 3,
+            answers: vec![Literal::new("reach", vec![Term::int(0)])],
+        });
+        assert_eq!(a.payload.kind(), "gem-answers");
+        let back: Message = serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
+        assert_eq!(back, a);
+        assert!(a.to_string().contains("round 3"));
+
+        let c = msg(Payload::GemComplete { goal, rounds: 2 });
+        assert_eq!(c.payload.kind(), "gem-complete");
+        let back: Message = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(back, c);
+        assert!(c.encoded_size() > 0);
     }
 
     #[test]

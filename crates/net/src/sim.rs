@@ -313,6 +313,11 @@ impl SimNetwork {
             Payload::Failure { .. } => self.stats.failures += 1,
             Payload::PolicyRequest { .. } => self.stats.queries += 1,
             Payload::PolicyDisclosure { .. } => self.stats.answers += 1,
+            Payload::GemQuery { .. } => self.stats.queries += 1,
+            Payload::GemAnswers { .. } => self.stats.answers += 1,
+            // Completion notices are control traffic: counted in
+            // messages/bytes above, not as queries or answers.
+            Payload::GemComplete { .. } => {}
         }
 
         let latency = self.latency.sample(from, to, &mut self.rng).max(1);

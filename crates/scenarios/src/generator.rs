@@ -111,6 +111,12 @@ pub struct RandomPolicyConfig {
     pub public_prob: f64,
     /// Allow cyclic dependencies (may make the instance unsatisfiable).
     pub allow_cycles: bool,
+    /// Post-process a cyclic instance until it is satisfiable by
+    /// construction: while the unlock fixpoint leaves the target
+    /// credential locked, the lowest-indexed still-locked credential is
+    /// made public, breaking one dependency cycle per step. Deterministic,
+    /// and a no-op on instances that are already satisfiable.
+    pub ensure_satisfiable: bool,
     pub seed: u64,
 }
 
@@ -121,6 +127,7 @@ impl Default for RandomPolicyConfig {
             max_deps: 2,
             public_prob: 0.25,
             allow_cycles: true,
+            ensure_satisfiable: false,
             seed: 1,
         }
     }
@@ -173,24 +180,46 @@ pub fn random_policies(cfg: RandomPolicyConfig) -> Workload {
     }
 
     // Ground truth: unlock fixpoint.
-    let mut unlocked = [vec![false; n], vec![false; n]];
-    loop {
-        let mut changed = false;
-        for side in 0..2 {
-            for i in 0..n {
-                if unlocked[side][i] {
-                    continue;
-                }
-                if deps[side][i].iter().all(|&j| unlocked[1 - side][j]) {
-                    unlocked[side][i] = true;
-                    changed = true;
+    fn unlock_fixpoint(deps: &[Vec<Vec<usize>>; 2], n: usize) -> [Vec<bool>; 2] {
+        let mut unlocked = [vec![false; n], vec![false; n]];
+        loop {
+            let mut changed = false;
+            for side in 0..2 {
+                for i in 0..n {
+                    if unlocked[side][i] {
+                        continue;
+                    }
+                    if deps[side][i].iter().all(|&j| unlocked[1 - side][j]) {
+                        unlocked[side][i] = true;
+                        changed = true;
+                    }
                 }
             }
-        }
-        if !changed {
-            break;
+            if !changed {
+                return unlocked;
+            }
         }
     }
+
+    if cfg.ensure_satisfiable {
+        // Break dependency cycles until the target credential unlocks:
+        // each step makes the lowest-indexed locked credential public,
+        // which unlocks at least one credential per fixpoint — so this
+        // terminates within 2n steps.
+        loop {
+            let unlocked = unlock_fixpoint(&deps, n);
+            if unlocked[0][0] {
+                break;
+            }
+            let (side, i) = (0..2)
+                .flat_map(|s| (0..n).map(move |i| (s, i)))
+                .find(|&(s, i)| !unlocked[s][i])
+                .expect("target locked implies some credential is locked");
+            deps[side][i].clear();
+        }
+    }
+
+    let unlocked = unlock_fixpoint(&deps, n);
     let satisfiable = unlocked[0][0]; // side 0 = client, credential 0
 
     // Build the peers. Side 0 = client, side 1 = server.
@@ -489,6 +518,94 @@ pub fn resilience_grid(
     (workload, points)
 }
 
+/// A cyclic delegation-mesh workload for the GEM experiments (E17).
+pub struct MeshWorkload {
+    pub peers: PeerMap,
+    pub registry: KeyRegistry,
+    /// The ring members `G0 .. G{n-1}` — every one is a valid initiator
+    /// (the converged answer set is initiator-independent).
+    pub peer_ids: Vec<PeerId>,
+    /// The peer owning the goal (`G0`).
+    pub responder: PeerId,
+    /// `r(n * laps) @ "G0"` — reachable only by pumping instances around
+    /// the ring `laps` times.
+    pub goal: Literal,
+    /// Ring laps required to derive the goal.
+    pub laps: usize,
+}
+
+/// E17: a ring of `n` mutually recursive delegators, satisfiable by
+/// construction — but only for a driver that can resolve cross-peer
+/// loops.
+///
+/// Each ring member `Gi` defines its `r` instances from its ring
+/// successor: `r(Y) @ "Gi" <- r(X) @ "Gsucc" @ "Gsucc", next(X, Y).` —
+/// the delegated literal is resolved with `X` unbound, so every hop
+/// re-requests the same goal variant and the ring closes into one
+/// cross-peer SCC. The seed fact `r(0)` lives at `G0`, and the step fact
+/// `next(k-1, k)` at the unique peer whose rule derives `r(k)` (index
+/// `(n - k % n) % n`), so instances advance one `next` step per hop and
+/// return to `G0` once per lap.
+///
+/// The goal `r(n * laps) @ "G0"` therefore needs `laps` full laps. The
+/// classical driver unrolls exactly one lap before the variant check
+/// refuses the loop, so with `laps >= 2` it fails with `CycleDetected`
+/// while the GEM fixpoint converges (within `n * laps + 2` rounds).
+///
+/// With `chords`, `G0` additionally copies instances straight from `G2`
+/// (`r(X) @ "G0" <- r(X) @ "G2" @ "G2".`), closing a second loop that
+/// skips `G1` — the two loops overlap and must merge into one SCC. One
+/// chord, not one per peer: every extra copy edge multiplies the
+/// re-descent paths the fixpoint re-evaluates each round, so a densely
+/// chorded mesh blows the per-peer query budget long before it converges.
+pub fn delegation_mesh(n: usize, laps: usize, chords: bool) -> MeshWorkload {
+    assert!(n >= 2, "a delegation mesh needs at least two peers");
+    assert!(laps >= 1);
+    let registry = fresh_registry();
+    let mut peers = PeerMap::new();
+    let mut peer_ids = Vec::with_capacity(n);
+    let target = n * laps;
+
+    for i in 0..n {
+        let name = format!("G{i}");
+        let succ = format!("G{}", (i + 1) % n);
+        let mut program = format!(
+            r#"
+            r(Y) @ "{name}" <- r(X) @ "{succ}" @ "{succ}", next(X, Y).
+            r(X) @ Y $ true <-_true r(X) @ Y.
+            "#
+        );
+        if chords && n > 2 && i == 0 {
+            program.push_str(r#"r(X) @ "G0" <- r(X) @ "G2" @ "G2"."#);
+            program.push('\n');
+        }
+        if i == 0 {
+            program.push_str(&format!(r#"r(0) @ "{name}"."#));
+            program.push('\n');
+        }
+        // next(k-1, k) lives at the peer whose rule derives r(k).
+        for k in 1..=target {
+            if (n - k % n) % n == i {
+                program.push_str(&format!("next({}, {k}).\n", k - 1));
+            }
+        }
+        let mut peer = NegotiationPeer::new(name.as_str(), registry.clone());
+        peer.load_program(&program).expect("mesh program parses");
+        peers.insert(peer);
+        peer_ids.push(PeerId::new(&name));
+    }
+
+    MeshWorkload {
+        peers,
+        registry,
+        peer_ids,
+        responder: PeerId::new("G0"),
+        goal: peertrust_parser::parse_literal(&format!(r#"r({target}) @ "G0""#))
+            .expect("mesh goal parses"),
+        laps,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +811,96 @@ mod tests {
                 point.label
             );
         }
+    }
+
+    #[test]
+    fn ensure_satisfiable_forces_cyclic_instances_to_unlock() {
+        for seed in 0..30 {
+            let cfg = RandomPolicyConfig {
+                allow_cycles: true,
+                public_prob: 0.15,
+                ensure_satisfiable: true,
+                seed,
+                ..RandomPolicyConfig::default()
+            };
+            let w = random_policies(cfg);
+            assert!(w.satisfiable, "seed {seed} must be satisfiable");
+            let mut we = random_policies(cfg);
+            let out = run(&mut we, Strategy::Eager);
+            assert!(out.success, "seed {seed}: {:#?}", out.refusals);
+        }
+    }
+
+    #[test]
+    fn delegation_mesh_needs_gem_beyond_one_lap() {
+        use peertrust_negotiation::{negotiate, RefusalReason, SessionConfig};
+        let gem_cfg = SessionConfig {
+            gem: true,
+            gem_max_rounds: 32,
+            ..SessionConfig::default()
+        };
+        for (n, laps, chords) in [(2, 2, false), (3, 2, false), (4, 2, true)] {
+            // Classical driver: one lap of unrolling, then CycleDetected.
+            let mut w = delegation_mesh(n, laps, chords);
+            let mut net = SimNetwork::new(5);
+            let initiator = w.peer_ids[1];
+            let out = negotiate(
+                &mut w.peers,
+                &mut net,
+                SessionConfig::default(),
+                NegotiationId(1),
+                initiator,
+                w.responder,
+                w.goal.clone(),
+            );
+            assert!(!out.success, "n={n} laps={laps}: classical must refuse");
+            assert!(out
+                .refusals
+                .iter()
+                .any(|r| r.reason == RefusalReason::CycleDetected));
+
+            // GEM: the fixpoint pumps instances around the ring.
+            let mut w = delegation_mesh(n, laps, chords);
+            let mut net = SimNetwork::new(5);
+            let out = negotiate(
+                &mut w.peers,
+                &mut net,
+                gem_cfg.clone(),
+                NegotiationId(1),
+                initiator,
+                w.responder,
+                w.goal.clone(),
+            );
+            assert!(
+                out.success,
+                "n={n} laps={laps} chords={chords}: {:#?}",
+                out.refusals
+            );
+            assert_eq!(out.granted[0], w.goal);
+            assert!(!out
+                .refusals
+                .iter()
+                .any(|r| r.reason == RefusalReason::CycleDetected));
+        }
+    }
+
+    #[test]
+    fn delegation_mesh_single_lap_succeeds_classically() {
+        // laps = 1 is within the classical driver's single unrolling —
+        // the mesh generator's satisfiability claim degenerates cleanly.
+        let mut w = delegation_mesh(3, 1, false);
+        let out = run(
+            &mut Workload {
+                peers: std::mem::take(&mut w.peers),
+                registry: w.registry.clone(),
+                requester: w.peer_ids[2],
+                responder: w.responder,
+                goal: w.goal.clone(),
+                satisfiable: true,
+            },
+            Strategy::Parsimonious,
+        );
+        assert!(out.success, "{:#?}", out.refusals);
     }
 
     #[test]

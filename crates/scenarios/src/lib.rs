@@ -10,8 +10,9 @@ pub mod scenario1;
 pub mod scenario2;
 
 pub use generator::{
-    chain, delegation_chain, fleet, random_policies, resilience_grid, throughput_grid,
-    BatchWorkload, RandomPolicyConfig, ResilienceGridPoint, Workload,
+    chain, delegation_chain, delegation_mesh, fleet, random_policies, resilience_grid,
+    throughput_grid, BatchWorkload, MeshWorkload, RandomPolicyConfig, ResilienceGridPoint,
+    Workload,
 };
 pub use grid::GridScenario;
 pub use intensional::IntensionalScenario;

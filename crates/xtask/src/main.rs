@@ -16,6 +16,10 @@
 //! compiled-KB differential lane (four-lane differential proptests —
 //! body-compiled, heads-only, interpreter, reference — the
 //! compile-module unit suite, and the gated two-lane quickbench).
+//! `cargo xtask verify --gem` appends [`GEM_STEPS`], the distributed
+//! tabling lane (GEM unit + session tests, the acyclic bit-identity and
+//! cyclic-mesh differential proptests, and the GEM batch determinism
+//! test).
 //!
 //! `cargo xtask bench --quick` runs the quickbench harness's e8/e13
 //! smoke scenarios in both the interpreted and compiled lanes, writes
@@ -111,6 +115,8 @@ const STEPS: &[Step] = &[
             "BENCH_BASELINE_PR5.json",
             "--baseline-pr8",
             "BENCH_BASELINE_PR8.json",
+            "--baseline-pr9",
+            "BENCH_BASELINE_PR9.json",
         ],
         &[],
     ),
@@ -150,6 +156,20 @@ const STEPS: &[Step] = &[
             "peertrust-bench",
             "--bench",
             "e15_resilience",
+            "--",
+            "--measurement-time",
+            "1",
+        ],
+        &[],
+    ),
+    step(
+        "bench smoke (e17_gem)",
+        &[
+            "bench",
+            "-p",
+            "peertrust-bench",
+            "--bench",
+            "e17_gem",
             "--",
             "--measurement-time",
             "1",
@@ -297,6 +317,8 @@ const COMPILED_STEPS: &[Step] = &[
             "BENCH_BASELINE_PR5.json",
             "--baseline-pr8",
             "BENCH_BASELINE_PR8.json",
+            "--baseline-pr9",
+            "BENCH_BASELINE_PR9.json",
         ],
         &[],
     ),
@@ -309,16 +331,55 @@ fn main() {
             args.iter().any(|a| a == "--threads"),
             args.iter().any(|a| a == "--faults"),
             args.iter().any(|a| a == "--compiled"),
+            args.iter().any(|a| a == "--gem"),
         ),
         Some("bench") => bench(args.iter().any(|a| a == "--quick")),
         _ => {
             eprintln!(
-                "usage: cargo xtask <verify [--threads] [--faults] [--compiled] | bench [--quick]>"
+                "usage: cargo xtask <verify [--threads] [--faults] [--compiled] [--gem] | bench [--quick]>"
             );
             std::process::exit(2);
         }
     }
 }
+
+/// Extra steps behind `cargo xtask verify --gem`: the distributed
+/// tabling lane — the GEM table/SCC unit tests plus the session-level
+/// mutual-recursion and cache-suppression tests (anything matching
+/// `gem` in the negotiation lib suite), the acyclic bit-identity and
+/// cyclic-mesh initiator-independence/fault-convergence proptests, and
+/// the GEM batch determinism test across worker counts.
+const GEM_STEPS: &[Step] = &[
+    step(
+        "gem tabling unit + session tests",
+        &["test", "-q", "-p", "peertrust-negotiation", "--lib", "gem"],
+        &[],
+    ),
+    step(
+        "gem differential + mesh proptests",
+        &[
+            "test",
+            "-q",
+            "-p",
+            "peertrust-scenarios",
+            "--test",
+            "prop_gem",
+        ],
+        &[],
+    ),
+    step(
+        "gem mesh generator tests",
+        &[
+            "test",
+            "-q",
+            "-p",
+            "peertrust-scenarios",
+            "--lib",
+            "delegation_mesh",
+        ],
+        &[],
+    ),
+];
 
 /// Run the quickbench harness: e8 deep-chain + e13 tabling scenarios in
 /// both lanes, `target/BENCH_PR8.json` artifact, and hard failures on
@@ -341,6 +402,8 @@ fn bench(quick: bool) {
         "BENCH_BASELINE_PR5.json",
         "--baseline-pr8",
         "BENCH_BASELINE_PR8.json",
+        "--baseline-pr9",
+        "BENCH_BASELINE_PR9.json",
     ];
     if quick {
         cargo_args.push("--quick");
@@ -360,7 +423,7 @@ fn bench(quick: bool) {
     println!("xtask bench: wrote target/BENCH_PR8.json");
 }
 
-fn verify(threads: bool, faults: bool, compiled: bool) {
+fn verify(threads: bool, faults: bool, compiled: bool, gem: bool) {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let mut steps: Vec<&Step> = STEPS.iter().collect();
     if threads {
@@ -371,6 +434,9 @@ fn verify(threads: bool, faults: bool, compiled: bool) {
     }
     if compiled {
         steps.extend(COMPILED_STEPS.iter());
+    }
+    if gem {
+        steps.extend(GEM_STEPS.iter());
     }
     for s in steps {
         println!("== xtask verify: {} ==", s.name);

@@ -56,6 +56,7 @@ fn main() {
                 public_prob: 0.3,
                 allow_cycles: true,
                 seed,
+                ..RandomPolicyConfig::default()
             };
             let mut outs = Vec::new();
             for strategy in Strategy::ALL {
