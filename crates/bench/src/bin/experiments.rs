@@ -47,6 +47,7 @@ fn main() {
     e10(&mut rows);
     e11(&mut rows);
     e17(&mut rows);
+    e18();
 
     println!("\n{}", Row::header());
     println!("{}", "-".repeat(120));
@@ -279,6 +280,34 @@ fn telemetry_export(out_dir: &std::path::Path) {
             report.stats.resilience.retries + rep.stats.retries,
             report.stats.resilience.timeouts + rep.stats.timeouts,
             report.stats.resilience.duplicates_suppressed + rep.stats.duplicates_suppressed,
+        );
+    }
+
+    // E18: an open-loop serving run over the Zipf workload, overloaded
+    // enough to shed, so the negotiation.serve.* counters and the
+    // wait/service/latency quantile sketches are live in the export.
+    {
+        let w = peertrust_scenarios::serving_workload(4, 2, 64, 1.1, 18);
+        let serve_cfg = peertrust_negotiation::ServeConfig {
+            mean_interarrival_ticks: 4.0,
+            servers: 2,
+            queue_cap: 4,
+            deadline_ticks: 128,
+            workers: 2,
+            ..peertrust_negotiation::ServeConfig::default()
+        };
+        let report =
+            peertrust_negotiation::serve_open_loop(&w.peers, &w.jobs, &serve_cfg, &telemetry);
+        assert_eq!(
+            report.stats.base_clones, 0,
+            "serving export must be clone-free"
+        );
+        println!(
+            "  serving: {} offered, {} admitted, {} shed, p99 latency {} ticks",
+            report.stats.offered,
+            report.stats.admitted,
+            report.stats.shed_queue_full + report.stats.shed_deadline,
+            report.stats.latency.p99,
         );
     }
 
@@ -650,6 +679,54 @@ fn e17(rows: &mut Vec<Row>) {
         );
         assert!(!classical.success, "{label}: classical lane must refuse");
         rows.push(Row::from_outcome("E17", label, "classical", &classical));
+    }
+}
+
+/// E18: open-loop serving with admission control. Sweeps the offered
+/// rate across saturation over the Zipf workload and reports shed rates
+/// and tick-exact latency percentiles. Deterministic end to end (seeded
+/// arrivals, seeded popularity, virtual-time admission), so the printed
+/// table is identical on every run.
+fn e18() {
+    use peertrust_negotiation::{serve_open_loop, ServeConfig};
+    use peertrust_telemetry::Telemetry;
+
+    println!("== E18: open-loop serving (Zipf popularity, Poisson arrivals) ==");
+    let w = peertrust_scenarios::serving_workload(8, 2, 512, 1.1, 18);
+    let hot: usize = w.popularity.iter().take(2).sum();
+    println!(
+        "  workload: 512 arrivals over 8 resources, zipf s=1.1 (top-2 resources take {}%)",
+        hot * 100 / 512
+    );
+    println!(
+        "  {:<22} | {:>8} | {:>10} | {:>12} | {:>14} | {:>20}",
+        "offered", "admitted", "shed(full)", "shed(late)", "wait p50/p99", "latency p50/p99/p999"
+    );
+    for mean in [16.0, 8.0, 4.0, 2.0] {
+        let cfg = ServeConfig {
+            mean_interarrival_ticks: mean,
+            servers: 2,
+            queue_cap: 8,
+            deadline_ticks: 96,
+            workers: 4,
+            arrival_seed: 18,
+            ..ServeConfig::default()
+        };
+        let report = serve_open_loop(&w.peers, &w.jobs, &cfg, &Telemetry::disabled());
+        let s = &report.stats;
+        assert_eq!(s.base_clones, 0, "serving must stay clone-free");
+        assert!(s.max_queue_depth <= cfg.queue_cap);
+        println!(
+            "  1 per {mean:>4.0} ticks       | {:>8} | {:>10} | {:>12} | {:>6}/{:<7} | {:>6}/{}/{} ticks",
+            s.admitted,
+            s.shed_queue_full,
+            s.shed_deadline,
+            s.wait.p50,
+            s.wait.p99,
+            s.latency.p50,
+            s.latency.p99,
+            s.latency.p999,
+        );
     }
 }
 

@@ -11,7 +11,7 @@
 //! Usage:
 //!   quickbench [--quick] [--lane interpreted|compiled|both]
 //!              [--out PATH] [--baseline PATH] [--baseline-pr8 PATH]
-//!              [--baseline-pr9 PATH]
+//!              [--baseline-pr9 PATH] [--baseline-pr10 PATH]
 //!
 //! `--quick` lowers iteration counts for CI smoke runs. `--lane` selects
 //! which scenario lane runs (default `both`): the interpreted lane is
@@ -38,17 +38,23 @@
 //!   lanes equally).
 //! - `--baseline` (PR5 format): fail if interpreted `e8_deep_chain_cold`
 //!   regressed >25%; the legacy (clone-per-branch) speedup is printed.
-//! - `--baseline-pr8` / `--baseline-pr9`: fail if a *cold* scenario
-//!   (e8/e13, either lane) present in both the fresh run and the
-//!   baseline regressed >25%; `e17_gem_mesh` (the GEM cyclic-mesh batch,
-//!   tracked since `BENCH_BASELINE_PR9.json`) is gated at a generous 3x;
+//! - `--baseline-pr8` / `--baseline-pr9` / `--baseline-pr10`: fail if a
+//!   *cold* scenario (e8/e13, either lane) present in both the fresh run
+//!   and the baseline regressed >25%; `e17_gem_mesh` and `e18_serving`
+//!   (the open-loop serving engine, tracked since
+//!   `BENCH_BASELINE_PR10.json`) are gated at a generous 3x;
 //!   warm/batch/legacy deltas are reported informationally. Work
-//!   counters present in both must match exactly.
+//!   counters present in both must match exactly — for e18 that pins the
+//!   admission decisions (admitted/shed counts, queue peak, makespan,
+//!   tick-exact wait/latency p99) and `base_clones == 0`, the clone-free
+//!   startup guard.
 
 use peertrust_core::{KnowledgeBase, Literal, PeerId, Rule, Term};
 use peertrust_engine::{AnswerTable, CompiledKb, EngineConfig, RefSolver, SharedTable, Solver};
-use peertrust_negotiation::{negotiate_batch, BatchConfig, BatchJob, SessionConfig};
-use peertrust_scenarios::{delegation_mesh, throughput_grid};
+use peertrust_negotiation::{
+    negotiate_batch, serve_open_loop, BatchConfig, BatchJob, ServeConfig, SessionConfig,
+};
+use peertrust_scenarios::{delegation_mesh, serving_workload, throughput_grid};
 use peertrust_telemetry::Telemetry;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -192,9 +198,14 @@ impl Report {
             ("heap_cells", stats.heap_cells),
             ("body_instrs", stats.compiled_body_instrs),
         ] {
-            println!("{name:<28} {counter:<12} {value}");
-            self.counters.push((format!("{name}.{counter}"), value));
+            self.count_value(name, counter, value);
         }
+    }
+
+    /// Record a single deterministic work counter.
+    fn count_value(&mut self, name: &str, counter: &str, value: u64) {
+        println!("{name:<28} {counter:<16} {value}");
+        self.counters.push((format!("{name}.{counter}"), value));
     }
 
     fn to_json(&self) -> String {
@@ -259,6 +270,7 @@ fn main() {
     let baseline_path = arg_val("--baseline");
     let baseline_pr8_path = arg_val("--baseline-pr8");
     let baseline_pr9_path = arg_val("--baseline-pr9");
+    let baseline_pr10_path = arg_val("--baseline-pr10");
     let lane = arg_val("--lane").unwrap_or_else(|| "both".to_string());
     let (run_interp, run_compiled) = match lane.as_str() {
         "interpreted" => (true, false),
@@ -419,6 +431,55 @@ fn main() {
             let rep = negotiate_batch(&mesh.peers, &mesh_jobs, &cfg, &Telemetry::disabled());
             rep.stats.successes
         });
+
+        // e18: the open-loop serving engine over the Zipf workload at an
+        // offered rate past saturation — times clone-free session
+        // startup, the virtual-time admission controller, and load
+        // shedding end to end. The admission decisions are deterministic,
+        // so the admitted count doubles as the scenario checksum and the
+        // serving counters are asserted exactly against the baseline.
+        let serving = serving_workload(4, 2, 64, 1.1, 18);
+        let serve_cfg = ServeConfig {
+            mean_interarrival_ticks: 4.0,
+            servers: 2,
+            queue_cap: 4,
+            deadline_ticks: 128,
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let serve_once = || {
+            let rep = serve_open_loop(
+                &serving.peers,
+                &serving.jobs,
+                &serve_cfg,
+                &Telemetry::disabled(),
+            );
+            assert_eq!(rep.stats.base_clones, 0, "serving must stay clone-free");
+            rep.stats.admitted
+        };
+        let replay = serve_open_loop(
+            &serving.peers,
+            &serving.jobs,
+            &serve_cfg,
+            &Telemetry::disabled(),
+        );
+        let expect_admitted = replay.stats.admitted;
+        report.record("e18_serving", batch_iters, expect_admitted, serve_once);
+        report.count_value("e18_serving", "admitted", replay.stats.admitted as u64);
+        report.count_value(
+            "e18_serving",
+            "shed",
+            (replay.stats.shed_queue_full + replay.stats.shed_deadline) as u64,
+        );
+        report.count_value("e18_serving", "base_clones", replay.stats.base_clones);
+        report.count_value(
+            "e18_serving",
+            "max_queue_depth",
+            replay.stats.max_queue_depth as u64,
+        );
+        report.count_value("e18_serving", "makespan_ticks", replay.stats.makespan_ticks);
+        report.count_value("e18_serving", "wait_p99", replay.stats.wait.p99);
+        report.count_value("e18_serving", "latency_p99", replay.stats.latency.p99);
     }
 
     if let (Some(deep_c), Some(tbl_c)) = (&deep_c, &tbl_c) {
@@ -568,6 +629,9 @@ fn main() {
     if let Some(bp9) = baseline_pr9_path {
         failed |= baseline_sweep(&report, &json, &bp9, "PR9");
     }
+    if let Some(bp10) = baseline_pr10_path {
+        failed |= baseline_sweep(&report, &json, &bp10, "PR10");
+    }
 
     if failed {
         std::process::exit(1);
@@ -592,7 +656,7 @@ fn baseline_sweep(report: &Report, json: &str, path: &str, label: &str) -> bool 
         "e8_deep_chain_compiled",
         "e13_compiled_cold",
     ];
-    const GATED_3X: &[&str] = &["e17_gem_mesh"];
+    const GATED_3X: &[&str] = &["e17_gem_mesh", "e18_serving"];
     let mut failed = false;
     let base =
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));

@@ -5,6 +5,21 @@
 //! peers during earlier interactions (paper §3.1: "A peer may also have
 //! copies of rules defined by other peers"). Rules are indexed by
 //! predicate/arity for fast clause selection during resolution.
+//!
+//! # Copy-on-write layout
+//!
+//! A KB is split into an immutable **base segment** behind an `Arc` plus a
+//! small mutable **overlay segment**. [`KnowledgeBase::freeze`] folds the
+//! overlay into the base; after that, `clone` is an `Arc` bump plus a copy
+//! of the (empty) overlay — O(1) instead of O(KB). This is what makes
+//! per-job session startup in the batch scheduler and the open-loop
+//! serving driver clone-free: thousands of concurrent sessions share one
+//! frozen rule store and each grows only its own overlay (disclosures
+//! received during that negotiation). The KB is append-only, overlay
+//! clause ids are globally numbered, and the overlay's running digest is
+//! seeded from the base's final hasher state, so candidate order, rule
+//! ids and every historical prefix fingerprint are byte-identical to the
+//! unsplit representation.
 
 use crate::literal::Literal;
 use crate::rule::{Rule, RuleId};
@@ -48,28 +63,65 @@ pub struct StoredRule {
     pub origin: RuleOrigin,
 }
 
-/// One peer's rule store, indexed by head predicate/arity with
-/// first-argument refinement (classic Prolog clause indexing): a goal
-/// whose first argument is a ground constant only visits clauses whose
-/// first head argument is that constant or a variable.
+/// One contiguous run of rules with its clause indexes. Clause ids stored
+/// in the index buckets are *global* (offset by any preceding base
+/// segment), so base and overlay buckets concatenate without fixups.
 #[derive(Clone, Default, Debug)]
-pub struct KnowledgeBase {
+struct KbSegment {
     rules: Vec<StoredRule>,
     index: HashMap<(Sym, usize), Vec<usize>>,
     /// (functor, first-arg key) -> clause ids with that ground first arg.
     first_arg: HashMap<(Sym, usize, IndexKey), Vec<usize>>,
     /// functor -> clause ids whose first head arg is a variable (or arity 0).
     var_headed: HashMap<(Sym, usize), Vec<usize>>,
-    /// Distinct predicates, kept sorted incrementally on insert so
-    /// [`KnowledgeBase::predicates`] never re-collects and re-sorts the
-    /// whole index (callers poll it per negotiation round).
+    /// Distinct predicates *first defined in this segment*, kept sorted
+    /// incrementally on insert so [`KnowledgeBase::predicates`] never
+    /// re-collects and re-sorts the whole index (callers poll it per
+    /// negotiation round).
     sorted_predicates: Vec<(Sym, usize)>,
-    /// Running order-sensitive digest over all rules, advanced on insert.
+    /// Running order-sensitive digest over all rules up to and including
+    /// this segment, advanced on insert. An overlay's hasher starts as a
+    /// clone of the frozen base's final state, so the global digest
+    /// stream is unbroken across [`KnowledgeBase::freeze`].
     running_digest: crate::hash::FxHasher,
-    /// `prefix_digests[n-1]` is the digest of the first `n` rules, so
-    /// [`KnowledgeBase::prefix_fingerprint`] is O(1) instead of re-hashing
-    /// the prefix per call (compiled-lane fit checks run it per solve).
+    /// `prefix_digests[k]` is the digest of the global prefix ending at
+    /// this segment's rule `k`, so [`KnowledgeBase::prefix_fingerprint`]
+    /// is O(1) instead of re-hashing the prefix per call (compiled-lane
+    /// fit checks run it per solve).
     prefix_digests: Vec<u64>,
+}
+
+/// One peer's rule store, indexed by head predicate/arity with
+/// first-argument refinement (classic Prolog clause indexing): a goal
+/// whose first argument is a ground constant only visits clauses whose
+/// first head argument is that constant or a variable.
+///
+/// See the module docs for the base/overlay copy-on-write split.
+#[derive(Default, Debug)]
+pub struct KnowledgeBase {
+    /// Immutable shared segment produced by [`KnowledgeBase::freeze`].
+    base: Option<Arc<KbSegment>>,
+    /// Rules appended since the last freeze (or since creation).
+    overlay: KbSegment,
+}
+
+/// Process-wide count of KB clones that had to deep-copy an unshared rule
+/// store (no frozen base, non-empty overlay). Frozen KBs clone by `Arc`
+/// bump and are *not* counted. Single-workload drivers (quickbench) gate
+/// on deltas of this; concurrent test binaries should prefer the
+/// structural [`KnowledgeBase::shares_base_with`] check instead.
+static DEEP_CLONES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl Clone for KnowledgeBase {
+    fn clone(&self) -> KnowledgeBase {
+        if self.base.is_none() && !self.overlay.rules.is_empty() {
+            DEEP_CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        KnowledgeBase {
+            base: self.base.clone(),
+            overlay: self.overlay.clone(),
+        }
+    }
 }
 
 impl KnowledgeBase {
@@ -77,13 +129,84 @@ impl KnowledgeBase {
         KnowledgeBase::default()
     }
 
+    /// Process-wide number of whole-KB deep clones so far (clones of KBs
+    /// with no frozen base). After a workload freezes its peer maps, the
+    /// delta across its hot path should be zero.
+    pub fn deep_clone_count() -> u64 {
+        DEEP_CLONES.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Rules in the frozen base segment (0 if never frozen).
+    fn base_len(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.rules.len())
+    }
+
     /// Number of stored rules.
     pub fn len(&self) -> usize {
-        self.rules.len()
+        self.base_len() + self.overlay.rules.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of rules in the shared frozen base segment (0 when the KB
+    /// has never been [frozen](KnowledgeBase::freeze)).
+    pub fn frozen_len(&self) -> usize {
+        self.base_len()
+    }
+
+    /// Do `self` and `other` share the same frozen base segment (one
+    /// allocation, not two copies)? The serving driver uses this as a
+    /// deterministic structural check that per-job clones were O(overlay).
+    pub fn shares_base_with(&self, other: &KnowledgeBase) -> bool {
+        match (&self.base, &other.base) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Fold the overlay into the frozen base. Afterwards the overlay is
+    /// empty and `clone` shares the base by `Arc` — O(1) regardless of KB
+    /// size. Rule ids, candidate order, iteration order and every
+    /// historical prefix fingerprint are unchanged (tested). Idempotent;
+    /// freezing an already-frozen KB with an empty overlay is a no-op.
+    pub fn freeze(&mut self) {
+        if self.overlay.rules.is_empty() && self.base.is_some() {
+            return;
+        }
+        let overlay = std::mem::take(&mut self.overlay);
+        let merged = match self.base.take() {
+            None => overlay,
+            Some(base) => {
+                // Sole owner: reuse the allocation; otherwise copy once
+                // (freeze-after-share is a cold path by construction).
+                let mut m = Arc::try_unwrap(base).unwrap_or_else(|arc| (*arc).clone());
+                m.rules.extend(overlay.rules);
+                m.prefix_digests.extend(overlay.prefix_digests);
+                m.running_digest = overlay.running_digest;
+                // Overlay buckets hold global ids greater than every base
+                // id, so appending keeps each bucket ascending.
+                for (k, v) in overlay.index {
+                    m.index.entry(k).or_default().extend(v);
+                }
+                for (k, v) in overlay.first_arg {
+                    m.first_arg.entry(k).or_default().extend(v);
+                }
+                for (k, v) in overlay.var_headed {
+                    m.var_headed.entry(k).or_default().extend(v);
+                }
+                if !overlay.sorted_predicates.is_empty() {
+                    m.sorted_predicates =
+                        merge_sorted_keys(&m.sorted_predicates, &overlay.sorted_predicates);
+                }
+                m
+            }
+        };
+        // The fresh overlay continues the global digest stream from the
+        // merged segment's final hasher state.
+        self.overlay.running_digest = merged.running_digest.clone();
+        self.base = Some(Arc::new(merged));
     }
 
     /// Add a locally defined rule.
@@ -99,45 +222,65 @@ impl KnowledgeBase {
 
     fn add(&mut self, rule: Rule, origin: RuleOrigin) -> RuleId {
         use std::hash::{Hash, Hasher};
-        let id = RuleId(u32::try_from(self.rules.len()).expect("kb overflow"));
+        let idx = self.len(); // global clause id
+        let id = RuleId(u32::try_from(idx).expect("kb overflow"));
         let key = rule.head.functor();
-        let idx = self.rules.len();
         // Advance the running digest exactly as a fresh hasher fed the
         // whole prefix would (Arc<Rule> hashes as its pointee), so every
         // historical prefix fingerprint stays byte-identical.
-        rule.hash(&mut self.running_digest);
-        self.prefix_digests.push(self.running_digest.finish());
+        rule.hash(&mut self.overlay.running_digest);
+        self.overlay
+            .prefix_digests
+            .push(self.overlay.running_digest.finish());
         match rule.head.args.first().and_then(Term::index_key) {
             Some(k) => self
+                .overlay
                 .first_arg
                 .entry((key.0, key.1, k))
                 .or_default()
                 .push(idx),
-            None => self.var_headed.entry(key).or_default().push(idx),
+            None => self.overlay.var_headed.entry(key).or_default().push(idx),
         }
-        self.rules.push(StoredRule {
+        self.overlay.rules.push(StoredRule {
             id,
             rule: Arc::new(rule),
             origin,
         });
-        let bucket = self.index.entry(key).or_default();
-        if bucket.is_empty() {
+        let known_in_base = self
+            .base
+            .as_ref()
+            .is_some_and(|b| b.index.contains_key(&key));
+        let bucket = self.overlay.index.entry(key).or_default();
+        if bucket.is_empty() && !known_in_base {
             // New predicate: keep the cached enumeration list sorted with
             // one binary-search insert instead of a full sort per query.
-            if let Err(pos) = self.sorted_predicates.binary_search(&key) {
-                self.sorted_predicates.insert(pos, key);
+            if let Err(pos) = self.overlay.sorted_predicates.binary_search(&key) {
+                self.overlay.sorted_predicates.insert(pos, key);
             }
         }
         bucket.push(idx);
         id
     }
 
+    /// The rule at global clause id `idx` (caller guarantees in range).
+    fn stored(&self, idx: usize) -> &StoredRule {
+        match &self.base {
+            Some(b) if idx < b.rules.len() => &b.rules[idx],
+            Some(b) => &self.overlay.rules[idx - b.rules.len()],
+            None => &self.overlay.rules[idx],
+        }
+    }
+
     /// Does the KB already contain a syntactically identical rule? Used to
     /// deduplicate credentials pushed repeatedly during a negotiation.
     pub fn contains(&self, rule: &Rule) -> bool {
-        self.index
-            .get(&rule.head.functor())
-            .is_some_and(|ids| ids.iter().any(|&i| *self.rules[i].rule == *rule))
+        let key = rule.head.functor();
+        let hit = |seg: &KbSegment| {
+            seg.index
+                .get(&key)
+                .is_some_and(|ids| ids.iter().any(|&i| *self.stored(i).rule == *rule))
+        };
+        self.base.as_deref().is_some_and(hit) || hit(&self.overlay)
     }
 
     /// Add a received rule only if not already present; returns whether it
@@ -151,6 +294,18 @@ impl KnowledgeBase {
         }
     }
 
+    /// Clause-id bucket for `key` in each segment, as a pair of ascending
+    /// slices whose concatenation is ascending (base ids < overlay ids).
+    fn index_buckets(&self, key: &(Sym, usize)) -> (&[usize], &[usize]) {
+        let base = self
+            .base
+            .as_deref()
+            .and_then(|b| b.index.get(key))
+            .map_or(&[][..], Vec::as_slice);
+        let over = self.overlay.index.get(key).map_or(&[][..], Vec::as_slice);
+        (base, over)
+    }
+
     /// All rules whose head could match `goal` (same predicate and arity).
     /// Authority chains are *not* filtered here; the engine unifies them.
     pub fn candidates(&self, goal: &Literal) -> impl Iterator<Item = &StoredRule> {
@@ -158,68 +313,98 @@ impl KnowledgeBase {
         // First-argument refinement: a ground constant first argument
         // narrows the scan to exact-key clauses plus variable-headed ones,
         // merged back into clause (insertion) order so resolution order is
-        // unchanged. The merge only allocates when *both* buckets are
-        // non-empty; every other shape iterates the index slice in place —
-        // this sits on the hottest engine path (one call per goal
-        // selection).
+        // unchanged. Every bucket is a base slice chained with an overlay
+        // slice (ids ascend across the seam); the merge only allocates
+        // when *both* the exact and variable buckets are non-empty — every
+        // other shape iterates the index slices in place. This sits on the
+        // hottest engine path (one call per goal selection).
         let ids = match goal.args.first().and_then(Term::index_key) {
             Some(k) => {
-                let exact = self
+                let fa_key = (key.0, key.1, k);
+                let exact_base = self
+                    .base
+                    .as_deref()
+                    .and_then(|b| b.first_arg.get(&fa_key))
+                    .map_or(&[][..], Vec::as_slice);
+                let exact_over = self
+                    .overlay
                     .first_arg
-                    .get(&(key.0, key.1, k))
-                    .map(Vec::as_slice)
-                    .unwrap_or(&[]);
-                let vars = self.var_headed.get(&key).map(Vec::as_slice).unwrap_or(&[]);
-                match (exact.is_empty(), vars.is_empty()) {
-                    (true, _) => CandidateIds::Borrowed(vars.iter()),
-                    (false, true) => CandidateIds::Borrowed(exact.iter()),
-                    (false, false) => CandidateIds::Owned(merge_ordered(exact, vars).into_iter()),
+                    .get(&fa_key)
+                    .map_or(&[][..], Vec::as_slice);
+                let vars_base = self
+                    .base
+                    .as_deref()
+                    .and_then(|b| b.var_headed.get(&key))
+                    .map_or(&[][..], Vec::as_slice);
+                let vars_over = self
+                    .overlay
+                    .var_headed
+                    .get(&key)
+                    .map_or(&[][..], Vec::as_slice);
+                let no_exact = exact_base.is_empty() && exact_over.is_empty();
+                let no_vars = vars_base.is_empty() && vars_over.is_empty();
+                match (no_exact, no_vars) {
+                    (true, _) => CandidateIds::Chained(vars_base.iter().chain(vars_over)),
+                    (false, true) => CandidateIds::Chained(exact_base.iter().chain(exact_over)),
+                    (false, false) => CandidateIds::Owned(
+                        merge_ordered((exact_base, exact_over), (vars_base, vars_over)).into_iter(),
+                    ),
                 }
             }
-            None => CandidateIds::Borrowed(
-                self.index
-                    .get(&key)
-                    .map(Vec::as_slice)
-                    .unwrap_or(&[])
-                    .iter(),
-            ),
+            None => {
+                let (base, over) = self.index_buckets(&key);
+                CandidateIds::Chained(base.iter().chain(over))
+            }
         };
-        ids.map(move |i| &self.rules[i])
+        ids.map(move |i| self.stored(i))
     }
 
-    /// Iterate over every stored rule.
+    /// Iterate over every stored rule, in insertion (global id) order.
     pub fn iter(&self) -> impl Iterator<Item = &StoredRule> {
-        self.rules.iter()
+        self.base
+            .as_deref()
+            .map_or(&[][..], |b| b.rules.as_slice())
+            .iter()
+            .chain(self.overlay.rules.iter())
     }
 
     /// Fetch by id.
     pub fn get(&self, id: RuleId) -> Option<&StoredRule> {
-        self.rules.get(id.0 as usize)
+        let idx = id.0 as usize;
+        if idx < self.len() {
+            Some(self.stored(idx))
+        } else {
+            None
+        }
     }
 
     /// Iterate over the signed bodyless ground rules — the peer's
     /// credentials (candidates for disclosure during negotiation).
     pub fn credentials(&self) -> impl Iterator<Item = &StoredRule> {
-        self.rules.iter().filter(|r| r.rule.is_credential())
+        self.iter().filter(|r| r.rule.is_credential())
     }
 
     /// Iterate over locally defined rules only.
     pub fn local_rules(&self) -> impl Iterator<Item = &StoredRule> {
-        self.rules.iter().filter(|r| r.origin == RuleOrigin::Local)
+        self.iter().filter(|r| r.origin == RuleOrigin::Local)
     }
 
     /// Distinct predicates (with arity) defined in this KB, in sorted
-    /// order. O(1): served from a list maintained on insert, not
-    /// recollected from the index per call.
+    /// order. Served from per-segment lists maintained on insert (disjoint
+    /// by construction), not recollected from the index per call.
     pub fn predicates(&self) -> Vec<(Sym, usize)> {
-        self.sorted_predicates.clone()
+        match self.base.as_deref() {
+            None => self.overlay.sorted_predicates.clone(),
+            Some(b) if self.overlay.sorted_predicates.is_empty() => b.sorted_predicates.clone(),
+            Some(b) => merge_sorted_keys(&b.sorted_predicates, &self.overlay.sorted_predicates),
+        }
     }
 
     /// Fingerprint of the whole KB. O(1): the digest is maintained
     /// incrementally on insert, so per-solve fit checks in
     /// `peertrust-engine`'s `compile` module cost a single array read.
     pub fn fingerprint(&self) -> KbFingerprint {
-        self.prefix_fingerprint(self.rules.len())
+        self.prefix_fingerprint(self.len())
             .expect("full-length prefix always exists")
     }
 
@@ -232,20 +417,29 @@ impl KnowledgeBase {
     /// to the same solver must be detected).
     pub fn prefix_fingerprint(&self, rules: usize) -> Option<KbFingerprint> {
         use std::hash::Hasher;
-        // O(1): served from the digests maintained in `add`, so the
-        // compiled lane can re-validate its fit on every solve for free.
+        // O(1): served from the digests maintained in `add` (the overlay's
+        // digests already cover the global prefix — its hasher continued
+        // from the base's final state), so the compiled lane can
+        // re-validate its fit on every solve for free.
         let digest = match rules.checked_sub(1) {
             None => crate::hash::FxHasher::default().finish(),
-            Some(i) => *self.prefix_digests.get(i)?,
+            Some(i) => {
+                let base_len = self.base_len();
+                if i < base_len {
+                    self.base.as_ref()?.prefix_digests[i]
+                } else {
+                    *self.overlay.prefix_digests.get(i - base_len)?
+                }
+            }
         };
         Some(KbFingerprint { rules, digest })
     }
 }
 
-/// Clause ids from either a borrowed index slice (no allocation) or an
-/// owned merge of two buckets.
+/// Clause ids from borrowed index slices (base chained with overlay, no
+/// allocation) or an owned merge of the exact and variable buckets.
 enum CandidateIds<'a> {
-    Borrowed(std::slice::Iter<'a, usize>),
+    Chained(std::iter::Chain<std::slice::Iter<'a, usize>, std::slice::Iter<'a, usize>>),
     Owned(std::vec::IntoIter<usize>),
 }
 
@@ -254,51 +448,73 @@ impl Iterator for CandidateIds<'_> {
 
     fn next(&mut self) -> Option<usize> {
         match self {
-            CandidateIds::Borrowed(it) => it.next().copied(),
+            CandidateIds::Chained(it) => it.next().copied(),
             CandidateIds::Owned(it) => it.next(),
         }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         match self {
-            CandidateIds::Borrowed(it) => it.size_hint(),
+            CandidateIds::Chained(it) => it.size_hint(),
             CandidateIds::Owned(it) => it.size_hint(),
         }
     }
 }
 
-/// Merge two ascending clause-id lists, preserving insertion order.
-fn merge_ordered(exact: &[usize], vars: &[usize]) -> Vec<usize> {
-    let mut merged = Vec::with_capacity(exact.len() + vars.len());
-    let (mut i, mut j) = (0, 0);
-    while i < exact.len() || j < vars.len() {
-        match (exact.get(i), vars.get(j)) {
-            (Some(&a), Some(&b)) => {
+/// Merge the exact-key and variable-headed buckets — each a pair of
+/// ascending slices whose concatenation is ascending — back into one
+/// ascending (insertion-order) clause-id list.
+fn merge_ordered(exact: (&[usize], &[usize]), vars: (&[usize], &[usize])) -> Vec<usize> {
+    let mut merged =
+        Vec::with_capacity(exact.0.len() + exact.1.len() + vars.0.len() + vars.1.len());
+    let mut e = exact.0.iter().chain(exact.1).peekable();
+    let mut v = vars.0.iter().chain(vars.1).peekable();
+    loop {
+        match (e.peek(), v.peek()) {
+            (Some(&&a), Some(&&b)) => {
                 if a < b {
                     merged.push(a);
-                    i += 1;
+                    e.next();
                 } else {
                     merged.push(b);
-                    j += 1;
+                    v.next();
                 }
             }
-            (Some(&a), None) => {
+            (Some(&&a), None) => {
                 merged.push(a);
-                i += 1;
+                e.next();
             }
-            (None, Some(&b)) => {
+            (None, Some(&&b)) => {
                 merged.push(b);
-                j += 1;
+                v.next();
             }
-            (None, None) => unreachable!(),
+            (None, None) => break,
         }
     }
     merged
 }
 
+/// Merge two sorted, disjoint predicate lists into one sorted list.
+fn merge_sorted_keys(a: &[(Sym, usize)], b: &[(Sym, usize)]) -> Vec<(Sym, usize)> {
+    let mut merged = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            merged.push(a[i]);
+            i += 1;
+        } else {
+            merged.push(b[j]);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&a[i..]);
+    merged.extend_from_slice(&b[j..]);
+    merged
+}
+
 impl fmt::Display for KnowledgeBase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for r in &self.rules {
+        for r in self.iter() {
             writeln!(f, "{}", r.rule)?;
         }
         Ok(())
@@ -435,6 +651,103 @@ mod tests {
         expected.sort();
         assert_eq!(forward.predicates(), expected, "list is sorted");
     }
+
+    /// Build the same KB twice: once flat, once frozen at every step of
+    /// `freeze_at`. Used to pin freeze() as observationally invisible.
+    fn flat_and_frozen(names: &[&str], freeze_at: &[usize]) -> (KnowledgeBase, KnowledgeBase) {
+        let mut flat = KnowledgeBase::new();
+        let mut cow = KnowledgeBase::new();
+        for (i, n) in names.iter().enumerate() {
+            if freeze_at.contains(&i) {
+                cow.freeze();
+            }
+            flat.add_local(fact(n, "x"));
+            cow.add_local(fact(n, "x"));
+        }
+        (flat, cow)
+    }
+
+    #[test]
+    fn freeze_is_observationally_invisible() {
+        let names = ["p", "q", "p", "r", "q", "s"];
+        let (flat, mut cow) = flat_and_frozen(&names, &[0, 2, 3, 5]);
+        cow.freeze();
+        cow.freeze(); // idempotent
+        assert_eq!(cow.frozen_len(), names.len());
+        assert_eq!(flat.len(), cow.len());
+        assert_eq!(flat.fingerprint(), cow.fingerprint());
+        for n in 0..=names.len() {
+            assert_eq!(flat.prefix_fingerprint(n), cow.prefix_fingerprint(n));
+        }
+        assert_eq!(flat.prefix_fingerprint(99), None);
+        assert_eq!(cow.prefix_fingerprint(99), None);
+        assert_eq!(flat.predicates(), cow.predicates());
+        assert_eq!(flat.to_string(), cow.to_string());
+        for n in ["p", "q", "r", "s", "missing"] {
+            let goal = Literal::new(n, vec![Term::atom("x")]);
+            let a: Vec<u32> = flat.candidates(&goal).map(|r| r.id.0).collect();
+            let b: Vec<u32> = cow.candidates(&goal).map(|r| r.id.0).collect();
+            assert_eq!(a, b, "candidates for {n}");
+        }
+        for i in 0..names.len() as u32 {
+            assert_eq!(
+                flat.get(RuleId(i)).unwrap().rule,
+                cow.get(RuleId(i)).unwrap().rule
+            );
+        }
+        assert!(cow.contains(&fact("r", "x")));
+        assert!(!cow.contains(&fact("r", "y")));
+    }
+
+    #[test]
+    fn appends_after_freeze_continue_the_digest_stream() {
+        let (mut flat, mut cow) = flat_and_frozen(&["p", "q"], &[]);
+        cow.freeze();
+        flat.add_local(fact("r", "x"));
+        cow.add_local(fact("r", "x"));
+        assert_eq!(flat.fingerprint(), cow.fingerprint());
+        assert_eq!(flat.prefix_fingerprint(2), cow.prefix_fingerprint(2));
+        // Dedup must see both segments.
+        assert!(!cow.add_received_dedup(fact("p", "x"), PeerId::new("A")));
+        assert!(cow.add_received_dedup(fact("z", "x"), PeerId::new("A")));
+    }
+
+    #[test]
+    fn clones_of_frozen_kbs_share_the_base() {
+        let mut kb = KnowledgeBase::new();
+        for n in ["p", "q", "r"] {
+            kb.add_local(fact(n, "x"));
+        }
+        let unshared = kb.clone();
+        assert!(!unshared.shares_base_with(&kb), "no base before freeze");
+        kb.freeze();
+        let before = KnowledgeBase::deep_clone_count();
+        let shared = kb.clone();
+        assert!(shared.shares_base_with(&kb));
+        assert_eq!(
+            KnowledgeBase::deep_clone_count(),
+            before,
+            "frozen clone is not a deep clone"
+        );
+        // Appends to the clone's overlay do not disturb the original.
+        let mut grown = kb.clone();
+        grown.add_local(fact("s", "x"));
+        assert_eq!(grown.len(), 4);
+        assert_eq!(kb.len(), 3);
+        assert!(grown.shares_base_with(&kb));
+    }
+
+    #[test]
+    fn deep_clone_counter_counts_unshared_clones() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(fact("p", "x"));
+        let before = KnowledgeBase::deep_clone_count();
+        let _c = kb.clone();
+        assert!(
+            KnowledgeBase::deep_clone_count() > before,
+            "unfrozen non-empty clone must count"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -478,6 +791,24 @@ mod first_arg_tests {
         let goal = Literal::new("p", vec![Term::atom("a")]);
         let ids: Vec<u32> = kb.candidates(&goal).map(|sr| sr.id.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3], "merged in clause order");
+    }
+
+    #[test]
+    fn candidate_order_is_preserved_across_the_freeze_seam() {
+        // Exact/variable clauses interleave across the base/overlay
+        // boundary; the 4-way merge must still yield insertion order.
+        let mut kb = KnowledgeBase::new();
+        kb.add_local(Rule::fact(Literal::new("p", vec![Term::var("X")]))); // id 0
+        kb.add_local(Rule::fact(Literal::new("p", vec![Term::atom("a")]))); // id 1
+        kb.freeze();
+        kb.add_local(Rule::fact(Literal::new("p", vec![Term::var("Y")]))); // id 2
+        kb.add_local(Rule::fact(Literal::new("p", vec![Term::atom("a")]))); // id 3
+        let goal = Literal::new("p", vec![Term::atom("a")]);
+        let ids: Vec<u32> = kb.candidates(&goal).map(|sr| sr.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3], "merged across the seam");
+        // One-sided shapes chain without allocating.
+        let var_goal = Literal::new("p", vec![Term::var("Z")]);
+        assert_eq!(kb.candidates(&var_goal).count(), 4);
     }
 
     #[test]
@@ -545,6 +876,11 @@ mod first_arg_tests {
 
         // A prefix longer than the KB does not exist.
         assert_eq!(c.prefix_fingerprint(3), None);
+
+        // Freezing does not disturb any of the above.
+        c.freeze();
+        assert_eq!(c.fingerprint(), snap);
+        assert_eq!(c.prefix_fingerprint(3), None);
     }
 
     #[test]
@@ -555,7 +891,10 @@ mod first_arg_tests {
         use std::hash::{Hash, Hasher};
         let mk = |n: &str| Rule::fact(Literal::new(n, vec![Term::atom("x")]));
         let mut kb = KnowledgeBase::new();
-        for n in ["p", "q", "r", "s"] {
+        for (i, n) in ["p", "q", "r", "s"].into_iter().enumerate() {
+            if i == 2 {
+                kb.freeze(); // digests must be seamless across the split
+            }
             kb.add_local(mk(n));
         }
         for rules in 0..=4 {

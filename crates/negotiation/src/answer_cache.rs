@@ -333,6 +333,108 @@ mod tests {
         assert_eq!(shared.stats().hits, 8 * 16);
     }
 
+    /// Multi-threaded stress over one shared cache with both staleness
+    /// guards live: phase 1 populates under KB length 5 and tick 0, then
+    /// a "KB mutation" (responder length 6) and a TTL overrun happen,
+    /// and phase 2 hammers the same keys from many threads. No thread
+    /// may ever read a stale answer — every phase-2 lookup must either
+    /// miss (evicting the stale entry) or return the value re-inserted
+    /// under the new fingerprint.
+    #[test]
+    fn shared_cache_never_serves_stale_answers_under_concurrency() {
+        const THREADS: i64 = 8;
+        const KEYS: i64 = 16;
+        let (a, b) = peers();
+        let shared = SharedRemoteAnswerCache::from_cache(RemoteAnswerCache::with_ttl(10));
+
+        // Phase 1: populate. Even keys will go stale via KB growth, odd
+        // keys via TTL (inserted at tick 0, re-read at tick 100).
+        for k in 0..KEYS {
+            shared.insert(a, b, lit(k), vec![lit(-1)], 0, 5);
+        }
+        assert_eq!(shared.len(), KEYS as usize);
+
+        // Phase 2: the responder's KB grew to 6 and the clock jumped past
+        // the TTL. Every thread revalidates every key and re-inserts the
+        // fresh answer; whatever interleaving happens, a hit must carry
+        // the fresh value.
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    for k in 0..KEYS {
+                        let g = lit(k);
+                        match shared.lookup(a, b, &g, 100, 6) {
+                            None => shared.insert(a, b, g, vec![lit(t)], 100, 6),
+                            Some(answers) => {
+                                assert_ne!(
+                                    answers,
+                                    vec![lit(-1)],
+                                    "stale pre-mutation answer served for key {k}"
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Every stale entry was evicted exactly once, by whichever guard
+        // fired first for its key (the KB check precedes the TTL check).
+        let stats = shared.stats();
+        assert_eq!(stats.invalidated + stats.expired, KEYS as u64);
+        assert_eq!(stats.invalidated, KEYS as u64, "kb check fires first");
+        // And the re-populated cache now serves only fresh answers.
+        assert_eq!(shared.len(), KEYS as usize);
+        for k in 0..KEYS {
+            let answers = shared.lookup(a, b, &lit(k), 100, 6).expect("fresh entry");
+            assert_ne!(answers, vec![lit(-1)]);
+        }
+    }
+
+    /// TTL expiry and fingerprint invalidation keep working when the
+    /// mutation happens *between* concurrent readers: half the threads
+    /// read with the old KB length, half with the new one. Old-length
+    /// readers may hit the old value (still valid for that fingerprint)
+    /// or miss after a new-length reader evicted it — but a new-length
+    /// reader must never see the old value.
+    #[test]
+    fn concurrent_fingerprint_invalidation_is_monotone() {
+        const PAIRS: i64 = 4;
+        let (a, b) = peers();
+        let shared = SharedRemoteAnswerCache::new();
+        for k in 0..PAIRS {
+            shared.insert(a, b, lit(k), vec![lit(-1)], 0, 5);
+        }
+        std::thread::scope(|scope| {
+            for t in 0..PAIRS * 2 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let k = t % PAIRS;
+                    if t < PAIRS {
+                        // Old-fingerprint reader: any hit is the old value.
+                        if let Some(answers) = shared.lookup(a, b, &lit(k), 0, 5) {
+                            assert_eq!(answers, vec![lit(-1)]);
+                        }
+                    } else {
+                        // New-fingerprint reader: the old value is stale.
+                        match shared.lookup(a, b, &lit(k), 0, 6) {
+                            None => shared.insert(a, b, lit(k), vec![lit(k)], 0, 6),
+                            Some(answers) => assert_eq!(answers, vec![lit(k)]),
+                        }
+                    }
+                });
+            }
+        });
+        // After the dust settles every surviving entry carries the new
+        // fingerprint's answer.
+        for k in 0..PAIRS {
+            if let Some(answers) = shared.lookup(a, b, &lit(k), 0, 6) {
+                assert_eq!(answers, vec![lit(k)]);
+            }
+        }
+    }
+
     #[test]
     fn empty_answer_sets_are_never_cached() {
         let (a, b) = peers();

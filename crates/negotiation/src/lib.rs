@@ -33,6 +33,10 @@
 //! * [`scheduler`] — the multi-core batch driver: N independent
 //!   negotiations over a worker pool with per-job peer-map snapshots, an
 //!   optional shared answer cache, and deterministic outcome ordering;
+//! * [`serve`] — the open-loop serving engine: deterministic Poisson
+//!   arrivals into a bounded admission queue over virtual servers, load
+//!   shedding with typed `Overload` refusals, tick-exact latency
+//!   accounting — bit-identical across runs and worker counts;
 //! * [`resilience`] — delivery supervision over a faulty transport
 //!   (`peertrust_net::faults`): per-message deadlines, bounded retries
 //!   with deterministic exponential backoff, duplicate suppression, and
@@ -48,6 +52,7 @@ pub mod outcome;
 pub mod peer;
 pub mod resilience;
 pub mod scheduler;
+pub mod serve;
 pub mod session;
 pub mod strategy;
 pub mod threaded_host;
@@ -70,6 +75,10 @@ pub use resilience::{
     ResilienceReport, ResilienceStats,
 };
 pub use scheduler::{negotiate_batch, BatchConfig, BatchFaults, BatchJob, BatchReport, BatchStats};
+pub use serve::{
+    poisson_arrivals, serve_open_loop, ServeConfig, ServeDecision, ServeReport, ServeStats,
+    TickQuantiles,
+};
 pub use session::{
     negotiate, negotiate_cached, negotiate_shared_cached, negotiate_traced, PeerMap, SessionConfig,
 };

@@ -95,6 +95,10 @@ pub enum RefusalReason {
     /// tables stabilized (see `crate::gem`). The answers computed so far
     /// are sound but possibly incomplete.
     GemRoundLimit,
+    /// Admission control shed the negotiation before it started: offered
+    /// load exceeded serving capacity (bounded queue full, or the job
+    /// could not start within its deadline — see `crate::serve`).
+    Overload,
 }
 
 impl RefusalReason {
@@ -112,6 +116,7 @@ impl RefusalReason {
             RefusalReason::VerificationFailed => "verification_failed",
             RefusalReason::Unreachable => "unreachable",
             RefusalReason::GemRoundLimit => "gem_round_limit",
+            RefusalReason::Overload => "overload",
         }
     }
 }

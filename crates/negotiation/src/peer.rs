@@ -108,9 +108,14 @@ pub fn sender_extended(rule: &Rule, from: PeerId) -> Option<Rule> {
 
 /// One party in trust negotiations.
 ///
-/// `Clone` snapshots the peer (KB rules are `Arc`-shared, the registry
-/// is `Arc`-backed) — the batch scheduler clones the peer map per job so
-/// each negotiation mutates its own copy.
+/// `Clone` snapshots the peer. After [`NegotiationPeer::freeze`] the
+/// snapshot is copy-on-write: the KB's frozen base segment, the frozen
+/// signed-rule map, the registry and any compiled KB are all `Arc`-shared,
+/// so cloning costs O(overlay) — a handful of pointer bumps for a peer
+/// that has not changed since the freeze. The batch scheduler and the
+/// open-loop serving driver freeze the peer map once at setup and then
+/// clone it per job/session; each negotiation mutates only its own
+/// overlay (disclosed credentials, session state).
 #[derive(Clone)]
 pub struct NegotiationPeer {
     pub id: PeerId,
@@ -118,9 +123,16 @@ pub struct NegotiationPeer {
     pub config: PeerConfig,
     /// Trusted key registry (shared, simulated CA).
     pub registry: KeyRegistry,
-    /// Signatures for the signed rules in `kb`, keyed by rule id. Only
-    /// rules present here can be *pushed* to other peers.
-    signed: HashMap<RuleId, SignedRule>,
+    /// Signatures minted or received before the last [freeze], shared
+    /// across clones. Keyed by rule id; only rules present in either
+    /// signed map can be *pushed* to other peers.
+    ///
+    /// [freeze]: NegotiationPeer::freeze
+    signed_base: Arc<HashMap<RuleId, SignedRule>>,
+    /// Signatures added since the last freeze (disclosures received
+    /// mid-session land here). Rule ids are fresh KB ids, so the two maps
+    /// are disjoint by construction.
+    signed_overlay: HashMap<RuleId, SignedRule>,
     /// Compiled (WAM-lite bytecode) view of `kb`, built once by
     /// [`NegotiationPeer::compile_policies`] and `Arc`-shared into every
     /// solver this peer runs. Credentials received mid-negotiation only
@@ -137,7 +149,8 @@ impl NegotiationPeer {
             kb: KnowledgeBase::new(),
             config: PeerConfig::default(),
             registry,
-            signed: HashMap::new(),
+            signed_base: Arc::new(HashMap::new()),
+            signed_overlay: HashMap::new(),
             compiled: None,
         }
     }
@@ -145,6 +158,29 @@ impl NegotiationPeer {
     pub fn with_config(mut self, config: PeerConfig) -> NegotiationPeer {
         self.config = config;
         self
+    }
+
+    /// Freeze this peer's mutable state into `Arc`-shared form: the KB's
+    /// overlay folds into its frozen base ([`KnowledgeBase::freeze`]) and
+    /// the signed-rule overlay folds into the shared signed map. After
+    /// freezing, `clone` is O(1) and concurrent sessions share one copy
+    /// of the rule store. Idempotent; call again after bulk setup growth.
+    pub fn freeze(&mut self) {
+        self.kb.freeze();
+        if !self.signed_overlay.is_empty() {
+            let mut base = Arc::try_unwrap(std::mem::take(&mut self.signed_base))
+                .unwrap_or_else(|arc| (*arc).clone());
+            base.extend(self.signed_overlay.drain());
+            self.signed_base = Arc::new(base);
+        }
+    }
+
+    /// Is all of this peer's rule/signature state already in the shared
+    /// frozen base (both overlays empty)? Cloning a frozen peer is O(1),
+    /// so batch drivers skip their setup copy when handed a pre-frozen
+    /// map.
+    pub fn is_frozen(&self) -> bool {
+        self.kb.frozen_len() == self.kb.len() && self.signed_overlay.is_empty()
     }
 
     /// Compile this peer's current KB to the engine's WAM-lite bytecode
@@ -194,14 +230,14 @@ impl NegotiationPeer {
     pub fn mint(&mut self, rule: Rule) -> Result<RuleId, PeerError> {
         let signed = sign_rule(&self.registry, &rule)?;
         let id = self.kb.add_local(rule.clone());
-        self.signed.insert(id, signed.clone());
+        self.signed_overlay.insert(id, signed.clone());
         // §3.2 axiom: a signed fact also derives its `@ issuer` form. The
         // extension maps back to the same signature bundle, so pushing or
         // verifying either form ships the real credential.
         if let Some(ext) = issuer_extended(&rule) {
             if !self.kb.contains(&ext) {
                 let eid = self.kb.add_local(ext);
-                self.signed.insert(eid, signed);
+                self.signed_overlay.insert(eid, signed);
             }
         }
         Ok(id)
@@ -257,28 +293,36 @@ impl NegotiationPeer {
         if let Some(ext) = issuer_extended(&signed.rule) {
             if !self.kb.contains(&ext) {
                 let eid = self.kb.add_received(ext, from);
-                self.signed.insert(eid, signed.clone());
+                self.signed_overlay.insert(eid, signed.clone());
             }
         }
-        self.signed.insert(id, signed);
+        self.signed_overlay.insert(id, signed);
         Ok(true)
     }
 
     /// The stored signature bundle for a rule, if it is a pushable signed
     /// rule.
     pub fn signed_rule(&self, id: RuleId) -> Option<&SignedRule> {
-        self.signed.get(&id)
+        self.signed_overlay
+            .get(&id)
+            .or_else(|| self.signed_base.get(&id))
     }
 
     /// Look up the signature bundle by rule content (used when relaying
     /// rules recorded in a session ledger).
     pub fn signed_rule_for(&self, rule: &Rule) -> Option<&SignedRule> {
-        self.signed.values().find(|sr| sr.rule == *rule)
+        self.signed_base
+            .values()
+            .chain(self.signed_overlay.values())
+            .find(|sr| sr.rule == *rule)
     }
 
     /// All signed rules this peer could potentially disclose.
     pub fn disclosable_signed_rules(&self) -> impl Iterator<Item = (RuleId, &SignedRule)> {
-        self.signed.iter().map(|(id, s)| (*id, s))
+        self.signed_base
+            .iter()
+            .chain(self.signed_overlay.iter())
+            .map(|(id, s)| (*id, s))
     }
 
     /// Effort policy: will this peer even *consider* `goal` from
@@ -299,7 +343,7 @@ impl NegotiationPeer {
     pub fn signed_only_kb(&self) -> KnowledgeBase {
         let mut kb = KnowledgeBase::new();
         for sr in self.kb.iter() {
-            if self.signed.contains_key(&sr.id) {
+            if self.signed_overlay.contains_key(&sr.id) || self.signed_base.contains_key(&sr.id) {
                 kb.add_received(sr.rule.as_ref().clone(), self.id);
             }
         }
@@ -388,6 +432,39 @@ mod tests {
         assert!(p.accepts_query(PeerId::new("E-Learn"), &student_goal));
         assert!(!p.accepts_query(PeerId::new("E-Learn"), &salary_goal));
         assert!(!p.accepts_query(PeerId::new("Mallory"), &student_goal));
+    }
+
+    #[test]
+    fn freeze_shares_kb_and_signed_map_across_clones() {
+        let reg = registry();
+        let mut alice = NegotiationPeer::new("Alice", reg.clone());
+        let id = alice
+            .load_program(r#"student("Alice") @ "UIUC" signedBy ["UIUC"]."#)
+            .unwrap()[0];
+        let disclosable = alice.disclosable_signed_rules().count();
+        alice.freeze();
+        alice.freeze(); // idempotent
+        let clone = alice.clone();
+        assert!(clone.kb.shares_base_with(&alice.kb));
+        assert!(clone.signed_rule(id).is_some());
+        assert_eq!(clone.disclosable_signed_rules().count(), disclosable);
+        assert_eq!(clone.signed_only_kb().len(), alice.signed_only_kb().len());
+
+        // Post-freeze receipts land in the clone's private overlay.
+        let mut bob = NegotiationPeer::new("Bob", reg);
+        let bid = bob
+            .load_program(r#"member("Bob") @ "BBB" signedBy ["BBB"]."#)
+            .unwrap()[0];
+        let pushed = bob.signed_rule(bid).unwrap().clone();
+        let mut grown = alice.clone();
+        assert!(grown.receive_signed(pushed, PeerId::new("Bob")).unwrap());
+        assert!(grown.disclosable_signed_rules().count() > disclosable);
+        assert_eq!(
+            alice.disclosable_signed_rules().count(),
+            disclosable,
+            "original unchanged"
+        );
+        assert!(grown.kb.shares_base_with(&alice.kb), "base still shared");
     }
 
     #[test]

@@ -99,15 +99,29 @@ pub enum ResilienceFailure {
     /// A retry send was rejected outright by the transport (topology or
     /// hop budget).
     SendRejected { peer: PeerId, kind: String },
+    /// Admission control refused the whole negotiation before any message
+    /// was sent: the serving layer's bounded queue was full, or the job
+    /// could not start within its admission deadline (see `crate::serve`).
+    /// `kind` records which guard fired (`"queue_full"` or `"deadline"`),
+    /// `at` the arrival tick of the shed job.
+    Overload {
+        peer: PeerId,
+        kind: String,
+        at: Tick,
+    },
 }
 
 impl ResilienceFailure {
-    /// The unreachable peer.
+    /// The peer the work could not be delivered to (for [`Overload`]
+    /// sheds, the responder that never saw the request).
+    ///
+    /// [`Overload`]: ResilienceFailure::Overload
     pub fn peer(&self) -> PeerId {
         match self {
             ResilienceFailure::DeadlineExceeded { peer, .. }
             | ResilienceFailure::RetryBudgetExhausted { peer, .. }
-            | ResilienceFailure::SendRejected { peer, .. } => *peer,
+            | ResilienceFailure::SendRejected { peer, .. }
+            | ResilienceFailure::Overload { peer, .. } => *peer,
         }
     }
 }

@@ -7,9 +7,13 @@
 //!
 //! Determinism (DESIGN.md §4d): each job gets
 //!
-//! * its own *pristine* snapshot of the peer map — [`PeerMap`] cloning is
-//!   cheap because KB rules and registries are `Arc`-shared — so jobs
-//!   never observe each other's session mutations;
+//! * its own *pristine* snapshot of the peer map. The batch freezes the
+//!   map once at setup ([`PeerMap::freeze`], DESIGN.md §4i), so every
+//!   peer's rule store, signed-rule map and compiled KB live behind
+//!   `Arc`s and the per-job snapshot is a copy-on-write view: cloning
+//!   costs O(#peers) pointer bumps, not O(total KB). Jobs never observe
+//!   each other's session mutations — disclosures received mid-session
+//!   land in the clone's private overlay;
 //! * its own [`SimNetwork`] seeded from `(net_seed, job index)` via
 //!   [`SimNetwork::for_job`], so the latency/ordering stream depends
 //!   only on the job, never on the executing thread;
@@ -45,14 +49,23 @@ use std::time::{Duration, Instant};
 
 /// Buffers every event a worker's private pipeline emits, so the batch
 /// can re-emit the union into the caller's pipeline at join in an order
-/// that does not depend on scheduling (see [`negotiate_batch`]).
-struct EventCollector {
-    events: Mutex<Vec<TraceEvent>>,
+/// that does not depend on scheduling (see [`negotiate_batch`]; also
+/// shared with the open-loop driver in [`crate::serve`]).
+pub(crate) struct EventCollector {
+    pub(crate) events: Mutex<Vec<TraceEvent>>,
+}
+
+impl EventCollector {
+    pub(crate) fn new() -> Arc<EventCollector> {
+        Arc::new(EventCollector {
+            events: Mutex::new(Vec::new()),
+        })
+    }
 }
 
 /// The `Recorder` handle workers hold onto an [`EventCollector`] (a
 /// newtype because `Recorder` cannot be implemented on `Arc` directly).
-struct SharedCollector(Arc<EventCollector>);
+pub(crate) struct SharedCollector(pub(crate) Arc<EventCollector>);
 
 impl Recorder for SharedCollector {
     fn record(&self, event: TraceEvent) {
@@ -174,19 +187,26 @@ pub fn negotiate_batch(
     telemetry: &Telemetry,
 ) -> BatchReport {
     let workers = cfg.workers.max(1).min(jobs.len().max(1));
-    // Precompile once per batch: every job's `peers.clone()` then shares
-    // the same `Arc<CompiledKb>` per peer instead of re-deriving clause
-    // indexes per solve.
-    let precompiled = cfg.compile_policies.then(|| {
-        let mut compiled = peers.clone();
-        for id in compiled.ids() {
-            if let Some(peer) = compiled.get_mut(id) {
-                peer.compile_policies();
+    // Freeze once per batch: the per-job `peers.clone()` in `run_job`
+    // then shares every peer's frozen KB base, signed map and registry
+    // by `Arc` instead of deep-copying the rule stores (the pre-PR 10
+    // dominant per-job cost). With `compile_policies` set the KBs are
+    // additionally compiled *after* freezing, so the `Arc<CompiledKb>`
+    // artifacts cover the whole frozen prefix and are shared into every
+    // snapshot.
+    let prepared = (cfg.compile_policies || !peers.is_frozen()).then(|| {
+        let mut prepared = peers.clone();
+        prepared.freeze();
+        if cfg.compile_policies {
+            for id in prepared.ids() {
+                if let Some(peer) = prepared.get_mut(id) {
+                    peer.compile_policies();
+                }
             }
         }
-        compiled
+        prepared
     });
-    let peers = precompiled.as_ref().unwrap_or(peers);
+    let peers = prepared.as_ref().unwrap_or(peers);
     let cache_before = cfg
         .shared_cache
         .as_ref()
@@ -210,11 +230,7 @@ pub fn negotiate_batch(
                     // lock-free with respect to other workers and merge
                     // into the caller's registry at join. Events buffer
                     // in a collector for deterministic re-emission.
-                    let collector = telemetry.enabled().then(|| {
-                        Arc::new(EventCollector {
-                            events: Mutex::new(Vec::new()),
-                        })
-                    });
+                    let collector = telemetry.enabled().then(EventCollector::new);
                     let worker_tele = match &collector {
                         Some(c) => Telemetry::with_recorder(Box::new(SharedCollector(c.clone()))),
                         None => Telemetry::disabled(),
@@ -358,6 +374,9 @@ fn run_job(
     cfg: &BatchConfig,
     telemetry: &Telemetry,
 ) -> (NegotiationOutcome, Option<ResilienceReport>) {
+    // `peers` was frozen at batch setup, so this snapshot is a
+    // copy-on-write view over the shared rule stores (O(#peers), no KB
+    // deep copy); the session mutates only the snapshot's overlays.
     let mut job_peers = peers.clone();
     let mut net = SimNetwork::for_job(cfg.net_seed, idx);
     let nid = NegotiationId(idx as u64 + 1);

@@ -71,6 +71,35 @@ impl PeerMap {
         v.sort();
         v
     }
+
+    /// Freeze every peer's mutable state into `Arc`-shared form (see
+    /// [`NegotiationPeer::freeze`]). Afterwards `clone` is O(#peers)
+    /// pointer bumps instead of O(total KB) — the batch scheduler and the
+    /// serving driver call this once at setup so per-job pristine
+    /// snapshots stop deep-copying the rule stores. Idempotent.
+    pub fn freeze(&mut self) {
+        for peer in self.map.values_mut() {
+            peer.freeze();
+        }
+    }
+
+    /// Is every peer fully frozen (see [`NegotiationPeer::is_frozen`])?
+    pub fn is_frozen(&self) -> bool {
+        self.map.values().all(NegotiationPeer::is_frozen)
+    }
+
+    /// Do every one of `self`'s peers share their frozen KB base with the
+    /// corresponding peer in `other`? A deterministic structural check
+    /// that a clone of a frozen map was copy-on-write (no deep KB copy);
+    /// the serving driver counts violations into
+    /// `negotiation.serve.base_clones`.
+    pub fn shares_frozen_bases_with(&self, other: &PeerMap) -> bool {
+        self.map.iter().all(|(id, peer)| {
+            other
+                .get(*id)
+                .is_some_and(|o| peer.kb.shares_base_with(&o.kb))
+        })
+    }
 }
 
 /// Session-level guard configuration.
@@ -569,11 +598,11 @@ impl<'a> Session<'a> {
     fn record_refusal(&mut self, r: Refusal) {
         if self.telemetry.enabled() {
             self.telemetry.incr("negotiation.refusals", 1);
-            self.telemetry
-                .incr(&format!("negotiation.refusals.{:?}", r.reason), 1);
             // Stable snake_case per-reason counter for dashboards and the
-            // experiment gates (the Debug-named counter above is kept for
-            // backward compatibility).
+            // experiment gates. (The legacy Debug-named
+            // `negotiation.refusals.{Reason}` series was retired in PR 10;
+            // only the total above and the per-reason counters below are
+            // emitted.)
             self.telemetry.incr(
                 &format!("negotiation.refusal.{}", r.reason.metric_suffix()),
                 1,
@@ -2332,9 +2361,11 @@ mod tests {
         assert!(!out.success);
         let m = telemetry.metrics().expect("telemetry enabled");
         assert!(m.counter("negotiation.refusal.cycle_detected") >= 1);
-        // The Debug-cased counter remains for backward compatibility.
+        // The legacy Debug-cased series is retired: only the snake_case
+        // per-reason counters and the total are emitted.
+        assert_eq!(m.counter("negotiation.refusals.CycleDetected"), 0);
         assert_eq!(
-            m.counter("negotiation.refusals.CycleDetected"),
+            m.counter("negotiation.refusals"),
             m.counter("negotiation.refusal.cycle_detected")
         );
     }

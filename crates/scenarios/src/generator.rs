@@ -19,6 +19,9 @@
 //!   scheduler's negotiations/sec benchmark;
 //! * [`resilience_grid`] — E15: the E14 workload crossed with a grid of
 //!   fault plans (drop rate × retry budget) for the resilience sweep.
+//! * [`serving_workload`] — E18: the E14 peer construction with a job
+//!   stream whose resource popularity is Zipf-distributed, for the
+//!   open-loop serving driver (skewed sustained traffic).
 //!
 //! Every generator is deterministic in its seed.
 
@@ -464,6 +467,64 @@ pub fn throughput_grid(clients: usize, repeats: usize, depth: usize) -> BatchWor
     }
 }
 
+/// An open-loop serving workload: the [`throughput_grid`] peer
+/// construction (one server, `resources` clients each behind its own
+/// namespaced release chain) plus a stream of `jobs` arrival goals whose
+/// resource popularity follows a Zipf(`zipf_s`) distribution — rank-`k`
+/// resource drawn with probability proportional to `1 / k^s`, the skew
+/// web resource traffic classically shows. Skew is what makes the
+/// serving driver's cache layers earn their keep: a small hot set
+/// dominates the offered load.
+pub struct ServingWorkload {
+    pub peers: PeerMap,
+    pub registry: KeyRegistry,
+    /// `jobs[i]` is the goal of the `i`-th arrival.
+    pub jobs: Vec<BatchJob>,
+    /// Arrivals per resource (index = resource rank, descending weight).
+    pub popularity: Vec<usize>,
+}
+
+/// Generate a [`ServingWorkload`]. Deterministic in `seed`: the sampled
+/// job stream (and hence everything the serving driver does with it) is
+/// identical across runs. `zipf_s == 0.0` degrades to uniform popularity.
+pub fn serving_workload(
+    resources: usize,
+    depth: usize,
+    jobs: usize,
+    zipf_s: f64,
+    seed: u64,
+) -> ServingWorkload {
+    assert!(resources >= 1 && depth >= 1);
+    assert!(zipf_s >= 0.0, "zipf exponent must be non-negative");
+    let base = throughput_grid(resources, 1, depth);
+    // Zipf CDF over ranks 1..=resources (rank-`k` resource has weight
+    // 1/k^s before normalization).
+    let mut cdf = Vec::with_capacity(resources);
+    let mut acc = 0.0;
+    for k in 1..=resources {
+        acc += 1.0 / (k as f64).powf(zipf_s);
+        cdf.push(acc);
+    }
+    let total = acc;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut popularity = vec![0usize; resources];
+    let sampled = (0..jobs)
+        .map(|_| {
+            let u = rng.gen_range(0.0..1.0) * total;
+            let rank = cdf.partition_point(|&c| c <= u).min(resources - 1);
+            popularity[rank] += 1;
+            base.jobs[rank].clone()
+        })
+        .collect();
+    ServingWorkload {
+        peers: base.peers,
+        registry: base.registry,
+        jobs: sampled,
+        popularity,
+    }
+}
+
 /// One cell of the E15 resilience sweep: a fault plan at `drop_rate` and
 /// a retry budget, ready to drop into `BatchConfig::faults`.
 pub struct ResilienceGridPoint {
@@ -777,6 +838,50 @@ mod tests {
             assert_eq!(c.requester, wo.requester);
             assert_eq!(c.goal, wo.goal);
         }
+    }
+
+    #[test]
+    fn serving_workload_is_deterministic_and_zipf_skewed() {
+        let key = |w: &ServingWorkload| {
+            w.jobs
+                .iter()
+                .map(|j| format!("{}>{}:{}", j.requester, j.responder, j.goal))
+                .collect::<Vec<_>>()
+        };
+        let a = serving_workload(8, 2, 400, 1.1, 42);
+        let b = serving_workload(8, 2, 400, 1.1, 42);
+        assert_eq!(key(&a), key(&b), "same seed, same stream");
+        assert_eq!(a.popularity, b.popularity);
+        let c = serving_workload(8, 2, 400, 1.1, 43);
+        assert_ne!(key(&a), key(&c), "different seed, different stream");
+
+        assert_eq!(a.jobs.len(), 400);
+        assert_eq!(a.popularity.iter().sum::<usize>(), 400);
+        // Zipf skew: the hottest resource dominates the coldest, and the
+        // hot half carries most of the traffic.
+        assert!(a.popularity[0] > a.popularity[7] * 2, "{:?}", a.popularity);
+        let hot: usize = a.popularity[..4].iter().sum();
+        assert!(hot * 2 > 400, "hot half carries most traffic");
+        // s = 0 degrades to roughly uniform.
+        let u = serving_workload(8, 2, 400, 0.0, 42);
+        assert!(
+            u.popularity.iter().all(|&n| n > 20 && n < 80),
+            "{:?}",
+            u.popularity
+        );
+    }
+
+    #[test]
+    fn serving_workload_jobs_negotiate_successfully() {
+        let w = serving_workload(3, 2, 6, 1.0, 7);
+        use peertrust_negotiation::{negotiate_batch, BatchConfig};
+        let report = negotiate_batch(
+            &w.peers,
+            &w.jobs,
+            &BatchConfig::default(),
+            &peertrust_telemetry::Telemetry::disabled(),
+        );
+        assert_eq!(report.stats.successes, 6, "every sampled goal succeeds");
     }
 
     #[test]

@@ -11,8 +11,8 @@ pub mod scenario2;
 
 pub use generator::{
     chain, delegation_chain, delegation_mesh, fleet, random_policies, resilience_grid,
-    throughput_grid, BatchWorkload, MeshWorkload, RandomPolicyConfig, ResilienceGridPoint,
-    Workload,
+    serving_workload, throughput_grid, BatchWorkload, MeshWorkload, RandomPolicyConfig,
+    ResilienceGridPoint, ServingWorkload, Workload,
 };
 pub use grid::GridScenario;
 pub use intensional::IntensionalScenario;

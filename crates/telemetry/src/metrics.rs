@@ -132,7 +132,9 @@ impl HistogramSnapshot {
         }
     }
 
-    fn observe(&mut self, value: u64) {
+    /// Fold one observation into the aggregate (exact count/sum/min/max,
+    /// log-bucketed sketch for the quantiles).
+    pub fn observe(&mut self, value: u64) {
         self.count += 1;
         self.sum += value;
         self.min = self.min.min(value);

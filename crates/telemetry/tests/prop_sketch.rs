@@ -1,0 +1,132 @@
+//! Property tests for the quantile sketch's merge algebra.
+//!
+//! The serving and batch drivers rely on per-worker private registries
+//! that merge into the caller's at join — in whatever order the workers
+//! happen to finish. Those drivers promise bit-identical metrics across
+//! runs and worker counts, which holds only if [`HistogramSnapshot::absorb`]
+//! is associative, commutative, and exactly count/sum-preserving over
+//! arbitrary partitions of the observation stream. Pin that algebra here.
+
+use peertrust_telemetry::HistogramSnapshot;
+use proptest::prelude::*;
+
+/// Bounded so exact sums cannot overflow `u64` even at max vec length.
+const VALUE: std::ops::Range<u64> = 0..(1u64 << 40);
+
+fn sketch_of(values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::empty();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+fn merged<'a>(parts: impl IntoIterator<Item = &'a HistogramSnapshot>) -> HistogramSnapshot {
+    let mut acc = HistogramSnapshot::empty();
+    for p in parts {
+        acc.absorb(p);
+    }
+    acc
+}
+
+/// Full structural equality: counts, sums, extrema, and every bucket.
+fn assert_same(a: &HistogramSnapshot, b: &HistogramSnapshot) {
+    assert_eq!(a.count, b.count, "count");
+    assert_eq!(a.sum, b.sum, "sum");
+    assert_eq!(a.min, b.min, "min");
+    assert_eq!(a.max, b.max, "max");
+    assert_eq!(a.buckets, b.buckets, "buckets");
+}
+
+proptest! {
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): worker join order cannot matter.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(VALUE.clone(), 0..64),
+        b in proptest::collection::vec(VALUE.clone(), 0..64),
+        c in proptest::collection::vec(VALUE.clone(), 0..64),
+    ) {
+        let (sa, sb, sc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+        let left = {
+            let mut ab = sa.clone();
+            ab.absorb(&sb);
+            ab.absorb(&sc);
+            ab
+        };
+        let right = {
+            let mut bc = sb.clone();
+            bc.absorb(&sc);
+            let mut a_bc = sa.clone();
+            a_bc.absorb(&bc);
+            a_bc
+        };
+        assert_same(&left, &right);
+    }
+
+    /// a ⊕ b == b ⊕ a.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(VALUE.clone(), 0..64),
+        b in proptest::collection::vec(VALUE.clone(), 0..64),
+    ) {
+        let (sa, sb) = (sketch_of(&a), sketch_of(&b));
+        let mut ab = sa.clone();
+        ab.absorb(&sb);
+        let mut ba = sb.clone();
+        ba.absorb(&sa);
+        assert_same(&ab, &ba);
+    }
+
+    /// Merging any partition of a stream equals sketching the stream
+    /// whole — and count/sum/min/max are exact (never sketched).
+    #[test]
+    fn merge_over_any_partition_matches_the_whole_stream(
+        values in proptest::collection::vec(VALUE.clone(), 1..256),
+        cuts in proptest::collection::vec(0usize..10_000, 0..6),
+    ) {
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % values.len()).collect();
+        bounds.push(0);
+        bounds.push(values.len());
+        bounds.sort_unstable();
+        let parts: Vec<HistogramSnapshot> = bounds
+            .windows(2)
+            .map(|w| sketch_of(&values[w[0]..w[1]]))
+            .collect();
+        let combined = merged(&parts);
+        let whole = sketch_of(&values);
+        assert_same(&combined, &whole);
+        // The exact fields track the raw stream, not the buckets.
+        prop_assert_eq!(combined.count, values.len() as u64);
+        prop_assert_eq!(combined.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(combined.min, *values.iter().min().unwrap());
+        prop_assert_eq!(combined.max, *values.iter().max().unwrap());
+    }
+
+    /// The empty sketch is the identity on both sides.
+    #[test]
+    fn empty_is_the_identity(values in proptest::collection::vec(VALUE.clone(), 0..128)) {
+        let s = sketch_of(&values);
+        let mut left = HistogramSnapshot::empty();
+        left.absorb(&s);
+        assert_same(&left, &s);
+        let mut right = s.clone();
+        right.absorb(&HistogramSnapshot::empty());
+        assert_same(&right, &s);
+    }
+
+    /// Quantiles read from a merged sketch equal quantiles read from the
+    /// whole-stream sketch (they share bucket structure exactly).
+    #[test]
+    fn quantiles_are_merge_invariant(
+        a in proptest::collection::vec(0u64..1_000_000, 1..128),
+        b in proptest::collection::vec(0u64..1_000_000, 1..128),
+    ) {
+        let mut combined = sketch_of(&a);
+        combined.absorb(&sketch_of(&b));
+        let whole: Vec<u64> = a.iter().chain(&b).copied().collect();
+        let whole = sketch_of(&whole);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(combined.quantile(q), whole.quantile(q));
+        }
+    }
+}

@@ -19,7 +19,10 @@
 //! `cargo xtask verify --gem` appends [`GEM_STEPS`], the distributed
 //! tabling lane (GEM unit + session tests, the acyclic bit-identity and
 //! cyclic-mesh differential proptests, and the GEM batch determinism
-//! test).
+//! test). `cargo xtask verify --serve` appends [`SERVE_STEPS`], the
+//! open-loop serving lane (serve unit suite with the cross-worker
+//! determinism and admission-control tests, the sketch-merge algebra
+//! proptests, and the gated `e18_serving` quickbench).
 //!
 //! `cargo xtask bench --quick` runs the quickbench harness's e8/e13
 //! smoke scenarios in both the interpreted and compiled lanes, writes
@@ -27,9 +30,10 @@
 //! scenario slower than its same-run interpreted counterpart (the PR 8
 //! parity gate), interpreted e8 deep-chain >25% over
 //! `BENCH_BASELINE_PR5.json`, any cold scenario >25% over
-//! `BENCH_BASELINE_PR8.json`, or any deterministic work counter
-//! (resolution steps, heap cells, body instructions) differing from the
-//! PR8 baseline at all.
+//! `BENCH_BASELINE_PR8.json`/`BENCH_BASELINE_PR9.json`/
+//! `BENCH_BASELINE_PR10.json`, or any deterministic work counter
+//! (resolution steps, heap cells, body instructions, serving admission
+//! decisions) differing from its baseline at all.
 
 use std::process::Command;
 
@@ -117,6 +121,8 @@ const STEPS: &[Step] = &[
             "BENCH_BASELINE_PR8.json",
             "--baseline-pr9",
             "BENCH_BASELINE_PR9.json",
+            "--baseline-pr10",
+            "BENCH_BASELINE_PR10.json",
         ],
         &[],
     ),
@@ -319,6 +325,8 @@ const COMPILED_STEPS: &[Step] = &[
             "BENCH_BASELINE_PR8.json",
             "--baseline-pr9",
             "BENCH_BASELINE_PR9.json",
+            "--baseline-pr10",
+            "BENCH_BASELINE_PR10.json",
         ],
         &[],
     ),
@@ -332,11 +340,12 @@ fn main() {
             args.iter().any(|a| a == "--faults"),
             args.iter().any(|a| a == "--compiled"),
             args.iter().any(|a| a == "--gem"),
+            args.iter().any(|a| a == "--serve"),
         ),
         Some("bench") => bench(args.iter().any(|a| a == "--quick")),
         _ => {
             eprintln!(
-                "usage: cargo xtask <verify [--threads] [--faults] [--compiled] [--gem] | bench [--quick]>"
+                "usage: cargo xtask <verify [--threads] [--faults] [--compiled] [--gem] [--serve] | bench [--quick]>"
             );
             std::process::exit(2);
         }
@@ -381,6 +390,59 @@ const GEM_STEPS: &[Step] = &[
     ),
 ];
 
+/// Extra steps behind `cargo xtask verify --serve`: the open-loop
+/// serving lane — the serve module's unit suite (overload shedding with
+/// typed refusals, bit-identical decisions and metrics across runs and
+/// worker counts, clone-free session startup, shared-cache warm-up),
+/// the quantile-sketch merge-algebra proptests that the cross-worker
+/// metric merge relies on, and the quickbench run whose `e18_serving`
+/// scenario is gated at 3x against `BENCH_BASELINE_PR10.json` with
+/// exact admission-decision counters. Mirrors the CI `serving` job.
+const SERVE_STEPS: &[Step] = &[
+    step(
+        "open-loop serving unit tests",
+        &[
+            "test",
+            "-q",
+            "-p",
+            "peertrust-negotiation",
+            "--lib",
+            "serve::",
+        ],
+        &[],
+    ),
+    step(
+        "quantile-sketch merge proptests",
+        &[
+            "test",
+            "-q",
+            "-p",
+            "peertrust-telemetry",
+            "--test",
+            "prop_sketch",
+        ],
+        &[],
+    ),
+    step(
+        "serving quickbench (e18 gate + admission counters)",
+        &[
+            "run",
+            "--release",
+            "-p",
+            "peertrust-bench",
+            "--bin",
+            "quickbench",
+            "--",
+            "--quick",
+            "--out",
+            "target/BENCH_PR10.json",
+            "--baseline-pr10",
+            "BENCH_BASELINE_PR10.json",
+        ],
+        &[],
+    ),
+];
+
 /// Run the quickbench harness: e8 deep-chain + e13 tabling scenarios in
 /// both lanes, `target/BENCH_PR8.json` artifact, and hard failures on
 /// the same-run compiled parity gate, the PR5 interpreted regression
@@ -404,6 +466,8 @@ fn bench(quick: bool) {
         "BENCH_BASELINE_PR8.json",
         "--baseline-pr9",
         "BENCH_BASELINE_PR9.json",
+        "--baseline-pr10",
+        "BENCH_BASELINE_PR10.json",
     ];
     if quick {
         cargo_args.push("--quick");
@@ -423,7 +487,7 @@ fn bench(quick: bool) {
     println!("xtask bench: wrote target/BENCH_PR8.json");
 }
 
-fn verify(threads: bool, faults: bool, compiled: bool, gem: bool) {
+fn verify(threads: bool, faults: bool, compiled: bool, gem: bool, serve: bool) {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let mut steps: Vec<&Step> = STEPS.iter().collect();
     if threads {
@@ -437,6 +501,9 @@ fn verify(threads: bool, faults: bool, compiled: bool, gem: bool) {
     }
     if gem {
         steps.extend(GEM_STEPS.iter());
+    }
+    if serve {
+        steps.extend(SERVE_STEPS.iter());
     }
     for s in steps {
         println!("== xtask verify: {} ==", s.name);
